@@ -1,0 +1,32 @@
+"""Extension — synergy aggregation operators (DESIGN.md 3b, paper Section 4.2.2).
+
+The paper states it tried weighted-sum and max pooling in Eq. 3/4 before
+settling on sum (inner) + mean (outer) but does not report those numbers;
+this bench regenerates the comparison on the CDs analogue.
+"""
+
+from conftest import emit_report, run_once
+
+from repro.experiments.registry import get_experiment
+
+
+def test_ext_synergy_aggregation(benchmark, bench_scale, bench_epochs):
+    spec = get_experiment("ext-synergy")
+    output = run_once(
+        benchmark,
+        lambda: spec.run(dataset="cds", scale=bench_scale, epochs=bench_epochs, seed=0),
+    )
+    emit_report("ext_synergy", output["text"])
+
+    rows = output["rows"]
+    assert len(rows) >= 2
+    combinations = {(row["inner"], row["outer"]) for row in rows}
+    assert ("sum", "mean") in combinations
+    for row in rows:
+        assert 0.0 <= row["Recall@10"] <= 1.0
+
+    # Shape claim: the paper's choice should be competitive with every
+    # alternative aggregation (within a generous tolerance at bench scale).
+    paper_choice = next(row for row in rows if row["paper_choice"])
+    best = max(row["Recall@10"] for row in rows)
+    assert paper_choice["Recall@10"] >= 0.7 * best

@@ -1,0 +1,43 @@
+"""Extension — literature-review baselines (paper Section 2).
+
+The paper compares HAM only against Caser, SASRec and HGN because HGN had
+already been shown to outperform the RNN/CNN/attention family.  This bench
+runs HAMs_m directly against that family (GRU4Rec, GRU4Rec++, NARM, STAMP,
+NextItRec, Fossil) plus the count-based references on the CDs analogue, so
+the transitive claim can be checked rather than assumed.
+"""
+
+from conftest import emit_report, run_once
+
+from repro.experiments.registry import get_experiment
+
+METHODS = ("HAMs_m", "HGN", "GRU4Rec", "NARM", "STAMP", "NextItRec",
+           "Fossil", "MarkovChain", "POP")
+
+
+def test_ext_extended_baselines(benchmark, bench_scale, bench_epochs):
+    spec = get_experiment("ext-baselines")
+    output = run_once(
+        benchmark,
+        lambda: spec.run(dataset="cds", setting="80-20-CUT", methods=METHODS,
+                         scale=bench_scale, epochs=bench_epochs, seed=0),
+    )
+    emit_report("ext_baselines", output["text"])
+
+    rows = {row["method"]: row for row in output["rows"]}
+    assert set(rows) == set(METHODS)
+    for row in rows.values():
+        assert 0.0 <= row["Recall@10"] <= 1.0
+
+    # Shape claims (kept loose at bench scale — the paper's claims are made
+    # on the full datasets with exhaustive tuning, the synthetic analogue
+    # only checks the order of magnitude):
+    # 1. HAMs_m is within a factor of the popularity floor at short epoch
+    #    budgets and should overtake it with a realistic budget.
+    assert rows["HAMs_m"]["Recall@10"] >= 0.5 * rows["POP"]["Recall@10"]
+    # 2. HAMs_m stays within a factor of the strongest literature-review
+    #    baseline.
+    strongest_extension = max(
+        rows[m]["Recall@10"] for m in METHODS if m not in ("HAMs_m", "HGN")
+    )
+    assert rows["HAMs_m"]["Recall@10"] >= 0.4 * strongest_extension

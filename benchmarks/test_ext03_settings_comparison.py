@@ -1,0 +1,38 @@
+"""Extension — experimental-setting comparison (paper Section 7.3).
+
+Reproduces the argument behind the paper's recommendation of 80-3-CUT:
+under 80-20-CUT, users with many test items inflate NDCG, and moving to a
+fixed-size test set changes Recall and NDCG in opposite directions
+(Sections 6.2.1 and 7.3).
+"""
+
+from conftest import emit_report, run_once
+
+from repro.experiments.registry import get_experiment
+
+
+def test_ext_settings_comparison(benchmark, bench_scale, bench_epochs):
+    spec = get_experiment("ext-settings")
+    output = run_once(
+        benchmark,
+        lambda: spec.run(dataset="cds", method="HAMs_m", scale=bench_scale,
+                         epochs=bench_epochs, seed=0),
+    )
+    emit_report("ext_settings", output["text"])
+
+    settings = {row["setting"]: row for row in output["rows"]}
+    assert set(settings) == {"80-20-CUT", "80-3-CUT", "3-LOS"}
+    for row in settings.values():
+        assert row["users"] > 0
+        assert 0.0 <= row["Recall@10"] <= 1.0
+
+    # Shape claim (Section 6.2.1): Recall is higher when only the next 3
+    # items are tested than when the whole last 20% is tested, because the
+    # denominator shrinks.  Allow a small tolerance at bench scale.
+    assert settings["80-3-CUT"]["Recall@10"] >= 0.8 * settings["80-20-CUT"]["Recall@10"]
+
+    # Section 7.3: within 80-20-CUT, NDCG of the largest test sets should
+    # not be *lower* than that of the smallest ones (the inflation effect).
+    buckets = output["bucket_rows"]
+    assert len(buckets) >= 2
+    assert buckets[-1]["metric"] >= 0.5 * max(bucket["metric"] for bucket in buckets)

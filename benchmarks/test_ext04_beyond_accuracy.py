@@ -1,0 +1,34 @@
+"""Extension — beyond-accuracy profile (coverage, Gini, popularity bias).
+
+Complements the paper's Section 7.2 frequency analysis: the paper shows
+that *items* are mostly infrequent; this bench shows how concentrated each
+method's *recommendations* are on the frequent items.
+"""
+
+from conftest import emit_report, run_once
+
+from repro.experiments.registry import get_experiment
+
+METHODS = ("HAMs_m", "HGN", "POP")
+
+
+def test_ext_beyond_accuracy(benchmark, bench_scale, bench_epochs):
+    spec = get_experiment("ext-beyond")
+    output = run_once(
+        benchmark,
+        lambda: spec.run(dataset="cds", setting="80-20-CUT", methods=METHODS,
+                         scale=bench_scale, epochs=bench_epochs, seed=0),
+    )
+    emit_report("ext_beyond_accuracy", output["text"])
+
+    rows = {row["method"]: row for row in output["rows"]}
+    assert set(rows) == set(METHODS)
+    for row in rows.values():
+        assert 0.0 < row["coverage"] <= 1.0
+        assert 0.0 <= row["gini"] <= 1.0
+        assert row["novelty"] >= 0.0
+
+    # Shape claims: the unpersonalized popularity ranker covers the least
+    # of the catalogue and is the most concentrated.
+    assert rows["POP"]["coverage"] <= rows["HAMs_m"]["coverage"]
+    assert rows["POP"]["gini"] >= rows["HAMs_m"]["gini"] - 1e-6

@@ -1,0 +1,21 @@
+"""Fig. 3 — item frequency distributions of CDs, Comics, ML-1M and ML-20M."""
+
+from conftest import emit_report, run_once
+
+from repro.experiments.registry import get_experiment
+
+
+def test_fig3_item_frequency_distribution(benchmark, bench_scale):
+    spec = get_experiment("fig3")
+    output = run_once(benchmark, lambda: spec.run(scale=bench_scale))
+    emit_report("fig3", output["text"])
+
+    summary = {row["dataset"]: row["% items in lower half of log-frequency range"]
+               for row in output["summary_rows"]}
+    assert set(summary) == {"CDs", "Comics", "ML-1M", "ML-20M"}
+    assert all(0.0 <= value <= 100.0 for value in summary.values())
+
+    # Shape claim of Fig. 3: the sparse Amazon/Goodreads datasets carry a
+    # larger share of infrequent items than the dense MovieLens datasets.
+    assert summary["CDs"] >= summary["ML-1M"] - 5.0
+    assert summary["CDs"] >= summary["ML-20M"] - 5.0

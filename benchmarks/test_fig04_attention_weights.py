@@ -1,0 +1,34 @@
+"""Fig. 4 — distributions of HGN instance-gate ("attention") weights."""
+
+import numpy as np
+from conftest import emit_report, run_once
+
+from repro.analysis.attention_weights import FIGURE4_DATASETS, gate_weight_distribution
+from repro.experiments.registry import get_experiment
+
+
+def test_fig4_gate_weight_distributions(benchmark, bench_scale, bench_epochs):
+    spec = get_experiment("fig4")
+    output = run_once(
+        benchmark,
+        lambda: spec.run(scale=bench_scale, epochs=bench_epochs, seed=0),
+    )
+    emit_report("fig4", output["text"])
+
+    rows = output["rows"]
+    assert len(rows) == len(FIGURE4_DATASETS) * 4  # four frequency buckets each
+    for row in rows:
+        assert 0.0 <= row["mean_weight"] <= 1.0
+
+    # Core observation of Section 7.2: the gate weights of infrequent items
+    # stay concentrated around their 0.5 initialization because sparse data
+    # rarely updates them - the motivation for HAM's equal-weight pooling.
+    distribution = gate_weight_distribution("cds", scale=bench_scale, epochs=None, seed=0)
+    infrequent = distribution.concentration_near_half("top 20% least frequent")
+    assert infrequent > 0.5, (
+        f"expected infrequent-item gate weights to concentrate near 0.5, got {infrequent:.2f}"
+    )
+    # Infrequent items should be at least as concentrated near 0.5 as the
+    # most frequent items (whose gates receive many more updates).
+    frequent = distribution.concentration_near_half("top 20% most frequent")
+    assert infrequent >= frequent - 0.15

@@ -1,0 +1,29 @@
+"""Table 2 — dataset statistics of the six benchmark analogues."""
+
+from conftest import emit_report, run_once
+
+from repro.data.benchmarks import BENCHMARK_NAMES, PAPER_STATISTICS, load_benchmark
+from repro.experiments.registry import get_experiment
+
+
+def test_table2_dataset_statistics(benchmark, bench_scale):
+    output = run_once(benchmark, lambda: get_experiment("table2").run(scale=bench_scale))
+    emit_report("table2", output["text"])
+
+    rows = {row["dataset"].lower(): row for row in output["rows"]}
+    assert len(rows) == len(BENCHMARK_NAMES)
+
+    # Shape checks: the analogues preserve the paper's per-user sparsity
+    # profile (#intrns/u) and the ordering of per-item density (#u/i).
+    for name in BENCHMARK_NAMES:
+        paper_per_user = PAPER_STATISTICS[name][3]
+        measured_per_user = load_benchmark(name, scale=bench_scale).interactions_per_user
+        assert abs(measured_per_user - paper_per_user) / paper_per_user < 0.2
+
+    def per_item(name):
+        return load_benchmark(name, scale=bench_scale).interactions_per_item
+
+    # CDs is the sparsest dataset per item and the MovieLens analogues the densest.
+    assert per_item("cds") == min(per_item(name) for name in BENCHMARK_NAMES)
+    assert per_item("ml-1m") > per_item("cds")
+    assert per_item("ml-20m") > per_item("books")

@@ -1,0 +1,9 @@
+"""Table 3 — overall performance in 80-20-CUT (Recall@5 / Recall@10)."""
+
+from _overall import check_overall_shape, run_overall_table
+
+
+def test_table3_recall_80_20_CUT(benchmark, bench_scale, bench_epochs):
+    rows = run_overall_table(benchmark, "table3", bench_scale, bench_epochs)
+    assert {row["metric"] for row in rows} == {"Recall@5", "Recall@10"}
+    check_overall_shape(rows)

@@ -1,0 +1,9 @@
+"""Table 4 — overall performance in 80-20-CUT (NDCG@5 / NDCG@10)."""
+
+from _overall import check_overall_shape, run_overall_table
+
+
+def test_table4_ndcg_80_20_CUT(benchmark, bench_scale, bench_epochs):
+    rows = run_overall_table(benchmark, "table4", bench_scale, bench_epochs)
+    assert {row["metric"] for row in rows} == {"NDCG@5", "NDCG@10"}
+    check_overall_shape(rows)

@@ -1,0 +1,9 @@
+"""Table 6 — overall performance in 80-3-CUT (NDCG@5 / NDCG@10)."""
+
+from _overall import check_overall_shape, run_overall_table
+
+
+def test_table6_ndcg_80_3_CUT(benchmark, bench_scale, bench_epochs):
+    rows = run_overall_table(benchmark, "table6", bench_scale, bench_epochs)
+    assert {row["metric"] for row in rows} == {"NDCG@5", "NDCG@10"}
+    check_overall_shape(rows)

@@ -1,0 +1,9 @@
+"""Table 7 — overall performance in 3-LOS (Recall@5 / Recall@10)."""
+
+from _overall import check_overall_shape, run_overall_table
+
+
+def test_table7_recall_3_LOS(benchmark, bench_scale, bench_epochs):
+    rows = run_overall_table(benchmark, "table7", bench_scale, bench_epochs)
+    assert {row["metric"] for row in rows} == {"Recall@5", "Recall@10"}
+    check_overall_shape(rows)

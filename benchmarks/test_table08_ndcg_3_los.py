@@ -1,0 +1,9 @@
+"""Table 8 — overall performance in 3-LOS (NDCG@5 / NDCG@10)."""
+
+from _overall import check_overall_shape, run_overall_table
+
+
+def test_table8_ndcg_3_LOS(benchmark, bench_scale, bench_epochs):
+    rows = run_overall_table(benchmark, "table8", bench_scale, bench_epochs)
+    assert {row["metric"] for row in rows} == {"NDCG@5", "NDCG@10"}
+    check_overall_shape(rows)

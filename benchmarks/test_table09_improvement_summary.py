@@ -1,0 +1,31 @@
+"""Table 9 — average improvement of HAMs_m over Caser, SASRec, HGN and HAMm."""
+
+import numpy as np
+from conftest import emit_report, run_once
+
+from repro.experiments.registry import get_experiment
+
+
+def test_table9_improvement_summary(benchmark, bench_scale, bench_epochs):
+    spec = get_experiment("table9")
+    output = run_once(
+        benchmark,
+        lambda: spec.run(scale=bench_scale, epochs=bench_epochs, seed=0),
+    )
+    emit_report("table9", output["text"])
+
+    rows = output["rows"]
+    # 3 settings x 4 metrics
+    assert len(rows) == 12
+    assert {row["setting"] for row in rows} == {"80-20-CUT", "80-3-CUT", "3-LOS"}
+
+    # Qualitative shape of Table 9: HAMs_m improves over Caser (the paper's
+    # weakest baseline, +26% to +50%) on average across settings/metrics.
+    caser_improvements = [row["Caser (measured %)"] for row in rows]
+    assert np.mean(caser_improvements) > 0
+
+    # The improvement over the closest HAM variant (HAMm) is small in the
+    # paper (1.5-4.3%); measured values should likewise stay an order of
+    # magnitude below the Caser improvements on average.
+    hamm_improvements = [abs(row["HAMm (measured %)"]) for row in rows]
+    assert np.mean(hamm_improvements) < max(np.mean(np.abs(caser_improvements)), 10.0)

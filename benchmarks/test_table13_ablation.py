@@ -1,0 +1,34 @@
+"""Table 13 — ablation study of HAMs_m (low-order term and user preferences)."""
+
+import numpy as np
+from conftest import emit_report, run_once
+
+from repro.analysis.ablation import ABLATION_VARIANTS
+from repro.data.benchmarks import BENCHMARK_NAMES
+from repro.experiments.registry import get_experiment
+
+
+def test_table13_ablation_study(benchmark, bench_scale, bench_epochs):
+    spec = get_experiment("table13")
+    output = run_once(
+        benchmark,
+        lambda: spec.run(scale=bench_scale, epochs=bench_epochs, seed=0),
+    )
+    emit_report("table13", output["text"])
+
+    rows = output["rows"]
+    # one row per (dataset, variant)
+    assert len(rows) == len(BENCHMARK_NAMES) * len(ABLATION_VARIANTS)
+    assert {row["model"] for row in rows} == set(ABLATION_VARIANTS)
+    for row in rows:
+        assert 0.0 <= row["Recall@10"] <= 1.0
+
+    # Shape claim (Section 6.6): averaged over datasets, the full model is
+    # at least competitive with each ablated variant (the paper reports it
+    # winning on 4/6 datasets and close on the other two).
+    def mean_recall(variant):
+        return np.mean([row["Recall@10"] for row in rows if row["model"] == variant])
+
+    full = mean_recall("HAMs_m")
+    assert full >= 0.8 * mean_recall("HAMs_m-o")
+    assert full >= 0.8 * mean_recall("HAMs_m-u")

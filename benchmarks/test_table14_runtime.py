@@ -1,0 +1,43 @@
+"""Table 14 — testing run-time per user and speedup of HAMs_m."""
+
+import numpy as np
+from conftest import emit_report, run_once
+
+from repro.data.benchmarks import BENCHMARK_NAMES
+from repro.experiments.registry import get_experiment
+
+
+def test_table14_runtime_comparison(benchmark, bench_scale, bench_epochs):
+    spec = get_experiment("table14")
+    output = run_once(
+        benchmark,
+        lambda: spec.run(scale=bench_scale, epochs=bench_epochs, seed=0),
+    )
+    emit_report("table14", output["text"])
+
+    rows = output["rows"]
+    assert len(rows) == len(BENCHMARK_NAMES)
+
+    # Core claim of Section 6.7: the pooling-based HAMs_m scores users
+    # faster than the convolutional (Caser) and self-attention (SASRec)
+    # baselines.  Per-dataset times are microseconds at bench scale, so the
+    # per-row check only guards against gross inversions and the claim is
+    # asserted on the averages over datasets.
+    for row in rows:
+        ham = float(row["HAMs_m"])
+        caser = float(row["Caser"])
+        sasrec = float(row["SASRec"])
+        assert ham > 0
+        assert caser > 0.5 * ham, (
+            f"{row['dataset']}: Caser ({caser}) should not be far faster than HAMs_m ({ham})"
+        )
+        assert sasrec > 0.5 * ham, (
+            f"{row['dataset']}: SASRec ({sasrec}) should not be far faster than HAMs_m ({ham})"
+        )
+
+    # The paper reports an average 28x speedup over SASRec and 139.7x over
+    # Caser; at laptop scale the factors are smaller but must stay > 1.
+    speedups_caser = [float(row["Caser"]) / float(row["HAMs_m"]) for row in rows]
+    speedups_sasrec = [float(row["SASRec"]) / float(row["HAMs_m"]) for row in rows]
+    assert np.mean(speedups_caser) > 1.0
+    assert np.mean(speedups_sasrec) > 1.5

@@ -1,0 +1,27 @@
+"""Table A2 — best hyperparameters reported by the paper (configuration registry)."""
+
+from conftest import emit_report, run_once
+
+from repro.experiments.configs import default_model_hyperparameters
+from repro.experiments.registry import get_experiment
+
+
+def test_tableA2_best_parameters(benchmark):
+    spec = get_experiment("tableA2")
+    output = run_once(benchmark, spec.run)
+    emit_report("tableA2", output["text"])
+
+    rows = output["rows"]
+    # 2 distinct settings x 4 methods x 6 datasets
+    assert len(rows) == 2 * 4 * 6
+    hams_rows = [row for row in rows if row["method"] == "HAMs_m"]
+    assert all(row["n_l"] <= row["n_h"] for row in hams_rows)
+    assert all(row["p"] <= row["n_h"] for row in hams_rows)
+
+    # The laptop-scale defaults must follow the paper's structural choices.
+    cds = next(row for row in hams_rows
+               if row["dataset"] == "cds" and row["setting"] == "80-20-CUT")
+    defaults = default_model_hyperparameters("HAMs_m", "cds", "80-20-CUT")
+    assert defaults["n_h"] == cds["n_h"]
+    assert defaults["n_l"] == cds["n_l"]
+    assert defaults["synergy_order"] == cds["p"]

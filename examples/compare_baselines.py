@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Compare the HAM family against the paper's baselines on one dataset.
+
+Reproduces, at laptop scale, one column block of the paper's Tables 3/4:
+Caser, SASRec, HGN and the four HAM variants are trained with the same
+protocol on the same dataset and compared on Recall@k, NDCG@k and testing
+run time (the Table 14 measurement), including significance flags for the
+improvement of HAMs_m over each baseline.
+
+Run with::
+
+    python examples/compare_baselines.py --dataset children --setting 80-3-CUT
+"""
+
+import argparse
+
+from repro.evaluation import paired_improvement_test
+from repro.experiments.overall import run_overall_experiment
+from repro.experiments.reporting import format_table
+from repro.models.registry import PAPER_METHODS
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dataset", default="children")
+    parser.add_argument("--setting", default="80-3-CUT",
+                        choices=("80-20-CUT", "80-3-CUT", "3-LOS"))
+    parser.add_argument("--epochs", type=int, default=12)
+    parser.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
+    args = parser.parse_args()
+
+    result = run_overall_experiment(args.dataset, args.setting, methods=PAPER_METHODS,
+                                    scale=args.scale, epochs=args.epochs)
+
+    rows = []
+    for method, run in result.runs.items():
+        rows.append({
+            "method": method,
+            "Recall@5": round(run.evaluation.metrics["Recall@5"], 4),
+            "Recall@10": round(run.evaluation.metrics["Recall@10"], 4),
+            "NDCG@10": round(run.evaluation.metrics["NDCG@10"], 4),
+            "s/user (test)": f"{run.timing.seconds_per_user:.1e}",
+            "train s": round(run.training.train_seconds, 1),
+        })
+    print(format_table(rows, title=f"{args.dataset} in {args.setting} ({args.scale} scale)"))
+
+    # Significance of HAMs_m against each baseline, as in the paper's tables.
+    reference = result.per_user("HAMs_m", "Recall@10")
+    significance_rows = []
+    for method in ("Caser", "SASRec", "HGN", "HAMm"):
+        test = paired_improvement_test(reference, result.per_user(method, "Recall@10"),
+                                       confidence=0.95)
+        significance_rows.append({
+            "HAMs_m vs": method,
+            "improvement %": round(test.improvement_percent, 1),
+            "p-value": round(test.p_value, 4),
+            "significant (95%)": test.significant,
+        })
+    print(format_table(significance_rows,
+                       title="Improvement of HAMs_m over baselines (Recall@10)"))
+
+
+if __name__ == "__main__":
+    main()

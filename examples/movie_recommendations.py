@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Movie recommendation scenario (the paper's MovieLens workload).
+
+Uses the ML-1M synthetic analogue — or a real MovieLens ``ratings.dat`` /
+``ratings.csv`` file when one is passed — to walk through the full paper
+protocol on a movie-rating workload:
+
+* preprocess with the HGN protocol (ratings >= 4 are positive feedback,
+  min-10 interactions per user, min-5 per item),
+* compare the three experimental settings (80-20-CUT, 80-3-CUT, 3-LOS)
+  for the same trained model, illustrating the Section 7.3 discussion of
+  how the setting changes the measured numbers,
+* show per-user recommendations with the items' popularity rank, the kind
+  of sanity inspection a practitioner would run before deploying.
+
+Run with::
+
+    python examples/movie_recommendations.py
+    python examples/movie_recommendations.py --ratings /path/to/ml-1m/ratings.dat
+"""
+
+import argparse
+
+import numpy as np
+
+from repro.data import load_benchmark, split_setting
+from repro.data.loaders import load_movielens
+from repro.evaluation import RankingEvaluator, top_k_items
+from repro.experiments.reporting import format_table
+from repro.models import HAMSynergy
+from repro.training import Trainer, TrainingConfig
+
+
+def load_movies(ratings_path: str | None, scale: str):
+    if ratings_path:
+        print(f"loading real MovieLens ratings from {ratings_path}")
+        return load_movielens(ratings_path, name="MovieLens")
+    print("no ratings file given - using the ML-1M synthetic analogue")
+    return load_benchmark("ml-1m", scale=scale)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--ratings", default=None, help="optional path to MovieLens ratings")
+    parser.add_argument("--epochs", type=int, default=15)
+    parser.add_argument("--scale", default="small", choices=("tiny", "small", "paper"))
+    args = parser.parse_args()
+
+    dataset = load_movies(args.ratings, args.scale)
+    print(dataset.summary())
+
+    # One model configuration, evaluated under all three paper settings.
+    rows = []
+    trained_model = None
+    for setting in ("80-20-CUT", "80-3-CUT", "3-LOS"):
+        split = split_setting(dataset, setting)
+        model = HAMSynergy(
+            num_users=dataset.num_users, num_items=dataset.num_items,
+            embedding_dim=32, n_h=7, n_l=2, synergy_order=3, pooling="mean",
+            rng=np.random.default_rng(1),
+        )
+        config = TrainingConfig(num_epochs=args.epochs, batch_size=256, n_p=3, seed=1)
+        Trainer(model, config).fit(split.train_plus_valid())
+        metrics = RankingEvaluator(split, ks=(5, 10)).evaluate(model).metrics
+        rows.append({"setting": setting, **{k: round(v, 4) for k, v in metrics.items()}})
+        if setting == "80-3-CUT":
+            trained_model = model
+            trained_split = split
+
+    print(format_table(rows, title="HAMs_m on the movie workload under the three settings"))
+    print("note the Section 7.3 effect: recall tends to be higher and NDCG lower in "
+          "80-3-CUT than in 80-20-CUT because the number of test items changes.")
+
+    # Per-user inspection: recommendations with popularity ranks.
+    popularity_rank = np.argsort(np.argsort(-dataset.item_frequencies()))
+    histories = trained_split.train_plus_valid()
+    users = np.arange(min(5, dataset.num_users))
+    inputs = np.full((len(users), trained_model.input_length), trained_model.pad_id, dtype=np.int64)
+    for row, user in enumerate(users):
+        recent = histories[int(user)][-trained_model.input_length:]
+        inputs[row, -len(recent):] = recent
+    scores = trained_model.score_all(users, inputs)
+    top = top_k_items(scores, k=5, excluded=[set(histories[int(u)]) for u in users])
+    inspection = []
+    for user, items in zip(users, top):
+        inspection.append({
+            "user": int(user),
+            "recent movies": str(histories[int(user)][-3:]),
+            "recommended": str(items.tolist()),
+            "popularity ranks": str([int(popularity_rank[i]) for i in items]),
+        })
+    print(format_table(inspection, title="Sample recommendations (lower popularity rank = more popular)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The legacy ``setup.py`` path is used (instead of a PEP 517 build-system
+table) so that ``pip install -e .`` works in offline environments without
+the ``wheel`` package or network access to build dependencies.
+"""
+
+from setuptools import setup
+
+setup()

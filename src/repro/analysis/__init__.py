@@ -1,0 +1,73 @@
+"""Analyses of the paper's Sections 6.5-7 and reproduction-specific studies.
+
+Paper analyses:
+
+* :mod:`~repro.analysis.improvement` — Table 9 (average improvements).
+* :mod:`~repro.analysis.parameter_study` — Tables 10-12 and A1.
+* :mod:`~repro.analysis.ablation` — Table 13.
+* :mod:`~repro.analysis.runtime` — Table 14.
+* :mod:`~repro.analysis.frequency` — Fig. 3 (item frequency distribution).
+* :mod:`~repro.analysis.attention_weights` — Fig. 4 (HGN gating weights).
+
+Extension analyses:
+
+* :mod:`~repro.analysis.sparsity` — metric by user-activity bucket
+  (Section 7.2's data-sparsity argument, made measurable).
+* :mod:`~repro.analysis.settings_comparison` — Section 7.3's
+  NDCG-inflation argument and side-by-side setting comparison.
+* :mod:`~repro.analysis.convergence` — training-convergence summaries
+  (Section 6.7's epochs-to-converge remarks).
+* :mod:`~repro.analysis.synergy_study` — the synergy aggregation design
+  choice of Section 4.2.2 (sum+mean vs the alternatives the paper tried).
+"""
+
+from repro.analysis.ablation import AblationRow, run_ablation_study
+from repro.analysis.attention_weights import GateWeightDistribution, gate_weight_distribution
+from repro.analysis.convergence import (
+    ConvergenceSummary,
+    compare_convergence,
+    summarize_convergence,
+)
+from repro.analysis.frequency import item_frequency_distribution
+from repro.analysis.improvement import improvement_summary
+from repro.analysis.parameter_study import run_parameter_study, run_sasrec_sensitivity
+from repro.analysis.runtime import runtime_comparison
+from repro.analysis.settings_comparison import (
+    SettingComparisonRow,
+    TestSizeBucket,
+    compare_settings,
+    metric_by_test_set_size,
+)
+from repro.analysis.sparsity import (
+    ActivityBucket,
+    compare_by_user_activity,
+    performance_by_user_activity,
+)
+from repro.analysis.synergy_study import (
+    SynergyAggregationRow,
+    run_synergy_aggregation_study,
+)
+
+__all__ = [
+    "run_ablation_study",
+    "AblationRow",
+    "gate_weight_distribution",
+    "GateWeightDistribution",
+    "item_frequency_distribution",
+    "improvement_summary",
+    "run_parameter_study",
+    "run_sasrec_sensitivity",
+    "runtime_comparison",
+    "ActivityBucket",
+    "performance_by_user_activity",
+    "compare_by_user_activity",
+    "ConvergenceSummary",
+    "summarize_convergence",
+    "compare_convergence",
+    "TestSizeBucket",
+    "metric_by_test_set_size",
+    "SettingComparisonRow",
+    "compare_settings",
+    "SynergyAggregationRow",
+    "run_synergy_aggregation_study",
+]

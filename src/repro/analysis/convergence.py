@@ -1,0 +1,104 @@
+"""Training-convergence analysis.
+
+Section 6.7 of the paper notes that HAM needs more epochs than HGN to
+converge but each epoch is cheap; this module quantifies that kind of
+statement for any training run: epochs to reach a fraction of the best
+validation score, the monotonicity of the loss curve, and side-by-side
+comparison of several runs (different models, losses or learning-rate
+schedules).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.training.trainer import TrainingResult
+
+__all__ = ["ConvergenceSummary", "summarize_convergence", "compare_convergence"]
+
+
+@dataclass(frozen=True)
+class ConvergenceSummary:
+    """Convergence statistics of one training run."""
+
+    num_epochs: int
+    final_loss: float
+    best_validation: float
+    best_epoch: int
+    epochs_to_90_percent: int | None
+    loss_decrease_fraction: float
+    train_seconds: float
+
+    def as_row(self) -> dict:
+        return {
+            "epochs": self.num_epochs,
+            "final_loss": self.final_loss,
+            "best_validation": self.best_validation,
+            "best_epoch": self.best_epoch,
+            "epochs_to_90%": self.epochs_to_90_percent,
+            "loss_decrease": self.loss_decrease_fraction,
+            "seconds": self.train_seconds,
+        }
+
+
+def _epochs_to_fraction(history: list[tuple[int, float]], best: float,
+                        fraction: float) -> int | None:
+    """First evaluated epoch whose score reaches ``fraction * best``."""
+    if not history or best <= 0:
+        return None
+    threshold = fraction * best
+    for epoch, score in history:
+        # Small tolerance so exact-fraction scores are not lost to float
+        # rounding (e.g. 0.09 vs 0.9 * 0.10).
+        if score >= threshold - 1e-12:
+            return epoch
+    return None
+
+
+def summarize_convergence(result: TrainingResult,
+                          fraction: float = 0.9) -> ConvergenceSummary:
+    """Summarize one :class:`TrainingResult`.
+
+    Parameters
+    ----------
+    result:
+        The trainer's output.
+    fraction:
+        The "good enough" level used for the epochs-to-X%% statistic
+        (default: 90% of the best validation score).
+    """
+    if not 0.0 < fraction <= 1.0:
+        raise ValueError("fraction must be in (0, 1]")
+    losses = np.asarray(result.epoch_losses, dtype=np.float64)
+    if losses.size == 0:
+        raise ValueError("the training result contains no epochs")
+
+    if losses.size > 1:
+        decreases = np.diff(losses) < 0
+        decrease_fraction = float(decreases.mean())
+    else:
+        decrease_fraction = 1.0
+
+    best = result.best_validation if np.isfinite(result.best_validation) else 0.0
+    return ConvergenceSummary(
+        num_epochs=int(losses.size),
+        final_loss=float(losses[-1]),
+        best_validation=float(best),
+        best_epoch=int(result.best_epoch),
+        epochs_to_90_percent=_epochs_to_fraction(result.validation_history, best, fraction),
+        loss_decrease_fraction=decrease_fraction,
+        train_seconds=float(result.train_seconds),
+    )
+
+
+def compare_convergence(results: dict[str, TrainingResult],
+                        fraction: float = 0.9) -> dict[str, ConvergenceSummary]:
+    """Summaries of several training runs keyed by a display label."""
+    if not results:
+        raise ValueError("at least one training result is required")
+    return {
+        label: summarize_convergence(result, fraction=fraction)
+        for label, result in results.items()
+    }

@@ -1,0 +1,56 @@
+"""Item frequency distribution analysis (paper Fig. 3, Section 7.2).
+
+The paper plots, for CDs, Comics, ML-1M and ML-20M, the percentage of
+items falling into each log-frequency percentile bin, showing that the
+sparse datasets are dominated by very infrequent items.  The same
+computation is provided here over the synthetic analogues.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.benchmarks import load_benchmark
+from repro.data.stats import log_frequency_percentiles
+
+__all__ = ["FrequencyDistribution", "item_frequency_distribution", "FIGURE3_DATASETS"]
+
+FIGURE3_DATASETS = ("cds", "comics", "ml-1m", "ml-20m")
+
+
+@dataclass(frozen=True)
+class FrequencyDistribution:
+    """Histogram of items over normalized log-frequency bins."""
+
+    dataset: str
+    bin_centres: np.ndarray
+    item_percentages: np.ndarray
+
+    def infrequent_mass(self, threshold: float = 0.5) -> float:
+        """Percentage of items below ``threshold`` on the normalized log scale."""
+        below = self.bin_centres < threshold
+        return float(self.item_percentages[below].sum())
+
+    def as_rows(self) -> list[dict]:
+        return [
+            {"dataset": self.dataset,
+             "log_frequency_percentile": round(float(centre), 3),
+             "items_percent": round(float(percent), 2)}
+            for centre, percent in zip(self.bin_centres, self.item_percentages)
+        ]
+
+
+def item_frequency_distribution(datasets: tuple[str, ...] = FIGURE3_DATASETS,
+                                num_bins: int = 20,
+                                scale: str | None = None) -> list[FrequencyDistribution]:
+    """Compute the Fig. 3 distributions for the requested datasets."""
+    distributions = []
+    for name in datasets:
+        data = load_benchmark(name, scale=scale)
+        centres, percentages = log_frequency_percentiles(data, num_bins=num_bins)
+        distributions.append(FrequencyDistribution(
+            dataset=data.name, bin_centres=centres, item_percentages=percentages,
+        ))
+    return distributions

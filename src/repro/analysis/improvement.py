@@ -1,0 +1,98 @@
+"""Average improvement of HAMs_m over the other methods (paper Table 9).
+
+The paper reports, for every setting and metric, the mean over datasets of
+the percentage improvement of HAMs_m over Caser, SASRec, HGN and HAMm,
+marking statistically significant improvements.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.evaluation.significance import paired_improvement_test
+from repro.experiments.overall import OverallResult
+
+__all__ = ["ImprovementCell", "improvement_summary"]
+
+
+@dataclass(frozen=True)
+class ImprovementCell:
+    """Average improvement of the reference method over one competitor."""
+
+    competitor: str
+    metric: str
+    mean_improvement_percent: float
+    per_dataset: dict[str, float]
+    significant: bool
+
+    def as_cell(self) -> str:
+        flag = "*" if self.significant else ""
+        return f"{self.mean_improvement_percent:.1f}{flag}"
+
+
+def _percentage_improvement(reference: float, competitor: float) -> float:
+    if competitor == 0:
+        return float("inf") if reference > 0 else 0.0
+    return 100.0 * (reference - competitor) / competitor
+
+
+def improvement_summary(results: dict[str, OverallResult],
+                        reference: str = "HAMs_m",
+                        competitors: tuple[str, ...] = ("Caser", "SASRec", "HGN", "HAMm"),
+                        metrics: tuple[str, ...] = ("Recall@5", "Recall@10", "NDCG@5", "NDCG@10"),
+                        exclude_datasets: tuple[str, ...] = (),
+                        confidence: float = 0.90) -> dict[str, list[ImprovementCell]]:
+    """Compute the Table 9 cells for one experimental setting.
+
+    Parameters
+    ----------
+    results:
+        ``{dataset: OverallResult}`` for one setting (each result must
+        contain the reference and all competitors).
+    reference:
+        The method whose improvement is reported (HAMs_m in the paper).
+    exclude_datasets:
+        Datasets dropped from the average (the paper excludes Books and/or
+        Comics in some columns because of SASRec outliers).
+    confidence:
+        Confidence level of the significance flag (paper Table 9: 90%).
+
+    Returns
+    -------
+    ``{metric: [ImprovementCell per competitor]}``
+    """
+    summary: dict[str, list[ImprovementCell]] = {}
+    datasets = [name for name in results if name not in exclude_datasets]
+    if not datasets:
+        raise ValueError("no datasets left after exclusions")
+
+    for metric in metrics:
+        cells = []
+        for competitor in competitors:
+            per_dataset = {}
+            reference_scores = []
+            competitor_scores = []
+            for name in datasets:
+                result = results[name]
+                ref_value = result.metric(reference, metric)
+                comp_value = result.metric(competitor, metric)
+                per_dataset[name] = _percentage_improvement(ref_value, comp_value)
+                reference_scores.append(result.per_user(reference, metric))
+                competitor_scores.append(result.per_user(competitor, metric))
+            mean_improvement = float(np.mean(list(per_dataset.values())))
+            test = paired_improvement_test(
+                np.concatenate(reference_scores),
+                np.concatenate(competitor_scores),
+                confidence=confidence,
+            )
+            cells.append(ImprovementCell(
+                competitor=competitor,
+                metric=metric,
+                mean_improvement_percent=mean_improvement,
+                per_dataset=per_dataset,
+                significant=test.significant and mean_improvement > 0,
+            ))
+        summary[metric] = cells
+    return summary

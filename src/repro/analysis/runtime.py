@@ -1,0 +1,73 @@
+"""Testing run-time comparison (paper Table 14, Section 6.7).
+
+Builds the run-time table from the timings collected by the overall
+experiment runs: seconds per user for every method, plus the speedup of
+the reference method (HAMs_m) over the fastest baseline.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.overall import OverallResult
+
+__all__ = ["RuntimeRow", "runtime_comparison"]
+
+
+@dataclass(frozen=True)
+class RuntimeRow:
+    """Per-dataset testing run time of every method (seconds per user)."""
+
+    dataset: str
+    seconds_per_user: dict[str, float]
+    reference: str
+
+    @property
+    def speedup_over_best_baseline(self) -> float:
+        """Speedup of the reference over the fastest *other* method."""
+        reference_time = self.seconds_per_user[self.reference]
+        others = [t for name, t in self.seconds_per_user.items() if name != self.reference]
+        if reference_time <= 0 or not others:
+            return float("nan")
+        return min(others) / reference_time
+
+    def speedup_over(self, method: str) -> float:
+        """Speedup of the reference over one specific method."""
+        reference_time = self.seconds_per_user[self.reference]
+        if reference_time <= 0:
+            return float("nan")
+        return self.seconds_per_user[method] / reference_time
+
+    def as_row(self) -> dict:
+        row: dict = {"dataset": self.dataset}
+        for method, seconds in self.seconds_per_user.items():
+            row[method] = f"{seconds:.1e}"
+        row["speedup"] = round(self.speedup_over_best_baseline, 1)
+        return row
+
+
+def runtime_comparison(results: dict[str, OverallResult],
+                       methods: tuple[str, ...] = ("Caser", "SASRec", "HGN", "HAMs_m"),
+                       reference: str = "HAMs_m") -> list[RuntimeRow]:
+    """Build Table 14 rows from overall experiment results.
+
+    Parameters
+    ----------
+    results:
+        ``{dataset: OverallResult}`` containing all requested methods.
+    methods:
+        Methods to include (paper Table 14 compares Caser, SASRec, HGN and
+        HAMs_m).
+    reference:
+        Method whose speedup over the others is reported.
+    """
+    if reference not in methods:
+        raise ValueError("reference must be one of the reported methods")
+    rows = []
+    for dataset, result in results.items():
+        seconds = {
+            method: result.runs[method].timing.seconds_per_user
+            for method in methods
+        }
+        rows.append(RuntimeRow(dataset=dataset, seconds_per_user=seconds, reference=reference))
+    return rows

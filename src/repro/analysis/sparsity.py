@@ -1,0 +1,121 @@
+"""Performance as a function of user activity (data sparsity).
+
+Section 7.2 of the paper explains HAM's advantage through data sparsity:
+most items (and users) have few interactions, which is where parameterized
+attention/gating weights are hardest to learn and where equal-weight
+pooling suffices.  This analysis slices any evaluation result by how many
+training interactions each evaluated user has, so the per-sparsity-bucket
+behaviour behind that argument can be inspected directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.splits import DatasetSplit
+from repro.evaluation.evaluator import EvaluationResult
+
+__all__ = ["ActivityBucket", "performance_by_user_activity", "compare_by_user_activity"]
+
+
+@dataclass(frozen=True)
+class ActivityBucket:
+    """One user-activity bucket of an evaluation result."""
+
+    label: str
+    min_interactions: int
+    max_interactions: int
+    num_users: int
+    mean_history_length: float
+    mean_metric: float
+
+    def as_row(self) -> dict:
+        return {
+            "bucket": self.label,
+            "users": self.num_users,
+            "mean_history": self.mean_history_length,
+            "metric": self.mean_metric,
+        }
+
+
+def _evaluated_users(split: DatasetSplit, mode: str) -> list[int]:
+    targets = split.test if mode == "test" else split.valid
+    return [user for user, items in enumerate(targets) if items]
+
+
+def _history_lengths(split: DatasetSplit, users: list[int], mode: str) -> np.ndarray:
+    histories = split.train_plus_valid() if mode == "test" else split.train
+    return np.asarray([len(histories[user]) for user in users], dtype=np.int64)
+
+
+def performance_by_user_activity(split: DatasetSplit, result: EvaluationResult,
+                                 metric: str = "Recall@10", num_buckets: int = 4,
+                                 mode: str = "test") -> list[ActivityBucket]:
+    """Split the per-user metric values of ``result`` into activity buckets.
+
+    Parameters
+    ----------
+    split:
+        The split the result was computed on (provides user histories).
+    result:
+        An :class:`EvaluationResult` from the full-ranking evaluator.
+    metric:
+        Which per-user metric array to slice.
+    num_buckets:
+        Number of equal-population buckets ordered from least to most
+        active users.
+    mode:
+        ``"test"`` or ``"validation"`` — must match the evaluator mode used
+        to produce ``result``.
+    """
+    if num_buckets < 1:
+        raise ValueError("num_buckets must be positive")
+    if mode not in ("test", "validation"):
+        raise ValueError("mode must be 'test' or 'validation'")
+    if metric not in result.per_user:
+        raise KeyError(f"metric {metric!r} not in the evaluation result")
+
+    users = _evaluated_users(split, mode)
+    values = np.asarray(result.per_user[metric], dtype=np.float64)
+    if len(users) != len(values):
+        raise ValueError(
+            "evaluation result does not match the split "
+            f"({len(values)} per-user values vs {len(users)} evaluable users)"
+        )
+    lengths = _history_lengths(split, users, mode)
+
+    order = np.argsort(lengths, kind="stable")
+    boundaries = np.array_split(order, num_buckets)
+    buckets = []
+    for index, members in enumerate(boundaries):
+        if members.size == 0:
+            continue
+        bucket_lengths = lengths[members]
+        buckets.append(ActivityBucket(
+            label=f"Q{index + 1}",
+            min_interactions=int(bucket_lengths.min()),
+            max_interactions=int(bucket_lengths.max()),
+            num_users=int(members.size),
+            mean_history_length=float(bucket_lengths.mean()),
+            mean_metric=float(values[members].mean()),
+        ))
+    return buckets
+
+
+def compare_by_user_activity(split: DatasetSplit,
+                             results: dict[str, EvaluationResult],
+                             metric: str = "Recall@10", num_buckets: int = 4,
+                             mode: str = "test") -> dict[str, list[ActivityBucket]]:
+    """Per-activity-bucket metric of several methods on the same split.
+
+    Returns ``{method: [bucket, ...]}`` with identical bucket boundaries
+    across methods (they are computed from the shared split), so the rows
+    can be printed side by side to see where each method wins.
+    """
+    return {
+        method: performance_by_user_activity(split, result, metric=metric,
+                                             num_buckets=num_buckets, mode=mode)
+        for method, result in results.items()
+    }

@@ -1,0 +1,58 @@
+"""Minimal reverse-mode automatic differentiation over NumPy arrays.
+
+The HAM paper implements its models in PyTorch.  PyTorch is not available
+in this environment, so this subpackage provides the substrate the models
+are built on: a small, well-tested autodiff engine with the tensor
+operations, neural-network layers and optimizers the reproduction needs.
+
+The public surface mirrors the shape of the PyTorch APIs the original code
+relies on (tensors with ``.backward()``, ``Module``/``Parameter``,
+``Embedding``/``Linear``/``LayerNorm`` layers, ``Adam``), so the model code
+in :mod:`repro.models` reads like the original implementations.
+
+Example
+-------
+>>> from repro.autograd import Tensor
+>>> x = Tensor([[1.0, 2.0], [3.0, 4.0]], requires_grad=True)
+>>> y = (x * x).sum()
+>>> y.backward()
+>>> x.grad.tolist()
+[[2.0, 4.0], [6.0, 8.0]]
+"""
+
+from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
+from repro.autograd import functional
+from repro.autograd.module import Module, Parameter
+from repro.autograd.layers import (
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    ModuleList,
+    Sequential,
+)
+from repro.autograd.optim import SGD, Adagrad, Adam, Optimizer, clip_grad_norm
+from repro.autograd import init
+from repro.autograd.numeric import gradient_check
+
+__all__ = [
+    "Tensor",
+    "no_grad",
+    "is_grad_enabled",
+    "functional",
+    "Module",
+    "Parameter",
+    "Embedding",
+    "Linear",
+    "LayerNorm",
+    "Dropout",
+    "Sequential",
+    "ModuleList",
+    "Optimizer",
+    "SGD",
+    "Adam",
+    "Adagrad",
+    "clip_grad_norm",
+    "init",
+    "gradient_check",
+]

@@ -1,0 +1,130 @@
+"""Functional operations composed from :class:`~repro.autograd.tensor.Tensor` primitives.
+
+These helpers mirror the ``torch.nn.functional`` operations the original
+HAM/Caser/SASRec/HGN implementations rely on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = [
+    "softmax",
+    "log_softmax",
+    "logsigmoid",
+    "sigmoid",
+    "tanh",
+    "relu",
+    "dropout",
+    "embedding",
+    "mean_pool",
+    "max_pool",
+    "masked_fill",
+    "scaled_dot_product_attention",
+]
+
+
+def sigmoid(x: Tensor) -> Tensor:
+    """Element-wise logistic sigmoid."""
+    return x.sigmoid()
+
+
+def tanh(x: Tensor) -> Tensor:
+    """Element-wise hyperbolic tangent."""
+    return x.tanh()
+
+
+def relu(x: Tensor) -> Tensor:
+    """Element-wise rectified linear unit."""
+    return x.relu()
+
+
+def softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Numerically stable softmax along ``axis``."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    exps = shifted.exp()
+    return exps / exps.sum(axis=axis, keepdims=True)
+
+
+def log_softmax(x: Tensor, axis: int = -1) -> Tensor:
+    """Log of the softmax, computed stably."""
+    shifted = x - Tensor(x.data.max(axis=axis, keepdims=True))
+    return shifted - shifted.exp().sum(axis=axis, keepdims=True).log()
+
+
+def logsigmoid(x: Tensor) -> Tensor:
+    """``log(sigmoid(x))`` computed without overflow.
+
+    Implemented as a primitive (``-logaddexp(0, -x)``) with the exact
+    gradient ``1 - sigmoid(x)``, so the BPR loss is smooth even when the
+    positive and negative scores coincide exactly.
+    """
+    data = -np.logaddexp(0.0, -x.data)
+    sigmoid_x = 1.0 / (1.0 + np.exp(-np.clip(x.data, -60.0, 60.0)))
+
+    def backward(grad):
+        return (grad * (1.0 - sigmoid_x),)
+
+    return x._make_child(data, (x,), backward)
+
+
+def dropout(x: Tensor, p: float, training: bool = True,
+            rng: np.random.Generator | None = None) -> Tensor:
+    """Inverted dropout: zero each element with probability ``p``.
+
+    Identity when ``training`` is false or ``p`` is 0.
+    """
+    if not training or p <= 0.0:
+        return x
+    if p >= 1.0:
+        raise ValueError("dropout probability must be < 1")
+    rng = rng or np.random.default_rng()
+    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    return x * Tensor(mask)
+
+
+def embedding(weight: Tensor, indices) -> Tensor:
+    """Look up rows of ``weight`` by integer ``indices``."""
+    return weight.take_rows(indices)
+
+
+def mean_pool(x: Tensor, axis: int = 1) -> Tensor:
+    """Mean pooling along ``axis`` (HAM Eq. 1, mean variant)."""
+    return x.mean(axis=axis)
+
+
+def max_pool(x: Tensor, axis: int = 1) -> Tensor:
+    """Max pooling along ``axis`` (HAM Eq. 1, max variant)."""
+    return x.max(axis=axis)
+
+
+def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
+    """Replace entries where ``mask`` is true with ``value`` (no gradient
+    flows through the replaced entries)."""
+    mask = np.asarray(mask, dtype=bool)
+    keep = Tensor((~mask).astype(np.float64))
+    fill = Tensor(mask.astype(np.float64) * value)
+    return x * keep + fill
+
+
+def scaled_dot_product_attention(query: Tensor, key: Tensor, value: Tensor,
+                                 mask: np.ndarray | None = None) -> Tensor:
+    """Attention(Q, K, V) = softmax(QK^T / sqrt(d)) V.
+
+    Parameters
+    ----------
+    query, key, value:
+        Tensors of shape ``(..., L, d)``.
+    mask:
+        Optional boolean array broadcastable to ``(..., L, L)``; positions
+        where the mask is true are excluded from attention (set to -inf
+        before the softmax).
+    """
+    d = query.shape[-1]
+    scores = query.matmul(key.swapaxes(-1, -2)) * (1.0 / np.sqrt(d))
+    if mask is not None:
+        scores = masked_fill(scores, mask, -1e9)
+    weights = softmax(scores, axis=-1)
+    return weights.matmul(value)

@@ -1,0 +1,77 @@
+"""Weight initialization schemes.
+
+The HAM paper initializes embedding tables with small random values; the
+baselines additionally use Xavier/Glorot initialization for dense layers.
+All initializers take an explicit :class:`numpy.random.Generator` so model
+construction is reproducible.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.module import Parameter
+
+__all__ = [
+    "normal",
+    "uniform",
+    "xavier_uniform",
+    "xavier_normal",
+    "zeros",
+    "ones",
+    "constant",
+]
+
+
+def normal(shape: tuple[int, ...], rng: np.random.Generator,
+           std: float = 0.01, mean: float = 0.0) -> Parameter:
+    """Parameter drawn from N(mean, std^2)."""
+    return Parameter(rng.normal(mean, std, size=shape))
+
+
+def uniform(shape: tuple[int, ...], rng: np.random.Generator,
+            low: float = -0.05, high: float = 0.05) -> Parameter:
+    """Parameter drawn uniformly from [low, high)."""
+    return Parameter(rng.uniform(low, high, size=shape))
+
+
+def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
+    if len(shape) < 1:
+        raise ValueError("initializer shapes must have at least one dimension")
+    if len(shape) == 1:
+        return shape[0], shape[0]
+    receptive = int(np.prod(shape[2:])) if len(shape) > 2 else 1
+    fan_in = shape[1] * receptive
+    fan_out = shape[0] * receptive
+    return fan_in, fan_out
+
+
+def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator,
+                   gain: float = 1.0) -> Parameter:
+    """Glorot uniform initialization."""
+    fan_in, fan_out = _fans(shape)
+    bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
+    return Parameter(rng.uniform(-bound, bound, size=shape))
+
+
+def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator,
+                  gain: float = 1.0) -> Parameter:
+    """Glorot normal initialization."""
+    fan_in, fan_out = _fans(shape)
+    std = gain * np.sqrt(2.0 / (fan_in + fan_out))
+    return Parameter(rng.normal(0.0, std, size=shape))
+
+
+def zeros(shape: tuple[int, ...]) -> Parameter:
+    """All-zeros parameter (typical for biases)."""
+    return Parameter(np.zeros(shape))
+
+
+def ones(shape: tuple[int, ...]) -> Parameter:
+    """All-ones parameter (typical for layer-norm scales)."""
+    return Parameter(np.ones(shape))
+
+
+def constant(shape: tuple[int, ...], value: float) -> Parameter:
+    """Parameter filled with ``value``."""
+    return Parameter(np.full(shape, float(value)))

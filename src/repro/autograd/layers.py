@@ -1,0 +1,156 @@
+"""Neural-network layers built on the autograd substrate.
+
+Only the layers the reproduction actually needs are provided: embeddings
+(HAM's ``U``/``V``/``W`` lookup tables), linear layers and layer
+normalization (SASRec blocks, HGN gates), dropout, and simple containers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd import init
+from repro.autograd.module import Module, Parameter
+from repro.autograd.tensor import Tensor
+
+__all__ = ["Embedding", "Linear", "LayerNorm", "Dropout", "Sequential", "ModuleList"]
+
+
+class Embedding(Module):
+    """Lookup table mapping integer ids to dense vectors.
+
+    Parameters
+    ----------
+    num_embeddings:
+        Number of rows (e.g. number of items).
+    embedding_dim:
+        Dimensionality ``d`` of each row.
+    rng:
+        Random generator used to initialize the table.
+    std:
+        Standard deviation of the normal initializer; the HAM code uses
+        small-variance normal initialization for all embedding tables.
+    padding_idx:
+        Optional row pinned to zero (used for sequence padding); its
+        gradient is cleared after every backward pass by the optimizer
+        hook in :meth:`apply_padding_mask`.
+    """
+
+    def __init__(self, num_embeddings: int, embedding_dim: int,
+                 rng: np.random.Generator, std: float = 0.01,
+                 padding_idx: int | None = None):
+        super().__init__()
+        if num_embeddings <= 0 or embedding_dim <= 0:
+            raise ValueError("Embedding dimensions must be positive")
+        self.num_embeddings = num_embeddings
+        self.embedding_dim = embedding_dim
+        self.padding_idx = padding_idx
+        self.weight = init.normal((num_embeddings, embedding_dim), rng, std=std)
+        if padding_idx is not None:
+            self.weight.data[padding_idx] = 0.0
+
+    def forward(self, indices) -> Tensor:
+        indices = np.asarray(indices, dtype=np.int64)
+        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+            raise IndexError(
+                f"embedding indices out of range [0, {self.num_embeddings})"
+            )
+        return F.embedding(self.weight, indices)
+
+    def apply_padding_mask(self) -> None:
+        """Zero the padding row and its gradient (call after optimizer step)."""
+        if self.padding_idx is None:
+            return
+        self.weight.data[self.padding_idx] = 0.0
+        if self.weight.grad is not None:
+            self.weight.grad[self.padding_idx] = 0.0
+
+
+class Linear(Module):
+    """Affine transform ``y = x W^T + b``."""
+
+    def __init__(self, in_features: int, out_features: int,
+                 rng: np.random.Generator, bias: bool = True):
+        super().__init__()
+        self.in_features = in_features
+        self.out_features = out_features
+        self.weight = init.xavier_uniform((out_features, in_features), rng)
+        self.bias = init.zeros((out_features,)) if bias else None
+
+    def forward(self, x: Tensor) -> Tensor:
+        out = x.matmul(self.weight.T)
+        if self.bias is not None:
+            out = out + self.bias
+        return out
+
+
+class LayerNorm(Module):
+    """Layer normalization over the last dimension."""
+
+    def __init__(self, dim: int, eps: float = 1e-8):
+        super().__init__()
+        self.dim = dim
+        self.eps = eps
+        self.gamma = init.ones((dim,))
+        self.beta = init.zeros((dim,))
+
+    def forward(self, x: Tensor) -> Tensor:
+        mean = x.mean(axis=-1, keepdims=True)
+        centered = x - mean
+        variance = (centered * centered).mean(axis=-1, keepdims=True)
+        normalized = centered / (variance + self.eps).sqrt()
+        return normalized * self.gamma + self.beta
+
+
+class Dropout(Module):
+    """Inverted dropout layer; identity in evaluation mode."""
+
+    def __init__(self, p: float, rng: np.random.Generator | None = None):
+        super().__init__()
+        if not 0.0 <= p < 1.0:
+            raise ValueError("dropout probability must be in [0, 1)")
+        self.p = p
+        self.rng = rng or np.random.default_rng()
+
+    def forward(self, x: Tensor) -> Tensor:
+        return F.dropout(x, self.p, training=self.training, rng=self.rng)
+
+
+class Sequential(Module):
+    """Apply child modules in order."""
+
+    def __init__(self, *modules: Module):
+        super().__init__()
+        self.children_list = list(modules)
+
+    def forward(self, x: Tensor) -> Tensor:
+        for module in self.children_list:
+            x = module(x)
+        return x
+
+    def __iter__(self):
+        return iter(self.children_list)
+
+    def __len__(self):
+        return len(self.children_list)
+
+
+class ModuleList(Module):
+    """A list container whose elements are registered as sub-modules."""
+
+    def __init__(self, modules: list[Module] | None = None):
+        super().__init__()
+        self.children_list = list(modules or [])
+
+    def append(self, module: Module) -> None:
+        self.children_list.append(module)
+
+    def __getitem__(self, index: int) -> Module:
+        return self.children_list[index]
+
+    def __iter__(self):
+        return iter(self.children_list)
+
+    def __len__(self):
+        return len(self.children_list)

@@ -1,0 +1,130 @@
+"""``Module``/``Parameter`` abstraction, mirroring ``torch.nn.Module``.
+
+Models register :class:`Parameter` attributes and sub-modules simply by
+assigning them; :meth:`Module.parameters` walks the tree so optimizers and
+regularizers can reach every learnable tensor.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+import numpy as np
+
+from repro.autograd.tensor import Tensor
+
+__all__ = ["Parameter", "Module"]
+
+
+class Parameter(Tensor):
+    """A :class:`Tensor` that is a learnable model parameter.
+
+    Parameters always require gradients; optimizers update them in place.
+    """
+
+    def __init__(self, data, name: str | None = None):
+        super().__init__(data, requires_grad=True, name=name)
+
+
+class Module:
+    """Base class for models and layers.
+
+    Sub-classes assign :class:`Parameter` and :class:`Module` attributes in
+    ``__init__``; this base class discovers them by introspection, provides
+    parameter iteration, gradient zeroing, train/eval switching and a simple
+    ``state_dict`` for saving/restoring weights (used by the trainer to keep
+    the best-on-validation model).
+    """
+
+    def __init__(self):
+        self.training = True
+
+    # ------------------------------------------------------------------ #
+    # Parameter discovery
+    # ------------------------------------------------------------------ #
+    def named_parameters(self, prefix: str = "") -> Iterator[tuple[str, Parameter]]:
+        """Yield ``(name, parameter)`` pairs for this module and children."""
+        for attr, value in vars(self).items():
+            name = f"{prefix}{attr}"
+            if isinstance(value, Parameter):
+                yield name, value
+            elif isinstance(value, Module):
+                yield from value.named_parameters(prefix=f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, element in enumerate(value):
+                    if isinstance(element, Parameter):
+                        yield f"{name}.{i}", element
+                    elif isinstance(element, Module):
+                        yield from element.named_parameters(prefix=f"{name}.{i}.")
+
+    def parameters(self) -> list[Parameter]:
+        """Return all learnable parameters of the module tree."""
+        return [param for _, param in self.named_parameters()]
+
+    def named_modules(self, prefix: str = "") -> Iterator[tuple[str, "Module"]]:
+        """Yield ``(name, module)`` pairs, including ``self``."""
+        yield prefix.rstrip("."), self
+        for attr, value in vars(self).items():
+            name = f"{prefix}{attr}"
+            if isinstance(value, Module):
+                yield from value.named_modules(prefix=f"{name}.")
+            elif isinstance(value, (list, tuple)):
+                for i, element in enumerate(value):
+                    if isinstance(element, Module):
+                        yield from element.named_modules(prefix=f"{name}.{i}.")
+
+    # ------------------------------------------------------------------ #
+    # Training utilities
+    # ------------------------------------------------------------------ #
+    def zero_grad(self) -> None:
+        """Clear the gradient of every parameter."""
+        for param in self.parameters():
+            param.zero_grad()
+
+    def train(self, mode: bool = True) -> "Module":
+        """Set training mode recursively (affects e.g. dropout)."""
+        for _, module in self.named_modules():
+            module.training = mode
+        return self
+
+    def eval(self) -> "Module":
+        """Set evaluation mode recursively."""
+        return self.train(False)
+
+    def num_parameters(self) -> int:
+        """Total number of scalar learnable parameters."""
+        return int(sum(param.size for param in self.parameters()))
+
+    # ------------------------------------------------------------------ #
+    # State persistence
+    # ------------------------------------------------------------------ #
+    def state_dict(self) -> dict[str, np.ndarray]:
+        """Copy every parameter's data, keyed by dotted name."""
+        return {name: param.data.copy() for name, param in self.named_parameters()}
+
+    def load_state_dict(self, state: dict[str, np.ndarray]) -> None:
+        """Restore parameters saved by :meth:`state_dict`.
+
+        Raises ``KeyError`` for missing entries and ``ValueError`` on shape
+        mismatches, so silent weight corruption is impossible.
+        """
+        own = dict(self.named_parameters())
+        for name, param in own.items():
+            if name not in state:
+                raise KeyError(f"missing parameter in state_dict: {name}")
+            value = np.asarray(state[name])
+            if value.shape != param.data.shape:
+                raise ValueError(
+                    f"shape mismatch for {name}: "
+                    f"expected {param.data.shape}, got {value.shape}"
+                )
+            param.data[...] = value
+
+    # ------------------------------------------------------------------ #
+    # Call protocol
+    # ------------------------------------------------------------------ #
+    def forward(self, *args, **kwargs):
+        raise NotImplementedError
+
+    def __call__(self, *args, **kwargs):
+        return self.forward(*args, **kwargs)

@@ -1,0 +1,144 @@
+"""Optimizers for the autograd substrate.
+
+The paper optimizes every model with Adam (learning rate 1e-3) and an L2
+regularization factor applied to all embeddings; the regularization is
+implemented here as decoupled weight decay so that model code does not have
+to thread the penalty through each loss expression.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd.module import Parameter
+
+__all__ = ["Optimizer", "SGD", "Adam", "Adagrad", "clip_grad_norm"]
+
+
+class Optimizer:
+    """Base optimizer holding a parameter list and common bookkeeping."""
+
+    def __init__(self, params: list[Parameter], lr: float, weight_decay: float = 0.0):
+        if lr <= 0:
+            raise ValueError("learning rate must be positive")
+        if weight_decay < 0:
+            raise ValueError("weight decay must be non-negative")
+        self.params = list(params)
+        if not self.params:
+            raise ValueError("optimizer received an empty parameter list")
+        self.lr = lr
+        self.weight_decay = weight_decay
+
+    def zero_grad(self) -> None:
+        """Clear gradients of all managed parameters."""
+        for param in self.params:
+            param.zero_grad()
+
+    def step(self) -> None:
+        raise NotImplementedError
+
+    def _effective_grad(self, param: Parameter) -> np.ndarray | None:
+        """Gradient plus the L2 weight-decay term, or None if no gradient."""
+        if param.grad is None:
+            return None
+        if self.weight_decay:
+            return param.grad + self.weight_decay * param.data
+        return param.grad
+
+
+class SGD(Optimizer):
+    """Stochastic gradient descent with optional momentum."""
+
+    def __init__(self, params: list[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0, weight_decay: float = 0.0):
+        super().__init__(params, lr, weight_decay)
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, velocity in zip(self.params, self._velocity):
+            grad = self._effective_grad(param)
+            if grad is None:
+                continue
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += grad
+                update = velocity
+            else:
+                update = grad
+            param.data -= self.lr * update
+
+
+class Adam(Optimizer):
+    """Adam optimizer (Kingma & Ba, 2014), the paper's optimizer of choice."""
+
+    def __init__(self, params: list[Parameter], lr: float = 1e-3,
+                 betas: tuple[float, float] = (0.9, 0.999), eps: float = 1e-8,
+                 weight_decay: float = 0.0):
+        super().__init__(params, lr, weight_decay)
+        beta1, beta2 = betas
+        if not (0.0 <= beta1 < 1.0 and 0.0 <= beta2 < 1.0):
+            raise ValueError("betas must be in [0, 1)")
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self._step_count = 0
+        self._m = [np.zeros_like(p.data) for p in self.params]
+        self._v = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        self._step_count += 1
+        t = self._step_count
+        bias1 = 1.0 - self.beta1 ** t
+        bias2 = 1.0 - self.beta2 ** t
+        for param, m, v in zip(self.params, self._m, self._v):
+            grad = self._effective_grad(param)
+            if grad is None:
+                continue
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad * grad
+            m_hat = m / bias1
+            v_hat = v / bias2
+            param.data -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class Adagrad(Optimizer):
+    """Adagrad optimizer, offered for completeness in the grid-search space."""
+
+    def __init__(self, params: list[Parameter], lr: float = 0.01,
+                 eps: float = 1e-10, weight_decay: float = 0.0):
+        super().__init__(params, lr, weight_decay)
+        self.eps = eps
+        self._accum = [np.zeros_like(p.data) for p in self.params]
+
+    def step(self) -> None:
+        for param, accum in zip(self.params, self._accum):
+            grad = self._effective_grad(param)
+            if grad is None:
+                continue
+            accum += grad * grad
+            param.data -= self.lr * grad / (np.sqrt(accum) + self.eps)
+
+
+def clip_grad_norm(params: list[Parameter], max_norm: float) -> float:
+    """Scale gradients in place so their global L2 norm is at most ``max_norm``.
+
+    Returns the norm observed *before* clipping (useful for logging).
+    Parameters without a gradient are skipped.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = 0.0
+    grads = [param.grad for param in params if param.grad is not None]
+    for grad in grads:
+        total += float(np.sum(grad * grad))
+    norm = float(np.sqrt(total))
+    if norm > max_norm and norm > 0.0:
+        scale = max_norm / norm
+        for grad in grads:
+            grad *= scale
+    return norm

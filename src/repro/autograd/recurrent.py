@@ -1,0 +1,82 @@
+"""Recurrent layers (GRU) for the extended baseline set.
+
+The paper's literature review compares against RNN-based recommenders
+(GRU4Rec and variants) indirectly — HGN was shown to outperform them, so
+the paper only reports HGN.  A GRU layer is provided here so the
+reproduction can also run a GRU4Rec-style baseline as an extension.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import functional as F
+from repro.autograd import init
+from repro.autograd.module import Module
+from repro.autograd.tensor import Tensor
+
+__all__ = ["GRUCell", "GRU"]
+
+
+class GRUCell(Module):
+    """A single gated recurrent unit cell (Cho et al., 2014).
+
+    ``h' = (1 - z) * h + z * tanh(W_n x + b_n + r * (U_n h))`` with update
+    gate ``z`` and reset gate ``r`` computed from the input and the
+    previous hidden state.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        if input_dim < 1 or hidden_dim < 1:
+            raise ValueError("input_dim and hidden_dim must be positive")
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        # Gate parameters: one input->hidden and one hidden->hidden matrix
+        # per gate (update z, reset r, candidate n), plus biases.
+        self.weight_input = init.xavier_uniform((input_dim, 3 * hidden_dim), rng)
+        self.weight_hidden = init.xavier_uniform((hidden_dim, 3 * hidden_dim), rng)
+        self.bias = init.zeros((3 * hidden_dim,))
+
+    def forward(self, x: Tensor, hidden: Tensor) -> Tensor:
+        """One step: inputs ``x`` of shape ``(B, input_dim)``, state ``(B, hidden_dim)``."""
+        gates_input = x.matmul(self.weight_input) + self.bias       # (B, 3H)
+        gates_hidden = hidden.matmul(self.weight_hidden)            # (B, 3H)
+        H = self.hidden_dim
+        update = F.sigmoid(gates_input[:, 0:H] + gates_hidden[:, 0:H])
+        reset = F.sigmoid(gates_input[:, H:2 * H] + gates_hidden[:, H:2 * H])
+        candidate = F.tanh(gates_input[:, 2 * H:3 * H] + reset * gates_hidden[:, 2 * H:3 * H])
+        one = Tensor(1.0)
+        return (one - update) * hidden + update * candidate
+
+
+class GRU(Module):
+    """Unidirectional GRU over a ``(B, L, input_dim)`` sequence.
+
+    Returns the hidden state at every position ``(B, L, hidden_dim)``;
+    padded positions can be masked out by the caller (the hidden state is
+    simply carried through them unchanged when a mask is supplied).
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int, rng: np.random.Generator):
+        super().__init__()
+        self.cell = GRUCell(input_dim, hidden_dim, rng)
+        self.hidden_dim = hidden_dim
+
+    def forward(self, sequence: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        batch, length, _ = sequence.shape
+        hidden = Tensor(np.zeros((batch, self.hidden_dim)))
+        outputs = []
+        for position in range(length):
+            step_input = sequence[:, position, :]
+            new_hidden = self.cell(step_input, hidden)
+            if mask is not None:
+                keep = Tensor(mask[:, position].astype(np.float64)[:, None])
+                new_hidden = new_hidden * keep + hidden * (Tensor(1.0) - keep)
+            hidden = new_hidden
+            outputs.append(hidden)
+        return Tensor.stack(outputs, axis=1)
+
+    def final_state(self, sequence: Tensor, mask: np.ndarray | None = None) -> Tensor:
+        """Hidden state after the last (real) position, shape ``(B, hidden_dim)``."""
+        return self.forward(sequence, mask)[:, -1, :]

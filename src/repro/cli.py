@@ -1,0 +1,152 @@
+"""Command-line interface of the reproduction.
+
+Usage examples::
+
+    repro-ham list                       # list all reproducible experiments
+    repro-ham stats                      # Table 2 dataset statistics
+    repro-ham run table3 --scale tiny    # reproduce one table/figure
+    repro-ham train --dataset cds --method HAMs_m --setting 80-20-CUT
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.data.benchmarks import BENCHMARK_NAMES, SCALES, load_benchmark
+from repro.data.splits import SETTINGS, split_setting
+from repro.evaluation.evaluator import RankingEvaluator
+from repro.experiments.configs import default_model_hyperparameters, default_training_config
+from repro.experiments.registry import get_experiment, list_experiments
+from repro.experiments.reporting import format_table
+from repro.models.registry import MODEL_REGISTRY, create_model
+from repro.training.trainer import Trainer
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro-ham",
+        description="Reproduction of 'HAM: Hybrid Associations Models for Sequential Recommendation'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list all reproducible tables and figures")
+
+    stats = subparsers.add_parser("stats", help="print dataset statistics (Table 2)")
+    stats.add_argument("--scale", choices=sorted(SCALES), default=None)
+
+    run = subparsers.add_parser("run", help="reproduce one table or figure")
+    run.add_argument("experiment", help="experiment id, e.g. table3, fig4 or ext-synergy")
+    run.add_argument("--scale", choices=sorted(SCALES), default=None)
+    run.add_argument("--epochs", type=int, default=None)
+    run.add_argument("--seed", type=int, default=0)
+    run.add_argument("--save-dir", default=None,
+                     help="persist rows and report under this directory (ResultsStore)")
+
+    train = subparsers.add_parser("train", help="train and evaluate a single model")
+    train.add_argument("--dataset", choices=BENCHMARK_NAMES, default="cds")
+    train.add_argument("--method", choices=sorted(MODEL_REGISTRY), default="HAMs_m")
+    train.add_argument("--setting", choices=SETTINGS, default="80-20-CUT")
+    train.add_argument("--scale", choices=sorted(SCALES), default=None)
+    train.add_argument("--epochs", type=int, default=None)
+    train.add_argument("--seed", type=int, default=0)
+    train.add_argument("--checkpoint", default=None,
+                       help="write the trained parameters to this .npz path")
+    return parser
+
+
+def _command_list() -> int:
+    print(format_table(list_experiments(), title="Reproducible experiments"))
+    return 0
+
+
+def _command_stats(scale: str | None) -> int:
+    rows = []
+    for name in BENCHMARK_NAMES:
+        dataset = load_benchmark(name, scale=scale)
+        rows.append({
+            "dataset": dataset.name,
+            "#users": dataset.num_users,
+            "#items": dataset.num_items,
+            "#intrns": dataset.num_interactions,
+            "#intrns/u": round(dataset.interactions_per_user, 1),
+            "#u/i": round(dataset.interactions_per_item, 1),
+        })
+    print(format_table(rows, title="Synthetic benchmark analogues (Table 2)"))
+    return 0
+
+
+def _command_run(experiment_id: str, scale: str | None, epochs: int | None, seed: int,
+                 save_dir: str | None = None) -> int:
+    spec = get_experiment(experiment_id)
+    print(f"running {spec.experiment_id}: {spec.title} ({spec.paper_section})")
+    output = spec.run(scale=scale, epochs=epochs, seed=seed)
+    print(output["text"])
+    if save_dir is not None:
+        from repro.experiments.persistence import ResultsStore
+
+        saved = ResultsStore(save_dir).save(
+            spec.experiment_id, output,
+            metadata={"scale": scale, "epochs": epochs, "seed": seed},
+        )
+        print(f"saved to {saved.path}")
+    return 0
+
+
+def _command_train(dataset: str, method: str, setting: str, scale: str | None,
+                   epochs: int | None, seed: int, checkpoint: str | None = None) -> int:
+    data = load_benchmark(dataset, scale=scale)
+    split = split_setting(data, setting)
+    print(data.summary())
+
+    rng = np.random.default_rng(seed)
+    hyperparameters = default_model_hyperparameters(method, dataset, setting)
+    model = create_model(method, num_users=split.num_users, num_items=split.num_items,
+                         rng=rng, **hyperparameters)
+    print(model.describe())
+
+    config = default_training_config(num_epochs=epochs, dataset=dataset,
+                                     setting=setting, seed=seed)
+    result = Trainer(model, config).fit(split.train_plus_valid())
+    print(f"trained {config.num_epochs} epochs in {result.train_seconds:.1f}s "
+          f"(final loss {result.final_loss:.4f})")
+
+    metrics = RankingEvaluator(split, ks=(5, 10), mode="test").evaluate(model).metrics
+    print(format_table([{"method": method, **{k: round(v, 4) for k, v in metrics.items()}}],
+                       title=f"{method} on {data.name} in {setting}"))
+
+    if checkpoint is not None:
+        from repro.training.checkpoint import save_checkpoint
+
+        path = save_checkpoint(model, checkpoint, metadata={
+            "method": method, "dataset": dataset, "setting": setting, "seed": seed,
+            "metrics": {k: round(v, 6) for k, v in metrics.items()},
+        })
+        print(f"checkpoint written to {path}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        return _command_list()
+    if args.command == "stats":
+        return _command_stats(args.scale)
+    if args.command == "run":
+        return _command_run(args.experiment, args.scale, args.epochs, args.seed,
+                            save_dir=args.save_dir)
+    if args.command == "train":
+        return _command_train(args.dataset, args.method, args.setting,
+                              args.scale, args.epochs, args.seed,
+                              checkpoint=args.checkpoint)
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

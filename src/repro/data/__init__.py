@@ -1,0 +1,55 @@
+"""Datasets, preprocessing, experimental settings and synthetic benchmarks.
+
+The paper evaluates on six public datasets (Amazon CDs/Books, Goodreads
+Children/Comics, MovieLens-1M/20M) preprocessed with HGN's protocol and
+split under three experimental settings (80-20-CUT, 80-3-CUT, 3-LOS).
+This subpackage provides:
+
+* :class:`~repro.data.dataset.InteractionDataset` — per-user chronological
+  item sequences with the statistics reported in Table 2.
+* :mod:`~repro.data.preprocess` — the HGN preprocessing protocol
+  (min-interaction filtering, rating binarization, id remapping).
+* :mod:`~repro.data.splits` — the three experimental settings of Fig. 2.
+* :mod:`~repro.data.windows` — sliding-window training instances of length
+  ``n_h + n_p`` (Fig. 1/Fig. 2).
+* :mod:`~repro.data.synthetic` / :mod:`~repro.data.benchmarks` — synthetic
+  analogues of the six benchmark datasets for offline reproduction.
+* :mod:`~repro.data.loaders` — parsers for the original on-disk formats,
+  used automatically when the real data files are available.
+* :mod:`~repro.data.serialization` — save/load datasets and splits as
+  compressed ``.npz`` files to avoid regenerating large analogues.
+"""
+
+from repro.data.dataset import InteractionDataset, RawInteraction
+from repro.data.preprocess import PreprocessConfig, preprocess_interactions
+from repro.data.splits import DatasetSplit, leave_n_out, split_cut, split_setting
+from repro.data.windows import SlidingWindowInstances, build_training_instances
+from repro.data.batching import BatchIterator
+from repro.data.synthetic import SyntheticConfig, generate_synthetic_dataset
+from repro.data.benchmarks import BENCHMARKS, load_benchmark
+from repro.data.stats import DatasetStatistics, compute_statistics
+from repro.data.serialization import load_dataset, load_split, save_dataset, save_split
+
+__all__ = [
+    "save_dataset",
+    "load_dataset",
+    "save_split",
+    "load_split",
+    "InteractionDataset",
+    "RawInteraction",
+    "PreprocessConfig",
+    "preprocess_interactions",
+    "DatasetSplit",
+    "split_cut",
+    "leave_n_out",
+    "split_setting",
+    "SlidingWindowInstances",
+    "build_training_instances",
+    "BatchIterator",
+    "SyntheticConfig",
+    "generate_synthetic_dataset",
+    "BENCHMARKS",
+    "load_benchmark",
+    "DatasetStatistics",
+    "compute_statistics",
+]

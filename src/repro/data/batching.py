@@ -1,0 +1,80 @@
+"""Mini-batch iteration over sliding-window training instances."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator
+
+import numpy as np
+
+from repro.data.windows import SlidingWindowInstances
+
+__all__ = ["Batch", "BatchIterator"]
+
+
+@dataclass
+class Batch:
+    """One mini-batch of training instances.
+
+    ``negatives`` is filled by the trainer's negative sampler (one sampled
+    non-interacted item per target item, following the paper's BPR setup);
+    it is ``None`` until then.
+    """
+
+    users: np.ndarray
+    inputs: np.ndarray
+    targets: np.ndarray
+    pad_id: int
+    negatives: np.ndarray | None = None
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    def input_mask(self) -> np.ndarray:
+        return self.inputs != self.pad_id
+
+    def target_mask(self) -> np.ndarray:
+        return self.targets != self.pad_id
+
+
+class BatchIterator:
+    """Iterate over shuffled mini-batches of sliding-window instances.
+
+    Parameters
+    ----------
+    instances:
+        The full set of training instances.
+    batch_size:
+        Number of instances per batch; the final batch may be smaller.
+    rng:
+        Generator for the per-epoch shuffle; pass the trainer's generator
+        for reproducible epochs.
+    shuffle:
+        Disable for deterministic order (used in some tests/analyses).
+    """
+
+    def __init__(self, instances: SlidingWindowInstances, batch_size: int,
+                 rng: np.random.Generator | None = None, shuffle: bool = True):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        self.instances = instances
+        self.batch_size = batch_size
+        self.rng = rng or np.random.default_rng()
+        self.shuffle = shuffle
+
+    def __len__(self) -> int:
+        """Number of batches per epoch."""
+        total = len(self.instances)
+        return (total + self.batch_size - 1) // self.batch_size
+
+    def __iter__(self) -> Iterator[Batch]:
+        data = self.instances.shuffled(self.rng) if self.shuffle else self.instances
+        total = len(data)
+        for start in range(0, total, self.batch_size):
+            end = min(start + self.batch_size, total)
+            yield Batch(
+                users=data.users[start:end],
+                inputs=data.inputs[start:end],
+                targets=data.targets[start:end],
+                pad_id=data.pad_id,
+            )

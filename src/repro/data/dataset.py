@@ -1,0 +1,180 @@
+"""Interaction dataset container.
+
+The central data structure of the reproduction: each user's
+purchases/ratings in chronological order (the sequence ``S_i`` of the
+paper, Section 3), with item ids remapped to ``0..num_items-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+__all__ = ["RawInteraction", "InteractionDataset"]
+
+
+@dataclass(frozen=True)
+class RawInteraction:
+    """A single user-item interaction before preprocessing.
+
+    ``rating`` follows the source dataset's scale (1-5 stars for Amazon /
+    MovieLens / Goodreads explicit feedback); ``timestamp`` orders the
+    interactions chronologically.
+    """
+
+    user: int | str
+    item: int | str
+    rating: float = 1.0
+    timestamp: float = 0.0
+
+
+@dataclass
+class InteractionDataset:
+    """Per-user chronological item sequences.
+
+    Parameters
+    ----------
+    sequences:
+        ``sequences[i]`` is the ordered list of item ids user ``i``
+        purchased/rated (the paper's ``S_i``).
+    num_items:
+        Total number of distinct items ``n``; item ids are in
+        ``[0, num_items)``.
+    name:
+        Human-readable dataset name (e.g. ``"CDs"``).
+    """
+
+    sequences: list[list[int]]
+    num_items: int
+    name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    def __post_init__(self):
+        if self.num_items <= 0:
+            raise ValueError("num_items must be positive")
+        for user, seq in enumerate(self.sequences):
+            for item in seq:
+                if not 0 <= item < self.num_items:
+                    raise ValueError(
+                        f"item id {item} of user {user} outside [0, {self.num_items})"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Sizes
+    # ------------------------------------------------------------------ #
+    @property
+    def num_users(self) -> int:
+        """Number of users ``m``."""
+        return len(self.sequences)
+
+    @property
+    def num_interactions(self) -> int:
+        """Total number of user-item interactions (``#intrns`` in Table 2)."""
+        return int(sum(len(seq) for seq in self.sequences))
+
+    @property
+    def interactions_per_user(self) -> float:
+        """Average sequence length (``#intrns/u`` in Table 2)."""
+        if self.num_users == 0:
+            return 0.0
+        return self.num_interactions / self.num_users
+
+    @property
+    def interactions_per_item(self) -> float:
+        """Average number of users per item (``#u/i`` in Table 2)."""
+        return self.num_interactions / self.num_items
+
+    @property
+    def density(self) -> float:
+        """Fraction of the user-item matrix that is observed."""
+        if self.num_users == 0:
+            return 0.0
+        return self.num_interactions / (self.num_users * self.num_items)
+
+    # ------------------------------------------------------------------ #
+    # Access
+    # ------------------------------------------------------------------ #
+    def sequence(self, user: int) -> list[int]:
+        """Return user ``user``'s chronological item sequence."""
+        return self.sequences[user]
+
+    def subsequence(self, user: int, start: int, length: int) -> list[int]:
+        """The paper's ``S_i(t, l)``: ``length`` items starting at ``start``."""
+        if start < 0 or length < 0:
+            raise ValueError("start and length must be non-negative")
+        return self.sequences[user][start:start + length]
+
+    def __iter__(self) -> Iterator[list[int]]:
+        return iter(self.sequences)
+
+    def __len__(self) -> int:
+        return self.num_users
+
+    def items_of_user(self, user: int) -> set[int]:
+        """Set of distinct items user ``user`` interacted with."""
+        return set(self.sequences[user])
+
+    def item_frequencies(self) -> np.ndarray:
+        """Number of interactions per item (length ``num_items``)."""
+        counts = np.zeros(self.num_items, dtype=np.int64)
+        for seq in self.sequences:
+            np.add.at(counts, np.asarray(seq, dtype=np.int64), 1)
+        return counts
+
+    def user_lengths(self) -> np.ndarray:
+        """Sequence length per user."""
+        return np.array([len(seq) for seq in self.sequences], dtype=np.int64)
+
+    # ------------------------------------------------------------------ #
+    # Construction and transformation
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_sequences(cls, sequences: Sequence[Sequence[int]],
+                       num_items: int | None = None,
+                       name: str = "") -> "InteractionDataset":
+        """Build a dataset from raw python sequences.
+
+        ``num_items`` defaults to ``max(item) + 1`` across all sequences.
+        """
+        sequences = [list(seq) for seq in sequences]
+        if num_items is None:
+            max_item = max((max(seq) for seq in sequences if seq), default=-1)
+            num_items = max_item + 1
+        return cls(sequences=sequences, num_items=num_items, name=name)
+
+    def filter_users(self, min_length: int) -> "InteractionDataset":
+        """Drop users with fewer than ``min_length`` interactions."""
+        kept = [seq for seq in self.sequences if len(seq) >= min_length]
+        return InteractionDataset(kept, self.num_items, name=self.name,
+                                  metadata=dict(self.metadata))
+
+    def truncate_sequences(self, max_length: int) -> "InteractionDataset":
+        """Keep only the most recent ``max_length`` items of every user."""
+        if max_length <= 0:
+            raise ValueError("max_length must be positive")
+        truncated = [seq[-max_length:] for seq in self.sequences]
+        return InteractionDataset(truncated, self.num_items, name=self.name,
+                                  metadata=dict(self.metadata))
+
+    def summary(self) -> str:
+        """One-line summary mirroring a Table 2 row."""
+        return (
+            f"{self.name or 'dataset'}: {self.num_users} users, "
+            f"{self.num_items} items, {self.num_interactions} interactions, "
+            f"{self.interactions_per_user:.1f} intrns/u, "
+            f"{self.interactions_per_item:.1f} u/i"
+        )
+
+
+def merge_datasets(datasets: Iterable[InteractionDataset], name: str = "merged") -> InteractionDataset:
+    """Concatenate the users of several datasets over a shared item space."""
+    datasets = list(datasets)
+    if not datasets:
+        raise ValueError("merge_datasets needs at least one dataset")
+    num_items = max(ds.num_items for ds in datasets)
+    sequences: list[list[int]] = []
+    for ds in datasets:
+        sequences.extend([list(seq) for seq in ds.sequences])
+    return InteractionDataset(sequences, num_items, name=name)

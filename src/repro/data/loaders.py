@@ -1,0 +1,159 @@
+"""Loaders for the original on-disk dataset formats.
+
+When the real public datasets are available locally they can be loaded
+and preprocessed exactly as in the paper; otherwise the synthetic
+analogues in :mod:`repro.data.benchmarks` are used.  Supported formats:
+
+* MovieLens ``ratings.dat`` (``user::item::rating::timestamp``) and
+  ``ratings.csv`` (``userId,movieId,rating,timestamp``).
+* Amazon ratings CSV (``user,item,rating,timestamp``).
+* Goodreads interactions CSV (``user_id,book_id,is_read,rating,...``).
+* A generic whitespace/comma separated ``user item [rating] [timestamp]``
+  format.
+"""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+
+from repro.data.dataset import InteractionDataset, RawInteraction
+from repro.data.preprocess import PreprocessConfig, preprocess_interactions
+
+__all__ = [
+    "load_movielens",
+    "load_amazon_ratings",
+    "load_goodreads_interactions",
+    "load_generic",
+    "load_dataset_file",
+]
+
+
+def _to_dataset(interactions: list[RawInteraction], name: str,
+                config: PreprocessConfig | None) -> InteractionDataset:
+    return preprocess_interactions(interactions, config=config, name=name)
+
+
+def load_movielens(path: str | Path, name: str = "MovieLens",
+                   config: PreprocessConfig | None = None) -> InteractionDataset:
+    """Load a MovieLens ``ratings.dat`` or ``ratings.csv`` file."""
+    path = Path(path)
+    interactions: list[RawInteraction] = []
+    if path.suffix == ".dat":
+        with path.open("r", encoding="utf-8", errors="ignore") as handle:
+            for line in handle:
+                parts = line.strip().split("::")
+                if len(parts) < 4:
+                    continue
+                user, item, rating, timestamp = parts[:4]
+                interactions.append(RawInteraction(user, item, float(rating), float(timestamp)))
+    else:
+        with path.open("r", encoding="utf-8", errors="ignore", newline="") as handle:
+            reader = csv.reader(handle)
+            header = next(reader, None)
+            if header and not header[0].isdigit():
+                pass  # skip header row
+            else:
+                handle.seek(0)
+                reader = csv.reader(handle)
+            for row in reader:
+                if len(row) < 4:
+                    continue
+                user, item, rating, timestamp = row[:4]
+                interactions.append(RawInteraction(user, item, float(rating), float(timestamp)))
+    return _to_dataset(interactions, name, config)
+
+
+def load_amazon_ratings(path: str | Path, name: str = "Amazon",
+                        config: PreprocessConfig | None = None) -> InteractionDataset:
+    """Load an Amazon ratings-only CSV (``user,item,rating,timestamp``)."""
+    path = Path(path)
+    interactions: list[RawInteraction] = []
+    with path.open("r", encoding="utf-8", errors="ignore", newline="") as handle:
+        for row in csv.reader(handle):
+            if len(row) < 4:
+                continue
+            user, item, rating, timestamp = row[:4]
+            try:
+                interactions.append(RawInteraction(user, item, float(rating), float(timestamp)))
+            except ValueError:
+                continue  # header or malformed row
+    return _to_dataset(interactions, name, config)
+
+
+def load_goodreads_interactions(path: str | Path, name: str = "Goodreads",
+                                config: PreprocessConfig | None = None) -> InteractionDataset:
+    """Load a Goodreads interactions CSV.
+
+    Expects at least the columns ``user_id``, ``book_id`` and ``rating``
+    (column order is resolved from the header); rows are assumed to be in
+    chronological order per user, as in the released dumps, so the row
+    index is used as the timestamp.
+    """
+    path = Path(path)
+    interactions: list[RawInteraction] = []
+    with path.open("r", encoding="utf-8", errors="ignore", newline="") as handle:
+        reader = csv.reader(handle)
+        header = next(reader, None)
+        if header is None:
+            return _to_dataset([], name, config)
+        columns = {column.strip().lower(): i for i, column in enumerate(header)}
+        user_col = columns.get("user_id", 0)
+        item_col = columns.get("book_id", 1)
+        rating_col = columns.get("rating")
+        for index, row in enumerate(reader):
+            if len(row) <= max(user_col, item_col):
+                continue
+            rating = 5.0
+            if rating_col is not None and len(row) > rating_col:
+                try:
+                    rating = float(row[rating_col])
+                except ValueError:
+                    rating = 5.0
+            interactions.append(
+                RawInteraction(row[user_col], row[item_col], rating, float(index))
+            )
+    return _to_dataset(interactions, name, config)
+
+
+def load_generic(path: str | Path, name: str = "dataset",
+                 config: PreprocessConfig | None = None) -> InteractionDataset:
+    """Load a generic ``user item [rating] [timestamp]`` text file.
+
+    Fields may be separated by whitespace, commas or tabs.  Missing rating
+    defaults to 5.0 (positive); missing timestamp defaults to the line
+    number (file order = chronological order).
+    """
+    path = Path(path)
+    interactions: list[RawInteraction] = []
+    with path.open("r", encoding="utf-8", errors="ignore") as handle:
+        for index, line in enumerate(handle):
+            line = line.strip()
+            if not line or line.startswith("#"):
+                continue
+            parts = line.replace(",", " ").replace("\t", " ").split()
+            if len(parts) < 2:
+                continue
+            user, item = parts[0], parts[1]
+            try:
+                rating = float(parts[2]) if len(parts) > 2 else 5.0
+            except ValueError:
+                continue  # header line
+            timestamp = float(parts[3]) if len(parts) > 3 else float(index)
+            interactions.append(RawInteraction(user, item, rating, timestamp))
+    return _to_dataset(interactions, name, config)
+
+
+def load_dataset_file(path: str | Path, name: str | None = None,
+                      config: PreprocessConfig | None = None) -> InteractionDataset:
+    """Dispatch to the right loader based on the file name."""
+    path = Path(path)
+    name = name or path.stem
+    lowered = path.name.lower()
+    if lowered.endswith(".dat") or "movielens" in lowered or lowered.startswith("ml-"):
+        return load_movielens(path, name=name, config=config)
+    if "goodreads" in lowered:
+        return load_goodreads_interactions(path, name=name, config=config)
+    if "amazon" in lowered or "ratings_" in lowered:
+        return load_amazon_ratings(path, name=name, config=config)
+    return load_generic(path, name=name, config=config)

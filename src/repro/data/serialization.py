@@ -1,0 +1,118 @@
+"""On-disk persistence of interaction datasets and splits.
+
+The ``paper`` scale profile generates synthetic analogues with tens of
+thousands of users; regenerating them for every run (or re-reading a real
+MovieLens/Amazon dump through the preprocessing pipeline) is wasteful.
+This module stores an :class:`InteractionDataset` — and optionally a
+:class:`DatasetSplit` derived from it — as a single compressed ``.npz``
+file with a flat-array encoding (user offsets + concatenated item ids),
+so loading is a couple of ``np.load`` slices instead of a generation pass.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+from repro.data.splits import DatasetSplit
+
+__all__ = ["save_dataset", "load_dataset", "save_split", "load_split"]
+
+
+def _flatten(sequences: list[list[int]]) -> tuple[np.ndarray, np.ndarray]:
+    """Encode ragged per-user sequences as (offsets, concatenated items)."""
+    lengths = np.asarray([len(seq) for seq in sequences], dtype=np.int64)
+    offsets = np.concatenate([[0], np.cumsum(lengths)])
+    if offsets[-1] == 0:
+        flat = np.zeros(0, dtype=np.int64)
+    else:
+        flat = np.concatenate([np.asarray(seq, dtype=np.int64) for seq in sequences if seq])
+    return offsets, flat
+
+
+def _unflatten(offsets: np.ndarray, flat: np.ndarray) -> list[list[int]]:
+    return [flat[offsets[i]:offsets[i + 1]].tolist() for i in range(len(offsets) - 1)]
+
+
+def _resolve(path: str | Path) -> Path:
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+    return path
+
+
+# --------------------------------------------------------------------------- #
+# Datasets
+# --------------------------------------------------------------------------- #
+def save_dataset(dataset: InteractionDataset, path: str | Path) -> Path:
+    """Write ``dataset`` to ``path`` (``.npz`` appended when missing)."""
+    path = _resolve(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    offsets, flat = _flatten(dataset.sequences)
+    metadata = json.dumps({"name": dataset.name, "num_items": dataset.num_items})
+    np.savez_compressed(
+        path,
+        offsets=offsets,
+        items=flat,
+        metadata=np.frombuffer(metadata.encode("utf-8"), dtype=np.uint8),
+    )
+    return path
+
+
+def load_dataset(path: str | Path) -> InteractionDataset:
+    """Load a dataset previously written by :func:`save_dataset`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no dataset file at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        offsets = archive["offsets"]
+        flat = archive["items"]
+        metadata = json.loads(archive["metadata"].tobytes().decode("utf-8"))
+    sequences = _unflatten(offsets, flat)
+    return InteractionDataset.from_sequences(
+        sequences, num_items=int(metadata["num_items"]), name=metadata["name"]
+    )
+
+
+# --------------------------------------------------------------------------- #
+# Splits
+# --------------------------------------------------------------------------- #
+def save_split(split: DatasetSplit, path: str | Path) -> Path:
+    """Write a :class:`DatasetSplit` (train/valid/test sequences) to ``path``."""
+    path = _resolve(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {}
+    for part_name in ("train", "valid", "test"):
+        offsets, flat = _flatten(getattr(split, part_name))
+        payload[f"{part_name}_offsets"] = offsets
+        payload[f"{part_name}_items"] = flat
+    metadata = json.dumps({"setting": split.setting, "num_items": split.num_items,
+                           "name": split.name})
+    payload["metadata"] = np.frombuffer(metadata.encode("utf-8"), dtype=np.uint8)
+    np.savez_compressed(path, **payload)
+    return path
+
+
+def load_split(path: str | Path) -> DatasetSplit:
+    """Load a split previously written by :func:`save_split`."""
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"no split file at {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        metadata = json.loads(archive["metadata"].tobytes().decode("utf-8"))
+        parts = {
+            part_name: _unflatten(archive[f"{part_name}_offsets"],
+                                  archive[f"{part_name}_items"])
+            for part_name in ("train", "valid", "test")
+        }
+    return DatasetSplit(
+        name=metadata["name"],
+        setting=metadata["setting"],
+        num_items=int(metadata["num_items"]),
+        train=parts["train"],
+        valid=parts["valid"],
+        test=parts["test"],
+    )

@@ -1,0 +1,148 @@
+"""The three experimental settings of the paper (Section 5.3, Fig. 2).
+
+* **80-20-CUT** — first 70% of each user's sequence for training, next 10%
+  for validation, last 20% for testing.
+* **80-3-CUT** — same training/validation sets; only the 3 items right
+  after the validation set are tested.
+* **3-LOS** (leave-3-out) — last 3 items for testing, the 3 items before
+  them for validation, everything earlier for training.
+
+All splits are per-user and chronological.  After model selection on the
+validation set, the paper retrains on train+validation; the
+:meth:`DatasetSplit.train_plus_valid` helper provides those sequences.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.data.dataset import InteractionDataset
+
+__all__ = ["DatasetSplit", "split_cut", "leave_n_out", "split_setting", "SETTINGS"]
+
+SETTINGS = ("80-20-CUT", "80-3-CUT", "3-LOS")
+
+
+@dataclass
+class DatasetSplit:
+    """Per-user train/validation/test sequences for one experimental setting.
+
+    All three lists are indexed by user and hold chronologically ordered
+    item ids; concatenating ``train[i] + valid[i] + test[i]`` does not
+    necessarily recover the full sequence (80-3-CUT discards the items
+    after the three test items).
+    """
+
+    train: list[list[int]]
+    valid: list[list[int]]
+    test: list[list[int]]
+    num_items: int
+    setting: str = ""
+    name: str = ""
+    metadata: dict = field(default_factory=dict)
+
+    @property
+    def num_users(self) -> int:
+        return len(self.train)
+
+    def train_plus_valid(self) -> list[list[int]]:
+        """Sequences used when retraining for testing (train + validation)."""
+        return [tr + va for tr, va in zip(self.train, self.valid)]
+
+    def train_dataset(self) -> InteractionDataset:
+        """Training sequences wrapped as an :class:`InteractionDataset`."""
+        return InteractionDataset(
+            [list(seq) for seq in self.train], self.num_items,
+            name=f"{self.name}-train",
+        )
+
+    def train_plus_valid_dataset(self) -> InteractionDataset:
+        """Train+validation sequences wrapped as a dataset."""
+        return InteractionDataset(
+            self.train_plus_valid(), self.num_items,
+            name=f"{self.name}-train+valid",
+        )
+
+    def users_with_test_items(self) -> list[int]:
+        """Users that have at least one test item (evaluable users)."""
+        return [u for u, seq in enumerate(self.test) if seq]
+
+
+def split_cut(dataset: InteractionDataset, train_fraction: float = 0.7,
+              valid_fraction: float = 0.1,
+              test_items: int | None = None) -> DatasetSplit:
+    """Fractional chronological split (80-20-CUT and 80-3-CUT).
+
+    Parameters
+    ----------
+    train_fraction, valid_fraction:
+        Fractions of each user's sequence used for training and
+        validation; the remainder is the test pool.
+    test_items:
+        When None, the whole remainder is the test set (80-20-CUT).  When
+        an integer ``k``, only the first ``k`` items of the remainder are
+        tested (80-3-CUT uses ``k=3``).
+    """
+    if not 0 < train_fraction < 1 or not 0 <= valid_fraction < 1:
+        raise ValueError("fractions must lie in (0, 1)")
+    if train_fraction + valid_fraction >= 1:
+        raise ValueError("train and validation fractions must leave room for testing")
+    if test_items is not None and test_items < 1:
+        raise ValueError("test_items must be positive when given")
+
+    train, valid, test = [], [], []
+    for seq in dataset.sequences:
+        length = len(seq)
+        train_end = max(int(round(length * train_fraction)), 1)
+        valid_end = max(int(round(length * (train_fraction + valid_fraction))), train_end)
+        train_end = min(train_end, length)
+        valid_end = min(valid_end, length)
+        user_train = seq[:train_end]
+        user_valid = seq[train_end:valid_end]
+        user_test = seq[valid_end:]
+        if test_items is not None:
+            user_test = user_test[:test_items]
+        train.append(list(user_train))
+        valid.append(list(user_valid))
+        test.append(list(user_test))
+
+    setting = "80-20-CUT" if test_items is None else f"80-{test_items}-CUT"
+    return DatasetSplit(train, valid, test, dataset.num_items,
+                        setting=setting, name=dataset.name)
+
+
+def leave_n_out(dataset: InteractionDataset, test_items: int = 3,
+                valid_items: int = 3) -> DatasetSplit:
+    """Leave-n-out split (3-LOS with the defaults).
+
+    The last ``test_items`` items of each user form the test set, the
+    ``valid_items`` before them the validation set, and everything earlier
+    the training set.  Users too short to populate all three parts keep at
+    least one training item; their validation/test sets may be shorter.
+    """
+    if test_items < 1 or valid_items < 0:
+        raise ValueError("test_items must be >= 1 and valid_items >= 0")
+
+    train, valid, test = [], [], []
+    for seq in dataset.sequences:
+        length = len(seq)
+        test_start = max(length - test_items, 1)
+        valid_start = max(test_start - valid_items, 1)
+        train.append(list(seq[:valid_start]))
+        valid.append(list(seq[valid_start:test_start]))
+        test.append(list(seq[test_start:]))
+
+    return DatasetSplit(train, valid, test, dataset.num_items,
+                        setting=f"{test_items}-LOS", name=dataset.name)
+
+
+def split_setting(dataset: InteractionDataset, setting: str) -> DatasetSplit:
+    """Dispatch to the right splitter by paper setting name."""
+    setting = setting.upper()
+    if setting == "80-20-CUT":
+        return split_cut(dataset)
+    if setting == "80-3-CUT":
+        return split_cut(dataset, test_items=3)
+    if setting == "3-LOS":
+        return leave_n_out(dataset, test_items=3, valid_items=3)
+    raise ValueError(f"unknown experimental setting: {setting!r}; expected one of {SETTINGS}")

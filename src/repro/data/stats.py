@@ -1,0 +1,75 @@
+"""Dataset statistics (paper Table 2) and item-frequency summaries."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.data.dataset import InteractionDataset
+
+__all__ = ["DatasetStatistics", "compute_statistics", "statistics_table"]
+
+
+@dataclass(frozen=True)
+class DatasetStatistics:
+    """The five quantities reported per dataset in Table 2."""
+
+    name: str
+    num_users: int
+    num_items: int
+    num_interactions: int
+    interactions_per_user: float
+    interactions_per_item: float
+
+    def as_row(self) -> dict[str, float | int | str]:
+        """Row dict used by the reporting helpers."""
+        return {
+            "dataset": self.name,
+            "#users": self.num_users,
+            "#items": self.num_items,
+            "#intrns": self.num_interactions,
+            "#intrns/u": round(self.interactions_per_user, 1),
+            "#u/i": round(self.interactions_per_item, 1),
+        }
+
+
+def compute_statistics(dataset: InteractionDataset) -> DatasetStatistics:
+    """Compute the Table 2 statistics of ``dataset``."""
+    return DatasetStatistics(
+        name=dataset.name or "dataset",
+        num_users=dataset.num_users,
+        num_items=dataset.num_items,
+        num_interactions=dataset.num_interactions,
+        interactions_per_user=dataset.interactions_per_user,
+        interactions_per_item=dataset.interactions_per_item,
+    )
+
+
+def statistics_table(datasets: list[InteractionDataset]) -> list[dict]:
+    """Table 2 rows for a list of datasets."""
+    return [compute_statistics(ds).as_row() for ds in datasets]
+
+
+def log_frequency_percentiles(dataset: InteractionDataset,
+                              num_bins: int = 20) -> tuple[np.ndarray, np.ndarray]:
+    """Item-frequency distribution used in Fig. 3.
+
+    Item frequencies are logarithmized and normalized into [0, 1]; the
+    function returns the bin centres (log-frequency percentiles) and the
+    percentage of items falling into each bin.
+    """
+    counts = dataset.item_frequencies().astype(np.float64)
+    counts = counts[counts > 0]
+    if counts.size == 0:
+        return np.zeros(num_bins), np.zeros(num_bins)
+    log_counts = np.log(counts)
+    span = log_counts.max() - log_counts.min()
+    if span == 0:
+        normalized = np.zeros_like(log_counts)
+    else:
+        normalized = (log_counts - log_counts.min()) / span
+    histogram, edges = np.histogram(normalized, bins=num_bins, range=(0.0, 1.0))
+    centres = (edges[:-1] + edges[1:]) / 2.0
+    percentages = 100.0 * histogram / counts.size
+    return centres, percentages

@@ -1,0 +1,149 @@
+"""Sliding-window training instances (paper Fig. 1 / Fig. 2, Section 5.3).
+
+During training the paper slides a window of size ``n_h + n_p`` item by
+item over each user's training sequence: the first ``n_h`` items are the
+inputs that generate recommendations and the following ``n_p`` items are
+the targets used to compute the recommendation error.
+
+Sequences shorter than ``n_h + n_p`` are left-padded with a dedicated
+padding id so that short users still contribute training signal; the
+padding id is ``num_items`` (one past the last real item) and models pin
+its embedding to zero.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["SlidingWindowInstances", "build_training_instances", "pad_id_for"]
+
+
+def pad_id_for(num_items: int) -> int:
+    """The padding item id used throughout the reproduction."""
+    return num_items
+
+
+@dataclass
+class SlidingWindowInstances:
+    """Vectorized training instances.
+
+    Attributes
+    ----------
+    users:
+        ``(B,)`` int array — the user of each instance.
+    inputs:
+        ``(B, n_h)`` int array — the ``n_h`` items generating the
+        recommendation (possibly left-padded with :attr:`pad_id`).
+    targets:
+        ``(B, n_p)`` int array — the next ``n_p`` items (right-padded with
+        :attr:`pad_id` when fewer targets exist).
+    pad_id:
+        Padding item id (== number of real items).
+    """
+
+    users: np.ndarray
+    inputs: np.ndarray
+    targets: np.ndarray
+    pad_id: int
+
+    def __post_init__(self):
+        if not (len(self.users) == len(self.inputs) == len(self.targets)):
+            raise ValueError("users, inputs and targets must have the same length")
+
+    def __len__(self) -> int:
+        return len(self.users)
+
+    @property
+    def n_h(self) -> int:
+        """Number of input items per instance (high-order association order)."""
+        return self.inputs.shape[1]
+
+    @property
+    def n_p(self) -> int:
+        """Number of target items per instance."""
+        return self.targets.shape[1]
+
+    def input_mask(self) -> np.ndarray:
+        """Boolean ``(B, n_h)`` mask — True where the input item is real."""
+        return self.inputs != self.pad_id
+
+    def target_mask(self) -> np.ndarray:
+        """Boolean ``(B, n_p)`` mask — True where the target item is real."""
+        return self.targets != self.pad_id
+
+    def shuffled(self, rng: np.random.Generator) -> "SlidingWindowInstances":
+        """Return a copy with instances permuted (used per epoch)."""
+        order = rng.permutation(len(self))
+        return SlidingWindowInstances(
+            users=self.users[order],
+            inputs=self.inputs[order],
+            targets=self.targets[order],
+            pad_id=self.pad_id,
+        )
+
+
+def _windows_for_sequence(seq: list[int], n_h: int, n_p: int,
+                          pad_id: int) -> list[tuple[list[int], list[int]]]:
+    """All (input, target) windows of one training sequence."""
+    windows: list[tuple[list[int], list[int]]] = []
+    length = len(seq)
+    if length < 2:
+        # A user needs at least one input item and one target item.
+        return windows
+    if length < n_h + n_p:
+        # Single left-padded window covering the whole short sequence.
+        split = max(length - n_p, 1)
+        inputs = seq[:split]
+        targets = seq[split:split + n_p]
+        padded_inputs = [pad_id] * (n_h - len(inputs)) + inputs
+        padded_targets = targets + [pad_id] * (n_p - len(targets))
+        windows.append((padded_inputs, padded_targets))
+        return windows
+    for start in range(0, length - n_h - n_p + 1):
+        inputs = seq[start:start + n_h]
+        targets = seq[start + n_h:start + n_h + n_p]
+        windows.append((list(inputs), list(targets)))
+    return windows
+
+
+def build_training_instances(sequences: list[list[int]], num_items: int,
+                             n_h: int, n_p: int) -> SlidingWindowInstances:
+    """Slide the ``n_h + n_p`` window over every user's training sequence.
+
+    Parameters
+    ----------
+    sequences:
+        Per-user training sequences (e.g. ``DatasetSplit.train`` or
+        ``DatasetSplit.train_plus_valid()``).
+    num_items:
+        Number of real items; the padding id is ``num_items``.
+    n_h, n_p:
+        Window sizes: the number of input items (high-order association
+        order) and the number of target items used to compute errors.
+    """
+    if n_h < 1 or n_p < 1:
+        raise ValueError("n_h and n_p must be positive")
+    pad_id = pad_id_for(num_items)
+    users: list[int] = []
+    inputs: list[list[int]] = []
+    targets: list[list[int]] = []
+    for user, seq in enumerate(sequences):
+        for window_inputs, window_targets in _windows_for_sequence(seq, n_h, n_p, pad_id):
+            users.append(user)
+            inputs.append(window_inputs)
+            targets.append(window_targets)
+    if not users:
+        return SlidingWindowInstances(
+            users=np.zeros(0, dtype=np.int64),
+            inputs=np.zeros((0, n_h), dtype=np.int64),
+            targets=np.zeros((0, n_p), dtype=np.int64),
+            pad_id=pad_id,
+        )
+    return SlidingWindowInstances(
+        users=np.asarray(users, dtype=np.int64),
+        inputs=np.asarray(inputs, dtype=np.int64),
+        targets=np.asarray(targets, dtype=np.int64),
+        pad_id=pad_id,
+    )

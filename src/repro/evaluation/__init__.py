@@ -1,0 +1,70 @@
+"""Evaluation: ranking metrics, the test protocol, significance and timing.
+
+The paper evaluates with Recall@k and NDCG@k (k = 5, 10) over the full
+item catalogue: for every user, the items of the testing split must be
+ranked among the top-k of all items the user has not interacted with
+during training (Section 5.4).  Testing run-time per user (Table 14) is
+measured by :mod:`repro.evaluation.timing` and statistical significance
+(the ``*`` flags of Tables 3-9) by :mod:`repro.evaluation.significance`.
+
+Extensions beyond the paper's protocol: extra list metrics (MRR,
+precision), beyond-accuracy statistics (coverage, Gini, popularity bias,
+novelty), bootstrap/Wilcoxon uncertainty quantification, and the sampled-
+negative protocol whose bias relative to full ranking can be measured
+directly.
+"""
+
+from repro.evaluation.metrics import (
+    average_precision_at_k,
+    hit_rate_at_k,
+    mrr_at_k,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+from repro.evaluation.ranking import rank_items, top_k_items
+from repro.evaluation.evaluator import EvaluationResult, RankingEvaluator
+from repro.evaluation.sampled import SampledEvaluationResult, SampledRankingEvaluator
+from repro.evaluation.significance import paired_improvement_test
+from repro.evaluation.confidence import (
+    ConfidenceInterval,
+    bootstrap_confidence_interval,
+    bootstrap_improvement_test,
+    wilcoxon_improvement_test,
+)
+from repro.evaluation.coverage import (
+    BeyondAccuracyReport,
+    average_recommendation_popularity,
+    beyond_accuracy_report,
+    catalogue_coverage,
+    gini_coefficient,
+    novelty,
+)
+from repro.evaluation.timing import measure_inference_time
+
+__all__ = [
+    "recall_at_k",
+    "ndcg_at_k",
+    "hit_rate_at_k",
+    "average_precision_at_k",
+    "precision_at_k",
+    "mrr_at_k",
+    "rank_items",
+    "top_k_items",
+    "RankingEvaluator",
+    "EvaluationResult",
+    "SampledRankingEvaluator",
+    "SampledEvaluationResult",
+    "paired_improvement_test",
+    "ConfidenceInterval",
+    "bootstrap_confidence_interval",
+    "bootstrap_improvement_test",
+    "wilcoxon_improvement_test",
+    "BeyondAccuracyReport",
+    "beyond_accuracy_report",
+    "catalogue_coverage",
+    "gini_coefficient",
+    "average_recommendation_popularity",
+    "novelty",
+    "measure_inference_time",
+]

@@ -1,0 +1,121 @@
+"""Confidence intervals and non-parametric paired tests.
+
+The paper reports point estimates with a paired t-test significance flag.
+These utilities add the uncertainty quantification a careful reader wants
+next to those flags: bootstrap confidence intervals on any per-user metric
+and a Wilcoxon signed-rank alternative to the t-test that does not assume
+normally distributed per-user differences (Recall@k distributions are
+heavily skewed, so the assumption is worth relaxing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+__all__ = [
+    "ConfidenceInterval",
+    "bootstrap_confidence_interval",
+    "bootstrap_improvement_test",
+    "wilcoxon_improvement_test",
+]
+
+
+@dataclass(frozen=True)
+class ConfidenceInterval:
+    """A two-sided confidence interval around a point estimate."""
+
+    estimate: float
+    lower: float
+    upper: float
+    confidence: float
+
+    def contains(self, value: float) -> bool:
+        """Whether ``value`` lies inside the interval."""
+        return self.lower <= value <= self.upper
+
+    @property
+    def width(self) -> float:
+        return self.upper - self.lower
+
+
+def _validate_scores(scores: np.ndarray, minimum: int = 2) -> np.ndarray:
+    scores = np.asarray(scores, dtype=np.float64)
+    if scores.ndim != 1:
+        raise ValueError("per-user scores must be a 1-D array")
+    if scores.size < minimum:
+        raise ValueError(f"need at least {minimum} users")
+    return scores
+
+
+def bootstrap_confidence_interval(scores: np.ndarray, confidence: float = 0.95,
+                                  num_resamples: int = 2000,
+                                  rng: np.random.Generator | None = None) -> ConfidenceInterval:
+    """Percentile-bootstrap confidence interval of the mean per-user metric.
+
+    Parameters
+    ----------
+    scores:
+        Per-user metric values (e.g. ``EvaluationResult.per_user["Recall@10"]``).
+    confidence:
+        Two-sided confidence level in (0, 1).
+    num_resamples:
+        Bootstrap resamples; 2000 is ample for the percentile method.
+    rng:
+        Random generator for reproducible intervals.
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must be in (0, 1)")
+    if num_resamples < 100:
+        raise ValueError("num_resamples must be at least 100")
+    scores = _validate_scores(scores)
+    rng = rng or np.random.default_rng()
+
+    indices = rng.integers(0, scores.size, size=(num_resamples, scores.size))
+    means = scores[indices].mean(axis=1)
+    alpha = (1.0 - confidence) / 2.0
+    lower, upper = np.quantile(means, [alpha, 1.0 - alpha])
+    return ConfidenceInterval(
+        estimate=float(scores.mean()), lower=float(lower), upper=float(upper),
+        confidence=confidence,
+    )
+
+
+def bootstrap_improvement_test(scores_a: np.ndarray, scores_b: np.ndarray,
+                               confidence: float = 0.95, num_resamples: int = 2000,
+                               rng: np.random.Generator | None = None) -> ConfidenceInterval:
+    """Bootstrap interval of the paired mean difference (A minus B).
+
+    The improvement of A over B is significant at the chosen confidence
+    level when the returned interval excludes zero.
+    """
+    scores_a = _validate_scores(scores_a)
+    scores_b = _validate_scores(scores_b)
+    if scores_a.shape != scores_b.shape:
+        raise ValueError("paired comparison requires equally sized score arrays")
+    differences = scores_a - scores_b
+    return bootstrap_confidence_interval(differences, confidence=confidence,
+                                         num_resamples=num_resamples, rng=rng)
+
+
+def wilcoxon_improvement_test(scores_a: np.ndarray, scores_b: np.ndarray,
+                              confidence: float = 0.95) -> tuple[float, bool]:
+    """Wilcoxon signed-rank test of A improving over B.
+
+    Returns ``(p_value, significant)``.  When every paired difference is
+    zero the test is undefined; the comparison is then reported as not
+    significant with p-value 1.0.
+    """
+    scores_a = _validate_scores(scores_a)
+    scores_b = _validate_scores(scores_b)
+    if scores_a.shape != scores_b.shape:
+        raise ValueError("paired comparison requires equally sized score arrays")
+    differences = scores_a - scores_b
+    if np.allclose(differences, 0.0):
+        return 1.0, False
+    statistic = stats.wilcoxon(scores_a, scores_b, zero_method="wilcox",
+                               alternative="two-sided")
+    p_value = float(statistic.pvalue)
+    return p_value, p_value < (1.0 - confidence)

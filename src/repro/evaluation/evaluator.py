@@ -1,0 +1,136 @@
+"""Full-ranking evaluation protocol (paper Sections 5.3-5.4).
+
+For every user with test items, the model receives the user's most recent
+``input_length`` training items (left-padded when the history is shorter),
+scores the whole catalogue, the items already interacted with during
+training are excluded, and Recall@k / NDCG@k are computed against the
+user's test items.  The reported value of each metric is the mean over all
+evaluable users, exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.data.splits import DatasetSplit
+from repro.data.windows import pad_id_for
+from repro.evaluation.metrics import ndcg_at_k, recall_at_k
+from repro.evaluation.ranking import top_k_items
+from repro.models.base import SequentialRecommender
+
+__all__ = ["RankingEvaluator", "EvaluationResult"]
+
+
+@dataclass
+class EvaluationResult:
+    """Aggregated metrics plus the per-user values used for significance tests."""
+
+    metrics: dict[str, float] = field(default_factory=dict)
+    per_user: dict[str, np.ndarray] = field(default_factory=dict)
+    num_users_evaluated: int = 0
+
+    def __getitem__(self, key: str) -> float:
+        return self.metrics[key]
+
+    def as_row(self, prefix: str = "") -> dict[str, float]:
+        """Metrics as a flat dict (optionally prefixed), for report tables."""
+        return {f"{prefix}{name}": value for name, value in self.metrics.items()}
+
+
+class RankingEvaluator:
+    """Evaluate a model on one :class:`DatasetSplit`.
+
+    Parameters
+    ----------
+    split:
+        The experimental-setting split to evaluate on.
+    ks:
+        Cutoffs; the paper reports k = 5 and 10.
+    mode:
+        ``"test"`` — inputs are the last items of train+validation and the
+        targets are the test items (the paper's testing protocol);
+        ``"validation"`` — inputs come from the training split only and
+        targets are the validation items (used for model selection and
+        grid search).
+    exclude_seen:
+        Exclude items already interacted with in the input history from
+        the ranking (the protocol of HGN/Caser that the paper follows).
+    batch_size:
+        Number of users scored per forward pass.
+    """
+
+    def __init__(self, split: DatasetSplit, ks: tuple[int, ...] = (5, 10),
+                 mode: str = "test", exclude_seen: bool = True,
+                 batch_size: int = 256):
+        if mode not in ("test", "validation"):
+            raise ValueError("mode must be 'test' or 'validation'")
+        if not ks or any(k < 1 for k in ks):
+            raise ValueError("ks must contain positive cutoffs")
+        self.split = split
+        self.ks = tuple(sorted(ks))
+        self.mode = mode
+        self.exclude_seen = exclude_seen
+        self.batch_size = batch_size
+
+        if mode == "test":
+            self._histories = split.train_plus_valid()
+            self._targets = split.test
+        else:
+            self._histories = split.train
+            self._targets = split.valid
+        self._users = [u for u, target in enumerate(self._targets) if target]
+
+    @property
+    def num_evaluable_users(self) -> int:
+        """Users that have at least one target item."""
+        return len(self._users)
+
+    def _input_matrix(self, users: list[int], input_length: int) -> np.ndarray:
+        """Last ``input_length`` history items per user, left-padded."""
+        pad = pad_id_for(self.split.num_items)
+        inputs = np.full((len(users), input_length), pad, dtype=np.int64)
+        for row, user in enumerate(users):
+            history = self._histories[user][-input_length:]
+            if history:
+                inputs[row, -len(history):] = history
+        return inputs
+
+    def evaluate(self, model: SequentialRecommender) -> EvaluationResult:
+        """Compute Recall@k and NDCG@k for ``model`` on this split."""
+        model.eval()
+        result = EvaluationResult(num_users_evaluated=len(self._users))
+        if not self._users:
+            result.metrics = {f"{metric}@{k}": 0.0 for metric in ("Recall", "NDCG") for k in self.ks}
+            return result
+
+        per_user: dict[str, list[float]] = {
+            f"{metric}@{k}": [] for metric in ("Recall", "NDCG") for k in self.ks
+        }
+        max_k = max(self.ks)
+
+        for start in range(0, len(self._users), self.batch_size):
+            batch_users = self._users[start:start + self.batch_size]
+            inputs = self._input_matrix(batch_users, model.input_length)
+            scores = model.score_all(np.asarray(batch_users, dtype=np.int64), inputs)
+            excluded = (
+                [set(self._histories[user]) for user in batch_users]
+                if self.exclude_seen else None
+            )
+            recommendations = top_k_items(scores, max_k, excluded=excluded)
+            for row, user in enumerate(batch_users):
+                truth = self._targets[user]
+                recommended = recommendations[row].tolist()
+                for k in self.ks:
+                    per_user[f"Recall@{k}"].append(recall_at_k(recommended, truth, k))
+                    per_user[f"NDCG@{k}"].append(ndcg_at_k(recommended, truth, k))
+
+        result.per_user = {name: np.asarray(values) for name, values in per_user.items()}
+        result.metrics = {name: float(values.mean()) for name, values in result.per_user.items()}
+        return result
+
+    def validation_metric(self, model: SequentialRecommender,
+                          metric: str = "Recall@10") -> float:
+        """Single scalar used for model selection (paper: Recall@10)."""
+        return self.evaluate(model).metrics[metric]

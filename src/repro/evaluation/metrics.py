@@ -1,0 +1,96 @@
+"""Ranking metrics: Recall@k and NDCG@k (paper Section 5.4).
+
+For one user:
+
+* ``Recall@k`` — fraction of the user's ground-truth test items that
+  appear among the top-k recommendations.
+* ``NDCG@k`` — discounted cumulative gain of the top-k list (gain 1 when
+  the recommended item is a test item, 0 otherwise), normalized by the
+  ideal DCG for that user (all test items ranked first).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["recall_at_k", "ndcg_at_k", "hit_rate_at_k", "average_precision_at_k",
+           "precision_at_k", "mrr_at_k"]
+
+
+def _validate(recommended: Sequence[int], k: int) -> list[int]:
+    if k < 1:
+        raise ValueError("k must be positive")
+    return list(recommended)[:k]
+
+
+def recall_at_k(recommended: Sequence[int], ground_truth: Sequence[int], k: int) -> float:
+    """Recall@k for one user; 0.0 when the user has no test items."""
+    top = _validate(recommended, k)
+    truth = set(ground_truth)
+    if not truth:
+        return 0.0
+    hits = sum(1 for item in top if item in truth)
+    return hits / len(truth)
+
+
+def ndcg_at_k(recommended: Sequence[int], ground_truth: Sequence[int], k: int) -> float:
+    """NDCG@k with binary gains for one user; 0.0 without test items."""
+    top = _validate(recommended, k)
+    truth = set(ground_truth)
+    if not truth:
+        return 0.0
+    dcg = 0.0
+    for position, item in enumerate(top):
+        if item in truth:
+            dcg += 1.0 / np.log2(position + 2.0)
+    ideal_hits = min(len(truth), k)
+    ideal = sum(1.0 / np.log2(position + 2.0) for position in range(ideal_hits))
+    return dcg / ideal
+
+
+def hit_rate_at_k(recommended: Sequence[int], ground_truth: Sequence[int], k: int) -> float:
+    """1.0 if any test item appears in the top-k, else 0.0."""
+    top = _validate(recommended, k)
+    truth = set(ground_truth)
+    if not truth:
+        return 0.0
+    return 1.0 if any(item in truth for item in top) else 0.0
+
+
+def average_precision_at_k(recommended: Sequence[int], ground_truth: Sequence[int], k: int) -> float:
+    """AP@k with binary relevance (extra metric, not in the paper's tables)."""
+    top = _validate(recommended, k)
+    truth = set(ground_truth)
+    if not truth:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for position, item in enumerate(top):
+        if item in truth:
+            hits += 1
+            precision_sum += hits / (position + 1.0)
+    return precision_sum / min(len(truth), k)
+
+
+def precision_at_k(recommended: Sequence[int], ground_truth: Sequence[int], k: int) -> float:
+    """Precision@k — fraction of the top-k recommendations that are test items."""
+    top = _validate(recommended, k)
+    truth = set(ground_truth)
+    if not truth or not top:
+        return 0.0
+    hits = sum(1 for item in top if item in truth)
+    return hits / k
+
+
+def mrr_at_k(recommended: Sequence[int], ground_truth: Sequence[int], k: int) -> float:
+    """MRR@k — reciprocal rank of the first correctly recommended item."""
+    top = _validate(recommended, k)
+    truth = set(ground_truth)
+    if not truth:
+        return 0.0
+    for position, item in enumerate(top):
+        if item in truth:
+            return 1.0 / (position + 1.0)
+    return 0.0

@@ -1,0 +1,82 @@
+"""Statistical significance of performance differences.
+
+The paper flags improvements that are statistically significant at the
+95% (Tables 3-8) or 90% (Table 9) confidence level.  Differences are
+assessed with a paired t-test over the per-user metric values of the two
+methods (both methods are evaluated on exactly the same users, so the
+pairing is natural).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import stats
+
+__all__ = ["SignificanceResult", "paired_improvement_test"]
+
+
+@dataclass(frozen=True)
+class SignificanceResult:
+    """Outcome of a paired comparison between two methods."""
+
+    mean_a: float
+    mean_b: float
+    improvement_percent: float
+    t_statistic: float
+    p_value: float
+    significant: bool
+
+    def flag(self) -> str:
+        """The paper's ``*`` marker for significant improvements."""
+        return "*" if self.significant else ""
+
+
+def paired_improvement_test(scores_a: np.ndarray, scores_b: np.ndarray,
+                            confidence: float = 0.95) -> SignificanceResult:
+    """Test whether method A improves over method B.
+
+    Parameters
+    ----------
+    scores_a, scores_b:
+        Per-user metric values of the two methods over the same users, in
+        the same order.
+    confidence:
+        Confidence level; significance is declared when the two-sided
+        p-value is below ``1 - confidence``.
+
+    Returns
+    -------
+    SignificanceResult
+        Means, percentage improvement of A over B, t statistic, p-value
+        and the significance verdict.
+    """
+    scores_a = np.asarray(scores_a, dtype=np.float64)
+    scores_b = np.asarray(scores_b, dtype=np.float64)
+    if scores_a.shape != scores_b.shape:
+        raise ValueError("paired test requires equally sized score arrays")
+    if scores_a.size < 2:
+        raise ValueError("paired test requires at least two users")
+    if not 0.0 < confidence < 1.0:
+        raise ValueError("confidence must lie in (0, 1)")
+
+    mean_a = float(scores_a.mean())
+    mean_b = float(scores_b.mean())
+    improvement = 100.0 * (mean_a - mean_b) / mean_b if mean_b != 0 else float("inf")
+
+    differences = scores_a - scores_b
+    if np.allclose(differences, 0.0):
+        # Identical per-user scores: no difference, trivially not significant.
+        return SignificanceResult(mean_a, mean_b, 0.0, 0.0, 1.0, False)
+
+    t_statistic, p_value = stats.ttest_rel(scores_a, scores_b)
+    significant = bool(p_value < (1.0 - confidence))
+    return SignificanceResult(
+        mean_a=mean_a,
+        mean_b=mean_b,
+        improvement_percent=improvement,
+        t_statistic=float(t_statistic),
+        p_value=float(p_value),
+        significant=significant,
+    )

@@ -1,0 +1,76 @@
+"""Testing run-time measurement (paper Section 6.7, Table 14).
+
+The paper reports the average per-user scoring time during testing — the
+latency that matters for real-time recommendation — and the speedup of
+HAMs_m over each baseline.  The measurement here follows the same recipe:
+time the full scoring pass over the evaluable users and divide by the
+number of users.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.evaluation.evaluator import RankingEvaluator
+from repro.models.base import SequentialRecommender
+
+__all__ = ["InferenceTiming", "measure_inference_time"]
+
+
+@dataclass(frozen=True)
+class InferenceTiming:
+    """Average per-user scoring latency."""
+
+    model_name: str
+    total_seconds: float
+    num_users: int
+    repeats: int
+
+    @property
+    def seconds_per_user(self) -> float:
+        if self.num_users == 0:
+            return 0.0
+        return self.total_seconds / (self.num_users * self.repeats)
+
+
+def measure_inference_time(model: SequentialRecommender,
+                           evaluator: RankingEvaluator,
+                           repeats: int = 1,
+                           model_name: str | None = None) -> InferenceTiming:
+    """Time ``model.score_all`` over every evaluable user of ``evaluator``.
+
+    Parameters
+    ----------
+    repeats:
+        Number of full passes (averaging over repeats stabilizes the
+        measurement for fast models).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+    model.eval()
+    users = evaluator._users
+    if not users:
+        return InferenceTiming(model_name or type(model).__name__, 0.0, 0, repeats)
+
+    batch_size = evaluator.batch_size
+    # Pre-build the inputs so only the scoring pass is timed.
+    batches = []
+    for start in range(0, len(users), batch_size):
+        chunk = users[start:start + batch_size]
+        inputs = evaluator._input_matrix(chunk, model.input_length)
+        batches.append((np.asarray(chunk, dtype=np.int64), inputs))
+
+    start_time = time.perf_counter()
+    for _ in range(repeats):
+        for user_array, inputs in batches:
+            model.score_all(user_array, inputs)
+    elapsed = time.perf_counter() - start_time
+    return InferenceTiming(
+        model_name=model_name or type(model).__name__,
+        total_seconds=elapsed,
+        num_users=len(users),
+        repeats=repeats,
+    )

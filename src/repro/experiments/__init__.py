@@ -1,0 +1,44 @@
+"""Experiment harness: one runnable entry per paper table and figure.
+
+The registry in :mod:`repro.experiments.registry` maps experiment ids
+(``table3`` ... ``table14``, ``tableA1``, ``tableA2``, ``fig3``, ``fig4``)
+to runner functions; the benchmark suite under ``benchmarks/`` calls these
+runners and prints paper-shaped tables with a paper-reported column next
+to the measured column.
+
+Extension experiments (``ext-synergy``, ``ext-baselines``, ``ext-settings``,
+``ext-beyond``) register themselves into the same registry when
+:mod:`repro.experiments.extensions` is imported (which happens here), and
+:class:`~repro.experiments.persistence.ResultsStore` persists any
+experiment's output to disk.
+"""
+
+from repro.experiments.configs import (
+    PAPER_BEST_PARAMETERS,
+    default_model_hyperparameters,
+    default_training_config,
+)
+from repro.experiments.reporting import format_table, paper_vs_measured_table
+from repro.experiments.overall import OverallResult, run_overall_experiment
+from repro.experiments.registry import EXPERIMENTS, get_experiment, list_experiments
+from repro.experiments.extensions import EXTENSION_EXPERIMENT_IDS
+from repro.experiments.multiseed import MultiSeedResult, run_multi_seed_experiment
+from repro.experiments.persistence import ResultsStore, SavedResult
+
+__all__ = [
+    "PAPER_BEST_PARAMETERS",
+    "default_model_hyperparameters",
+    "default_training_config",
+    "format_table",
+    "paper_vs_measured_table",
+    "OverallResult",
+    "run_overall_experiment",
+    "EXPERIMENTS",
+    "get_experiment",
+    "list_experiments",
+    "EXTENSION_EXPERIMENT_IDS",
+    "MultiSeedResult",
+    "run_multi_seed_experiment",
+    "ResultsStore",
+    "SavedResult",
+]

@@ -1,0 +1,109 @@
+"""Multi-seed aggregation of overall experiments.
+
+The paper reports single-run numbers with paired t-tests across users.  A
+complementary (and often demanded) robustness check repeats the whole
+train/evaluate cycle under several random seeds and reports mean ± std per
+method, which separates "method A is better" from "seed luck".  This
+module wraps :func:`repro.experiments.overall.run_overall_experiment`
+across seeds and aggregates the metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.overall import OverallResult, run_overall_experiment
+from repro.models.registry import PAPER_METHODS
+
+__all__ = ["SeedAggregate", "MultiSeedResult", "run_multi_seed_experiment"]
+
+
+@dataclass(frozen=True)
+class SeedAggregate:
+    """Mean/std/min/max of one metric for one method over the seeds."""
+
+    method: str
+    metric: str
+    mean: float
+    std: float
+    minimum: float
+    maximum: float
+    num_seeds: int
+
+    def as_row(self) -> dict:
+        return {
+            "method": self.method,
+            "metric": self.metric,
+            "mean": self.mean,
+            "std": self.std,
+            "min": self.minimum,
+            "max": self.maximum,
+            "seeds": self.num_seeds,
+        }
+
+
+@dataclass
+class MultiSeedResult:
+    """All per-seed runs plus their aggregates for one (dataset, setting)."""
+
+    dataset: str
+    setting: str
+    seeds: tuple[int, ...]
+    per_seed: dict[int, OverallResult]
+
+    def metric_values(self, method: str, metric: str) -> np.ndarray:
+        """The metric value of ``method`` under every seed, in seed order."""
+        return np.asarray(
+            [self.per_seed[seed].metric(method, metric) for seed in self.seeds]
+        )
+
+    def aggregate(self, method: str, metric: str) -> SeedAggregate:
+        """Mean ± std of one metric for one method across the seeds."""
+        values = self.metric_values(method, metric)
+        return SeedAggregate(
+            method=method, metric=metric,
+            mean=float(values.mean()),
+            std=float(values.std(ddof=1)) if values.size > 1 else 0.0,
+            minimum=float(values.min()), maximum=float(values.max()),
+            num_seeds=values.size,
+        )
+
+    def aggregates(self, metric: str, methods: tuple[str, ...] | None = None) -> list[SeedAggregate]:
+        """Aggregates of every method for one metric (table-ready rows)."""
+        methods = methods or tuple(next(iter(self.per_seed.values())).runs)
+        return [self.aggregate(method, metric) for method in methods]
+
+    def best_method_counts(self, metric: str) -> dict[str, int]:
+        """How many seeds each method wins (ties go to the first max)."""
+        counts: dict[str, int] = {}
+        for seed in self.seeds:
+            winner = self.per_seed[seed].best_method(metric)
+            counts[winner] = counts.get(winner, 0) + 1
+        return counts
+
+
+def run_multi_seed_experiment(dataset: str, setting: str,
+                              methods: tuple[str, ...] = PAPER_METHODS,
+                              seeds: tuple[int, ...] = (0, 1, 2),
+                              scale: str | None = None,
+                              epochs: int | None = None) -> MultiSeedResult:
+    """Repeat the overall experiment under several seeds.
+
+    Each seed controls model initialization, batch shuffling and negative
+    sampling; the synthetic dataset itself is fixed (it has its own,
+    separate generation seed), so differences across runs isolate the
+    training stochasticity.
+    """
+    if not seeds:
+        raise ValueError("at least one seed is required")
+    if len(set(seeds)) != len(seeds):
+        raise ValueError("seeds must be distinct")
+    per_seed = {
+        seed: run_overall_experiment(dataset, setting, methods=methods,
+                                     scale=scale, epochs=epochs, seed=seed)
+        for seed in seeds
+    }
+    return MultiSeedResult(dataset=dataset, setting=setting,
+                           seeds=tuple(seeds), per_seed=per_seed)

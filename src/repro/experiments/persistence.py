@@ -1,0 +1,141 @@
+"""Persistence of experiment outputs.
+
+Every experiment runner returns ``{"rows": [...], "text": str}``.  The
+:class:`ResultsStore` writes those outputs to disk as JSON (plus the
+formatted text report), so benchmark runs, CLI runs and notebook
+explorations can be compared across time without re-training anything.
+
+Layout on disk::
+
+    <root>/
+      <experiment_id>/
+        20260614T171530_seed0.json      # rows + metadata
+        20260614T171530_seed0.txt       # formatted report
+
+File names embed a UTC timestamp and the seed, so repeated runs never
+overwrite each other.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any
+
+__all__ = ["SavedResult", "ResultsStore"]
+
+
+@dataclass(frozen=True)
+class SavedResult:
+    """One persisted experiment output."""
+
+    experiment_id: str
+    path: Path
+    metadata: dict[str, Any]
+    rows: list[dict]
+    text: str
+
+    @property
+    def created_at(self) -> str:
+        """UTC creation timestamp recorded in the metadata."""
+        return self.metadata.get("created_at", "")
+
+
+class ResultsStore:
+    """Directory-backed store of experiment outputs.
+
+    Parameters
+    ----------
+    root:
+        Directory the store writes to (created on first save).
+    """
+
+    def __init__(self, root: str | Path):
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    # Saving
+    # ------------------------------------------------------------------ #
+    def save(self, experiment_id: str, output: dict,
+             metadata: dict[str, Any] | None = None) -> SavedResult:
+        """Persist one experiment ``output`` and return the saved record.
+
+        Parameters
+        ----------
+        experiment_id:
+            Registry id of the experiment (``table3``, ``ext-synergy`` ...).
+        output:
+            The runner's return value; must contain ``rows`` and ``text``.
+        metadata:
+            Extra context worth keeping (scale, epochs, seed, git revision).
+        """
+        if "rows" not in output or "text" not in output:
+            raise ValueError("experiment output must contain 'rows' and 'text'")
+        record_metadata = dict(metadata or {})
+        record_metadata.setdefault(
+            "created_at", time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime())
+        )
+        seed = record_metadata.get("seed", 0)
+        stamp = time.strftime("%Y%m%dT%H%M%S", time.gmtime())
+        directory = self.root / experiment_id
+        directory.mkdir(parents=True, exist_ok=True)
+
+        base = directory / f"{stamp}_seed{seed}"
+        path = base.with_suffix(".json")
+        counter = 1
+        while path.exists():
+            path = directory / f"{stamp}_seed{seed}_{counter}.json"
+            counter += 1
+
+        payload = {
+            "experiment_id": experiment_id,
+            "metadata": record_metadata,
+            "rows": output["rows"],
+        }
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True, default=str))
+        path.with_suffix(".txt").write_text(output["text"])
+        return SavedResult(experiment_id=experiment_id, path=path,
+                           metadata=record_metadata, rows=output["rows"],
+                           text=output["text"])
+
+    # ------------------------------------------------------------------ #
+    # Loading
+    # ------------------------------------------------------------------ #
+    def list(self, experiment_id: str | None = None) -> list[Path]:
+        """Paths of saved results, newest last; optionally for one experiment."""
+        if not self.root.exists():
+            return []
+        if experiment_id is not None:
+            directories = [self.root / experiment_id]
+        else:
+            directories = sorted(path for path in self.root.iterdir() if path.is_dir())
+        paths: list[Path] = []
+        for directory in directories:
+            if directory.exists():
+                paths.extend(sorted(directory.glob("*.json")))
+        return paths
+
+    def load(self, path: str | Path) -> SavedResult:
+        """Load one saved result from its JSON path."""
+        path = Path(path)
+        if not path.exists():
+            raise FileNotFoundError(f"no saved result at {path}")
+        payload = json.loads(path.read_text())
+        text_path = path.with_suffix(".txt")
+        text = text_path.read_text() if text_path.exists() else ""
+        return SavedResult(
+            experiment_id=payload["experiment_id"],
+            path=path,
+            metadata=payload.get("metadata", {}),
+            rows=payload.get("rows", []),
+            text=text,
+        )
+
+    def latest(self, experiment_id: str) -> SavedResult | None:
+        """The most recently saved result of one experiment, if any."""
+        paths = self.list(experiment_id)
+        if not paths:
+            return None
+        return self.load(paths[-1])

@@ -1,0 +1,320 @@
+"""Registry of every reproducible table and figure of the paper.
+
+Each entry couples an experiment id (``table2`` ... ``table14``,
+``tableA1``, ``tableA2``, ``fig3``, ``fig4``) with a title, the paper
+section it comes from, and a runner that produces the measured rows plus a
+formatted paper-vs-measured report.  The benchmark suite and the CLI are
+thin wrappers over this registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+# Analysis modules are imported lazily inside the runner functions: they
+# import repro.experiments.configs themselves, so importing them here would
+# create a circular import between the two subpackages.
+from repro.data.benchmarks import BENCHMARK_NAMES, PAPER_STATISTICS, load_benchmark
+from repro.data.stats import compute_statistics
+from repro.experiments import paper_results
+from repro.experiments.configs import PAPER_BEST_PARAMETERS
+from repro.experiments.overall import run_overall_experiment
+from repro.experiments.reporting import format_table, paper_vs_measured_table
+from repro.models.registry import PAPER_METHODS
+
+__all__ = ["ExperimentSpec", "EXPERIMENTS", "get_experiment", "list_experiments"]
+
+
+@dataclass(frozen=True)
+class ExperimentSpec:
+    """One reproducible table or figure."""
+
+    experiment_id: str
+    title: str
+    paper_section: str
+    runner: Callable[..., dict]
+
+    def run(self, **kwargs) -> dict:
+        """Execute the experiment; returns ``{"rows": [...], "text": str}``."""
+        return self.runner(**kwargs)
+
+
+# --------------------------------------------------------------------------- #
+# Table 2 — dataset statistics
+# --------------------------------------------------------------------------- #
+def _run_table2(scale: str | None = None, **_) -> dict:
+    rows = []
+    for name in BENCHMARK_NAMES:
+        dataset = load_benchmark(name, scale=scale)
+        stats = compute_statistics(dataset)
+        users, items, interactions, per_user, per_item = PAPER_STATISTICS[name]
+        rows.append({
+            "dataset": stats.name,
+            "paper #users": users, "measured #users": stats.num_users,
+            "paper #intrns/u": per_user,
+            "measured #intrns/u": round(stats.interactions_per_user, 1),
+            "paper #u/i": per_item,
+            "measured #u/i": round(stats.interactions_per_item, 1),
+        })
+    text = paper_vs_measured_table(rows, "Table 2 — dataset statistics", decimals=1)
+    return {"rows": rows, "text": text}
+
+
+# --------------------------------------------------------------------------- #
+# Tables 3-8 — overall performance
+# --------------------------------------------------------------------------- #
+def _overall_rows(setting: str, metrics: tuple[str, str], datasets: tuple[str, ...],
+                  scale: str | None, epochs: int | None, seed: int) -> list[dict]:
+    rows = []
+    for metric in metrics:
+        for dataset in datasets:
+            result = run_overall_experiment(dataset, setting, methods=PAPER_METHODS,
+                                            scale=scale, epochs=epochs, seed=seed)
+            paper_row = paper_results.OVERALL_PERFORMANCE[setting][metric][dataset]
+            row: dict = {"metric": metric, "dataset": dataset}
+            for method in PAPER_METHODS:
+                row[f"{method} (paper)"] = paper_row[method]
+                row[f"{method} (measured)"] = round(result.metric(method, metric), 4)
+            measured = result.metric_row(metric)
+            row["paper best"] = max(paper_row, key=paper_row.get)
+            row["measured best"] = max(measured, key=measured.get)
+            rows.append(row)
+    return rows
+
+
+def _make_overall_runner(setting: str, metrics: tuple[str, str], table_id: str):
+    def runner(datasets: tuple[str, ...] = tuple(BENCHMARK_NAMES),
+               scale: str | None = None, epochs: int | None = None,
+               seed: int = 0, **_) -> dict:
+        rows = _overall_rows(setting, metrics, datasets, scale, epochs, seed)
+        text = paper_vs_measured_table(
+            rows, f"{table_id} — overall performance in {setting} ({'/'.join(metrics)})"
+        )
+        return {"rows": rows, "text": text}
+    return runner
+
+
+# --------------------------------------------------------------------------- #
+# Table 9 — improvement summary
+# --------------------------------------------------------------------------- #
+def _run_table9(datasets: tuple[str, ...] = tuple(BENCHMARK_NAMES),
+                settings: tuple[str, ...] = ("80-20-CUT", "80-3-CUT", "3-LOS"),
+                scale: str | None = None, epochs: int | None = None,
+                seed: int = 0, **_) -> dict:
+    from repro.analysis.improvement import improvement_summary
+
+    rows = []
+    for setting in settings:
+        results = {
+            dataset: run_overall_experiment(dataset, setting, methods=PAPER_METHODS,
+                                            scale=scale, epochs=epochs, seed=seed)
+            for dataset in datasets
+        }
+        summary = improvement_summary(results)
+        for metric, cells in summary.items():
+            paper_row = paper_results.IMPROVEMENT_SUMMARY[setting][metric]
+            row: dict = {"setting": setting, "metric": metric}
+            for cell in cells:
+                row[f"{cell.competitor} (paper %)"] = paper_row.get(cell.competitor, "")
+                row[f"{cell.competitor} (measured %)"] = round(cell.mean_improvement_percent, 1)
+            rows.append(row)
+    text = paper_vs_measured_table(rows, "Table 9 — average improvement of HAMs_m (%)", decimals=1)
+    return {"rows": rows, "text": text}
+
+
+# --------------------------------------------------------------------------- #
+# Tables 10-12 / A1 — parameter studies
+# --------------------------------------------------------------------------- #
+def _make_parameter_study_runner(dataset: str, table_id: str):
+    def runner(scale: str | None = None, epochs: int | None = None,
+               seed: int = 0, sweep: dict | None = None, **_) -> dict:
+        from repro.analysis.parameter_study import run_parameter_study
+
+        study = run_parameter_study(dataset, setting="80-20-CUT", sweep=sweep,
+                                    scale=scale, epochs=epochs, seed=seed)
+        rows = [entry.as_row() for entry in study]
+        paper_sweep = paper_results.PARAMETER_STUDY_HAMS_M.get(dataset, {})
+        text_parts = [format_table(
+            rows, title=f"{table_id} — parameter study of HAMs_m on {dataset} (measured)"
+        )]
+        paper_rows = [
+            {"parameter": parameter, "value": value, "Recall@5": r5, "Recall@10": r10}
+            for parameter, entries in paper_sweep.items()
+            for value, r5, r10 in entries
+        ]
+        if paper_rows:
+            text_parts.append(format_table(
+                paper_rows, title=f"{table_id} — paper-reported sweep (full-scale datasets)"
+            ))
+        return {"rows": rows, "text": "\n\n".join(text_parts)}
+    return runner
+
+
+def _run_tableA1(scale: str | None = None, epochs: int | None = None,
+                 seed: int = 0, **_) -> dict:
+    from repro.analysis.parameter_study import run_sasrec_sensitivity
+
+    study = run_sasrec_sensitivity(scale=scale, epochs=epochs, seed=seed)
+    rows = [entry.as_row() for entry in study]
+    paper_rows = [
+        {"parameter": parameter, "value": value,
+         "Recall@5": "OOM" if r5 is None else r5,
+         "Recall@10": "OOM" if r10 is None else r10}
+        for parameter, entries in paper_results.SASREC_SENSITIVITY_COMICS_3LOS.items()
+        for value, r5, r10 in entries
+    ]
+    text = "\n\n".join([
+        format_table(rows, title="Table A1 — SASRec sensitivity on Comics in 3-LOS (measured)"),
+        format_table(paper_rows, title="Table A1 — paper-reported values"),
+    ])
+    return {"rows": rows, "text": text}
+
+
+# --------------------------------------------------------------------------- #
+# Table 13 — ablation, Table 14 — run time
+# --------------------------------------------------------------------------- #
+def _run_table13(datasets: tuple[str, ...] = tuple(BENCHMARK_NAMES),
+                 scale: str | None = None, epochs: int | None = None,
+                 seed: int = 0, **_) -> dict:
+    from repro.analysis.ablation import run_ablation_study
+
+    rows = []
+    for dataset in datasets:
+        paper_values = paper_results.ABLATION_STUDY.get(dataset, {})
+        for entry in run_ablation_study(dataset, scale=scale, epochs=epochs, seed=seed):
+            row = entry.as_row()
+            paper_recall = paper_values.get(entry.variant)
+            if paper_recall:
+                row["paper Recall@5"] = paper_recall[0]
+                row["paper Recall@10"] = paper_recall[1]
+            rows.append(row)
+    text = paper_vs_measured_table(rows, "Table 13 — ablation study of HAMs_m in 80-20-CUT")
+    return {"rows": rows, "text": text}
+
+
+def _run_table14(datasets: tuple[str, ...] = tuple(BENCHMARK_NAMES),
+                 scale: str | None = None, epochs: int | None = None,
+                 seed: int = 0, **_) -> dict:
+    from repro.analysis.runtime import runtime_comparison
+
+    results = {
+        dataset: run_overall_experiment(dataset, "80-20-CUT", methods=PAPER_METHODS,
+                                        scale=scale, epochs=epochs, seed=seed)
+        for dataset in datasets
+    }
+    rows = []
+    for entry in runtime_comparison(results):
+        row = entry.as_row()
+        paper_row = paper_results.RUNTIME_SECONDS_PER_USER.get(entry.dataset, {})
+        for method, value in paper_row.items():
+            row[f"{method} (paper s/u)"] = f"{value:.1e}"
+        rows.append(row)
+    text = paper_vs_measured_table(rows, "Table 14 — testing run time per user (seconds)")
+    return {"rows": rows, "text": text}
+
+
+# --------------------------------------------------------------------------- #
+# Table A2 — best hyperparameters
+# --------------------------------------------------------------------------- #
+def _run_tableA2(**_) -> dict:
+    rows = []
+    for setting in ("80-20-CUT", "3-LOS"):
+        for method, per_dataset in PAPER_BEST_PARAMETERS[setting].items():
+            for dataset, params in per_dataset.items():
+                row = {"setting": setting, "method": method, "dataset": dataset}
+                row.update(params)
+                rows.append(row)
+    text = format_table(rows, title="Table A2 — best hyperparameters reported by the paper")
+    return {"rows": rows, "text": text}
+
+
+# --------------------------------------------------------------------------- #
+# Figures 3 and 4
+# --------------------------------------------------------------------------- #
+def _run_fig3(datasets: tuple[str, ...] | None = None,
+              scale: str | None = None, **_) -> dict:
+    from repro.analysis.frequency import FIGURE3_DATASETS, item_frequency_distribution
+
+    datasets = datasets or FIGURE3_DATASETS
+    distributions = item_frequency_distribution(datasets, scale=scale)
+    rows = [row for distribution in distributions for row in distribution.as_rows()]
+    summary_rows = [
+        {"dataset": distribution.dataset,
+         "% items in lower half of log-frequency range": round(distribution.infrequent_mass(), 1)}
+        for distribution in distributions
+    ]
+    text = "\n\n".join([
+        format_table(summary_rows, title="Fig. 3 — item frequency distribution (summary)"),
+        format_table(rows, title="Fig. 3 — full histograms", decimals=2),
+    ])
+    return {"rows": rows, "summary_rows": summary_rows, "text": text}
+
+
+def _run_fig4(datasets: tuple[str, ...] | None = None,
+              scale: str | None = None, epochs: int | None = None,
+              seed: int = 0, **_) -> dict:
+    from repro.analysis.attention_weights import FIGURE4_DATASETS, gate_weight_distribution
+
+    datasets = datasets or FIGURE4_DATASETS
+    rows = []
+    for dataset in datasets:
+        distribution = gate_weight_distribution(dataset, scale=scale, epochs=epochs, seed=seed)
+        rows.extend(distribution.as_rows())
+    text = format_table(
+        rows,
+        title="Fig. 4 — HGN instance-gate weight distributions by item-frequency bucket",
+    )
+    return {"rows": rows, "text": text}
+
+
+# --------------------------------------------------------------------------- #
+# Registry
+# --------------------------------------------------------------------------- #
+EXPERIMENTS: dict[str, ExperimentSpec] = {
+    "table2": ExperimentSpec("table2", "Dataset statistics", "Section 5.2", _run_table2),
+    "table3": ExperimentSpec("table3", "Overall performance in 80-20-CUT (Recall)",
+                             "Section 6.1", _make_overall_runner("80-20-CUT", ("Recall@5", "Recall@10"), "Table 3")),
+    "table4": ExperimentSpec("table4", "Overall performance in 80-20-CUT (NDCG)",
+                             "Section 6.1", _make_overall_runner("80-20-CUT", ("NDCG@5", "NDCG@10"), "Table 4")),
+    "table5": ExperimentSpec("table5", "Overall performance in 80-3-CUT (Recall)",
+                             "Section 6.2", _make_overall_runner("80-3-CUT", ("Recall@5", "Recall@10"), "Table 5")),
+    "table6": ExperimentSpec("table6", "Overall performance in 80-3-CUT (NDCG)",
+                             "Section 6.2", _make_overall_runner("80-3-CUT", ("NDCG@5", "NDCG@10"), "Table 6")),
+    "table7": ExperimentSpec("table7", "Overall performance in 3-LOS (Recall)",
+                             "Section 6.3", _make_overall_runner("3-LOS", ("Recall@5", "Recall@10"), "Table 7")),
+    "table8": ExperimentSpec("table8", "Overall performance in 3-LOS (NDCG)",
+                             "Section 6.3", _make_overall_runner("3-LOS", ("NDCG@5", "NDCG@10"), "Table 8")),
+    "table9": ExperimentSpec("table9", "Average improvement of HAMs_m", "Section 6.4", _run_table9),
+    "table10": ExperimentSpec("table10", "Parameter study of HAMs_m on CDs", "Section 6.5.1",
+                              _make_parameter_study_runner("cds", "Table 10")),
+    "table11": ExperimentSpec("table11", "Parameter study of HAMs_m on Children", "Section 6.5.2",
+                              _make_parameter_study_runner("children", "Table 11")),
+    "table12": ExperimentSpec("table12", "Parameter study of HAMs_m on Comics", "Section 6.5.3",
+                              _make_parameter_study_runner("comics", "Table 12")),
+    "table13": ExperimentSpec("table13", "Ablation study of HAMs_m", "Section 6.6", _run_table13),
+    "table14": ExperimentSpec("table14", "Testing run-time performance", "Section 6.7", _run_table14),
+    "tableA1": ExperimentSpec("tableA1", "SASRec parameter sensitivity", "Appendix A", _run_tableA1),
+    "tableA2": ExperimentSpec("tableA2", "Best hyperparameters", "Appendix B", _run_tableA2),
+    "fig3": ExperimentSpec("fig3", "Item frequency distribution", "Section 7.2", _run_fig3),
+    "fig4": ExperimentSpec("fig4", "HGN attention weight distributions", "Section 7.2", _run_fig4),
+}
+
+
+def get_experiment(experiment_id: str) -> ExperimentSpec:
+    """Look up an experiment by id (case-insensitive)."""
+    lookup = {spec_id.lower(): spec for spec_id, spec in EXPERIMENTS.items()}
+    key = experiment_id.lower()
+    if key not in lookup:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; available: {', '.join(sorted(EXPERIMENTS))}"
+        )
+    return lookup[key]
+
+
+def list_experiments() -> list[dict]:
+    """Summaries of every registered experiment (id, title, paper section)."""
+    return [
+        {"id": spec.experiment_id, "title": spec.title, "paper section": spec.paper_section}
+        for spec in EXPERIMENTS.values()
+    ]

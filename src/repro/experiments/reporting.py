@@ -1,0 +1,78 @@
+"""Plain-text table formatting for experiment reports.
+
+Every benchmark prints its results as a fixed-width table mirroring the
+corresponding paper table, typically with a ``paper`` column (value
+reported in the manuscript) next to a ``measured`` column (value obtained
+on the synthetic analogue at the chosen scale).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+__all__ = ["format_table", "paper_vs_measured_table", "format_float"]
+
+
+def format_float(value, decimals: int = 4) -> str:
+    """Format a numeric cell; pass strings through unchanged."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, (int,)):
+        return str(value)
+    if isinstance(value, float):
+        return f"{value:.{decimals}f}"
+    return str(value)
+
+
+def format_table(rows: list[dict], columns: list[str] | None = None,
+                 title: str | None = None, decimals: int = 4) -> str:
+    """Render ``rows`` (list of dicts) as a fixed-width text table.
+
+    Parameters
+    ----------
+    rows:
+        One dict per table row; missing keys render as empty cells.
+    columns:
+        Column order; defaults to the keys of the first row.
+    title:
+        Optional heading printed above the table.
+    decimals:
+        Number of decimals for float cells.
+    """
+    if not rows:
+        return (title + "\n" if title else "") + "(no rows)"
+    columns = columns or list(rows[0].keys())
+    rendered = [
+        [format_float(row.get(column, ""), decimals) for column in columns]
+        for row in rows
+    ]
+    widths = [
+        max(len(str(column)), *(len(line[i]) for line in rendered))
+        for i, column in enumerate(columns)
+    ]
+    def render_line(cells: Iterable[str]) -> str:
+        return "  ".join(str(cell).ljust(width) for cell, width in zip(cells, widths))
+
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(render_line(columns))
+    lines.append(render_line("-" * width for width in widths))
+    lines.extend(render_line(line) for line in rendered)
+    return "\n".join(lines)
+
+
+def paper_vs_measured_table(rows: list[dict], title: str,
+                            note: str | None = None, decimals: int = 4) -> str:
+    """Format a reproduction table and append the standard scale caveat."""
+    table = format_table(rows, title=title, decimals=decimals)
+    caveat = (
+        "note: 'paper' columns are the values reported in the manuscript on the "
+        "full public datasets; 'measured' columns come from the synthetic "
+        "analogues at laptop scale, so absolute values differ while orderings "
+        "and ratios are the reproduced quantities."
+    )
+    parts = [table, caveat]
+    if note:
+        parts.append(note)
+    return "\n".join(parts)

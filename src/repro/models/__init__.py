@@ -1,0 +1,89 @@
+"""Sequential recommendation models.
+
+The paper's contribution (the HAM family) and the three state-of-the-art
+baselines it compares against, plus simple reference recommenders:
+
+* :class:`~repro.models.ham.HAM` — HAMx / HAMm (Section 4.2.1).
+* :class:`~repro.models.ham_synergy.HAMSynergy` — HAMs_x / HAMs_m with
+  order-p item synergies and latent cross (Section 4.2.2), including the
+  ablated variants of Section 6.6.
+* :class:`~repro.models.caser.Caser` — convolutional sequence embedding.
+* :class:`~repro.models.sasrec.SASRec` — self-attention sequential model.
+* :class:`~repro.models.hgn.HGN` — hierarchical gating network.
+* :class:`~repro.models.popularity.Popularity`,
+  :class:`~repro.models.bprmf.BPRMF`,
+  :class:`~repro.models.fpmc.FPMC` — reference baselines from the
+  literature review.
+
+Extension baselines covered by the paper's literature review (Section 2)
+but not rerun in its tables are also available:
+
+* :class:`~repro.models.gru4rec.GRU4Rec` and
+  :class:`~repro.models.gru4rec_plus.GRU4RecPlus` — recurrent models.
+* :class:`~repro.models.narm.NARM`, :class:`~repro.models.stamp.STAMP` —
+  attention-based models.
+* :class:`~repro.models.nextitrec.NextItRec` — dilated-CNN generative model.
+* :class:`~repro.models.fossil.Fossil` — similarity + high-order Markov.
+* :class:`~repro.models.itemknn.ItemKNN`,
+  :class:`~repro.models.markov.MarkovChain` — count-based references.
+
+All learned models implement the
+:class:`~repro.models.base.SequentialRecommender` interface: a learned
+per-(user, recent-items) representation dotted with candidate-item
+embeddings, so the same trainer and evaluator drive every method.
+Count-based models implement
+:class:`~repro.models.nonparametric.NonParametricRecommender` instead and
+are fitted from counts.
+"""
+
+from repro.models.base import SequentialRecommender
+from repro.models.nonparametric import NonParametricRecommender
+from repro.models.ham import HAM
+from repro.models.ham_synergy import HAMSynergy
+from repro.models.caser import Caser
+from repro.models.sasrec import SASRec
+from repro.models.hgn import HGN
+from repro.models.gru4rec import GRU4Rec
+from repro.models.gru4rec_plus import GRU4RecPlus
+from repro.models.narm import NARM
+from repro.models.stamp import STAMP
+from repro.models.nextitrec import NextItRec
+from repro.models.fossil import Fossil
+from repro.models.itemknn import ItemKNN
+from repro.models.markov import MarkovChain
+from repro.models.popularity import Popularity
+from repro.models.bprmf import BPRMF
+from repro.models.fpmc import FPMC
+from repro.models.registry import (
+    EXTENSION_METHODS,
+    HAM_VARIANTS,
+    MODEL_REGISTRY,
+    PAPER_METHODS,
+    create_model,
+)
+
+__all__ = [
+    "SequentialRecommender",
+    "NonParametricRecommender",
+    "HAM",
+    "HAMSynergy",
+    "Caser",
+    "SASRec",
+    "HGN",
+    "GRU4Rec",
+    "GRU4RecPlus",
+    "NARM",
+    "STAMP",
+    "NextItRec",
+    "Fossil",
+    "ItemKNN",
+    "MarkovChain",
+    "Popularity",
+    "BPRMF",
+    "FPMC",
+    "MODEL_REGISTRY",
+    "PAPER_METHODS",
+    "HAM_VARIANTS",
+    "EXTENSION_METHODS",
+    "create_model",
+]

@@ -1,0 +1,134 @@
+"""Common interface of all sequential recommenders.
+
+Every model in the reproduction scores a candidate item ``j`` for user
+``i`` as the dot product of a learned representation of the pair
+``(user, recent items)`` with a candidate-item embedding ``w_j`` (plus an
+optional per-item bias).  This mirrors the linear scoring function of HAM
+(Eq. 7/8) and the output layers of Caser, SASRec and HGN, and lets one
+trainer and one evaluator drive every method.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Module, Tensor, no_grad
+
+__all__ = ["SequentialRecommender"]
+
+
+class SequentialRecommender(Module):
+    """Base class for sequential recommendation models.
+
+    Sub-classes must set the attributes
+
+    ``num_users`` / ``num_items``
+        Dataset dimensions.
+    ``input_length``
+        Number of most-recent items fed to the model (``n_h`` for HAM,
+        ``L`` for Caser/HGN, ``n`` for SASRec).
+    ``pad_id``
+        Padding item id (always ``num_items``).
+
+    and implement :meth:`sequence_representation` and
+    :meth:`candidate_item_embeddings` (and optionally :meth:`item_bias`).
+    """
+
+    num_users: int
+    num_items: int
+    input_length: int
+    pad_id: int
+
+    # ------------------------------------------------------------------ #
+    # Interface to implement
+    # ------------------------------------------------------------------ #
+    def sequence_representation(self, users: np.ndarray, inputs: np.ndarray) -> Tensor:
+        """Representation of each (user, recent items) pair.
+
+        Parameters
+        ----------
+        users:
+            ``(B,)`` int array of user ids.
+        inputs:
+            ``(B, input_length)`` int array of the most recent items,
+            left-padded with :attr:`pad_id`.
+
+        Returns
+        -------
+        Tensor
+            ``(B, out_dim)`` representation; ``out_dim`` matches the
+            second dimension of :meth:`candidate_item_embeddings`.
+        """
+        raise NotImplementedError
+
+    def candidate_item_embeddings(self) -> Tensor:
+        """Candidate ("target") item embedding table, shape ``(num_items + 1, out_dim)``.
+
+        Row ``pad_id`` corresponds to the padding item and is never
+        recommended; it exists so padded target ids can be embedded
+        without special cases.
+        """
+        raise NotImplementedError
+
+    def item_bias(self) -> Tensor | None:
+        """Optional per-item bias of shape ``(num_items + 1,)``."""
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Scoring built on the interface
+    # ------------------------------------------------------------------ #
+    def score_items(self, users: np.ndarray, inputs: np.ndarray,
+                    items: np.ndarray) -> Tensor:
+        """Scores of specific candidate items.
+
+        Parameters
+        ----------
+        items:
+            ``(B, T)`` int array of candidate item ids (e.g. the positive
+            and sampled negative items during BPR training).
+
+        Returns
+        -------
+        Tensor of shape ``(B, T)``.
+        """
+        representation = self.sequence_representation(users, inputs)
+        candidates = self.candidate_item_embeddings().take_rows(items)  # (B, T, d)
+        scores = (candidates * representation.expand_dims(1)).sum(axis=-1)
+        bias = self.item_bias()
+        if bias is not None:
+            scores = scores + bias.take_rows(items)
+        return scores
+
+    def score_all(self, users: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Scores of every real item (used for top-k evaluation).
+
+        Evaluation never needs gradients, so the computation runs under
+        ``no_grad`` and returns a plain ``(B, num_items)`` array.
+        """
+        with no_grad():
+            representation = self.sequence_representation(users, inputs)
+            weights = self.candidate_item_embeddings()
+            scores = representation.matmul(weights.T).data[:, : self.num_items]
+            bias = self.item_bias()
+            if bias is not None:
+                scores = scores + bias.data[: self.num_items]
+        return scores
+
+    # ------------------------------------------------------------------ #
+    # Helpers shared by sub-classes
+    # ------------------------------------------------------------------ #
+    def _validate_dims(self, num_users: int, num_items: int, embedding_dim: int,
+                       input_length: int) -> None:
+        if num_users < 1 or num_items < 1:
+            raise ValueError("num_users and num_items must be positive")
+        if embedding_dim < 1:
+            raise ValueError("embedding_dim must be positive")
+        if input_length < 1:
+            raise ValueError("input_length must be positive")
+
+    def describe(self) -> str:
+        """Human-readable model summary used in logs and reports."""
+        return (
+            f"{self.__class__.__name__}(users={self.num_users}, items={self.num_items}, "
+            f"input_length={self.input_length}, parameters={self.num_parameters()})"
+        )

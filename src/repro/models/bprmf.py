@@ -1,0 +1,46 @@
+"""BPR-MF — Bayesian Personalized Ranking matrix factorization (Rendle et al., 2012).
+
+A non-sequential latent-factor baseline: the score of item ``j`` for user
+``i`` is simply ``u_i · w_j``.  Included as a reference point for how much
+of the performance comes from long-term preferences alone (the paper's
+ablation HAMs_m-o/-u probes the same question from the other direction).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Embedding, Tensor
+from repro.models.base import SequentialRecommender
+
+__all__ = ["BPRMF"]
+
+
+class BPRMF(SequentialRecommender):
+    """Matrix-factorization recommender trained with the shared BPR trainer."""
+
+    def __init__(self, num_users: int, num_items: int, embedding_dim: int = 64,
+                 input_length: int = 1, rng: np.random.Generator | None = None,
+                 init_std: float = 0.01):
+        super().__init__()
+        self._validate_dims(num_users, num_items, embedding_dim, input_length)
+        rng = rng or np.random.default_rng()
+        self.num_users = num_users
+        self.num_items = num_items
+        self.embedding_dim = embedding_dim
+        self.input_length = input_length
+        self.pad_id = num_items
+        self.user_embeddings = Embedding(num_users, embedding_dim, rng=rng, std=init_std)
+        self.item_embeddings = Embedding(num_items + 1, embedding_dim, rng=rng,
+                                         std=init_std, padding_idx=self.pad_id)
+
+    def sequence_representation(self, users: np.ndarray, inputs: np.ndarray) -> Tensor:
+        # The recent items are ignored: BPR-MF models long-term preference only.
+        return self.user_embeddings(np.asarray(users, dtype=np.int64))
+
+    def candidate_item_embeddings(self) -> Tensor:
+        return self.item_embeddings.weight
+
+    def after_step(self) -> None:
+        """Re-pin the padding row after an optimizer step."""
+        self.item_embeddings.apply_padding_mask()

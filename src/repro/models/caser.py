@@ -1,0 +1,143 @@
+"""Caser — Convolutional Sequence Embedding Recommendation (Tang & Wang, WSDM'18).
+
+Baseline of the paper (Section 5.1).  Caser embeds the ``L`` most recent
+items into an ``L × d`` "image" and applies
+
+* **horizontal filters** of heights ``1..L`` (``n_h`` filters per height)
+  that slide over consecutive items and are max-pooled over time — these
+  capture union-level sequential patterns;
+* **vertical filters** (``n_v`` filters of shape ``L × 1``) that form
+  weighted sums over the time axis per latent dimension — these capture
+  point-level patterns.
+
+Both feature groups pass through a fully connected layer; the result is
+concatenated with the user embedding and scored against per-item output
+embeddings with a per-item bias.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Dropout, Embedding, Linear, Tensor, init
+from repro.models.base import SequentialRecommender
+
+__all__ = ["Caser"]
+
+
+class Caser(SequentialRecommender):
+    """Caser baseline.
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Dataset dimensions.
+    embedding_dim:
+        Item/user embedding dimensionality ``d``.
+    sequence_length:
+        ``L``, the number of recent items considered.
+    num_vertical_filters:
+        ``n_v`` vertical filters.
+    num_horizontal_filters:
+        ``n_h`` horizontal filters *per filter height* (heights 1..L).
+    dropout:
+        Dropout probability applied to the concatenated conv features.
+    """
+
+    def __init__(self, num_users: int, num_items: int, embedding_dim: int = 64,
+                 sequence_length: int = 5, num_vertical_filters: int = 4,
+                 num_horizontal_filters: int = 16, dropout: float = 0.2,
+                 rng: np.random.Generator | None = None, init_std: float = 0.01):
+        super().__init__()
+        self._validate_dims(num_users, num_items, embedding_dim, sequence_length)
+        if num_vertical_filters < 1 or num_horizontal_filters < 1:
+            raise ValueError("filter counts must be positive")
+        rng = rng or np.random.default_rng()
+
+        self.num_users = num_users
+        self.num_items = num_items
+        self.embedding_dim = embedding_dim
+        self.sequence_length = sequence_length
+        self.input_length = sequence_length
+        self.pad_id = num_items
+        self.num_vertical_filters = num_vertical_filters
+        self.num_horizontal_filters = num_horizontal_filters
+
+        self.user_embeddings = Embedding(num_users, embedding_dim, rng=rng, std=init_std)
+        self.item_embeddings = Embedding(num_items + 1, embedding_dim, rng=rng,
+                                         std=init_std, padding_idx=self.pad_id)
+
+        # Horizontal filters: one weight matrix of shape (height * d, n_h)
+        # per filter height (convolution expressed as a sliding matmul).
+        self.horizontal_filters = [
+            init.xavier_uniform((height * embedding_dim, num_horizontal_filters), rng)
+            for height in range(1, sequence_length + 1)
+        ]
+        self.horizontal_biases = [
+            init.zeros((num_horizontal_filters,)) for _ in range(sequence_length)
+        ]
+        # Vertical filters: weighted sums over the time axis.
+        self.vertical_filters = init.xavier_uniform((num_vertical_filters, sequence_length), rng)
+
+        conv_output_dim = (num_horizontal_filters * sequence_length
+                           + num_vertical_filters * embedding_dim)
+        self.fc = Linear(conv_output_dim, embedding_dim, rng=rng)
+        self.dropout = Dropout(dropout, rng=rng)
+
+        # Output layer: per-item embedding of size 2d (conv features + user
+        # embedding) plus a per-item bias, as in the original Caser.
+        self.output_item_embeddings = Embedding(num_items + 1, 2 * embedding_dim,
+                                                rng=rng, std=init_std,
+                                                padding_idx=self.pad_id)
+        self.output_item_bias = init.zeros((num_items + 1,))
+
+    # ------------------------------------------------------------------ #
+    # Convolutional feature extraction
+    # ------------------------------------------------------------------ #
+    def _horizontal_features(self, embedded: Tensor) -> Tensor:
+        """Max-over-time features of every horizontal filter height."""
+        batch, length, dim = embedded.shape
+        features = []
+        for height in range(1, length + 1):
+            windows = []
+            for start in range(0, length - height + 1):
+                window = embedded[:, start:start + height, :].reshape(batch, height * dim)
+                windows.append(window)
+            stacked = Tensor.stack(windows, axis=1)                      # (B, T', h*d)
+            convolved = stacked.matmul(self.horizontal_filters[height - 1])
+            convolved = (convolved + self.horizontal_biases[height - 1]).relu()
+            features.append(convolved.max(axis=1))                      # (B, n_h)
+        return Tensor.concatenate(features, axis=1)
+
+    def _vertical_features(self, embedded: Tensor) -> Tensor:
+        """Weighted sums over the time axis (one set of weights per filter)."""
+        batch, length, dim = embedded.shape
+        # (n_v, L) @ (B, L, d) -> per filter weighted sum over time.
+        outputs = []
+        for filter_index in range(self.num_vertical_filters):
+            weights = self.vertical_filters[filter_index].reshape(1, length, 1)
+            outputs.append((embedded * weights).sum(axis=1))             # (B, d)
+        return Tensor.concatenate(outputs, axis=1)                       # (B, n_v * d)
+
+    def sequence_representation(self, users: np.ndarray, inputs: np.ndarray) -> Tensor:
+        users = np.asarray(users, dtype=np.int64)
+        inputs = np.asarray(inputs, dtype=np.int64)
+        embedded = self.item_embeddings(inputs)                          # (B, L, d)
+        horizontal = self._horizontal_features(embedded)
+        vertical = self._vertical_features(embedded)
+        conv_features = Tensor.concatenate([horizontal, vertical], axis=1)
+        conv_features = self.dropout(conv_features)
+        hidden = self.fc(conv_features).relu()                           # (B, d)
+        user_vectors = self.user_embeddings(users)                       # (B, d)
+        return Tensor.concatenate([hidden, user_vectors], axis=1)        # (B, 2d)
+
+    def candidate_item_embeddings(self) -> Tensor:
+        return self.output_item_embeddings.weight
+
+    def item_bias(self) -> Tensor | None:
+        return self.output_item_bias
+
+    def after_step(self) -> None:
+        """Re-pin padding rows after an optimizer step."""
+        self.item_embeddings.apply_padding_mask()
+        self.output_item_embeddings.apply_padding_mask()

@@ -1,0 +1,118 @@
+"""Fossil — similarity models fused with higher-order Markov chains
+(He & McAuley, ICDM'16).
+
+The higher-order Markov-chain baseline of the paper's literature review
+(Section 2, reference [7]).  Fossil scores a candidate ``j`` from two
+factorized parts:
+
+* a **similarity (FISM) term**: the normalized sum of the embeddings of
+  every item in the user's history, dotted with the candidate embedding —
+  long-term preference without an explicit user vector;
+* a **higher-order Markov term**: the embeddings of the last ``L`` items,
+  each weighted by a personalized mixing weight
+  ``eta_k = eta_global_k + eta_user_k``, dotted with the candidate.
+
+Both parts share the candidate ("target") item embedding table, so Fossil
+fits the shared representation-dot-candidate interface directly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Embedding, Tensor, init
+from repro.models.base import SequentialRecommender
+
+__all__ = ["Fossil"]
+
+
+class Fossil(SequentialRecommender):
+    """Factorized sequential model with personalized high-order weights.
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Dataset dimensions.
+    embedding_dim:
+        Latent dimensionality ``d``.
+    markov_order:
+        ``L``, the number of recent items in the Markov term (also the
+        number of recent items the model consumes).
+    similarity_alpha:
+        Exponent of the FISM normalization ``1 / |history|^alpha``;
+        ``alpha = 0.5`` follows the original paper.
+    """
+
+    def __init__(self, num_users: int, num_items: int, embedding_dim: int = 64,
+                 markov_order: int = 3, similarity_alpha: float = 0.5,
+                 rng: np.random.Generator | None = None, init_std: float = 0.01):
+        super().__init__()
+        self._validate_dims(num_users, num_items, embedding_dim, markov_order)
+        if not 0.0 <= similarity_alpha <= 1.0:
+            raise ValueError("similarity_alpha must be in [0, 1]")
+        rng = rng or np.random.default_rng()
+
+        self.num_users = num_users
+        self.num_items = num_items
+        self.embedding_dim = embedding_dim
+        self.markov_order = markov_order
+        self.input_length = markov_order
+        self.similarity_alpha = similarity_alpha
+        self.pad_id = num_items
+
+        # Source ("P") and candidate ("Q") item factors plus an item bias.
+        self.source_item_embeddings = Embedding(num_items + 1, embedding_dim, rng=rng,
+                                                std=init_std, padding_idx=self.pad_id)
+        self.target_item_embeddings = Embedding(num_items + 1, embedding_dim, rng=rng,
+                                                std=init_std, padding_idx=self.pad_id)
+        self.item_biases = init.zeros((num_items + 1,))
+
+        # Markov mixing weights: a global vector plus a per-user offset.
+        self.global_markov_weights = init.normal((markov_order,), rng, std=init_std)
+        self.user_markov_weights = init.normal((num_users, markov_order), rng, std=init_std)
+
+    # ------------------------------------------------------------------ #
+    # Internals
+    # ------------------------------------------------------------------ #
+    def markov_weights(self, users: np.ndarray) -> Tensor:
+        """Personalized mixing weights ``eta_global + eta_user``, ``(B, L)``."""
+        users = np.asarray(users, dtype=np.int64)
+        return self.user_markov_weights.take_rows(users) + self.global_markov_weights
+
+    # ------------------------------------------------------------------ #
+    # SequentialRecommender interface
+    # ------------------------------------------------------------------ #
+    def sequence_representation(self, users: np.ndarray, inputs: np.ndarray) -> Tensor:
+        users = np.asarray(users, dtype=np.int64)
+        inputs = np.asarray(inputs, dtype=np.int64)
+        mask = inputs != self.pad_id
+        embedded = self.source_item_embeddings(inputs)                    # (B, L, d)
+
+        # FISM similarity term: 1/|H|^alpha * sum of history embeddings.
+        counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
+        normalizer = 1.0 / np.power(counts, self.similarity_alpha)        # (B, 1)
+        masked = embedded * Tensor(mask.astype(np.float64)[:, :, None])
+        similarity_part = masked.sum(axis=1) * Tensor(normalizer)         # (B, d)
+
+        # Higher-order Markov term with personalized per-lag weights.  The
+        # weight of position t applies to the item t steps from the end,
+        # and padded positions are zeroed by the mask.
+        weights = self.markov_weights(users)                              # (B, L)
+        weighted = masked * weights.expand_dims(2)
+        markov_part = weighted.sum(axis=1)                                # (B, d)
+
+        return similarity_part + markov_part
+
+    def candidate_item_embeddings(self) -> Tensor:
+        return self.target_item_embeddings.weight
+
+    def item_bias(self) -> Tensor:
+        return self.item_biases
+
+    def after_step(self) -> None:
+        """Re-pin padding rows after an optimizer step."""
+        self.source_item_embeddings.apply_padding_mask()
+        self.target_item_embeddings.apply_padding_mask()
+        self.item_biases.data[self.pad_id] = 0.0
+        if self.item_biases.grad is not None:
+            self.item_biases.grad[self.pad_id] = 0.0

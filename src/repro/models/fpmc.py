@@ -1,0 +1,66 @@
+"""FPMC — Factorized Personalized Markov Chains (Rendle et al., WWW'10).
+
+First-order Markov-chain baseline from the paper's literature review
+(Section 2): the score of candidate ``j`` combines a user-preference term
+and a transition term from the most recent item,
+
+``r_ij = u_i · w_j^{UI}  +  v_last · w_j^{LI}``.
+
+Both terms are linear in per-candidate embeddings, so FPMC fits the shared
+representation-dot-candidate interface by concatenation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Embedding, Tensor
+from repro.models.base import SequentialRecommender
+
+__all__ = ["FPMC"]
+
+
+class FPMC(SequentialRecommender):
+    """FPMC baseline (first-order personalized Markov chain)."""
+
+    def __init__(self, num_users: int, num_items: int, embedding_dim: int = 64,
+                 input_length: int = 1, rng: np.random.Generator | None = None,
+                 init_std: float = 0.01):
+        super().__init__()
+        self._validate_dims(num_users, num_items, embedding_dim, input_length)
+        rng = rng or np.random.default_rng()
+        self.num_users = num_users
+        self.num_items = num_items
+        self.embedding_dim = embedding_dim
+        self.input_length = input_length
+        self.pad_id = num_items
+
+        self.user_embeddings = Embedding(num_users, embedding_dim, rng=rng, std=init_std)
+        # "Last item" embeddings (the LI factor of the Markov transition).
+        self.last_item_embeddings = Embedding(num_items + 1, embedding_dim, rng=rng,
+                                              std=init_std, padding_idx=self.pad_id)
+        # Candidate factors: one paired with the user, one with the last item.
+        self.candidate_user_embeddings = Embedding(num_items + 1, embedding_dim, rng=rng,
+                                                   std=init_std, padding_idx=self.pad_id)
+        self.candidate_item_embeddings_table = Embedding(num_items + 1, embedding_dim, rng=rng,
+                                                         std=init_std, padding_idx=self.pad_id)
+
+    def sequence_representation(self, users: np.ndarray, inputs: np.ndarray) -> Tensor:
+        users = np.asarray(users, dtype=np.int64)
+        inputs = np.asarray(inputs, dtype=np.int64)
+        last_items = inputs[:, -1]
+        user_part = self.user_embeddings(users)                       # (B, d)
+        transition_part = self.last_item_embeddings(last_items)       # (B, d)
+        return Tensor.concatenate([user_part, transition_part], axis=1)
+
+    def candidate_item_embeddings(self) -> Tensor:
+        return Tensor.concatenate(
+            [self.candidate_user_embeddings.weight, self.candidate_item_embeddings_table.weight],
+            axis=1,
+        )
+
+    def after_step(self) -> None:
+        """Re-pin padding rows after an optimizer step."""
+        self.last_item_embeddings.apply_padding_mask()
+        self.candidate_user_embeddings.apply_padding_mask()
+        self.candidate_item_embeddings_table.apply_padding_mask()

@@ -1,0 +1,73 @@
+"""GRU4Rec-style recurrent baseline (Hidasi et al., ICLR'16) — extension.
+
+The paper's literature review covers RNN recommenders (GRU4Rec,
+GRU4Rec++); its experiments omit them because HGN had already been shown
+to outperform them.  This extension implements a GRU4Rec-style model on
+the shared interface so the claim can be probed on the synthetic
+analogues as well: the most recent items are embedded, run through a GRU,
+and the final hidden state is scored against the item embedding table.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Embedding, Linear, Tensor
+from repro.autograd.recurrent import GRU
+from repro.models.base import SequentialRecommender
+
+__all__ = ["GRU4Rec"]
+
+
+class GRU4Rec(SequentialRecommender):
+    """Recurrent sequential recommender.
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Dataset dimensions (the user id is unused, as in session-based
+        GRU4Rec, but kept for interface uniformity).
+    embedding_dim:
+        Item embedding dimensionality.
+    hidden_dim:
+        GRU hidden-state dimensionality (defaults to ``embedding_dim``).
+    sequence_length:
+        Number of recent items fed to the recurrence.
+    """
+
+    def __init__(self, num_users: int, num_items: int, embedding_dim: int = 64,
+                 hidden_dim: int | None = None, sequence_length: int = 10,
+                 rng: np.random.Generator | None = None, init_std: float = 0.01):
+        super().__init__()
+        self._validate_dims(num_users, num_items, embedding_dim, sequence_length)
+        rng = rng or np.random.default_rng()
+        hidden_dim = hidden_dim or embedding_dim
+
+        self.num_users = num_users
+        self.num_items = num_items
+        self.embedding_dim = embedding_dim
+        self.hidden_dim = hidden_dim
+        self.sequence_length = sequence_length
+        self.input_length = sequence_length
+        self.pad_id = num_items
+
+        self.item_embeddings = Embedding(num_items + 1, embedding_dim, rng=rng,
+                                         std=init_std, padding_idx=self.pad_id)
+        self.gru = GRU(embedding_dim, hidden_dim, rng=rng)
+        # Project the hidden state back to the item-embedding space so the
+        # candidate table can be shared with the input embeddings.
+        self.output_projection = Linear(hidden_dim, embedding_dim, rng=rng)
+
+    def sequence_representation(self, users: np.ndarray, inputs: np.ndarray) -> Tensor:
+        inputs = np.asarray(inputs, dtype=np.int64)
+        mask = inputs != self.pad_id
+        embedded = self.item_embeddings(inputs)                       # (B, L, d)
+        final_state = self.gru.final_state(embedded, mask=mask)       # (B, hidden)
+        return self.output_projection(final_state)                    # (B, d)
+
+    def candidate_item_embeddings(self) -> Tensor:
+        return self.item_embeddings.weight
+
+    def after_step(self) -> None:
+        """Re-pin the padding row after an optimizer step."""
+        self.item_embeddings.apply_padding_mask()

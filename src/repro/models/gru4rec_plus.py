@@ -1,0 +1,49 @@
+"""GRU4Rec++ — GRU4Rec with ranking-loss improvements (Hidasi & Karatzoglou, CIKM'18).
+
+Reference [2] of the paper: the follow-up to GRU4Rec whose main change is
+the training objective, not the architecture — each positive is contrasted
+against *many* sampled negatives with the BPR-max loss, which mitigates
+the vanishing gradients the single-negative losses suffer from once most
+negatives are easy.
+
+Architecturally the model is therefore :class:`~repro.models.gru4rec.GRU4Rec`
+with a larger default dropout and the attributes ``recommended_loss`` /
+``recommended_num_negatives`` that the shared trainer picks up when the
+training configuration does not override them.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.gru4rec import GRU4Rec
+
+__all__ = ["GRU4RecPlus"]
+
+
+class GRU4RecPlus(GRU4Rec):
+    """GRU4Rec trained with the BPR-max loss over several negatives.
+
+    Parameters
+    ----------
+    num_users, num_items, embedding_dim, hidden_dim, sequence_length:
+        As in :class:`~repro.models.gru4rec.GRU4Rec`.
+    num_negatives:
+        Sampled negatives per positive recommended to the trainer
+        (GRU4Rec++ uses large negative samples; the default is scaled to
+        the synthetic analogues).
+    """
+
+    #: Loss the shared trainer uses when the config does not name one.
+    recommended_loss = "bpr_max"
+
+    def __init__(self, num_users: int, num_items: int, embedding_dim: int = 64,
+                 hidden_dim: int | None = None, sequence_length: int = 10,
+                 num_negatives: int = 8, rng: np.random.Generator | None = None,
+                 init_std: float = 0.01):
+        super().__init__(num_users, num_items, embedding_dim=embedding_dim,
+                         hidden_dim=hidden_dim, sequence_length=sequence_length,
+                         rng=rng, init_std=init_std)
+        if num_negatives < 1:
+            raise ValueError("num_negatives must be positive")
+        self.recommended_num_negatives = num_negatives

@@ -1,0 +1,132 @@
+"""HAM — Hybrid Associations Model without item synergies (paper Section 4).
+
+The model scores candidate item ``j`` for user ``i`` at time ``t`` as
+
+``r_ij = u_i · w_j  +  h_i · w_j  +  o_i · w_j``            (Eq. 7)
+
+where ``u_i`` is the user's general-preference embedding, ``h_i`` is the
+pooled embedding of the previous ``n_h`` items (high-order association)
+and ``o_i`` the pooled embedding of the previous ``n_l`` items (low-order
+association).  Pooling is mean (``HAMm``) or max (``HAMx``); the source
+items use the "source" item embedding table ``V`` and candidates the
+separate "target" table ``W`` (heterogeneous item embeddings, Section 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Embedding, Tensor
+from repro.models.base import SequentialRecommender
+from repro.models.pooling import get_pooling
+
+__all__ = ["HAM"]
+
+
+class HAM(SequentialRecommender):
+    """HAMx / HAMm (and their ablations without the user or low-order term).
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Dataset dimensions.
+    embedding_dim:
+        Embedding dimensionality ``d``.
+    n_h:
+        Number of items in the high-order association (also the number of
+        recent items fed to the model).
+    n_l:
+        Number of items in the low-order association; must satisfy
+        ``0 <= n_l <= n_h``.  ``n_l = 0`` ablates the low-order term
+        (the paper's ``HAM-o`` variant).
+    pooling:
+        ``"mean"`` (HAMm) or ``"max"`` (HAMx).
+    use_user_embedding:
+        Set to False to ablate the general-preference term (``HAM-u``).
+    rng:
+        Random generator for parameter initialization.
+    init_std:
+        Standard deviation of the embedding initializer.
+    """
+
+    def __init__(self, num_users: int, num_items: int, embedding_dim: int = 64,
+                 n_h: int = 5, n_l: int = 2, pooling: str = "mean",
+                 use_user_embedding: bool = True,
+                 rng: np.random.Generator | None = None, init_std: float = 0.01):
+        super().__init__()
+        self._validate_dims(num_users, num_items, embedding_dim, n_h)
+        if not 0 <= n_l <= n_h:
+            raise ValueError("n_l must satisfy 0 <= n_l <= n_h")
+        rng = rng or np.random.default_rng()
+
+        self.num_users = num_users
+        self.num_items = num_items
+        self.embedding_dim = embedding_dim
+        self.n_h = n_h
+        self.n_l = n_l
+        self.input_length = n_h
+        self.pad_id = num_items
+        self.pooling_name = pooling.lower()
+        self.pooling = get_pooling(pooling)
+        self.use_user_embedding = use_user_embedding
+
+        # U: users' general preferences; V: source item embeddings;
+        # W: candidate ("target") item embeddings.  V and W get one extra
+        # padding row pinned to zero.
+        self.user_embeddings = Embedding(num_users, embedding_dim, rng=rng, std=init_std)
+        self.source_item_embeddings = Embedding(num_items + 1, embedding_dim, rng=rng,
+                                                std=init_std, padding_idx=self.pad_id)
+        self.target_item_embeddings = Embedding(num_items + 1, embedding_dim, rng=rng,
+                                                std=init_std, padding_idx=self.pad_id)
+
+    # ------------------------------------------------------------------ #
+    # Representation factors
+    # ------------------------------------------------------------------ #
+    def association_embeddings(self, inputs: np.ndarray) -> tuple[Tensor, Tensor | None]:
+        """High-order and low-order association vectors ``(h, o)`` (Eq. 1).
+
+        ``o`` is None when ``n_l = 0`` (low-order term ablated).
+        """
+        inputs = np.asarray(inputs, dtype=np.int64)
+        mask = inputs != self.pad_id
+        embedded = self.source_item_embeddings(inputs)              # (B, n_h, d)
+        high_order = self.pooling(embedded, mask)                   # (B, d)
+        if self.n_l == 0:
+            return high_order, None
+        low_inputs = inputs[:, -self.n_l:]
+        low_mask = mask[:, -self.n_l:]
+        low_embedded = self.source_item_embeddings(low_inputs)
+        low_order = self.pooling(low_embedded, low_mask)
+        return high_order, low_order
+
+    def sequence_representation(self, users: np.ndarray, inputs: np.ndarray) -> Tensor:
+        """``u + h + o`` — the three linear factors of Eq. 7 collapsed."""
+        high_order, low_order = self.association_embeddings(inputs)
+        representation = high_order
+        if low_order is not None:
+            representation = representation + low_order
+        if self.use_user_embedding:
+            representation = representation + self.user_embeddings(np.asarray(users, dtype=np.int64))
+        return representation
+
+    def candidate_item_embeddings(self) -> Tensor:
+        return self.target_item_embeddings.weight
+
+    # ------------------------------------------------------------------ #
+    # Book-keeping
+    # ------------------------------------------------------------------ #
+    def after_step(self) -> None:
+        """Re-pin padding rows after an optimizer step (called by the trainer)."""
+        self.source_item_embeddings.apply_padding_mask()
+        self.target_item_embeddings.apply_padding_mask()
+
+    @property
+    def variant_name(self) -> str:
+        """Paper-style name, e.g. ``HAMm`` or ``HAMx``."""
+        suffix = "m" if self.pooling_name == "mean" else "x"
+        name = f"HAM{suffix}"
+        if self.n_l == 0:
+            name += "-o"
+        if not self.use_user_embedding:
+            name += "-u"
+        return name

@@ -1,0 +1,98 @@
+"""HAMs — Hybrid Associations Model with item synergies (paper Section 4.2.2).
+
+HAMs extends HAM by modelling synergies among the items of the high-order
+association window with Hadamard products of arbitrary order (Eq. 2-5) and
+combining them with the pooled association vector through a latent cross
+(Eq. 6).  The scoring function becomes
+
+``r_ij = u_i · w_j  +  s_i · w_j  +  o_i · w_j``            (Eq. 8)
+
+with ``s = h + sum_{k=2..p} c^(k) ∘ h``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+from repro.models.ham import HAM
+from repro.models.synergy import (
+    INNER_AGGREGATIONS,
+    OUTER_AGGREGATIONS,
+    latent_cross,
+    synergy_vectors,
+)
+
+__all__ = ["HAMSynergy"]
+
+
+class HAMSynergy(HAM):
+    """HAMs_x / HAMs_m and the ablated variants of the paper's Section 6.6.
+
+    Parameters
+    ----------
+    synergy_order:
+        Maximum order ``p`` of the item synergies; ``p = 1`` disables the
+        synergy term entirely and recovers plain HAM (the paper's
+        parameter studies sweep ``p`` from 1 to 4).
+    synergy_inner, synergy_outer:
+        Aggregations used in Eq. 3 (over partner items) and Eq. 4 (over
+        window items).  The paper's final model uses ``sum`` and ``mean``;
+        the alternatives it reports having tried (weighted/mean sum, max
+        pooling) are available for the design-choice ablation.
+    All other parameters as in :class:`~repro.models.ham.HAM`.
+    """
+
+    def __init__(self, num_users: int, num_items: int, embedding_dim: int = 64,
+                 n_h: int = 5, n_l: int = 2, synergy_order: int = 2,
+                 pooling: str = "mean", use_user_embedding: bool = True,
+                 synergy_inner: str = "sum", synergy_outer: str = "mean",
+                 rng: np.random.Generator | None = None, init_std: float = 0.01):
+        if synergy_order < 1:
+            raise ValueError("synergy_order must be >= 1")
+        if synergy_order > n_h:
+            raise ValueError("synergy_order cannot exceed n_h (Eq. 5 requires p <= n_h)")
+        if synergy_inner not in INNER_AGGREGATIONS:
+            raise ValueError(f"synergy_inner must be one of {INNER_AGGREGATIONS}")
+        if synergy_outer not in OUTER_AGGREGATIONS:
+            raise ValueError(f"synergy_outer must be one of {OUTER_AGGREGATIONS}")
+        super().__init__(
+            num_users=num_users, num_items=num_items, embedding_dim=embedding_dim,
+            n_h=n_h, n_l=n_l, pooling=pooling,
+            use_user_embedding=use_user_embedding, rng=rng, init_std=init_std,
+        )
+        self.synergy_order = synergy_order
+        self.synergy_inner = synergy_inner
+        self.synergy_outer = synergy_outer
+
+    def synergy_terms(self, inputs: np.ndarray) -> list[Tensor]:
+        """Aggregated synergy vectors ``c^(2) .. c^(p)`` for each instance."""
+        inputs = np.asarray(inputs, dtype=np.int64)
+        mask = inputs != self.pad_id
+        embedded = self.source_item_embeddings(inputs)
+        return synergy_vectors(embedded, mask, self.synergy_order,
+                               inner=self.synergy_inner, outer=self.synergy_outer)
+
+    def sequence_representation(self, users: np.ndarray, inputs: np.ndarray) -> Tensor:
+        """``u + s + o`` with ``s`` the latent-cross-enhanced association."""
+        inputs = np.asarray(inputs, dtype=np.int64)
+        high_order, low_order = self.association_embeddings(inputs)
+        synergies = self.synergy_terms(inputs)
+        enhanced = latent_cross(high_order, synergies)
+        representation = enhanced
+        if low_order is not None:
+            representation = representation + low_order
+        if self.use_user_embedding:
+            representation = representation + self.user_embeddings(np.asarray(users, dtype=np.int64))
+        return representation
+
+    @property
+    def variant_name(self) -> str:
+        """Paper-style name, e.g. ``HAMs_m`` / ``HAMs_m-o`` / ``HAMs_m-u``."""
+        suffix = "m" if self.pooling_name == "mean" else "x"
+        name = f"HAMs_{suffix}"
+        if self.n_l == 0:
+            name += "-o"
+        if not self.use_user_embedding:
+            name += "-u"
+        return name

@@ -1,0 +1,138 @@
+"""HGN — Hierarchical Gating Network (Ma, Kang & Liu, KDD'19).
+
+The paper's strongest baseline (Section 5.1).  HGN scores a candidate item
+from three additive parts:
+
+* **long-term**: the user embedding dotted with the candidate embedding;
+* **short-term (gated)**: the ``L`` most recent item embeddings pass
+  through a *feature gate* (per-dimension sigmoid gate conditioned on the
+  item and the user) and an *instance gate* (per-item sigmoid weight
+  conditioned on the item and the user), are average-pooled and dotted
+  with the candidate embedding;
+* **item-item product**: the sum of the raw recent-item embeddings dotted
+  with the candidate embedding.
+
+The instance-gate weights are the quantities analysed in the paper's
+Fig. 4 ("attention weight" distributions); :meth:`instance_gate_weights`
+exposes them for that analysis.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Embedding, Tensor, functional as F, init
+from repro.models.base import SequentialRecommender
+from repro.models.pooling import masked_mean_pool
+
+__all__ = ["HGN"]
+
+
+class HGN(SequentialRecommender):
+    """HGN baseline.
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Dataset dimensions.
+    embedding_dim:
+        Embedding dimensionality ``d``.
+    sequence_length:
+        ``L``, the number of recent items fed through the gates.
+    """
+
+    def __init__(self, num_users: int, num_items: int, embedding_dim: int = 64,
+                 sequence_length: int = 5, rng: np.random.Generator | None = None,
+                 init_std: float = 0.01):
+        super().__init__()
+        self._validate_dims(num_users, num_items, embedding_dim, sequence_length)
+        rng = rng or np.random.default_rng()
+
+        self.num_users = num_users
+        self.num_items = num_items
+        self.embedding_dim = embedding_dim
+        self.sequence_length = sequence_length
+        self.input_length = sequence_length
+        self.pad_id = num_items
+
+        self.user_embeddings = Embedding(num_users, embedding_dim, rng=rng, std=init_std)
+        self.item_embeddings = Embedding(num_items + 1, embedding_dim, rng=rng,
+                                         std=init_std, padding_idx=self.pad_id)
+        self.target_item_embeddings = Embedding(num_items + 1, embedding_dim, rng=rng,
+                                                std=init_std, padding_idx=self.pad_id)
+
+        # Feature gating parameters: g = sigmoid(e W1 + u W2 + b).
+        self.feature_gate_item = init.xavier_uniform((embedding_dim, embedding_dim), rng)
+        self.feature_gate_user = init.xavier_uniform((embedding_dim, embedding_dim), rng)
+        self.feature_gate_bias = init.zeros((embedding_dim,))
+
+        # Instance gating parameters: a = sigmoid(gated · w3 + u W4).
+        self.instance_gate_item = init.xavier_uniform((embedding_dim, 1), rng)
+        self.instance_gate_user = init.xavier_uniform((embedding_dim, sequence_length), rng)
+
+    # ------------------------------------------------------------------ #
+    # Gating
+    # ------------------------------------------------------------------ #
+    def _gated_items(self, users: np.ndarray, inputs: np.ndarray) -> tuple[Tensor, Tensor, np.ndarray]:
+        """Return (feature-gated item embeddings, instance gate weights, mask)."""
+        users = np.asarray(users, dtype=np.int64)
+        inputs = np.asarray(inputs, dtype=np.int64)
+        mask = inputs != self.pad_id
+        item_vectors = self.item_embeddings(inputs)                    # (B, L, d)
+        user_vectors = self.user_embeddings(users)                     # (B, d)
+
+        # Feature gate: per item, per latent dimension.
+        feature_gate = F.sigmoid(
+            item_vectors.matmul(self.feature_gate_item)
+            + user_vectors.matmul(self.feature_gate_user).expand_dims(1)
+            + self.feature_gate_bias
+        )
+        gated = item_vectors * feature_gate                             # (B, L, d)
+
+        # Instance gate: one scalar weight per recent item.
+        instance_scores = (
+            gated.matmul(self.instance_gate_item).squeeze(2)            # (B, L)
+            + user_vectors.matmul(self.instance_gate_user)              # (B, L)
+        )
+        instance_gate = F.sigmoid(instance_scores)
+        return gated, instance_gate, mask
+
+    def instance_gate_weights(self, users: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Instance-gate weights used in the paper's Fig. 4 analysis.
+
+        Returns a ``(B, L)`` array of weights in (0, 1); padded positions
+        are reported as NaN so the analysis can ignore them.
+        """
+        from repro.autograd import no_grad
+
+        with no_grad():
+            _, instance_gate, mask = self._gated_items(users, inputs)
+        weights = instance_gate.data.copy()
+        weights[~mask] = np.nan
+        return weights
+
+    # ------------------------------------------------------------------ #
+    # SequentialRecommender interface
+    # ------------------------------------------------------------------ #
+    def sequence_representation(self, users: np.ndarray, inputs: np.ndarray) -> Tensor:
+        users = np.asarray(users, dtype=np.int64)
+        inputs = np.asarray(inputs, dtype=np.int64)
+        gated, instance_gate, mask = self._gated_items(users, inputs)
+
+        weighted = gated * instance_gate.expand_dims(2)                 # (B, L, d)
+        short_term = masked_mean_pool(weighted, mask)                   # (B, d)
+
+        # Item-item product term: sum of raw recent-item embeddings.
+        raw = self.item_embeddings(inputs)
+        item_item = (raw * Tensor(mask.astype(np.float64)[:, :, None])).sum(axis=1)
+
+        user_vectors = self.user_embeddings(users)
+        return user_vectors + short_term + item_item
+
+    def candidate_item_embeddings(self) -> Tensor:
+        return self.target_item_embeddings.weight
+
+    def after_step(self) -> None:
+        """Re-pin padding rows after an optimizer step."""
+        self.item_embeddings.apply_padding_mask()
+        self.target_item_embeddings.apply_padding_mask()

@@ -1,0 +1,147 @@
+"""Item-to-item neighborhood recommender (ItemKNN).
+
+A classic non-parametric baseline: two items are similar when many users
+interacted with both, and the next item is predicted to be one that is
+similar to the user's most recent items.  Similarities are cosine-
+normalized co-occurrence counts, optionally restricted to co-occurrences
+within a sliding window of the training sequences so the neighborhood
+reflects *sequential* proximity rather than whole-history co-purchase.
+
+Not part of the paper's tables, but a useful sanity floor: the studies the
+paper cites on "simple vs deep" recommenders ([3], [4] in the manuscript)
+use exactly this family of neighborhood methods as the simple reference.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.models.nonparametric import NonParametricRecommender
+
+__all__ = ["ItemKNN"]
+
+
+class ItemKNN(NonParametricRecommender):
+    """Cosine item-item neighborhood model.
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Dataset dimensions.
+    input_length:
+        Number of most recent items whose neighborhoods are aggregated at
+        scoring time.
+    cooccurrence_window:
+        Two items co-occur when they appear within this many positions of
+        each other in a training sequence.  ``None`` counts co-occurrence
+        over the whole sequence (classical user-basket ItemKNN).
+    top_k_neighbors:
+        Keep only the ``top_k_neighbors`` most similar items per item
+        (sparsifies the similarity matrix and usually improves accuracy).
+    recency_decay:
+        Multiplicative weight applied per step of recency at scoring time:
+        the most recent input item has weight 1, the one before it
+        ``recency_decay``, then ``recency_decay**2`` and so on.
+    """
+
+    def __init__(self, num_users: int, num_items: int, input_length: int = 5,
+                 cooccurrence_window: int | None = 5, top_k_neighbors: int = 100,
+                 recency_decay: float = 0.8):
+        super().__init__(num_users, num_items, input_length=input_length)
+        if cooccurrence_window is not None and cooccurrence_window < 1:
+            raise ValueError("cooccurrence_window must be positive or None")
+        if top_k_neighbors < 1:
+            raise ValueError("top_k_neighbors must be positive")
+        if not 0.0 < recency_decay <= 1.0:
+            raise ValueError("recency_decay must be in (0, 1]")
+        self.cooccurrence_window = cooccurrence_window
+        self.top_k_neighbors = top_k_neighbors
+        self.recency_decay = recency_decay
+        self._similarity: sparse.csr_matrix | None = None
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def fit_counts(self, sequences: list[list[int]]) -> "ItemKNN":
+        """Build the cosine similarity matrix from training ``sequences``."""
+        self._validate_sequences(sequences)
+        cooc = sparse.lil_matrix((self.num_items, self.num_items), dtype=np.float64)
+        counts = np.zeros(self.num_items, dtype=np.float64)
+
+        for seq in sequences:
+            items = np.asarray(seq, dtype=np.int64)
+            np.add.at(counts, items, 1.0)
+            for position, item in enumerate(items):
+                if self.cooccurrence_window is None:
+                    partners = np.concatenate([items[:position], items[position + 1:]])
+                else:
+                    start = max(0, position - self.cooccurrence_window)
+                    end = min(len(items), position + self.cooccurrence_window + 1)
+                    partners = np.concatenate(
+                        [items[start:position], items[position + 1:end]]
+                    )
+                for partner in partners:
+                    cooc[item, partner] += 1.0
+
+        cooc = cooc.tocsr()
+        norms = np.sqrt(np.maximum(counts, 1.0))
+        scale = sparse.diags(1.0 / norms)
+        similarity = scale @ cooc @ scale
+        self._similarity = self._keep_top_neighbors(similarity.tocsr())
+        self._fitted = True
+        return self
+
+    def _keep_top_neighbors(self, similarity: sparse.csr_matrix) -> sparse.csr_matrix:
+        """Zero all but the ``top_k_neighbors`` largest entries of each row."""
+        pruned = similarity.tolil()
+        for row in range(self.num_items):
+            data = similarity.getrow(row)
+            if data.nnz <= self.top_k_neighbors:
+                continue
+            values = data.data
+            columns = data.indices
+            keep = np.argsort(values)[-self.top_k_neighbors:]
+            pruned.rows[row] = sorted(columns[keep].tolist())
+            lookup = dict(zip(columns.tolist(), values.tolist()))
+            pruned.data[row] = [lookup[column] for column in pruned.rows[row]]
+        return pruned.tocsr()
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    def neighbors(self, item: int, k: int = 10) -> list[tuple[int, float]]:
+        """The ``k`` most similar items to ``item`` as ``(item, similarity)`` pairs.
+
+        The item itself is never reported as its own neighbor, even when a
+        sequence contains repeated interactions with it.
+        """
+        self._require_fitted()
+        if not 0 <= item < self.num_items:
+            raise ValueError(f"item id {item} outside [0, {self.num_items})")
+        row = self._similarity.getrow(item)
+        order = np.argsort(row.data)[::-1]
+        results = []
+        for index in order:
+            neighbor = int(row.indices[index])
+            if neighbor == item:
+                continue
+            results.append((neighbor, float(row.data[index])))
+            if len(results) == k:
+                break
+        return results
+
+    def score_all(self, users: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Aggregate the neighborhoods of the recent input items."""
+        self._require_fitted()
+        inputs = np.asarray(inputs, dtype=np.int64)
+        scores = np.zeros((inputs.shape[0], self.num_items), dtype=np.float64)
+        length = inputs.shape[1]
+        for row in range(inputs.shape[0]):
+            for position in range(length):
+                item = inputs[row, length - 1 - position]
+                if item == self.pad_id:
+                    continue
+                weight = self.recency_decay ** position
+                scores[row] += weight * self._similarity.getrow(item).toarray().ravel()
+        return scores

@@ -1,0 +1,128 @@
+"""Count-based Markov-chain recommender with lag mixing.
+
+The paper's literature review starts from Markov-chain recommenders
+(FPMC [6] and the higher-order chains of He et al. [7]).  FPMC is
+implemented as a factorized model in :mod:`repro.models.fpmc`; this module
+provides the *count-based* counterpart: empirical transition probabilities
+estimated directly from the training sequences.
+
+A full high-order chain over item *tuples* is intractable (``n^k`` states),
+so, as in Fossil [7], the high-order dependence is factored per lag: the
+score of candidate ``j`` given the recent items ``(..., i_{t-2}, i_{t-1})``
+is a weighted mixture of per-lag transition counts
+
+``score(j) = sum_{l=1..order} decay^(l-1) * P_l(j | i_{t-l})``
+
+where ``P_l`` is the (add-one smoothed, row-normalized) empirical
+distribution of the item observed ``l`` steps after ``i_{t-l}``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import sparse
+
+from repro.models.nonparametric import NonParametricRecommender
+
+__all__ = ["MarkovChain"]
+
+
+class MarkovChain(NonParametricRecommender):
+    """Per-lag mixture of empirical transition probabilities.
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Dataset dimensions.
+    order:
+        Number of lags mixed into the score (1 gives a plain first-order
+        Markov chain); also the number of recent items the model consumes.
+    lag_decay:
+        Weight ratio between consecutive lags; lag ``l`` contributes with
+        weight ``lag_decay**(l-1)``.
+    smoothing:
+        Additive (Laplace) smoothing constant applied when normalizing
+        transition counts into probabilities.
+    """
+
+    def __init__(self, num_users: int, num_items: int, order: int = 3,
+                 lag_decay: float = 0.5, smoothing: float = 0.1):
+        super().__init__(num_users, num_items, input_length=order)
+        if order < 1:
+            raise ValueError("order must be positive")
+        if not 0.0 < lag_decay <= 1.0:
+            raise ValueError("lag_decay must be in (0, 1]")
+        if smoothing < 0.0:
+            raise ValueError("smoothing must be non-negative")
+        self.order = order
+        self.lag_decay = lag_decay
+        self.smoothing = smoothing
+        self._transitions: list[sparse.csr_matrix] = []
+        self._row_totals: list[np.ndarray] = []
+        self._popularity = np.zeros(num_items, dtype=np.float64)
+
+    # ------------------------------------------------------------------ #
+    # Fitting
+    # ------------------------------------------------------------------ #
+    def fit_counts(self, sequences: list[list[int]]) -> "MarkovChain":
+        """Count per-lag transitions over the training ``sequences``."""
+        self._validate_sequences(sequences)
+        counts = [
+            sparse.lil_matrix((self.num_items, self.num_items), dtype=np.float64)
+            for _ in range(self.order)
+        ]
+        popularity = np.zeros(self.num_items, dtype=np.float64)
+
+        for seq in sequences:
+            items = np.asarray(seq, dtype=np.int64)
+            np.add.at(popularity, items, 1.0)
+            for lag in range(1, self.order + 1):
+                if len(items) <= lag:
+                    continue
+                sources = items[:-lag]
+                targets = items[lag:]
+                for source, target in zip(sources, targets):
+                    counts[lag - 1][source, target] += 1.0
+
+        self._transitions = [matrix.tocsr() for matrix in counts]
+        self._row_totals = [
+            np.asarray(matrix.sum(axis=1)).ravel() for matrix in self._transitions
+        ]
+        total = popularity.sum()
+        self._popularity = popularity / total if total > 0 else popularity
+        self._fitted = True
+        return self
+
+    # ------------------------------------------------------------------ #
+    # Scoring
+    # ------------------------------------------------------------------ #
+    def transition_probabilities(self, item: int, lag: int = 1) -> np.ndarray:
+        """Smoothed ``P_lag(next | item)`` as a dense ``(num_items,)`` array."""
+        self._require_fitted()
+        if not 1 <= lag <= self.order:
+            raise ValueError(f"lag must be in [1, {self.order}]")
+        if not 0 <= item < self.num_items:
+            raise ValueError(f"item id {item} outside [0, {self.num_items})")
+        row = self._transitions[lag - 1].getrow(item).toarray().ravel()
+        total = self._row_totals[lag - 1][item]
+        return (row + self.smoothing) / (total + self.smoothing * self.num_items)
+
+    def score_all(self, users: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Mixture of per-lag transition probabilities for every candidate."""
+        self._require_fitted()
+        inputs = np.asarray(inputs, dtype=np.int64)
+        scores = np.zeros((inputs.shape[0], self.num_items), dtype=np.float64)
+        length = inputs.shape[1]
+        for row in range(inputs.shape[0]):
+            any_real = False
+            for lag in range(1, min(self.order, length) + 1):
+                item = inputs[row, length - lag]
+                if item == self.pad_id:
+                    continue
+                any_real = True
+                weight = self.lag_decay ** (lag - 1)
+                scores[row] += weight * self.transition_probabilities(int(item), lag)
+            if not any_real:
+                # Cold start: fall back to the popularity distribution.
+                scores[row] = self._popularity
+        return scores

@@ -1,0 +1,133 @@
+"""NARM — Neural Attentive Recommendation Machine (Li et al., CIKM'17).
+
+One of the attention-based recommenders the paper's literature review
+covers (Section 2): a GRU encodes the recent items, the last hidden state
+forms the *global* representation of the user's current intent, and an
+additive attention over all hidden states (conditioned on the last state)
+forms the *local* representation.  Their concatenation, projected back to
+the item-embedding space, scores the candidates.
+
+NARM belongs to the family whose learned attention weights the paper
+questions (Section 7.2), so having it available lets that discussion be
+probed directly on the synthetic analogues.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Dropout, Embedding, Linear, Tensor, functional as F, init
+from repro.autograd.recurrent import GRU
+from repro.models.base import SequentialRecommender
+
+__all__ = ["NARM"]
+
+
+class NARM(SequentialRecommender):
+    """Neural attentive session-based recommender.
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Dataset dimensions (the user id is unused, as in session-based
+        NARM, but kept for interface uniformity).
+    embedding_dim:
+        Item embedding dimensionality ``d``.
+    hidden_dim:
+        GRU hidden dimensionality (defaults to ``embedding_dim``).
+    sequence_length:
+        Number of recent items fed to the encoder.
+    dropout:
+        Dropout applied to the item embeddings and the combined
+        representation.
+    """
+
+    def __init__(self, num_users: int, num_items: int, embedding_dim: int = 64,
+                 hidden_dim: int | None = None, sequence_length: int = 10,
+                 dropout: float = 0.25, rng: np.random.Generator | None = None,
+                 init_std: float = 0.01):
+        super().__init__()
+        self._validate_dims(num_users, num_items, embedding_dim, sequence_length)
+        rng = rng or np.random.default_rng()
+        hidden_dim = hidden_dim or embedding_dim
+
+        self.num_users = num_users
+        self.num_items = num_items
+        self.embedding_dim = embedding_dim
+        self.hidden_dim = hidden_dim
+        self.sequence_length = sequence_length
+        self.input_length = sequence_length
+        self.pad_id = num_items
+
+        self.item_embeddings = Embedding(num_items + 1, embedding_dim, rng=rng,
+                                         std=init_std, padding_idx=self.pad_id)
+        self.embedding_dropout = Dropout(dropout, rng=rng)
+        self.gru = GRU(embedding_dim, hidden_dim, rng=rng)
+
+        # Additive attention: score_t = v^T sigmoid(A1 h_t + A2 h_last).
+        self.attention_hidden = init.xavier_uniform((hidden_dim, hidden_dim), rng)
+        self.attention_query = init.xavier_uniform((hidden_dim, hidden_dim), rng)
+        self.attention_vector = init.xavier_uniform((hidden_dim, 1), rng)
+
+        # Bilinear decoder B of the original paper, expressed as a linear
+        # projection of [global; local] into the item-embedding space.
+        self.output_projection = Linear(2 * hidden_dim, embedding_dim, rng=rng)
+        self.output_dropout = Dropout(dropout, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    # Attention
+    # ------------------------------------------------------------------ #
+    def attention_weights(self, users: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Normalized attention weights over the input positions.
+
+        Returns a ``(B, L)`` array; padded positions are NaN so analyses
+        (e.g. the Fig. 4-style weight-distribution study) can skip them.
+        """
+        from repro.autograd import no_grad
+
+        inputs = np.asarray(inputs, dtype=np.int64)
+        mask = inputs != self.pad_id
+        with no_grad():
+            hidden_states = self._encode(inputs, mask)
+            weights = self._attention(hidden_states, mask)
+        values = weights.data.copy()
+        values[~mask] = np.nan
+        return values
+
+    def _encode(self, inputs: np.ndarray, mask: np.ndarray) -> Tensor:
+        embedded = self.embedding_dropout(self.item_embeddings(inputs))   # (B, L, d)
+        return self.gru(embedded, mask=mask)                              # (B, L, H)
+
+    def _attention(self, hidden_states: Tensor, mask: np.ndarray) -> Tensor:
+        """Softmax-normalized additive attention scores, shape ``(B, L)``."""
+        last_state = hidden_states[:, -1, :]                              # (B, H)
+        projected_hidden = hidden_states.matmul(self.attention_hidden)    # (B, L, H)
+        projected_query = last_state.matmul(self.attention_query).expand_dims(1)
+        energies = F.sigmoid(projected_hidden + projected_query)
+        scores = energies.matmul(self.attention_vector).squeeze(2)        # (B, L)
+        scores = F.masked_fill(scores, ~np.asarray(mask, dtype=bool), -1e9)
+        return F.softmax(scores, axis=-1)
+
+    # ------------------------------------------------------------------ #
+    # SequentialRecommender interface
+    # ------------------------------------------------------------------ #
+    def sequence_representation(self, users: np.ndarray, inputs: np.ndarray) -> Tensor:
+        inputs = np.asarray(inputs, dtype=np.int64)
+        mask = inputs != self.pad_id
+        hidden_states = self._encode(inputs, mask)                        # (B, L, H)
+
+        global_representation = hidden_states[:, -1, :]                   # (B, H)
+        weights = self._attention(hidden_states, mask)                    # (B, L)
+        local_representation = (hidden_states * weights.expand_dims(2)).sum(axis=1)
+
+        combined = Tensor.concatenate(
+            [global_representation, local_representation], axis=1
+        )
+        return self.output_projection(self.output_dropout(combined))     # (B, d)
+
+    def candidate_item_embeddings(self) -> Tensor:
+        return self.item_embeddings.weight
+
+    def after_step(self) -> None:
+        """Re-pin the padding row after an optimizer step."""
+        self.item_embeddings.apply_padding_mask()

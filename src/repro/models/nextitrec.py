@@ -1,0 +1,125 @@
+"""NextItRec — dilated convolutional generative recommender (Yuan et al., WSDM'19).
+
+The CNN-based baseline of the paper's literature review (Section 2,
+reference [14]): a stack of residual blocks, each applying two dilated
+*causal* convolutions (kernel size 2) with exponentially growing dilation,
+so the receptive field covers long histories without recurrence.  HGN was
+shown to outperform NextItRec, which is why the HAM paper does not rerun
+it; this implementation makes that transitive comparison checkable.
+
+The causal convolution with kernel size 2 and dilation ``r`` is expressed
+without a dedicated conv op: ``out[t] = x[t - r] W_prev + x[t] W_curr + b``
+where ``x[t - r]`` comes from shifting the sequence right by ``r`` and
+left-padding with zeros.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Embedding, LayerNorm, Module, Tensor
+from repro.models.base import SequentialRecommender
+
+__all__ = ["NextItRec"]
+
+
+class _CausalConv(Module):
+    """Kernel-size-2 dilated causal convolution over ``(B, L, in_dim)``."""
+
+    def __init__(self, in_dim: int, out_dim: int, dilation: int,
+                 rng: np.random.Generator):
+        super().__init__()
+        from repro.autograd import init
+
+        if dilation < 1:
+            raise ValueError("dilation must be positive")
+        self.dilation = dilation
+        self.weight_previous = init.xavier_uniform((in_dim, out_dim), rng)
+        self.weight_current = init.xavier_uniform((in_dim, out_dim), rng)
+        self.bias = init.zeros((out_dim,))
+
+    def forward(self, x: Tensor) -> Tensor:
+        batch, length, _ = x.shape
+        shift = min(self.dilation, length)
+        zeros = Tensor(np.zeros((batch, shift, x.shape[2])))
+        shifted = Tensor.concatenate([zeros, x[:, : length - shift, :]], axis=1)
+        return (
+            shifted.matmul(self.weight_previous)
+            + x.matmul(self.weight_current)
+            + self.bias
+        )
+
+
+class _ResidualBlock(Module):
+    """NextItRec residual block: two dilated causal convs with a bottleneck."""
+
+    def __init__(self, dim: int, dilation: int, rng: np.random.Generator):
+        super().__init__()
+        bottleneck = max(dim // 2, 1)
+        self.norm_in = LayerNorm(dim)
+        self.conv_in = _CausalConv(dim, bottleneck, dilation, rng)
+        self.norm_mid = LayerNorm(bottleneck)
+        self.conv_out = _CausalConv(bottleneck, dim, 2 * dilation, rng)
+
+    def forward(self, x: Tensor) -> Tensor:
+        hidden = self.conv_in(self.norm_in(x).relu())
+        hidden = self.conv_out(self.norm_mid(hidden).relu())
+        return x + hidden
+
+
+class NextItRec(SequentialRecommender):
+    """Dilated-CNN generative sequential recommender.
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Dataset dimensions (the user id is unused, matching the original
+        session-style model, but kept for interface uniformity).
+    embedding_dim:
+        Item embedding / channel dimensionality ``d``.
+    sequence_length:
+        Number of recent items fed to the convolution stack.
+    dilations:
+        Dilation of each residual block; the default ``(1, 2, 4)`` gives a
+        receptive field of 15 positions, ample for the analogue sequences.
+    """
+
+    def __init__(self, num_users: int, num_items: int, embedding_dim: int = 64,
+                 sequence_length: int = 10, dilations: tuple[int, ...] = (1, 2, 4),
+                 rng: np.random.Generator | None = None, init_std: float = 0.01):
+        super().__init__()
+        self._validate_dims(num_users, num_items, embedding_dim, sequence_length)
+        if not dilations:
+            raise ValueError("at least one residual block is required")
+        rng = rng or np.random.default_rng()
+
+        self.num_users = num_users
+        self.num_items = num_items
+        self.embedding_dim = embedding_dim
+        self.sequence_length = sequence_length
+        self.input_length = sequence_length
+        self.dilations = tuple(dilations)
+        self.pad_id = num_items
+
+        self.item_embeddings = Embedding(num_items + 1, embedding_dim, rng=rng,
+                                         std=init_std, padding_idx=self.pad_id)
+        self.blocks = [
+            _ResidualBlock(embedding_dim, dilation, rng) for dilation in self.dilations
+        ]
+        self.final_norm = LayerNorm(embedding_dim)
+
+    def sequence_representation(self, users: np.ndarray, inputs: np.ndarray) -> Tensor:
+        inputs = np.asarray(inputs, dtype=np.int64)
+        padding_mask = (inputs != self.pad_id).astype(np.float64)[:, :, None]
+        hidden = self.item_embeddings(inputs) * Tensor(padding_mask)      # (B, L, d)
+        for block in self.blocks:
+            hidden = block(hidden) * Tensor(padding_mask)
+        hidden = self.final_norm(hidden)
+        return hidden[:, -1, :]                                           # last position
+
+    def candidate_item_embeddings(self) -> Tensor:
+        return self.item_embeddings.weight
+
+    def after_step(self) -> None:
+        """Re-pin the padding row after an optimizer step."""
+        self.item_embeddings.apply_padding_mask()

@@ -1,0 +1,100 @@
+"""Base class for count-based (non-parametric) recommenders.
+
+The paper's comparison focuses on learned models, but recommendation
+studies routinely include non-parametric references (popularity ranking,
+item-to-item neighborhoods, count-based Markov chains): a learned
+sequential model that cannot beat them has not learned anything useful
+from the sequence structure.  These models have no gradients; they are
+"fitted" by counting over the training sequences, which the shared
+:class:`~repro.training.trainer.Trainer` does by calling
+:meth:`fit_counts` instead of running the BPR loop.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.base import SequentialRecommender
+
+__all__ = ["NonParametricRecommender"]
+
+
+class NonParametricRecommender(SequentialRecommender):
+    """A recommender fitted by counting rather than by gradient descent.
+
+    Sub-classes implement :meth:`fit_counts` (called once with the
+    training sequences) and :meth:`score_all`; the gradient-based parts of
+    the :class:`SequentialRecommender` interface are explicitly disabled.
+    """
+
+    def __init__(self, num_users: int, num_items: int, input_length: int = 5):
+        super().__init__()
+        if num_users < 1 or num_items < 1:
+            raise ValueError("num_users and num_items must be positive")
+        if input_length < 1:
+            raise ValueError("input_length must be positive")
+        self.num_users = num_users
+        self.num_items = num_items
+        self.input_length = input_length
+        self.pad_id = num_items
+        self._fitted = False
+
+    # ------------------------------------------------------------------ #
+    # Interface to implement
+    # ------------------------------------------------------------------ #
+    def fit_counts(self, sequences: list[list[int]]) -> "NonParametricRecommender":
+        """Fit the model from per-user training ``sequences``."""
+        raise NotImplementedError
+
+    def score_all(self, users: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Scores of every real item, shape ``(B, num_items)``."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------ #
+    # Gradient-based interface is not meaningful here
+    # ------------------------------------------------------------------ #
+    def sequence_representation(self, users, inputs):  # noqa: D102
+        raise NotImplementedError(
+            f"{self.__class__.__name__} has no learned representation"
+        )
+
+    def candidate_item_embeddings(self):  # noqa: D102
+        raise NotImplementedError(
+            f"{self.__class__.__name__} has no item embeddings"
+        )
+
+    def score_items(self, users, inputs, items):
+        """Not supported: count-based models are not trained with BPR."""
+        raise NotImplementedError(
+            f"{self.__class__.__name__} is not trained with BPR"
+        )
+
+    # ------------------------------------------------------------------ #
+    # Shared helpers
+    # ------------------------------------------------------------------ #
+    @property
+    def is_fitted(self) -> bool:
+        """Whether :meth:`fit_counts` has been called."""
+        return self._fitted
+
+    def _require_fitted(self) -> None:
+        if not self._fitted:
+            raise RuntimeError(
+                f"call fit_counts() before scoring with {self.__class__.__name__}"
+            )
+
+    def _validate_sequences(self, sequences: list[list[int]]) -> None:
+        for seq in sequences:
+            for item in seq:
+                if not 0 <= item < self.num_items:
+                    raise ValueError(
+                        f"item id {item} outside [0, {self.num_items})"
+                    )
+
+    def describe(self) -> str:
+        """Human-readable model summary used in logs and reports."""
+        status = "fitted" if self._fitted else "unfitted"
+        return (
+            f"{self.__class__.__name__}(users={self.num_users}, items={self.num_items}, "
+            f"input_length={self.input_length}, {status})"
+        )

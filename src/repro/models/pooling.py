@@ -1,0 +1,71 @@
+"""Mask-aware pooling operators (paper Eq. 1).
+
+HAM collapses the embeddings of the ``n_h`` (or ``n_l``) most recent
+items into a single vector with mean or max pooling.  Because short user
+histories are left-padded, both operators must ignore padded positions:
+the mean divides by the number of real items and the max excludes padded
+rows from the maximum.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+__all__ = ["masked_mean_pool", "masked_max_pool", "POOLING_FUNCTIONS", "get_pooling"]
+
+_NEG_INF = -1e9
+
+
+def masked_mean_pool(embeddings: Tensor, mask: np.ndarray) -> Tensor:
+    """Mean over the sequence axis, counting only unmasked positions.
+
+    Parameters
+    ----------
+    embeddings:
+        ``(B, L, d)`` item embeddings.
+    mask:
+        ``(B, L)`` boolean array, True for real (non-padding) items.  Rows
+        with no real item produce a zero vector.
+    """
+    mask = np.asarray(mask, dtype=np.float64)
+    counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)  # (B, 1)
+    masked = embeddings * Tensor(mask[:, :, None])
+    return masked.sum(axis=1) * Tensor(1.0 / counts)
+
+
+def masked_max_pool(embeddings: Tensor, mask: np.ndarray) -> Tensor:
+    """Max over the sequence axis, ignoring masked positions.
+
+    Padded positions are pushed to a large negative value before the max
+    so they can never win; rows with no real item produce a zero vector.
+    """
+    mask = np.asarray(mask, dtype=bool)
+    offset = np.where(mask[:, :, None], 0.0, _NEG_INF)
+    shifted = embeddings + Tensor(offset)
+    pooled = shifted.max(axis=1)
+    # Rows without any real item would be -inf; zero them out (no gradient
+    # flows there anyway because the max picked a padded position whose
+    # embedding is pinned to zero).
+    empty_rows = ~mask.any(axis=1)
+    if empty_rows.any():
+        keep = Tensor((~empty_rows)[:, None].astype(np.float64))
+        pooled = pooled * keep
+    return pooled
+
+
+POOLING_FUNCTIONS = {
+    "mean": masked_mean_pool,
+    "max": masked_max_pool,
+}
+
+
+def get_pooling(name: str):
+    """Resolve a pooling function by name (``"mean"`` or ``"max"``)."""
+    key = name.lower()
+    if key not in POOLING_FUNCTIONS:
+        raise ValueError(
+            f"unknown pooling {name!r}; expected one of {sorted(POOLING_FUNCTIONS)}"
+        )
+    return POOLING_FUNCTIONS[key]

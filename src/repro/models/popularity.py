@@ -1,0 +1,49 @@
+"""Popularity baseline (POP).
+
+Ranks every item by its global interaction count in the training data.
+Not part of the paper's comparison tables, but a standard sanity baseline:
+a learned sequential model that cannot beat POP on a dataset has learned
+nothing useful.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.models.nonparametric import NonParametricRecommender
+
+__all__ = ["Popularity"]
+
+
+class Popularity(NonParametricRecommender):
+    """Non-parametric popularity recommender.
+
+    The model ignores the user and the recent items; :meth:`fit_counts`
+    must be called with the training sequences before scoring.
+    """
+
+    def __init__(self, num_users: int, num_items: int, input_length: int = 5,
+                 rng: np.random.Generator | None = None):
+        super().__init__(num_users, num_items, input_length=input_length)
+        self._scores = np.zeros(num_items, dtype=np.float64)
+
+    def fit_counts(self, sequences: list[list[int]]) -> "Popularity":
+        """Count item occurrences in ``sequences`` (the training split)."""
+        self._validate_sequences(sequences)
+        counts = np.zeros(self.num_items, dtype=np.float64)
+        for seq in sequences:
+            if seq:
+                np.add.at(counts, np.asarray(seq, dtype=np.int64), 1.0)
+        self._scores = counts
+        self._fitted = True
+        return self
+
+    def item_counts(self) -> np.ndarray:
+        """Raw training counts per item (after :meth:`fit_counts`)."""
+        self._require_fitted()
+        return self._scores.copy()
+
+    def score_all(self, users: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        self._require_fitted()
+        batch = len(np.asarray(users))
+        return np.tile(self._scores, (batch, 1))

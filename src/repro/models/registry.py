@@ -1,0 +1,117 @@
+"""Model registry — create any model of the study from a name and kwargs.
+
+The registry maps the paper's method names (column headers of Tables 3-8)
+to constructors, so the experiment harness, grid search and CLI can be
+configured with plain strings.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.models.base import SequentialRecommender
+from repro.models.bprmf import BPRMF
+from repro.models.caser import Caser
+from repro.models.fossil import Fossil
+from repro.models.fpmc import FPMC
+from repro.models.gru4rec import GRU4Rec
+from repro.models.gru4rec_plus import GRU4RecPlus
+from repro.models.ham import HAM
+from repro.models.ham_synergy import HAMSynergy
+from repro.models.hgn import HGN
+from repro.models.itemknn import ItemKNN
+from repro.models.markov import MarkovChain
+from repro.models.narm import NARM
+from repro.models.nextitrec import NextItRec
+from repro.models.popularity import Popularity
+from repro.models.sasrec import SASRec
+from repro.models.stamp import STAMP
+
+__all__ = [
+    "MODEL_REGISTRY",
+    "create_model",
+    "PAPER_METHODS",
+    "HAM_VARIANTS",
+    "EXTENSION_METHODS",
+]
+
+
+def _ham(pooling: str, **fixed):
+    def factory(num_users: int, num_items: int, rng=None, **kwargs) -> HAM:
+        kwargs = {**fixed, **kwargs}
+        return HAM(num_users, num_items, pooling=pooling, rng=rng, **kwargs)
+    return factory
+
+
+def _ham_synergy(pooling: str, **fixed):
+    def factory(num_users: int, num_items: int, rng=None, **kwargs) -> HAMSynergy:
+        kwargs = {**fixed, **kwargs}
+        return HAMSynergy(num_users, num_items, pooling=pooling, rng=rng, **kwargs)
+    return factory
+
+
+#: Name -> factory(num_users, num_items, rng=..., **hyperparameters)
+MODEL_REGISTRY: dict[str, Callable[..., SequentialRecommender]] = {
+    # The HAM family (paper Section 4)
+    "HAMx": _ham("max"),
+    "HAMm": _ham("mean"),
+    "HAMs_x": _ham_synergy("max"),
+    "HAMs_m": _ham_synergy("mean"),
+    # Ablated variants (paper Section 6.6)
+    "HAMs_m-o": _ham_synergy("mean", n_l=0),
+    "HAMs_m-u": _ham_synergy("mean", use_user_embedding=False),
+    # State-of-the-art baselines (paper Section 5.1)
+    "Caser": lambda num_users, num_items, rng=None, **kw: Caser(num_users, num_items, rng=rng, **kw),
+    "SASRec": lambda num_users, num_items, rng=None, **kw: SASRec(num_users, num_items, rng=rng, **kw),
+    "HGN": lambda num_users, num_items, rng=None, **kw: HGN(num_users, num_items, rng=rng, **kw),
+    # Reference baselines (literature review)
+    "POP": lambda num_users, num_items, rng=None, **kw: Popularity(num_users, num_items, **kw),
+    "BPR-MF": lambda num_users, num_items, rng=None, **kw: BPRMF(num_users, num_items, rng=rng, **kw),
+    "FPMC": lambda num_users, num_items, rng=None, **kw: FPMC(num_users, num_items, rng=rng, **kw),
+    "GRU4Rec": lambda num_users, num_items, rng=None, **kw: GRU4Rec(num_users, num_items, rng=rng, **kw),
+    "GRU4Rec++": lambda num_users, num_items, rng=None, **kw: GRU4RecPlus(num_users, num_items, rng=rng, **kw),
+    # Extension baselines covered by the paper's literature review
+    # (Section 2) but not rerun in its tables.
+    "NARM": lambda num_users, num_items, rng=None, **kw: NARM(num_users, num_items, rng=rng, **kw),
+    "STAMP": lambda num_users, num_items, rng=None, **kw: STAMP(num_users, num_items, rng=rng, **kw),
+    "NextItRec": lambda num_users, num_items, rng=None, **kw: NextItRec(num_users, num_items, rng=rng, **kw),
+    "Fossil": lambda num_users, num_items, rng=None, **kw: Fossil(num_users, num_items, rng=rng, **kw),
+    # Count-based (non-parametric) reference models.
+    "ItemKNN": lambda num_users, num_items, rng=None, **kw: ItemKNN(num_users, num_items, **kw),
+    "MarkovChain": lambda num_users, num_items, rng=None, **kw: MarkovChain(num_users, num_items, **kw),
+}
+
+#: Methods compared in the paper's overall-performance tables, in column order.
+PAPER_METHODS = ("Caser", "SASRec", "HGN", "HAMx", "HAMm", "HAMs_x", "HAMs_m")
+
+#: The HAM family members.
+HAM_VARIANTS = ("HAMx", "HAMm", "HAMs_x", "HAMs_m", "HAMs_m-o", "HAMs_m-u")
+
+#: Extension baselines from the literature review (not in the paper's tables).
+EXTENSION_METHODS = ("GRU4Rec", "GRU4Rec++", "NARM", "STAMP", "NextItRec", "Fossil",
+                     "ItemKNN", "MarkovChain", "POP", "BPR-MF", "FPMC")
+
+
+def create_model(name: str, num_users: int, num_items: int,
+                 rng: np.random.Generator | None = None,
+                 **hyperparameters) -> SequentialRecommender:
+    """Instantiate a model by its paper name.
+
+    Parameters
+    ----------
+    name:
+        A key of :data:`MODEL_REGISTRY` (case-sensitive, e.g. ``"HAMs_m"``).
+    num_users, num_items:
+        Dataset dimensions.
+    rng:
+        Random generator controlling parameter initialization.
+    hyperparameters:
+        Model-specific keyword arguments (``embedding_dim``, ``n_h`` ...).
+    """
+    if name not in MODEL_REGISTRY:
+        raise KeyError(
+            f"unknown model {name!r}; available: {', '.join(sorted(MODEL_REGISTRY))}"
+        )
+    return MODEL_REGISTRY[name](num_users, num_items, rng=rng, **hyperparameters)

@@ -1,0 +1,141 @@
+"""SASRec — Self-Attentive Sequential Recommendation (Kang & McAuley, ICDM'18).
+
+Baseline of the paper (Section 5.1).  SASRec embeds the ``n`` most recent
+items, adds learned positional embeddings and runs a stack of
+Transformer-style blocks (causal multi-head self-attention + point-wise
+feed-forward network, each with residual connections and layer
+normalization).  The hidden state at the last position is the user's
+sequence representation; candidates are scored against the shared item
+embedding table.
+
+The hyperparameters the HAM paper sweeps — embedding dimension ``d``,
+maximum sequence length ``n`` and number of attention heads ``h`` — are
+exposed directly (Appendix Table A1/A2).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Dropout, Embedding, LayerNorm, Linear, Module, Tensor, functional as F, init
+from repro.models.base import SequentialRecommender
+
+__all__ = ["SASRec"]
+
+
+class _SelfAttentionBlock(Module):
+    """One SASRec block: causal multi-head attention + feed-forward."""
+
+    def __init__(self, dim: int, num_heads: int, dropout: float,
+                 rng: np.random.Generator):
+        super().__init__()
+        if dim % num_heads != 0:
+            raise ValueError("embedding_dim must be divisible by num_heads")
+        self.dim = dim
+        self.num_heads = num_heads
+        self.head_dim = dim // num_heads
+        self.query = Linear(dim, dim, rng=rng)
+        self.key = Linear(dim, dim, rng=rng)
+        self.value = Linear(dim, dim, rng=rng)
+        self.attention_norm = LayerNorm(dim)
+        self.ffn_inner = Linear(dim, dim, rng=rng)
+        self.ffn_outer = Linear(dim, dim, rng=rng)
+        self.ffn_norm = LayerNorm(dim)
+        self.dropout = Dropout(dropout, rng=rng)
+
+    def _split_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
+        return x.reshape(batch, length, self.num_heads, self.head_dim).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: Tensor, batch: int, length: int) -> Tensor:
+        return x.transpose(0, 2, 1, 3).reshape(batch, length, self.dim)
+
+    def forward(self, hidden: Tensor, causal_mask: np.ndarray) -> Tensor:
+        batch, length, _ = hidden.shape
+        normed = self.attention_norm(hidden)
+        queries = self._split_heads(self.query(normed), batch, length)
+        keys = self._split_heads(self.key(hidden), batch, length)
+        values = self._split_heads(self.value(hidden), batch, length)
+        attended = F.scaled_dot_product_attention(queries, keys, values, mask=causal_mask)
+        attended = self._merge_heads(attended, batch, length)
+        hidden = hidden + self.dropout(attended)
+
+        normed = self.ffn_norm(hidden)
+        transformed = self.ffn_outer(self.dropout(self.ffn_inner(normed).relu()))
+        return hidden + self.dropout(transformed)
+
+
+class SASRec(SequentialRecommender):
+    """SASRec baseline.
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Dataset dimensions (the user id is unused by SASRec but kept for
+        interface uniformity).
+    embedding_dim:
+        Hidden dimensionality ``d``.
+    sequence_length:
+        Maximum sequence length ``n``.
+    num_heads:
+        Number of attention heads ``h``.
+    num_blocks:
+        Number of stacked self-attention blocks.
+    dropout:
+        Dropout probability inside the blocks.
+    """
+
+    def __init__(self, num_users: int, num_items: int, embedding_dim: int = 64,
+                 sequence_length: int = 10, num_heads: int = 1, num_blocks: int = 2,
+                 dropout: float = 0.2, rng: np.random.Generator | None = None,
+                 init_std: float = 0.01):
+        super().__init__()
+        self._validate_dims(num_users, num_items, embedding_dim, sequence_length)
+        if num_blocks < 1:
+            raise ValueError("num_blocks must be positive")
+        rng = rng or np.random.default_rng()
+
+        self.num_users = num_users
+        self.num_items = num_items
+        self.embedding_dim = embedding_dim
+        self.sequence_length = sequence_length
+        self.input_length = sequence_length
+        self.num_heads = num_heads
+        self.num_blocks = num_blocks
+        self.pad_id = num_items
+
+        self.item_embeddings = Embedding(num_items + 1, embedding_dim, rng=rng,
+                                         std=init_std, padding_idx=self.pad_id)
+        self.position_embeddings = init.normal((sequence_length, embedding_dim), rng, std=init_std)
+        self.input_dropout = Dropout(dropout, rng=rng)
+        self.blocks = [
+            _SelfAttentionBlock(embedding_dim, num_heads, dropout, rng)
+            for _ in range(num_blocks)
+        ]
+        self.final_norm = LayerNorm(embedding_dim)
+
+        # Causal mask: position i may only attend to positions <= i.
+        self._causal_mask = np.triu(np.ones((sequence_length, sequence_length), dtype=bool), k=1)
+
+    def sequence_representation(self, users: np.ndarray, inputs: np.ndarray) -> Tensor:
+        inputs = np.asarray(inputs, dtype=np.int64)
+        if inputs.shape[1] != self.sequence_length:
+            raise ValueError(
+                f"SASRec expects {self.sequence_length} input items, got {inputs.shape[1]}"
+            )
+        hidden = self.item_embeddings(inputs) + self.position_embeddings
+        # Zero out padded positions so they contribute nothing downstream.
+        padding_mask = (inputs != self.pad_id).astype(np.float64)[:, :, None]
+        hidden = hidden * Tensor(padding_mask)
+        hidden = self.input_dropout(hidden)
+        for block in self.blocks:
+            hidden = block(hidden, self._causal_mask)
+            hidden = hidden * Tensor(padding_mask)
+        hidden = self.final_norm(hidden)
+        return hidden[:, -1, :]                              # last position
+
+    def candidate_item_embeddings(self) -> Tensor:
+        return self.item_embeddings.weight
+
+    def after_step(self) -> None:
+        """Re-pin the padding row after an optimizer step."""
+        self.item_embeddings.apply_padding_mask()

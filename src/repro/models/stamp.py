@@ -1,0 +1,122 @@
+"""STAMP — Short-Term Attention/Memory Priority model (Liu et al., KDD'18).
+
+The attention-only recommender of the paper's literature review
+(Section 2, reference [12]): no recurrence or convolution, just an
+attention over the recent item embeddings conditioned on the session
+summary (their mean) and the most recent item, followed by two small MLPs
+whose outputs are combined with an element-wise product — structurally the
+closest published neighbour of HAM's pooling-plus-Hadamard design, which
+makes it a natural extra comparison point.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Embedding, Linear, Tensor, functional as F, init
+from repro.models.base import SequentialRecommender
+from repro.models.pooling import masked_mean_pool
+
+__all__ = ["STAMP"]
+
+
+class STAMP(SequentialRecommender):
+    """Short-term attention/memory priority recommender.
+
+    Parameters
+    ----------
+    num_users, num_items:
+        Dataset dimensions (the user id is unused, as in the session-based
+        original, but kept for interface uniformity).
+    embedding_dim:
+        Item embedding dimensionality ``d``.
+    sequence_length:
+        Number of recent items the attention ranges over.
+    """
+
+    def __init__(self, num_users: int, num_items: int, embedding_dim: int = 64,
+                 sequence_length: int = 10, rng: np.random.Generator | None = None,
+                 init_std: float = 0.01):
+        super().__init__()
+        self._validate_dims(num_users, num_items, embedding_dim, sequence_length)
+        rng = rng or np.random.default_rng()
+
+        self.num_users = num_users
+        self.num_items = num_items
+        self.embedding_dim = embedding_dim
+        self.sequence_length = sequence_length
+        self.input_length = sequence_length
+        self.pad_id = num_items
+
+        self.item_embeddings = Embedding(num_items + 1, embedding_dim, rng=rng,
+                                         std=init_std, padding_idx=self.pad_id)
+
+        # Attention: a_i = w0^T sigmoid(W1 x_i + W2 x_t + W3 m_s + b).
+        self.attention_item = init.xavier_uniform((embedding_dim, embedding_dim), rng)
+        self.attention_last = init.xavier_uniform((embedding_dim, embedding_dim), rng)
+        self.attention_memory = init.xavier_uniform((embedding_dim, embedding_dim), rng)
+        self.attention_bias = init.zeros((embedding_dim,))
+        self.attention_vector = init.xavier_uniform((embedding_dim, 1), rng)
+
+        # The two MLP "cells" of the original model.
+        self.memory_mlp = Linear(embedding_dim, embedding_dim, rng=rng)
+        self.last_mlp = Linear(embedding_dim, embedding_dim, rng=rng)
+
+    # ------------------------------------------------------------------ #
+    # Attention
+    # ------------------------------------------------------------------ #
+    def attention_weights(self, users: np.ndarray, inputs: np.ndarray) -> np.ndarray:
+        """Raw unnormalized attention weights, ``(B, L)``.
+
+        STAMP does not softmax-normalize its attention (the coefficients
+        are a learned projection of sigmoid-bounded energies, so they can
+        lie outside [0, 1]); the weights are reported as-is with padded
+        positions set to NaN.
+        """
+        from repro.autograd import no_grad
+
+        inputs = np.asarray(inputs, dtype=np.int64)
+        mask = inputs != self.pad_id
+        with no_grad():
+            embedded = self.item_embeddings(inputs)
+            weights = self._attention(embedded, mask)
+        values = weights.data.copy()
+        values[~mask] = np.nan
+        return values
+
+    def _attention(self, embedded: Tensor, mask: np.ndarray) -> Tensor:
+        """Per-position attention coefficients ``a_i``, shape ``(B, L)``."""
+        memory = masked_mean_pool(embedded, mask)                         # (B, d)
+        last = embedded[:, -1, :]                                         # (B, d)
+        energies = F.sigmoid(
+            embedded.matmul(self.attention_item)
+            + last.matmul(self.attention_last).expand_dims(1)
+            + memory.matmul(self.attention_memory).expand_dims(1)
+            + self.attention_bias
+        )
+        scores = energies.matmul(self.attention_vector).squeeze(2)        # (B, L)
+        # Padded positions must contribute nothing to the weighted sum.
+        return scores * Tensor(np.asarray(mask, dtype=np.float64))
+
+    # ------------------------------------------------------------------ #
+    # SequentialRecommender interface
+    # ------------------------------------------------------------------ #
+    def sequence_representation(self, users: np.ndarray, inputs: np.ndarray) -> Tensor:
+        inputs = np.asarray(inputs, dtype=np.int64)
+        mask = inputs != self.pad_id
+        embedded = self.item_embeddings(inputs)                           # (B, L, d)
+
+        weights = self._attention(embedded, mask)                         # (B, L)
+        attended_memory = (embedded * weights.expand_dims(2)).sum(axis=1)  # (B, d)
+        last = embedded[:, -1, :]                                         # (B, d)
+
+        memory_state = F.tanh(self.memory_mlp(attended_memory))
+        last_state = F.tanh(self.last_mlp(last))
+        return memory_state * last_state                                  # (B, d)
+
+    def candidate_item_embeddings(self) -> Tensor:
+        return self.item_embeddings.weight
+
+    def after_step(self) -> None:
+        """Re-pin the padding row after an optimizer step."""
+        self.item_embeddings.apply_padding_mask()

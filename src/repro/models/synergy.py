@@ -1,0 +1,140 @@
+"""Item synergies of arbitrary order (paper Eq. 2-5).
+
+The order-2 synergy between items ``j`` and ``k`` is the Hadamard product
+of their embeddings (Eq. 2).  Per-item synergies are aggregated by summing
+over partners (Eq. 3) and across items by mean pooling (Eq. 4).  Higher
+orders are built recursively (Eq. 5):
+
+``c_j^(1) = v_j``
+``c_j^(p) = sum_{k != j} c_j^(p-1) ∘ v_k = c_j^(p-1) ∘ (S - v_j)``
+``c^(p)   = mean_j c_j^(p)``
+
+where ``S`` is the sum of the (real) item embeddings in the window.  The
+closed form with ``S`` avoids the quadratic double loop and is what makes
+HAMs as cheap as HAM.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor
+
+__all__ = ["synergy_vectors", "latent_cross", "INNER_AGGREGATIONS", "OUTER_AGGREGATIONS"]
+
+#: Supported aggregations over the partner items ``k != j`` (paper Eq. 3).
+INNER_AGGREGATIONS = ("sum", "mean", "max")
+#: Supported aggregations over the items ``j`` of the window (paper Eq. 4).
+OUTER_AGGREGATIONS = ("mean", "sum", "max")
+
+_NEG_INF = -1e9
+
+
+def _aggregate_outer(per_item: Tensor, mask3: Tensor, mask: np.ndarray,
+                     inverse_counts: Tensor, outer: str) -> Tensor:
+    """Aggregate per-item synergy vectors over the window items (Eq. 4)."""
+    if outer == "mean":
+        return per_item.sum(axis=1) * inverse_counts
+    if outer == "sum":
+        return per_item.sum(axis=1)
+    # max over real items: push padded rows far down before the max.
+    offset = Tensor(np.where(mask[:, :, None] > 0, 0.0, _NEG_INF))
+    return (per_item + offset).max(axis=1)
+
+
+def synergy_vectors(embeddings: Tensor, mask: np.ndarray, order: int,
+                    inner: str = "sum", outer: str = "mean") -> list[Tensor]:
+    """Aggregated synergy vectors ``c^(2) .. c^(order)``.
+
+    Parameters
+    ----------
+    embeddings:
+        ``(B, L, d)`` embeddings of the high-order association window
+        (padded positions must hold zero vectors).
+    mask:
+        ``(B, L)`` boolean array marking real items.
+    order:
+        Maximum synergy order ``p``; ``order < 2`` returns an empty list
+        (plain HAM without synergies).
+    inner:
+        Aggregation over the partner items ``k != j`` in Eq. 3.  The paper
+        uses ``sum`` (its default) and reports having also tried weighted
+        sum and max pooling; ``mean`` and ``max`` are provided for that
+        design-choice ablation.
+    outer:
+        Aggregation over the items ``j`` in Eq. 4; the paper uses ``mean``.
+
+    Returns
+    -------
+    list of ``(B, d)`` tensors, one per order from 2 to ``order``.
+    """
+    if order < 2:
+        return []
+    if inner not in INNER_AGGREGATIONS:
+        raise ValueError(f"inner must be one of {INNER_AGGREGATIONS}, got {inner!r}")
+    if outer not in OUTER_AGGREGATIONS:
+        raise ValueError(f"outer must be one of {OUTER_AGGREGATIONS}, got {outer!r}")
+
+    mask = np.asarray(mask, dtype=np.float64)
+    mask3 = Tensor(mask[:, :, None])
+    counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)        # (B, 1)
+    inverse_counts = Tensor(1.0 / counts)
+    # Partner counts per item j: number of *other* real items.
+    partner_counts = np.maximum(mask.sum(axis=1, keepdims=True) - 1.0, 1.0)  # (B, 1)
+    inverse_partner_counts = Tensor((1.0 / partner_counts)[:, :, None])
+
+    real = embeddings * mask3                       # zero out padded rows
+    total = real.sum(axis=1, keepdims=True)          # (B, 1, d) = S
+    partner_sum = total - real                       # (B, L, d) = S - v_j
+
+    per_item = real                                  # c_j^(1) = v_j
+    aggregated: list[Tensor] = []
+    for _ in range(2, order + 1):
+        if inner in ("sum", "mean"):
+            # closed form: sum_{k != j} c_j^(p-1) ∘ v_k = c_j^(p-1) ∘ (S - v_j)
+            per_item = per_item * partner_sum
+            if inner == "mean":
+                per_item = per_item * inverse_partner_counts
+        else:
+            # max over partners requires the explicit pairwise products.
+            per_item = _max_over_partners(per_item, real, mask)
+        per_item = per_item * mask3                  # keep padded rows at zero
+        aggregated.append(_aggregate_outer(per_item, mask3, mask, inverse_counts, outer))
+    return aggregated
+
+
+def _max_over_partners(per_item: Tensor, real: Tensor, mask: np.ndarray) -> Tensor:
+    """``max_{k != j} c_j ∘ v_k`` computed from explicit pairwise products.
+
+    Shapes stay small in practice (the window length ``n_h`` is <= 10 in
+    every configuration the paper uses), so the ``(B, L, L, d)`` tensor of
+    pairwise products is affordable.
+    """
+    batch, length, dim = real.shape
+    c = per_item.expand_dims(2)                      # (B, L, 1, d)
+    v = real.expand_dims(1)                          # (B, 1, L, d)
+    pairwise = c * v                                 # (B, L, L, d)
+    # Exclude k == j and padded partners from the max.
+    partner_mask = np.broadcast_to(mask[:, None, :, None] > 0, (batch, length, length, dim)).copy()
+    diagonal = np.eye(length, dtype=bool)[None, :, :, None]
+    partner_mask &= ~np.broadcast_to(diagonal, partner_mask.shape)
+    offset = Tensor(np.where(partner_mask, 0.0, _NEG_INF))
+    maxed = (pairwise + offset).max(axis=2)          # (B, L, d)
+    # Items with no valid partner produce -inf rows; zero them out.
+    no_partner = ~partner_mask.any(axis=2)
+    if no_partner.any():
+        maxed = maxed * Tensor((~no_partner).astype(np.float64))
+    return maxed
+
+
+def latent_cross(high_order: Tensor, synergies: list[Tensor]) -> Tensor:
+    """Combine item associations and synergies (paper Eq. 6).
+
+    ``s = h + sum_k c^(k) ∘ h`` — the synergy vectors act as multiplicative
+    corrections ("latent cross") that strengthen the latent features of the
+    pooled high-order association vector.
+    """
+    combined = high_order
+    for synergy in synergies:
+        combined = combined + synergy * high_order
+    return combined

@@ -1,0 +1,243 @@
+"""High-level recommendation serving and score explanation.
+
+The paper motivates HAM through its run-time behaviour (Table 14): at
+serving time a recommendation request has to be answered in microseconds
+per user.  This module provides the thin layer a downstream application
+would use on top of a trained model:
+
+* :class:`Recommender` — wraps any trained model plus the user histories
+  and answers top-k requests, per-item scores and item-to-item similarity
+  queries without the caller touching the experimental machinery.
+* :func:`explain_ham_score` — HAM's score (Eq. 7/8) is a *sum of three
+  interpretable dot products*: the user's general preference, the high-
+  order association of the recent items (optionally enhanced with
+  synergies), and the low-order association of the most recent one or two
+  items.  The explanation exposes those per-factor contributions, which is
+  one concrete advantage of the linear scoring function over the black-box
+  baselines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.autograd import no_grad
+from repro.data.windows import pad_id_for
+from repro.evaluation.ranking import top_k_items
+from repro.models.base import SequentialRecommender
+from repro.models.ham import HAM
+from repro.models.ham_synergy import HAMSynergy
+from repro.models.synergy import latent_cross
+
+__all__ = ["Recommendation", "Recommender", "HAMScoreExplanation", "explain_ham_score"]
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """One recommended item with its model score and rank (0 = best)."""
+
+    item: int
+    score: float
+    rank: int
+
+
+@dataclass(frozen=True)
+class HAMScoreExplanation:
+    """Per-factor decomposition of a HAM recommendation score (Eq. 7/8)."""
+
+    user: int
+    item: int
+    total: float
+    user_preference: float
+    high_order: float
+    low_order: float
+    uses_synergies: bool
+
+    def dominant_factor(self) -> str:
+        """Name of the factor contributing most to the score."""
+        contributions = {
+            "user_preference": self.user_preference,
+            "high_order": self.high_order,
+            "low_order": self.low_order,
+        }
+        return max(contributions, key=contributions.get)
+
+    def as_row(self) -> dict:
+        return {
+            "user": self.user,
+            "item": self.item,
+            "total": self.total,
+            "user_preference": self.user_preference,
+            "high_order": self.high_order,
+            "low_order": self.low_order,
+            "dominant": self.dominant_factor(),
+        }
+
+
+class Recommender:
+    """Serve top-k recommendations from a trained model.
+
+    Parameters
+    ----------
+    model:
+        Any trained model of the study (gradient-based or count-based).
+    histories:
+        Per-user interaction histories the recommendations condition on —
+        typically ``split.train_plus_valid()`` after training, or the full
+        sequences in a production-style setting.
+    exclude_seen:
+        Exclude items already present in a user's history from the
+        ranking (the paper's protocol).
+    """
+
+    def __init__(self, model: SequentialRecommender, histories: list[list[int]],
+                 exclude_seen: bool = True):
+        if len(histories) < model.num_users:
+            raise ValueError(
+                f"histories cover {len(histories)} users but the model expects "
+                f"{model.num_users}"
+            )
+        self.model = model
+        self.histories = histories
+        self.exclude_seen = exclude_seen
+        self.pad_id = pad_id_for(model.num_items)
+        model.eval()
+
+    # ------------------------------------------------------------------ #
+    # Internal helpers
+    # ------------------------------------------------------------------ #
+    def _validate_user(self, user: int) -> None:
+        if not 0 <= user < self.model.num_users:
+            raise ValueError(f"user id {user} outside [0, {self.model.num_users})")
+
+    def _inputs_for(self, users: list[int]) -> np.ndarray:
+        length = self.model.input_length
+        inputs = np.full((len(users), length), self.pad_id, dtype=np.int64)
+        for row, user in enumerate(users):
+            history = self.histories[user][-length:]
+            if history:
+                inputs[row, -len(history):] = history
+        return inputs
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def recommend(self, user: int, k: int = 10) -> list[Recommendation]:
+        """Top-``k`` recommendations for one user."""
+        return self.recommend_batch([user], k)[0]
+
+    def recommend_batch(self, users: list[int], k: int = 10) -> list[list[Recommendation]]:
+        """Top-``k`` recommendations for several users at once."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        for user in users:
+            self._validate_user(user)
+        inputs = self._inputs_for(users)
+        scores = self.model.score_all(np.asarray(users, dtype=np.int64), inputs)
+        excluded = (
+            [set(self.histories[user]) for user in users] if self.exclude_seen else None
+        )
+        ranked = top_k_items(scores, k, excluded=excluded)
+        results = []
+        for row, user in enumerate(users):
+            results.append([
+                Recommendation(item=int(item), score=float(scores[row, item]), rank=rank)
+                for rank, item in enumerate(ranked[row])
+            ])
+        return results
+
+    def score(self, user: int, item: int) -> float:
+        """The model score of one (user, candidate item) pair."""
+        self._validate_user(user)
+        if not 0 <= item < self.model.num_items:
+            raise ValueError(f"item id {item} outside [0, {self.model.num_items})")
+        inputs = self._inputs_for([user])
+        scores = self.model.score_all(np.asarray([user], dtype=np.int64), inputs)
+        return float(scores[0, item])
+
+    def similar_items(self, item: int, k: int = 10) -> list[Recommendation]:
+        """Items most similar to ``item`` under the model's own geometry.
+
+        Gradient-based models answer with cosine similarity between
+        candidate-item embeddings; count-based models that expose a
+        ``neighbors`` method (ItemKNN) answer from their similarity matrix.
+        """
+        if not 0 <= item < self.model.num_items:
+            raise ValueError(f"item id {item} outside [0, {self.model.num_items})")
+        if k < 1:
+            raise ValueError("k must be positive")
+
+        if hasattr(self.model, "neighbors"):
+            return [
+                Recommendation(item=neighbor, score=similarity, rank=rank)
+                for rank, (neighbor, similarity) in enumerate(self.model.neighbors(item, k))
+            ]
+
+        with no_grad():
+            table = self.model.candidate_item_embeddings().data[: self.model.num_items]
+        norms = np.linalg.norm(table, axis=1)
+        norms = np.where(norms > 0, norms, 1.0)
+        similarities = (table @ table[item]) / (norms * norms[item])
+        similarities[item] = -np.inf
+        order = np.argsort(similarities)[::-1][:k]
+        return [
+            Recommendation(item=int(other), score=float(similarities[other]), rank=rank)
+            for rank, other in enumerate(order)
+        ]
+
+
+def explain_ham_score(model: HAM, user: int, history: list[int],
+                      item: int) -> HAMScoreExplanation:
+    """Decompose a HAM/HAMs score into its three factors (Eq. 7/8).
+
+    Parameters
+    ----------
+    model:
+        A (trained) :class:`HAM` or :class:`HAMSynergy` instance.
+    user:
+        User id the recommendation is for.
+    history:
+        The user's recent interaction history (only the last ``n_h`` items
+        are used, exactly as at scoring time).
+    item:
+        Candidate item whose score is being explained.
+    """
+    if not isinstance(model, HAM):
+        raise TypeError("score explanations are only defined for the HAM family")
+    if not 0 <= user < model.num_users:
+        raise ValueError(f"user id {user} outside [0, {model.num_users})")
+    if not 0 <= item < model.num_items:
+        raise ValueError(f"item id {item} outside [0, {model.num_items})")
+
+    pad = model.pad_id
+    inputs = np.full((1, model.input_length), pad, dtype=np.int64)
+    recent = list(history)[-model.input_length:]
+    if recent:
+        inputs[0, -len(recent):] = recent
+
+    with no_grad():
+        candidate = model.candidate_item_embeddings().data[item]
+        high_order, low_order = model.association_embeddings(inputs)
+        uses_synergies = isinstance(model, HAMSynergy) and model.synergy_order > 1
+        if uses_synergies:
+            high_order = latent_cross(high_order, model.synergy_terms(inputs))
+        high_contribution = float(high_order.data[0] @ candidate)
+        low_contribution = (
+            float(low_order.data[0] @ candidate) if low_order is not None else 0.0
+        )
+        user_contribution = 0.0
+        if model.use_user_embedding:
+            user_vector = model.user_embeddings.weight.data[user]
+            user_contribution = float(user_vector @ candidate)
+
+    return HAMScoreExplanation(
+        user=user,
+        item=item,
+        total=user_contribution + high_contribution + low_contribution,
+        user_preference=user_contribution,
+        high_order=high_contribution,
+        low_order=low_contribution,
+        uses_synergies=uses_synergies,
+    )

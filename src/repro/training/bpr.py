@@ -1,0 +1,45 @@
+"""Bayesian Personalized Ranking loss (paper Eq. 9).
+
+``L = - sum log sigma(r_positive - r_negative)`` over every (positive,
+sampled negative) pair, averaged over the real (non-padded) target
+positions of the batch.  The L2 regularization term of Eq. 9 is applied by
+the optimizer as weight decay rather than inside the loss.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, functional as F
+
+__all__ = ["bpr_loss"]
+
+
+def bpr_loss(positive_scores: Tensor, negative_scores: Tensor,
+             mask: np.ndarray | None = None) -> Tensor:
+    """BPR loss over a batch of score pairs.
+
+    Parameters
+    ----------
+    positive_scores, negative_scores:
+        Tensors of identical shape ``(B, n_p)`` holding the model scores of
+        the truly interacted items and of the sampled negative items.
+    mask:
+        Optional boolean array of the same shape; False marks padded target
+        positions that must not contribute to the loss.
+
+    Returns
+    -------
+    Scalar tensor — the mean of ``-log sigma(pos - neg)`` over real pairs.
+    """
+    if positive_scores.shape != negative_scores.shape:
+        raise ValueError("positive and negative scores must have the same shape")
+    difference = positive_scores - negative_scores
+    losses = -F.logsigmoid(difference)
+    if mask is None:
+        return losses.mean()
+    mask = np.asarray(mask, dtype=np.float64)
+    if mask.shape != losses.shape:
+        raise ValueError("mask shape must match the score shape")
+    count = max(mask.sum(), 1.0)
+    return (losses * Tensor(mask)).sum() * (1.0 / count)

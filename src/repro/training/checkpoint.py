@@ -1,0 +1,125 @@
+"""Model checkpointing.
+
+The paper's protocol retrains the selected configuration on train +
+validation before testing; persisting trained parameters avoids repeating
+that work across analyses (run-time study, attention-weight study,
+parameter study) that all reuse the same trained models.
+
+A checkpoint is a single ``.npz`` file holding every entry of the model's
+``state_dict`` plus a JSON-encoded metadata record (model name,
+hyperparameters, training configuration, metrics) stored under the
+reserved key ``__metadata__``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.models.base import SequentialRecommender
+
+__all__ = ["save_checkpoint", "load_checkpoint", "read_metadata"]
+
+_METADATA_KEY = "__metadata__"
+
+
+def save_checkpoint(model: SequentialRecommender, path: str | Path,
+                    metadata: dict[str, Any] | None = None) -> Path:
+    """Write ``model``'s parameters (and optional ``metadata``) to ``path``.
+
+    Parameters
+    ----------
+    model:
+        Any gradient-based model of the study (non-parametric models have
+        no state dict and cannot be checkpointed this way).
+    path:
+        Target file; the ``.npz`` suffix is appended when missing and
+        parent directories are created.
+    metadata:
+        JSON-serializable record stored alongside the parameters.
+
+    Returns
+    -------
+    The resolved path the checkpoint was written to.
+    """
+    path = Path(path)
+    if path.suffix != ".npz":
+        path = path.with_suffix(path.suffix + ".npz") if path.suffix else path.with_suffix(".npz")
+    path.parent.mkdir(parents=True, exist_ok=True)
+
+    state = model.state_dict()
+    if _METADATA_KEY in state:
+        raise ValueError(f"state dict may not contain the reserved key {_METADATA_KEY!r}")
+    payload = dict(state)
+    payload[_METADATA_KEY] = np.frombuffer(
+        json.dumps(metadata or {}, sort_keys=True).encode("utf-8"), dtype=np.uint8
+    )
+    np.savez(path, **payload)
+    return path
+
+
+def _load_arrays(path: str | Path) -> dict[str, np.ndarray]:
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"checkpoint not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        return {name: archive[name] for name in archive.files}
+
+
+def read_metadata(path: str | Path) -> dict[str, Any]:
+    """Return the metadata record stored in a checkpoint."""
+    arrays = _load_arrays(path)
+    raw = arrays.get(_METADATA_KEY)
+    if raw is None:
+        return {}
+    return json.loads(raw.tobytes().decode("utf-8"))
+
+
+def load_checkpoint(model: SequentialRecommender, path: str | Path,
+                    strict: bool = True) -> dict[str, Any]:
+    """Load parameters from ``path`` into ``model`` and return the metadata.
+
+    Parameters
+    ----------
+    model:
+        A model with the same architecture (parameter names and shapes) as
+        the one that was saved.
+    strict:
+        When True (default), missing or unexpected parameter names raise a
+        ``KeyError`` and shape mismatches raise a ``ValueError``; when
+        False, only the intersection of matching names/shapes is loaded.
+    """
+    arrays = _load_arrays(path)
+    raw_metadata = arrays.pop(_METADATA_KEY, None)
+
+    state = model.state_dict()
+    missing = sorted(set(state) - set(arrays))
+    unexpected = sorted(set(arrays) - set(state))
+    if strict and (missing or unexpected):
+        raise KeyError(
+            f"checkpoint/model mismatch: missing={missing}, unexpected={unexpected}"
+        )
+
+    to_load = {}
+    for name, value in arrays.items():
+        if name not in state:
+            continue
+        if state[name].shape != value.shape:
+            if strict:
+                raise ValueError(
+                    f"shape mismatch for {name!r}: model {state[name].shape}, "
+                    f"checkpoint {value.shape}"
+                )
+            continue
+        to_load[name] = value
+
+    merged = dict(state)
+    merged.update(to_load)
+    model.load_state_dict(merged)
+
+    if raw_metadata is None:
+        return {}
+    return json.loads(raw_metadata.tobytes().decode("utf-8"))

@@ -1,0 +1,68 @@
+"""Early stopping on the validation metric.
+
+The paper trains for a fixed epoch budget and keeps the parameters of the
+best validation epoch.  Early stopping is a practical extension on top of
+the same bookkeeping: when the validation metric has not improved by at
+least ``min_delta`` for ``patience`` consecutive evaluations, training
+stops — useful on the larger synthetic presets where the fixed budget
+wastes epochs after convergence.
+"""
+
+from __future__ import annotations
+
+__all__ = ["EarlyStopping"]
+
+
+class EarlyStopping:
+    """Track a higher-is-better validation metric and signal when to stop.
+
+    Parameters
+    ----------
+    patience:
+        Number of consecutive non-improving evaluations tolerated before
+        :meth:`update` returns True (stop).
+    min_delta:
+        Minimum increase over the best seen value that counts as an
+        improvement.
+    """
+
+    def __init__(self, patience: int = 3, min_delta: float = 0.0):
+        if patience < 1:
+            raise ValueError("patience must be positive")
+        if min_delta < 0:
+            raise ValueError("min_delta must be non-negative")
+        self.patience = patience
+        self.min_delta = min_delta
+        self.best_score = float("-inf")
+        self.best_step = -1
+        self.num_bad_evaluations = 0
+        self._step = 0
+
+    @property
+    def should_stop(self) -> bool:
+        """Whether the patience budget has been exhausted."""
+        return self.num_bad_evaluations >= self.patience
+
+    def update(self, score: float) -> bool:
+        """Record one validation ``score``; return True when training should stop."""
+        self._step += 1
+        if score > self.best_score + self.min_delta:
+            self.best_score = score
+            self.best_step = self._step
+            self.num_bad_evaluations = 0
+        else:
+            self.num_bad_evaluations += 1
+        return self.should_stop
+
+    def reset(self) -> None:
+        """Forget all recorded scores (reuse the object for another run)."""
+        self.best_score = float("-inf")
+        self.best_step = -1
+        self.num_bad_evaluations = 0
+        self._step = 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"EarlyStopping(patience={self.patience}, best={self.best_score:.4f}, "
+            f"bad={self.num_bad_evaluations})"
+        )

@@ -1,0 +1,184 @@
+"""Pairwise and listwise ranking losses.
+
+The paper trains every model with the BPR objective (Eq. 9) and one
+sampled negative per positive.  The session-based literature it reviews
+(GRU4Rec [1], GRU4Rec++ [2]) additionally introduced the TOP1 and
+BPR-max/TOP1-max ranking losses that compare each positive against
+*several* sampled negatives; they are provided here so the GRU4Rec++
+extension baseline — and any other model — can be trained the way its
+original paper trains it.
+
+Shape conventions
+-----------------
+``positive_scores``
+    ``(B, T)`` scores of the true target items.
+``negative_scores``
+    ``(B, T)`` for a single sampled negative per positive, or
+    ``(B, T, N)`` for ``N`` sampled negatives per positive.
+``mask``
+    Optional ``(B, T)`` boolean array; False marks padded target positions
+    excluded from the loss.
+
+Every loss returns a scalar :class:`~repro.autograd.Tensor` (the mean over
+real target positions), so they are drop-in replacements for each other in
+the trainer.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.autograd import Tensor, functional as F
+from repro.training.bpr import bpr_loss
+
+__all__ = [
+    "LOSS_FUNCTIONS",
+    "get_loss",
+    "bpr_loss",
+    "bpr_max_loss",
+    "top1_loss",
+    "top1_max_loss",
+    "sampled_softmax_loss",
+    "hinge_loss",
+]
+
+
+def _ensure_negative_axis(negative_scores: Tensor) -> Tensor:
+    """Return negatives with an explicit trailing axis ``(B, T, N)``."""
+    if negative_scores.ndim == 2:
+        return negative_scores.expand_dims(2)
+    if negative_scores.ndim == 3:
+        return negative_scores
+    raise ValueError(
+        f"negative_scores must be 2- or 3-dimensional, got shape {negative_scores.shape}"
+    )
+
+
+def _masked_mean(per_position: Tensor, mask: np.ndarray | None) -> Tensor:
+    """Mean of ``per_position`` (shape ``(B, T)``) over unmasked entries."""
+    if mask is None:
+        return per_position.mean()
+    mask = np.asarray(mask, dtype=np.float64)
+    if mask.shape != per_position.shape:
+        raise ValueError("mask shape must match the per-position loss shape")
+    count = max(mask.sum(), 1.0)
+    return (per_position * Tensor(mask)).sum() * (1.0 / count)
+
+
+def _check_shapes(positive_scores: Tensor, negatives: Tensor) -> None:
+    if positive_scores.shape != negatives.shape[:2]:
+        raise ValueError(
+            "positive scores and negative scores disagree on the (batch, target) shape: "
+            f"{positive_scores.shape} vs {negatives.shape[:2]}"
+        )
+
+
+def bpr_max_loss(positive_scores: Tensor, negative_scores: Tensor,
+                 mask: np.ndarray | None = None,
+                 regularization: float = 1.0) -> Tensor:
+    """BPR-max loss of Hidasi & Karatzoglou (CIKM'18).
+
+    Each positive is compared against a softmax-weighted mixture of its
+    negatives, which focuses the gradient on the highest-scoring
+    (most violating) negatives:
+
+    ``-log( sum_j s_j * sigma(r_pos - r_neg_j) ) + reg * sum_j s_j * r_neg_j^2``
+
+    with ``s = softmax(negative scores)``.
+    """
+    negatives = _ensure_negative_axis(negative_scores)
+    _check_shapes(positive_scores, negatives)
+    weights = F.softmax(negatives, axis=-1)                              # (B, T, N)
+    differences = positive_scores.expand_dims(2) - negatives
+    weighted = (weights * F.sigmoid(differences)).sum(axis=-1)           # (B, T)
+    per_position = -(weighted + 1e-12).log()
+    if regularization:
+        penalty = (weights * negatives * negatives).sum(axis=-1)
+        per_position = per_position + regularization * penalty
+    return _masked_mean(per_position, mask)
+
+
+def top1_loss(positive_scores: Tensor, negative_scores: Tensor,
+              mask: np.ndarray | None = None) -> Tensor:
+    """TOP1 loss of the original GRU4Rec paper.
+
+    ``mean_j sigma(r_neg_j - r_pos) + sigma(r_neg_j^2)`` — a pairwise hinge
+    approximation plus a score-regularization term on the negatives.
+    """
+    negatives = _ensure_negative_axis(negative_scores)
+    _check_shapes(positive_scores, negatives)
+    differences = negatives - positive_scores.expand_dims(2)
+    per_pair = F.sigmoid(differences) + F.sigmoid(negatives * negatives)
+    return _masked_mean(per_pair.mean(axis=-1), mask)
+
+
+def top1_max_loss(positive_scores: Tensor, negative_scores: Tensor,
+                  mask: np.ndarray | None = None) -> Tensor:
+    """TOP1-max loss: TOP1 weighted by the softmax over the negatives."""
+    negatives = _ensure_negative_axis(negative_scores)
+    _check_shapes(positive_scores, negatives)
+    weights = F.softmax(negatives, axis=-1)
+    differences = negatives - positive_scores.expand_dims(2)
+    per_pair = F.sigmoid(differences) + F.sigmoid(negatives * negatives)
+    return _masked_mean((weights * per_pair).sum(axis=-1), mask)
+
+
+def sampled_softmax_loss(positive_scores: Tensor, negative_scores: Tensor,
+                         mask: np.ndarray | None = None) -> Tensor:
+    """Cross-entropy over the sampled candidate set {positive} U negatives.
+
+    ``-log softmax([r_pos, r_neg_1, ..., r_neg_N])_pos`` — the sampled
+    approximation of the full-softmax next-item objective used by
+    generative models such as NextItRec.
+    """
+    negatives = _ensure_negative_axis(negative_scores)
+    _check_shapes(positive_scores, negatives)
+    logits = Tensor.concatenate([positive_scores.expand_dims(2), negatives], axis=2)
+    log_probabilities = F.log_softmax(logits, axis=-1)
+    per_position = -log_probabilities[:, :, 0]
+    return _masked_mean(per_position, mask)
+
+
+def hinge_loss(positive_scores: Tensor, negative_scores: Tensor,
+               mask: np.ndarray | None = None, margin: float = 1.0) -> Tensor:
+    """Pairwise hinge (margin ranking) loss: ``max(0, margin - (pos - neg))``."""
+    if margin <= 0:
+        raise ValueError("margin must be positive")
+    negatives = _ensure_negative_axis(negative_scores)
+    _check_shapes(positive_scores, negatives)
+    differences = positive_scores.expand_dims(2) - negatives
+    per_pair = (margin - differences).relu()
+    return _masked_mean(per_pair.mean(axis=-1), mask)
+
+
+def _bpr_with_negative_axis(positive_scores: Tensor, negative_scores: Tensor,
+                            mask: np.ndarray | None = None) -> Tensor:
+    """BPR generalized to several negatives (mean of the pairwise losses)."""
+    if negative_scores.ndim == 2:
+        return bpr_loss(positive_scores, negative_scores, mask)
+    negatives = _ensure_negative_axis(negative_scores)
+    _check_shapes(positive_scores, negatives)
+    differences = positive_scores.expand_dims(2) - negatives
+    per_position = (-F.logsigmoid(differences)).mean(axis=-1)
+    return _masked_mean(per_position, mask)
+
+
+#: Loss registry used by the trainer's ``loss`` configuration field.
+LOSS_FUNCTIONS = {
+    "bpr": _bpr_with_negative_axis,
+    "bpr_max": bpr_max_loss,
+    "top1": top1_loss,
+    "top1_max": top1_max_loss,
+    "sampled_softmax": sampled_softmax_loss,
+    "hinge": hinge_loss,
+}
+
+
+def get_loss(name: str):
+    """Resolve a loss function by name (see :data:`LOSS_FUNCTIONS`)."""
+    key = name.lower()
+    if key not in LOSS_FUNCTIONS:
+        raise KeyError(
+            f"unknown loss {name!r}; available: {', '.join(sorted(LOSS_FUNCTIONS))}"
+        )
+    return LOSS_FUNCTIONS[key]

@@ -1,0 +1,74 @@
+"""Negative sampling for the BPR objective.
+
+Following the paper (Section 4.4, after [5] and [8]), one non-interacted
+item is sampled uniformly for every interacted target item.  "Non-
+interacted" is judged against the user's whole training sequence, so the
+sampler is constructed once per training run with the training sequences.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["NegativeSampler"]
+
+
+class NegativeSampler:
+    """Sample negative items per (user, positive item) pair.
+
+    Parameters
+    ----------
+    num_items:
+        Number of real items; samples are drawn from ``[0, num_items)``.
+    user_sequences:
+        Per-user training sequences; sampled negatives avoid the user's
+        interacted items.
+    rng:
+        Random generator (pass the trainer's generator for reproducibility).
+    max_resample:
+        How many times a colliding sample is re-drawn before being accepted
+        anyway; guards against pathological users who interacted with
+        nearly every item.
+    """
+
+    def __init__(self, num_items: int, user_sequences: list[list[int]],
+                 rng: np.random.Generator | None = None, max_resample: int = 20):
+        if num_items < 1:
+            raise ValueError("num_items must be positive")
+        if max_resample < 1:
+            raise ValueError("max_resample must be positive")
+        self.num_items = num_items
+        self.rng = rng or np.random.default_rng()
+        self.max_resample = max_resample
+        self._seen = [set(seq) for seq in user_sequences]
+
+    def seen_items(self, user: int) -> set[int]:
+        """The items the sampler avoids for ``user``."""
+        if 0 <= user < len(self._seen):
+            return self._seen[user]
+        return set()
+
+    def sample(self, users: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
+        """Sample negatives of ``shape`` where ``shape[0] == len(users)``.
+
+        Each row of the output corresponds to the user in the same row of
+        ``users``; every entry is an item the user has not interacted with
+        (best effort, see ``max_resample``).
+        """
+        users = np.asarray(users, dtype=np.int64)
+        if shape[0] != len(users):
+            raise ValueError("shape[0] must equal the number of users")
+        negatives = self.rng.integers(0, self.num_items, size=shape)
+        for row, user in enumerate(users):
+            seen = self.seen_items(int(user))
+            if not seen:
+                continue
+            row_values = negatives[row].reshape(-1)
+            for position, value in enumerate(row_values):
+                attempts = 0
+                while value in seen and attempts < self.max_resample:
+                    value = int(self.rng.integers(0, self.num_items))
+                    attempts += 1
+                row_values[position] = value
+            negatives[row] = row_values.reshape(negatives[row].shape)
+        return negatives

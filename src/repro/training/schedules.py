@@ -1,0 +1,112 @@
+"""Learning-rate schedules.
+
+The paper trains every model with a constant Adam learning rate of 1e-3;
+schedules are an extension used by the convergence analysis
+(:mod:`repro.analysis.convergence`) and available to any training run.  A
+schedule maps a 1-based epoch number to the learning rate for that epoch;
+the trainer assigns it to the optimizer at the start of each epoch.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "LearningRateSchedule",
+    "ConstantSchedule",
+    "StepDecaySchedule",
+    "ExponentialDecaySchedule",
+    "CosineDecaySchedule",
+    "WarmupSchedule",
+]
+
+
+class LearningRateSchedule:
+    """Base class: a callable mapping ``epoch`` (1-based) to a learning rate."""
+
+    def __init__(self, base_lr: float):
+        if base_lr <= 0:
+            raise ValueError("base_lr must be positive")
+        self.base_lr = base_lr
+
+    def __call__(self, epoch: int) -> float:
+        if epoch < 1:
+            raise ValueError("epoch numbering starts at 1")
+        return self._rate(epoch)
+
+    def _rate(self, epoch: int) -> float:
+        raise NotImplementedError
+
+    def preview(self, num_epochs: int) -> list[float]:
+        """Learning rate of every epoch in ``[1, num_epochs]`` (for plots/tests)."""
+        return [self(epoch) for epoch in range(1, num_epochs + 1)]
+
+
+class ConstantSchedule(LearningRateSchedule):
+    """The paper's setting: a fixed learning rate."""
+
+    def _rate(self, epoch: int) -> float:
+        return self.base_lr
+
+
+class StepDecaySchedule(LearningRateSchedule):
+    """Multiply the rate by ``decay`` every ``step_size`` epochs."""
+
+    def __init__(self, base_lr: float, step_size: int = 10, decay: float = 0.5):
+        super().__init__(base_lr)
+        if step_size < 1:
+            raise ValueError("step_size must be positive")
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.step_size = step_size
+        self.decay = decay
+
+    def _rate(self, epoch: int) -> float:
+        return self.base_lr * self.decay ** ((epoch - 1) // self.step_size)
+
+
+class ExponentialDecaySchedule(LearningRateSchedule):
+    """Multiply the rate by ``decay`` every epoch."""
+
+    def __init__(self, base_lr: float, decay: float = 0.95):
+        super().__init__(base_lr)
+        if not 0.0 < decay <= 1.0:
+            raise ValueError("decay must be in (0, 1]")
+        self.decay = decay
+
+    def _rate(self, epoch: int) -> float:
+        return self.base_lr * self.decay ** (epoch - 1)
+
+
+class CosineDecaySchedule(LearningRateSchedule):
+    """Cosine annealing from ``base_lr`` to ``final_lr`` over ``num_epochs``."""
+
+    def __init__(self, base_lr: float, num_epochs: int, final_lr: float = 0.0):
+        super().__init__(base_lr)
+        if num_epochs < 1:
+            raise ValueError("num_epochs must be positive")
+        if final_lr < 0 or final_lr > base_lr:
+            raise ValueError("final_lr must be in [0, base_lr]")
+        self.num_epochs = num_epochs
+        self.final_lr = final_lr
+
+    def _rate(self, epoch: int) -> float:
+        progress = min(epoch - 1, self.num_epochs - 1) / max(self.num_epochs - 1, 1)
+        cosine = 0.5 * (1.0 + np.cos(np.pi * progress))
+        return self.final_lr + (self.base_lr - self.final_lr) * cosine
+
+
+class WarmupSchedule(LearningRateSchedule):
+    """Linear warm-up for ``warmup_epochs`` epochs, then defer to another schedule."""
+
+    def __init__(self, schedule: LearningRateSchedule, warmup_epochs: int = 3):
+        super().__init__(schedule.base_lr)
+        if warmup_epochs < 1:
+            raise ValueError("warmup_epochs must be positive")
+        self.schedule = schedule
+        self.warmup_epochs = warmup_epochs
+
+    def _rate(self, epoch: int) -> float:
+        if epoch <= self.warmup_epochs:
+            return self.schedule(self.warmup_epochs + 1) * epoch / (self.warmup_epochs + 1)
+        return self.schedule(epoch)

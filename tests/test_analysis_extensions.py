@@ -1,0 +1,188 @@
+"""Tests for the extension analyses: user-activity sparsity buckets,
+convergence summaries, settings comparison and the synergy-aggregation
+study."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    compare_by_user_activity,
+    compare_convergence,
+    compare_settings,
+    metric_by_test_set_size,
+    performance_by_user_activity,
+    run_synergy_aggregation_study,
+    summarize_convergence,
+)
+from repro.data.dataset import InteractionDataset
+from repro.data.splits import split_setting
+from repro.evaluation import RankingEvaluator
+from repro.models import Popularity, create_model
+from repro.training import Trainer, TrainingConfig
+from repro.training.trainer import TrainingResult
+
+NUM_ITEMS = 30
+
+
+def tiny_dataset(num_users: int = 16, seed: int = 0) -> InteractionDataset:
+    rng = np.random.default_rng(seed)
+    sequences = [
+        rng.integers(0, NUM_ITEMS, size=rng.integers(12, 30)).tolist()
+        for _ in range(num_users)
+    ]
+    return InteractionDataset.from_sequences(sequences, num_items=NUM_ITEMS)
+
+
+def evaluated_popularity(split):
+    model = Popularity(split.num_users, NUM_ITEMS).fit_counts(split.train_plus_valid())
+    return model, RankingEvaluator(split, ks=(5, 10)).evaluate(model)
+
+
+class TestSparsityBuckets:
+    def test_buckets_partition_all_users(self):
+        split = split_setting(tiny_dataset(), "80-20-CUT")
+        _, result = evaluated_popularity(split)
+        buckets = performance_by_user_activity(split, result, num_buckets=4)
+        assert sum(bucket.num_users for bucket in buckets) == result.num_users_evaluated
+
+    def test_buckets_ordered_by_activity(self):
+        split = split_setting(tiny_dataset(), "80-20-CUT")
+        _, result = evaluated_popularity(split)
+        buckets = performance_by_user_activity(split, result, num_buckets=3)
+        lengths = [bucket.mean_history_length for bucket in buckets]
+        assert lengths == sorted(lengths)
+        assert all(b.min_interactions <= b.max_interactions for b in buckets)
+
+    def test_single_bucket_recovers_overall_mean(self):
+        split = split_setting(tiny_dataset(), "80-20-CUT")
+        _, result = evaluated_popularity(split)
+        buckets = performance_by_user_activity(split, result, metric="Recall@10",
+                                               num_buckets=1)
+        assert len(buckets) == 1
+        assert buckets[0].mean_metric == pytest.approx(result.metrics["Recall@10"])
+
+    def test_unknown_metric_and_bad_mode(self):
+        split = split_setting(tiny_dataset(), "80-20-CUT")
+        _, result = evaluated_popularity(split)
+        with pytest.raises(KeyError):
+            performance_by_user_activity(split, result, metric="Recall@99")
+        with pytest.raises(ValueError):
+            performance_by_user_activity(split, result, mode="train")
+        with pytest.raises(ValueError):
+            performance_by_user_activity(split, result, num_buckets=0)
+
+    def test_compare_by_user_activity_keys(self):
+        split = split_setting(tiny_dataset(), "80-20-CUT")
+        _, result = evaluated_popularity(split)
+        comparison = compare_by_user_activity(split, {"POP": result, "POP2": result})
+        assert set(comparison) == {"POP", "POP2"}
+        assert comparison["POP"][0].as_row()["users"] > 0
+
+
+class TestConvergence:
+    def make_result(self):
+        return TrainingResult(
+            epoch_losses=[1.0, 0.7, 0.5, 0.45, 0.44],
+            validation_history=[(1, 0.02), (3, 0.09), (5, 0.10)],
+            best_validation=0.10,
+            best_epoch=5,
+            train_seconds=1.5,
+        )
+
+    def test_summary_values(self):
+        summary = summarize_convergence(self.make_result())
+        assert summary.num_epochs == 5
+        assert summary.final_loss == pytest.approx(0.44)
+        assert summary.best_epoch == 5
+        assert summary.epochs_to_90_percent == 3      # 0.09 >= 0.9 * 0.10
+        assert summary.loss_decrease_fraction == pytest.approx(1.0)
+        assert summary.as_row()["seconds"] == pytest.approx(1.5)
+
+    def test_no_validation_history(self):
+        result = TrainingResult(epoch_losses=[1.0, 0.9])
+        summary = summarize_convergence(result)
+        assert summary.best_validation == 0.0
+        assert summary.epochs_to_90_percent is None
+
+    def test_non_monotone_losses(self):
+        result = TrainingResult(epoch_losses=[1.0, 1.2, 0.8])
+        summary = summarize_convergence(result)
+        assert summary.loss_decrease_fraction == pytest.approx(0.5)
+
+    def test_empty_result_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_convergence(TrainingResult())
+
+    def test_fraction_validation(self):
+        with pytest.raises(ValueError):
+            summarize_convergence(self.make_result(), fraction=0.0)
+
+    def test_compare(self):
+        comparison = compare_convergence({"a": self.make_result(), "b": self.make_result()})
+        assert set(comparison) == {"a", "b"}
+        with pytest.raises(ValueError):
+            compare_convergence({})
+
+    def test_real_training_run_summarizes(self):
+        split = split_setting(tiny_dataset(), "80-20-CUT")
+        model = create_model("HAMm", split.num_users, NUM_ITEMS,
+                             rng=np.random.default_rng(0), embedding_dim=8, n_h=4, n_l=2)
+        evaluator = RankingEvaluator(split, ks=(5,), mode="validation")
+        trainer = Trainer(model, TrainingConfig(num_epochs=3, batch_size=64, eval_every=1),
+                          validation_fn=lambda m: evaluator.validation_metric(m, "Recall@5"))
+        summary = summarize_convergence(trainer.fit(split.train))
+        assert summary.num_epochs == 3
+        assert summary.train_seconds > 0
+
+
+class TestSettingsComparison:
+    def test_test_size_buckets_partition_users(self):
+        split = split_setting(tiny_dataset(), "80-20-CUT")
+        _, result = evaluated_popularity(split)
+        buckets = metric_by_test_set_size(split, result, metric="NDCG@10", num_buckets=3)
+        assert sum(bucket.num_users for bucket in buckets) == result.num_users_evaluated
+        sizes = [bucket.max_test_items for bucket in buckets]
+        assert sizes == sorted(sizes)
+
+    def test_equal_test_sizes_in_3los(self):
+        split = split_setting(tiny_dataset(), "3-LOS")
+        _, result = evaluated_popularity(split)
+        buckets = metric_by_test_set_size(split, result, num_buckets=2)
+        # Every user has exactly 3 test items in 3-LOS.
+        assert all(bucket.min_test_items == 3 and bucket.max_test_items == 3
+                   for bucket in buckets)
+
+    def test_validation_errors(self):
+        split = split_setting(tiny_dataset(), "80-20-CUT")
+        _, result = evaluated_popularity(split)
+        with pytest.raises(KeyError):
+            metric_by_test_set_size(split, result, metric="nope")
+        with pytest.raises(ValueError):
+            metric_by_test_set_size(split, result, num_buckets=0)
+
+    def test_compare_settings_runs_all_three(self):
+        dataset = tiny_dataset()
+        rows = compare_settings(dataset, method="HAMm", dataset_key="cds", epochs=1)
+        assert [row.setting for row in rows] == ["80-20-CUT", "80-3-CUT", "3-LOS"]
+        for row in rows:
+            assert set(row.metrics) == {"Recall@5", "Recall@10", "NDCG@5", "NDCG@10"}
+            assert row.num_users_evaluated > 0
+            assert row.as_row()["setting"] == row.setting
+
+
+class TestSynergyStudy:
+    def test_rows_cover_requested_combinations(self, monkeypatch):
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        combinations = (("sum", "mean"), ("max", "mean"))
+        rows = run_synergy_aggregation_study("cds", combinations=combinations, epochs=1)
+        assert [(row.inner, row.outer) for row in rows] == list(combinations)
+        assert rows[0].is_paper_choice and not rows[1].is_paper_choice
+        for row in rows:
+            assert 0.0 <= row.recall_at_10 <= 1.0
+            assert row.as_row()["dataset"] == "cds"
+
+    def test_unknown_aggregation_rejected(self):
+        with pytest.raises(ValueError):
+            run_synergy_aggregation_study("cds", combinations=(("median", "mean"),))

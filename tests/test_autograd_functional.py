@@ -1,0 +1,147 @@
+"""Tests for repro.autograd.functional operations."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, functional as F
+from repro.autograd.numeric import gradient_check
+
+
+def make(shape, seed=0):
+    rng = np.random.default_rng(seed)
+    return Tensor(rng.normal(size=shape), requires_grad=True)
+
+
+class TestSoftmax:
+    def test_rows_sum_to_one(self):
+        x = make((4, 7), seed=1)
+        probs = F.softmax(x, axis=-1)
+        assert np.allclose(probs.data.sum(axis=-1), 1.0)
+
+    def test_invariant_to_shift(self):
+        x = make((3, 5), seed=2)
+        shifted = Tensor(x.data + 100.0)
+        assert np.allclose(F.softmax(x).data, F.softmax(shifted).data)
+
+    def test_gradcheck(self):
+        x = make((2, 4), seed=3)
+        gradient_check(lambda: (F.softmax(x, axis=-1) ** 2).sum(), [x])
+
+    def test_log_softmax_matches_log_of_softmax(self):
+        x = make((3, 6), seed=4)
+        assert np.allclose(F.log_softmax(x).data, np.log(F.softmax(x).data))
+
+    def test_log_softmax_gradcheck(self):
+        x = make((2, 3), seed=5)
+        gradient_check(lambda: F.log_softmax(x, axis=-1).sum(), [x])
+
+
+class TestLogSigmoid:
+    def test_matches_naive_formula_in_safe_range(self):
+        x = make((10,), seed=6)
+        expected = np.log(1.0 / (1.0 + np.exp(-x.data)))
+        assert np.allclose(F.logsigmoid(x).data, expected)
+
+    def test_no_overflow_for_large_negative_inputs(self):
+        x = Tensor(np.array([-1000.0, -100.0, 0.0, 100.0]), requires_grad=True)
+        out = F.logsigmoid(x)
+        assert np.all(np.isfinite(out.data))
+        # log sigmoid(-1000) ~ -1000, log sigmoid(100) ~ 0
+        assert out.data[0] == pytest.approx(-1000.0, rel=1e-6)
+        assert out.data[3] == pytest.approx(0.0, abs=1e-6)
+
+    def test_gradcheck(self):
+        x = make((5,), seed=7)
+        gradient_check(lambda: F.logsigmoid(x).sum(), [x])
+
+    def test_gradient_is_one_minus_sigmoid(self):
+        x = make((6,), seed=8)
+        F.logsigmoid(x).sum().backward()
+        expected = 1.0 - 1.0 / (1.0 + np.exp(-x.data))
+        assert np.allclose(x.grad, expected)
+
+
+class TestDropout:
+    def test_identity_when_not_training(self):
+        x = make((10, 10), seed=9)
+        out = F.dropout(x, 0.5, training=False)
+        assert np.array_equal(out.data, x.data)
+
+    def test_identity_when_p_zero(self):
+        x = make((10, 10), seed=10)
+        out = F.dropout(x, 0.0, training=True)
+        assert np.array_equal(out.data, x.data)
+
+    def test_scaling_preserves_expectation(self):
+        rng = np.random.default_rng(11)
+        x = Tensor(np.ones((200, 200)))
+        out = F.dropout(x, 0.3, training=True, rng=rng)
+        assert out.data.mean() == pytest.approx(1.0, abs=0.02)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            F.dropout(make((2, 2)), 1.0, training=True)
+
+
+class TestPoolingAndEmbedding:
+    def test_mean_pool(self):
+        x = Tensor(np.arange(12.0).reshape(2, 3, 2), requires_grad=True)
+        pooled = F.mean_pool(x, axis=1)
+        assert pooled.shape == (2, 2)
+        assert np.allclose(pooled.data[0], [2.0, 3.0])
+
+    def test_max_pool(self):
+        x = Tensor(np.arange(12.0).reshape(2, 3, 2), requires_grad=True)
+        pooled = F.max_pool(x, axis=1)
+        assert np.allclose(pooled.data[0], [4.0, 5.0])
+
+    def test_embedding_lookup_shape(self):
+        weight = make((10, 4), seed=12)
+        out = F.embedding(weight, np.array([[1, 2, 3], [4, 5, 6]]))
+        assert out.shape == (2, 3, 4)
+
+    def test_embedding_gradcheck(self):
+        weight = make((8, 3), seed=13)
+        idx = np.array([[0, 1], [1, 7]])
+        gradient_check(lambda: (F.embedding(weight, idx) ** 2).sum(), [weight])
+
+
+class TestMaskedFillAndAttention:
+    def test_masked_fill_values(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        mask = np.array([[True, False], [False, True]])
+        out = F.masked_fill(x, mask, -5.0)
+        assert np.allclose(out.data, [[-5.0, 1.0], [1.0, -5.0]])
+
+    def test_masked_fill_blocks_gradient(self):
+        x = Tensor(np.ones((2, 2)), requires_grad=True)
+        mask = np.array([[True, False], [False, True]])
+        F.masked_fill(x, mask, -5.0).sum().backward()
+        assert np.allclose(x.grad, [[0.0, 1.0], [1.0, 0.0]])
+
+    def test_attention_output_shape(self):
+        q = make((2, 5, 8), seed=14)
+        k = make((2, 5, 8), seed=15)
+        v = make((2, 5, 8), seed=16)
+        out = F.scaled_dot_product_attention(q, k, v)
+        assert out.shape == (2, 5, 8)
+
+    def test_causal_mask_blocks_future(self):
+        # With a causal mask, the first position can only attend to itself,
+        # so its output must equal the first value row exactly.
+        length, dim = 4, 3
+        q = make((1, length, dim), seed=17)
+        k = make((1, length, dim), seed=18)
+        v = make((1, length, dim), seed=19)
+        causal = np.triu(np.ones((length, length), dtype=bool), k=1)
+        out = F.scaled_dot_product_attention(q, k, v, mask=causal)
+        assert np.allclose(out.data[0, 0], v.data[0, 0])
+
+    def test_attention_gradcheck(self):
+        q = make((1, 3, 2), seed=20)
+        k = make((1, 3, 2), seed=21)
+        v = make((1, 3, 2), seed=22)
+        gradient_check(
+            lambda: (F.scaled_dot_product_attention(q, k, v) ** 2).sum(),
+            [q, k, v],
+        )

@@ -1,0 +1,280 @@
+"""Tests for layers, module abstraction, optimizers and initializers."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    SGD,
+    Adagrad,
+    Adam,
+    Dropout,
+    Embedding,
+    LayerNorm,
+    Linear,
+    Module,
+    ModuleList,
+    Parameter,
+    Sequential,
+    Tensor,
+    init,
+)
+from repro.autograd.numeric import gradient_check
+
+
+RNG = np.random.default_rng(0)
+
+
+class TestEmbedding:
+    def test_lookup_shape(self):
+        emb = Embedding(20, 8, rng=np.random.default_rng(1))
+        out = emb(np.array([[1, 2], [3, 4], [5, 6]]))
+        assert out.shape == (3, 2, 8)
+
+    def test_out_of_range_raises(self):
+        emb = Embedding(5, 4, rng=np.random.default_rng(2))
+        with pytest.raises(IndexError):
+            emb(np.array([5]))
+        with pytest.raises(IndexError):
+            emb(np.array([-1]))
+
+    def test_invalid_dims(self):
+        with pytest.raises(ValueError):
+            Embedding(0, 4, rng=np.random.default_rng(3))
+
+    def test_padding_idx_row_is_zero(self):
+        emb = Embedding(6, 4, rng=np.random.default_rng(4), padding_idx=0)
+        assert np.allclose(emb.weight.data[0], 0.0)
+        emb.apply_padding_mask()
+        assert np.allclose(emb.weight.data[0], 0.0)
+
+    def test_gradients_flow_to_looked_up_rows_only(self):
+        emb = Embedding(6, 3, rng=np.random.default_rng(5))
+        out = emb(np.array([2, 2, 4]))
+        out.sum().backward()
+        grad = emb.weight.grad
+        assert np.allclose(grad[2], 2.0)
+        assert np.allclose(grad[4], 1.0)
+        assert np.allclose(grad[0], 0.0)
+
+
+class TestLinear:
+    def test_output_shape_and_bias(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(6))
+        out = layer(Tensor(np.ones((5, 4))))
+        assert out.shape == (5, 3)
+
+    def test_no_bias(self):
+        layer = Linear(4, 3, rng=np.random.default_rng(7), bias=False)
+        assert layer.bias is None
+        assert len(layer.parameters()) == 1
+
+    def test_batched_input(self):
+        layer = Linear(4, 2, rng=np.random.default_rng(8))
+        out = layer(Tensor(np.ones((2, 5, 4))))
+        assert out.shape == (2, 5, 2)
+
+    def test_gradcheck(self):
+        layer = Linear(3, 2, rng=np.random.default_rng(9))
+        x = Tensor(np.random.default_rng(10).normal(size=(4, 3)), requires_grad=True)
+        gradient_check(lambda: (layer(x) ** 2).sum(), [x, layer.weight, layer.bias])
+
+
+class TestLayerNorm:
+    def test_normalizes_last_dim(self):
+        ln = LayerNorm(8)
+        x = Tensor(np.random.default_rng(11).normal(5.0, 3.0, size=(4, 8)))
+        out = ln(x)
+        assert np.allclose(out.data.mean(axis=-1), 0.0, atol=1e-6)
+        assert np.allclose(out.data.std(axis=-1), 1.0, atol=1e-3)
+
+    def test_gradcheck(self):
+        ln = LayerNorm(5)
+        x = Tensor(np.random.default_rng(12).normal(size=(2, 5)), requires_grad=True)
+        gradient_check(lambda: (ln(x) ** 2).sum(), [x, ln.gamma, ln.beta])
+
+
+class TestDropoutLayer:
+    def test_eval_mode_is_identity(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(13))
+        layer.eval()
+        x = Tensor(np.ones((4, 4)))
+        assert np.array_equal(layer(x).data, x.data)
+
+    def test_train_mode_zeroes_some(self):
+        layer = Dropout(0.5, rng=np.random.default_rng(14))
+        x = Tensor(np.ones((30, 30)))
+        out = layer(x)
+        assert (out.data == 0).sum() > 0
+
+    def test_invalid_p(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestContainersAndModule:
+    def _small_model(self):
+        rng = np.random.default_rng(15)
+
+        class Tiny(Module):
+            def __init__(self):
+                super().__init__()
+                self.embed = Embedding(10, 4, rng=rng)
+                self.head = Linear(4, 2, rng=rng)
+                self.blocks = ModuleList([Linear(2, 2, rng=rng) for _ in range(2)])
+
+            def forward(self, idx):
+                x = self.embed(idx).mean(axis=1)
+                x = self.head(x)
+                for block in self.blocks:
+                    x = block(x)
+                return x
+
+        return Tiny()
+
+    def test_named_parameters_covers_nested_modules(self):
+        model = self._small_model()
+        names = {name for name, _ in model.named_parameters()}
+        assert "embed.weight" in names
+        assert "head.weight" in names and "head.bias" in names
+        assert "blocks.children_list.0.weight" in names
+
+    def test_num_parameters(self):
+        model = self._small_model()
+        expected = 10 * 4 + 4 * 2 + 2 + 2 * (2 * 2 + 2)
+        assert model.num_parameters() == expected
+
+    def test_state_dict_roundtrip(self):
+        model = self._small_model()
+        state = model.state_dict()
+        original = model.embed.weight.data.copy()
+        model.embed.weight.data += 1.0
+        model.load_state_dict(state)
+        assert np.allclose(model.embed.weight.data, original)
+
+    def test_load_state_dict_shape_mismatch(self):
+        model = self._small_model()
+        state = model.state_dict()
+        state["embed.weight"] = np.zeros((3, 3))
+        with pytest.raises(ValueError):
+            model.load_state_dict(state)
+
+    def test_load_state_dict_missing_key(self):
+        model = self._small_model()
+        state = model.state_dict()
+        del state["head.bias"]
+        with pytest.raises(KeyError):
+            model.load_state_dict(state)
+
+    def test_train_eval_propagates(self):
+        model = self._small_model()
+        model.eval()
+        assert not model.head.training
+        model.train()
+        assert model.blocks[1].training
+
+    def test_zero_grad(self):
+        model = self._small_model()
+        out = model(np.array([[1, 2, 3]]))
+        out.sum().backward()
+        assert model.embed.weight.grad is not None
+        model.zero_grad()
+        assert model.embed.weight.grad is None
+
+    def test_sequential(self):
+        rng = np.random.default_rng(16)
+        seq = Sequential(Linear(3, 4, rng=rng), Linear(4, 2, rng=rng))
+        out = seq(Tensor(np.ones((5, 3))))
+        assert out.shape == (5, 2)
+        assert len(seq) == 2
+        assert len(list(iter(seq))) == 2
+
+
+class TestOptimizers:
+    def _quadratic_problem(self):
+        # minimize ||x - target||^2
+        target = np.array([1.0, -2.0, 3.0])
+        param = Parameter(np.zeros(3))
+        return param, target
+
+    def _loss(self, param, target):
+        diff = param - Tensor(target)
+        return (diff * diff).sum()
+
+    @pytest.mark.parametrize("optimizer_cls,kwargs", [
+        (SGD, {"lr": 0.1}),
+        (SGD, {"lr": 0.05, "momentum": 0.9}),
+        (Adam, {"lr": 0.1}),
+        (Adagrad, {"lr": 0.5}),
+    ])
+    def test_converges_on_quadratic(self, optimizer_cls, kwargs):
+        param, target = self._quadratic_problem()
+        optimizer = optimizer_cls([param], **kwargs)
+        for _ in range(300):
+            optimizer.zero_grad()
+            loss = self._loss(param, target)
+            loss.backward()
+            optimizer.step()
+        assert np.allclose(param.data, target, atol=1e-2)
+
+    def test_weight_decay_shrinks_solution(self):
+        param_plain, target = self._quadratic_problem()
+        param_decay = Parameter(np.zeros(3))
+        opt_plain = Adam([param_plain], lr=0.05)
+        opt_decay = Adam([param_decay], lr=0.05, weight_decay=1.0)
+        for _ in range(500):
+            for param, opt in ((param_plain, opt_plain), (param_decay, opt_decay)):
+                opt.zero_grad()
+                self._loss(param, target).backward()
+                opt.step()
+        assert np.linalg.norm(param_decay.data) < np.linalg.norm(param_plain.data)
+
+    def test_step_skips_parameters_without_grad(self):
+        a = Parameter(np.ones(2))
+        b = Parameter(np.ones(2))
+        opt = Adam([a, b], lr=0.1)
+        (a * 2).sum().backward()
+        before = b.data.copy()
+        opt.step()
+        assert np.allclose(b.data, before)
+        assert not np.allclose(a.data, np.ones(2))
+
+    def test_invalid_hyperparameters(self):
+        param = Parameter(np.ones(2))
+        with pytest.raises(ValueError):
+            Adam([param], lr=-1.0)
+        with pytest.raises(ValueError):
+            Adam([param], lr=0.1, betas=(1.5, 0.9))
+        with pytest.raises(ValueError):
+            SGD([param], lr=0.1, momentum=1.5)
+        with pytest.raises(ValueError):
+            SGD([param], lr=0.1, weight_decay=-0.1)
+        with pytest.raises(ValueError):
+            Adam([], lr=0.1)
+
+
+class TestInit:
+    def test_normal_statistics(self):
+        param = init.normal((2000,), np.random.default_rng(17), std=0.02)
+        assert abs(param.data.std() - 0.02) < 0.005
+
+    def test_uniform_bounds(self):
+        param = init.uniform((1000,), np.random.default_rng(18), low=-0.1, high=0.1)
+        assert param.data.min() >= -0.1 and param.data.max() < 0.1
+
+    def test_xavier_uniform_bound(self):
+        param = init.xavier_uniform((50, 100), np.random.default_rng(19))
+        bound = np.sqrt(6.0 / 150)
+        assert np.abs(param.data).max() <= bound + 1e-12
+
+    def test_xavier_normal_std(self):
+        param = init.xavier_normal((200, 200), np.random.default_rng(20))
+        assert abs(param.data.std() - np.sqrt(2.0 / 400)) < 0.01
+
+    def test_zeros_ones_constant(self):
+        assert np.all(init.zeros((3, 3)).data == 0)
+        assert np.all(init.ones((2,)).data == 1)
+        assert np.all(init.constant((2, 2), 7.0).data == 7.0)
+
+    def test_invalid_shape(self):
+        with pytest.raises(ValueError):
+            init.xavier_uniform((), np.random.default_rng(21))

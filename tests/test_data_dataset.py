@@ -1,0 +1,167 @@
+"""Tests for InteractionDataset and preprocessing."""
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset, PreprocessConfig, RawInteraction, preprocess_interactions
+from repro.data.dataset import merge_datasets
+
+
+def small_dataset():
+    return InteractionDataset(
+        sequences=[[0, 1, 2, 3], [1, 2], [3, 0, 1]],
+        num_items=4,
+        name="toy",
+    )
+
+
+class TestInteractionDataset:
+    def test_basic_counts(self):
+        ds = small_dataset()
+        assert ds.num_users == 3
+        assert ds.num_items == 4
+        assert ds.num_interactions == 9
+        assert ds.interactions_per_user == pytest.approx(3.0)
+        assert ds.interactions_per_item == pytest.approx(2.25)
+        assert 0 < ds.density < 1
+
+    def test_sequence_access(self):
+        ds = small_dataset()
+        assert ds.sequence(0) == [0, 1, 2, 3]
+        assert ds.subsequence(0, 1, 2) == [1, 2]
+        assert ds.items_of_user(2) == {3, 0, 1}
+        assert len(ds) == 3
+        assert list(iter(ds))[1] == [1, 2]
+
+    def test_subsequence_validation(self):
+        ds = small_dataset()
+        with pytest.raises(ValueError):
+            ds.subsequence(0, -1, 2)
+
+    def test_item_frequencies(self):
+        ds = small_dataset()
+        freqs = ds.item_frequencies()
+        assert freqs.tolist() == [2, 3, 2, 2]
+
+    def test_user_lengths(self):
+        assert small_dataset().user_lengths().tolist() == [4, 2, 3]
+
+    def test_invalid_item_id_rejected(self):
+        with pytest.raises(ValueError):
+            InteractionDataset(sequences=[[0, 5]], num_items=4)
+
+    def test_invalid_num_items(self):
+        with pytest.raises(ValueError):
+            InteractionDataset(sequences=[[0]], num_items=0)
+
+    def test_from_sequences_infers_num_items(self):
+        ds = InteractionDataset.from_sequences([[0, 3], [2]])
+        assert ds.num_items == 4
+
+    def test_filter_users(self):
+        ds = small_dataset().filter_users(min_length=3)
+        assert ds.num_users == 2
+
+    def test_truncate_sequences(self):
+        ds = small_dataset().truncate_sequences(2)
+        assert ds.sequence(0) == [2, 3]
+        with pytest.raises(ValueError):
+            small_dataset().truncate_sequences(0)
+
+    def test_summary_mentions_counts(self):
+        text = small_dataset().summary()
+        assert "3 users" in text and "4 items" in text
+
+    def test_merge_datasets(self):
+        merged = merge_datasets([small_dataset(), small_dataset()])
+        assert merged.num_users == 6
+        assert merged.num_items == 4
+        with pytest.raises(ValueError):
+            merge_datasets([])
+
+
+class TestPreprocessing:
+    def _interactions(self):
+        # user "a" rates 12 items highly, user "b" rates 3 items, user "c"
+        # rates 12 items but only 2 highly.
+        interactions = []
+        for t in range(12):
+            interactions.append(RawInteraction("a", f"i{t % 6}", 5.0, t))
+        for t in range(3):
+            interactions.append(RawInteraction("b", f"i{t}", 5.0, t))
+        for t in range(12):
+            rating = 5.0 if t < 2 else 2.0
+            interactions.append(RawInteraction("c", f"i{t % 6}", rating, t))
+        return interactions
+
+    def test_low_ratings_dropped(self):
+        ds = preprocess_interactions(
+            self._interactions(),
+            PreprocessConfig(min_interactions_per_user=1, min_interactions_per_item=1),
+        )
+        # All ratings < 4 are dropped: user c keeps only 2 interactions.
+        assert ds.num_interactions == 12 + 3 + 2
+
+    def test_min_user_filter(self):
+        ds = preprocess_interactions(
+            self._interactions(),
+            PreprocessConfig(min_interactions_per_user=10, min_interactions_per_item=1),
+        )
+        # Only user "a" has >= 10 positive interactions.
+        assert ds.num_users == 1
+        assert ds.num_interactions == 12
+
+    def test_iterative_filtering_reaches_fixed_point(self):
+        # Item j is only kept through user b; dropping user b must also drop j.
+        interactions = [RawInteraction("a", "i", 5.0, t) for t in range(5)]
+        interactions += [RawInteraction("b", "j", 5.0, 0)]
+        ds = preprocess_interactions(
+            interactions,
+            PreprocessConfig(min_interactions_per_user=2, min_interactions_per_item=1),
+        )
+        assert ds.num_users == 1
+        assert ds.num_items == 1
+
+    def test_implicit_keeps_all_feedback(self):
+        interactions = [RawInteraction("a", f"i{t}", 0.0, t) for t in range(12)]
+        ds = preprocess_interactions(
+            interactions,
+            PreprocessConfig(min_interactions_per_user=1, min_interactions_per_item=1,
+                             implicit=True),
+        )
+        assert ds.num_interactions == 12
+
+    def test_chronological_order(self):
+        interactions = [
+            RawInteraction("a", "late", 5.0, 10.0),
+            RawInteraction("a", "early", 5.0, 1.0),
+            RawInteraction("a", "middle", 5.0, 5.0),
+        ] * 4
+        ds = preprocess_interactions(
+            interactions,
+            PreprocessConfig(min_interactions_per_user=1, min_interactions_per_item=1),
+        )
+        seq = ds.sequence(0)
+        # first four entries must all be the "early" item
+        assert len(set(seq[:4])) == 1
+
+    def test_empty_result(self):
+        ds = preprocess_interactions(
+            [RawInteraction("a", "i", 1.0, 0)],
+            PreprocessConfig(),
+        )
+        assert ds.num_users == 0
+
+    def test_ids_are_contiguous(self):
+        ds = preprocess_interactions(
+            self._interactions(),
+            PreprocessConfig(min_interactions_per_user=1, min_interactions_per_item=1),
+        )
+        items = {item for seq in ds.sequences for item in seq}
+        assert items == set(range(ds.num_items))
+
+    def test_invalid_config(self):
+        with pytest.raises(ValueError):
+            PreprocessConfig(min_interactions_per_user=0)
+        with pytest.raises(ValueError):
+            PreprocessConfig(min_interactions_per_item=0)

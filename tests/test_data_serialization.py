@@ -1,0 +1,116 @@
+"""Tests for dataset/split serialization and the multi-seed experiment runner."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    InteractionDataset,
+    load_dataset,
+    load_split,
+    save_dataset,
+    save_split,
+    split_setting,
+)
+from repro.experiments import run_multi_seed_experiment
+from repro.experiments.overall import clear_cache
+
+NUM_ITEMS = 25
+
+
+def make_dataset(num_users: int = 10, seed: int = 0) -> InteractionDataset:
+    rng = np.random.default_rng(seed)
+    sequences = [
+        rng.integers(0, NUM_ITEMS, size=rng.integers(10, 20)).tolist()
+        for _ in range(num_users)
+    ]
+    # One empty-ish short user exercises the ragged encoding edge cases.
+    sequences.append([3])
+    return InteractionDataset.from_sequences(sequences, num_items=NUM_ITEMS, name="unit")
+
+
+class TestDatasetSerialization:
+    def test_roundtrip_preserves_sequences(self, tmp_path):
+        dataset = make_dataset()
+        path = save_dataset(dataset, tmp_path / "data")
+        assert path.suffix == ".npz"
+        restored = load_dataset(path)
+        assert restored.name == dataset.name
+        assert restored.num_items == dataset.num_items
+        assert restored.sequences == dataset.sequences
+
+    def test_roundtrip_preserves_statistics(self, tmp_path):
+        dataset = make_dataset(seed=3)
+        restored = load_dataset(save_dataset(dataset, tmp_path / "stats.npz"))
+        assert restored.num_users == dataset.num_users
+        assert restored.num_interactions == dataset.num_interactions
+        assert np.allclose(restored.item_frequencies(), dataset.item_frequencies())
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_dataset(tmp_path / "absent.npz")
+
+    def test_empty_sequences_supported(self, tmp_path):
+        dataset = InteractionDataset([[], [1, 2], []], num_items=5, name="sparse")
+        restored = load_dataset(save_dataset(dataset, tmp_path / "sparse"))
+        assert restored.sequences == [[], [1, 2], []]
+
+
+class TestSplitSerialization:
+    @pytest.mark.parametrize("setting", ["80-20-CUT", "80-3-CUT", "3-LOS"])
+    def test_roundtrip_every_setting(self, tmp_path, setting):
+        split = split_setting(make_dataset(num_users=12, seed=1), setting)
+        restored = load_split(save_split(split, tmp_path / setting))
+        assert restored.setting == split.setting
+        assert restored.num_items == split.num_items
+        assert restored.train == split.train
+        assert restored.valid == split.valid
+        assert restored.test == split.test
+        assert restored.train_plus_valid() == split.train_plus_valid()
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_split(tmp_path / "absent.npz")
+
+
+class TestMultiSeed:
+    @pytest.fixture(autouse=True)
+    def _clear(self):
+        clear_cache()
+        yield
+        clear_cache()
+
+    def test_aggregates_over_seeds(self):
+        result = run_multi_seed_experiment("cds", "80-3-CUT", methods=("HAMm", "POP"),
+                                           seeds=(0, 1), scale="tiny", epochs=1)
+        assert result.seeds == (0, 1)
+        values = result.metric_values("HAMm", "Recall@10")
+        assert values.shape == (2,)
+        aggregate = result.aggregate("HAMm", "Recall@10")
+        assert aggregate.mean == pytest.approx(values.mean())
+        assert aggregate.minimum <= aggregate.mean <= aggregate.maximum
+        assert aggregate.num_seeds == 2
+        assert aggregate.as_row()["method"] == "HAMm"
+
+    def test_aggregates_table_and_win_counts(self):
+        result = run_multi_seed_experiment("cds", "80-3-CUT", methods=("HAMm", "POP"),
+                                           seeds=(0, 1), scale="tiny", epochs=1)
+        rows = result.aggregates("Recall@10", methods=("HAMm", "POP"))
+        assert [row.method for row in rows] == ["HAMm", "POP"]
+        counts = result.best_method_counts("Recall@10")
+        assert sum(counts.values()) == 2
+        assert set(counts) <= {"HAMm", "POP"}
+
+    def test_seed_validation(self):
+        with pytest.raises(ValueError):
+            run_multi_seed_experiment("cds", "80-3-CUT", seeds=())
+        with pytest.raises(ValueError):
+            run_multi_seed_experiment("cds", "80-3-CUT", seeds=(0, 0))
+
+    def test_pop_is_deterministic_across_seeds(self):
+        result = run_multi_seed_experiment("cds", "80-3-CUT", methods=("POP",),
+                                           seeds=(0, 1), scale="tiny", epochs=1)
+        aggregate = result.aggregate("POP", "Recall@10")
+        # POP ignores the training seed entirely, so the std must be zero.
+        assert aggregate.std == pytest.approx(0.0, abs=1e-12)

@@ -1,0 +1,192 @@
+"""Tests for the experimental-setting splits and sliding-window instances."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BatchIterator,
+    InteractionDataset,
+    build_training_instances,
+    leave_n_out,
+    split_cut,
+    split_setting,
+)
+from repro.data.windows import pad_id_for
+
+
+def dataset_with_lengths(lengths, num_items=50, seed=0):
+    rng = np.random.default_rng(seed)
+    sequences = [list(rng.integers(0, num_items, size=length)) for length in lengths]
+    return InteractionDataset(sequences, num_items, name="toy")
+
+
+class TestSplitCut:
+    def test_80_20_cut_proportions(self):
+        ds = dataset_with_lengths([20, 30, 10])
+        split = split_cut(ds)
+        assert split.setting == "80-20-CUT"
+        for user, length in enumerate([20, 30, 10]):
+            assert len(split.train[user]) == pytest.approx(0.7 * length, abs=1)
+            assert len(split.valid[user]) == pytest.approx(0.1 * length, abs=1)
+            total = len(split.train[user]) + len(split.valid[user]) + len(split.test[user])
+            assert total == length
+
+    def test_80_3_cut_limits_test_items(self):
+        ds = dataset_with_lengths([40, 15])
+        split = split_cut(ds, test_items=3)
+        assert split.setting == "80-3-CUT"
+        assert all(len(test) <= 3 for test in split.test)
+
+    def test_cut_preserves_order(self):
+        ds = InteractionDataset([list(range(20))], num_items=20)
+        split = split_cut(ds)
+        recombined = split.train[0] + split.valid[0] + split.test[0]
+        assert recombined == list(range(20))
+
+    def test_80_20_and_80_3_share_train_and_valid(self):
+        ds = dataset_with_lengths([25, 37, 44], seed=3)
+        split_full = split_cut(ds)
+        split_three = split_cut(ds, test_items=3)
+        assert split_full.train == split_three.train
+        assert split_full.valid == split_three.valid
+
+    def test_every_user_keeps_at_least_one_training_item(self):
+        ds = dataset_with_lengths([10, 10])
+        split = split_cut(ds)
+        assert all(len(train) >= 1 for train in split.train)
+
+    def test_invalid_fractions(self):
+        ds = dataset_with_lengths([10])
+        with pytest.raises(ValueError):
+            split_cut(ds, train_fraction=0.0)
+        with pytest.raises(ValueError):
+            split_cut(ds, train_fraction=0.9, valid_fraction=0.2)
+        with pytest.raises(ValueError):
+            split_cut(ds, test_items=0)
+
+
+class TestLeaveNOut:
+    def test_last_three_items_are_test(self):
+        ds = InteractionDataset([list(range(12))], num_items=12)
+        split = leave_n_out(ds)
+        assert split.test[0] == [9, 10, 11]
+        assert split.valid[0] == [6, 7, 8]
+        assert split.train[0] == list(range(6))
+
+    def test_short_user_keeps_training_item(self):
+        ds = InteractionDataset([[0, 1, 2, 3]], num_items=4)
+        split = leave_n_out(ds)
+        assert len(split.train[0]) >= 1
+        assert split.test[0] == [1, 2, 3]
+
+    def test_setting_label(self):
+        ds = dataset_with_lengths([15])
+        assert leave_n_out(ds).setting == "3-LOS"
+
+    def test_invalid_args(self):
+        ds = dataset_with_lengths([15])
+        with pytest.raises(ValueError):
+            leave_n_out(ds, test_items=0)
+
+
+class TestSplitSetting:
+    @pytest.mark.parametrize("setting", ["80-20-CUT", "80-3-CUT", "3-LOS"])
+    def test_dispatch(self, setting):
+        ds = dataset_with_lengths([30, 20])
+        split = split_setting(ds, setting)
+        assert split.setting == setting
+        assert split.num_users == 2
+
+    def test_unknown_setting(self):
+        with pytest.raises(ValueError):
+            split_setting(dataset_with_lengths([10]), "50-50")
+
+    def test_train_plus_valid(self):
+        ds = dataset_with_lengths([30])
+        split = split_setting(ds, "80-20-CUT")
+        combined = split.train_plus_valid()
+        assert combined[0] == split.train[0] + split.valid[0]
+        assert split.train_plus_valid_dataset().num_interactions == len(combined[0])
+        assert split.train_dataset().num_interactions == len(split.train[0])
+
+    def test_users_with_test_items(self):
+        ds = InteractionDataset([[0, 1], list(range(20))], num_items=20)
+        split = split_setting(ds, "80-20-CUT")
+        evaluable = split.users_with_test_items()
+        assert 1 in evaluable
+
+
+class TestSlidingWindows:
+    def test_window_contents(self):
+        instances = build_training_instances([[1, 2, 3, 4, 5, 6]], num_items=10, n_h=3, n_p=2)
+        # windows: [1,2,3]->[4,5], [2,3,4]->[5,6]
+        assert len(instances) == 2
+        assert instances.inputs.tolist() == [[1, 2, 3], [2, 3, 4]]
+        assert instances.targets.tolist() == [[4, 5], [5, 6]]
+        assert instances.users.tolist() == [0, 0]
+
+    def test_short_sequence_left_padded(self):
+        instances = build_training_instances([[7, 8, 9]], num_items=10, n_h=4, n_p=2)
+        pad = pad_id_for(10)
+        assert len(instances) == 1
+        assert instances.inputs.tolist() == [[pad, pad, pad, 7]]
+        assert instances.targets.tolist() == [[8, 9]]
+        assert instances.input_mask().sum() == 1
+        assert instances.target_mask().all()
+
+    def test_single_item_user_skipped(self):
+        instances = build_training_instances([[5]], num_items=10, n_h=3, n_p=2)
+        assert len(instances) == 0
+
+    def test_counts_across_users(self):
+        sequences = [list(range(10)), list(range(8))]
+        instances = build_training_instances(sequences, num_items=20, n_h=4, n_p=2)
+        # user 0: 10-6+1 = 5 windows, user 1: 8-6+1 = 3 windows
+        assert len(instances) == 8
+        assert (instances.users == 0).sum() == 5
+        assert instances.n_h == 4 and instances.n_p == 2
+
+    def test_target_padding_for_short_targets(self):
+        instances = build_training_instances([[1, 2]], num_items=10, n_h=3, n_p=3)
+        pad = pad_id_for(10)
+        assert instances.targets.tolist() == [[2, pad, pad]]
+
+    def test_shuffled_preserves_rows(self):
+        instances = build_training_instances([list(range(12))], num_items=20, n_h=3, n_p=2)
+        shuffled = instances.shuffled(np.random.default_rng(0))
+        original = {tuple(row) for row in instances.inputs.tolist()}
+        permuted = {tuple(row) for row in shuffled.inputs.tolist()}
+        assert original == permuted
+
+    def test_invalid_window_sizes(self):
+        with pytest.raises(ValueError):
+            build_training_instances([[1, 2, 3]], num_items=5, n_h=0, n_p=1)
+
+    def test_empty_input(self):
+        instances = build_training_instances([], num_items=5, n_h=2, n_p=1)
+        assert len(instances) == 0
+
+
+class TestBatchIterator:
+    def test_batches_cover_all_instances(self):
+        instances = build_training_instances([list(range(30))], num_items=40, n_h=4, n_p=2)
+        iterator = BatchIterator(instances, batch_size=7, rng=np.random.default_rng(1))
+        seen = 0
+        for batch in iterator:
+            assert len(batch) <= 7
+            seen += len(batch)
+        assert seen == len(instances)
+        assert len(iterator) == (len(instances) + 6) // 7
+
+    def test_unshuffled_order(self):
+        instances = build_training_instances([list(range(10))], num_items=20, n_h=3, n_p=1)
+        iterator = BatchIterator(instances, batch_size=100, shuffle=False)
+        batch = next(iter(iterator))
+        assert batch.inputs.tolist() == instances.inputs.tolist()
+        assert batch.input_mask().all()
+        assert batch.target_mask().all()
+
+    def test_invalid_batch_size(self):
+        instances = build_training_instances([[1, 2, 3]], num_items=5, n_h=2, n_p=1)
+        with pytest.raises(ValueError):
+            BatchIterator(instances, batch_size=0)

@@ -1,0 +1,229 @@
+"""Tests for the synthetic generator, benchmark presets, loaders and stats."""
+
+import numpy as np
+import pytest
+
+from repro.data import (
+    BENCHMARKS,
+    SyntheticConfig,
+    compute_statistics,
+    generate_synthetic_dataset,
+    load_benchmark,
+)
+from repro.data.benchmarks import BENCHMARK_NAMES, PAPER_STATISTICS, SCALES, default_scale
+from repro.data.loaders import (
+    load_amazon_ratings,
+    load_dataset_file,
+    load_generic,
+    load_goodreads_interactions,
+    load_movielens,
+)
+from repro.data import PreprocessConfig
+
+LENIENT = PreprocessConfig(min_interactions_per_user=1, min_interactions_per_item=1)
+from repro.data.stats import log_frequency_percentiles, statistics_table
+
+
+def tiny_config(**overrides):
+    base = dict(
+        name="tiny", num_users=30, num_items=60, mean_sequence_length=15.0,
+        candidate_pool=20, seed=7,
+    )
+    base.update(overrides)
+    return SyntheticConfig(**base)
+
+
+class TestSyntheticGenerator:
+    def test_shapes_and_ranges(self):
+        ds = generate_synthetic_dataset(tiny_config())
+        assert ds.num_users == 30
+        assert ds.num_items == 60
+        assert all(0 <= item < 60 for seq in ds.sequences for item in seq)
+
+    def test_min_sequence_length_respected(self):
+        ds = generate_synthetic_dataset(tiny_config())
+        assert min(len(seq) for seq in ds.sequences) >= 10
+
+    def test_mean_length_close_to_target(self):
+        ds = generate_synthetic_dataset(tiny_config(num_users=100, mean_sequence_length=20.0))
+        assert ds.interactions_per_user == pytest.approx(20.0, rel=0.15)
+
+    def test_deterministic_for_fixed_seed(self):
+        a = generate_synthetic_dataset(tiny_config())
+        b = generate_synthetic_dataset(tiny_config())
+        assert a.sequences == b.sequences
+
+    def test_different_seeds_differ(self):
+        a = generate_synthetic_dataset(tiny_config(seed=1))
+        b = generate_synthetic_dataset(tiny_config(seed=2))
+        assert a.sequences != b.sequences
+
+    def test_no_immediate_repeats(self):
+        ds = generate_synthetic_dataset(tiny_config())
+        for seq in ds.sequences:
+            assert all(a != b for a, b in zip(seq, seq[1:]))
+
+    def test_popularity_skew_creates_inequality(self):
+        skewed = generate_synthetic_dataset(tiny_config(popularity_skew=1.5, seed=3))
+        flat = generate_synthetic_dataset(tiny_config(popularity_skew=0.0, seed=3))
+        def gini_proxy(ds):
+            freq = np.sort(ds.item_frequencies())[::-1].astype(float)
+            top = freq[: max(len(freq) // 10, 1)].sum()
+            return top / freq.sum()
+        assert gini_proxy(skewed) > gini_proxy(flat)
+
+    def test_metadata_carries_config(self):
+        config = tiny_config()
+        ds = generate_synthetic_dataset(config)
+        assert ds.metadata["synthetic_config"] == config
+        assert len(ds.metadata["popularity"]) == config.num_items
+
+    def test_scaled_changes_user_count_only(self):
+        config = tiny_config()
+        scaled = config.scaled(2.0)
+        assert scaled.num_users == 60
+        assert scaled.num_items == config.num_items
+
+    def test_invalid_configs(self):
+        with pytest.raises(ValueError):
+            tiny_config(num_items=1)
+        with pytest.raises(ValueError):
+            tiny_config(mean_sequence_length=2.0)
+        with pytest.raises(ValueError):
+            tiny_config(candidate_pool=1)
+        with pytest.raises(ValueError):
+            tiny_config(latent_dim=0)
+
+
+class TestBenchmarkPresets:
+    def test_all_six_datasets_present(self):
+        assert set(BENCHMARK_NAMES) == {"cds", "books", "children", "comics", "ml-1m", "ml-20m"}
+        assert set(PAPER_STATISTICS) == set(BENCHMARK_NAMES)
+
+    def test_load_tiny_benchmark(self):
+        ds = load_benchmark("cds", scale="tiny")
+        assert ds.name == "CDs"
+        assert ds.num_users > 0
+        assert ds.num_interactions > 0
+
+    def test_cache_returns_same_object(self):
+        a = load_benchmark("cds", scale="tiny")
+        b = load_benchmark("cds", scale="tiny")
+        assert a is b
+
+    def test_alias_resolution(self):
+        assert load_benchmark("Amazon-CDs", scale="tiny") is load_benchmark("cds", scale="tiny")
+        assert load_benchmark("ML1M", scale="tiny") is load_benchmark("ml-1m", scale="tiny")
+
+    def test_unknown_benchmark(self):
+        with pytest.raises(KeyError):
+            load_benchmark("netflix")
+
+    def test_unknown_scale(self):
+        with pytest.raises(ValueError):
+            load_benchmark("cds", scale="giant")
+
+    def test_sparsity_ordering_matches_paper(self):
+        # CDs must stay the sparsest preset and ML-1M the densest in terms
+        # of average interactions per user (Table 2 ordering).
+        lengths = {name: BENCHMARKS[name].mean_sequence_length for name in BENCHMARK_NAMES}
+        assert lengths["cds"] == min(lengths.values())
+        assert lengths["ml-1m"] == max(lengths.values())
+
+    def test_default_scale_env(self, monkeypatch):
+        monkeypatch.delenv("REPRO_SCALE", raising=False)
+        assert default_scale() == "small"
+        monkeypatch.setenv("REPRO_SCALE", "tiny")
+        assert default_scale() == "tiny"
+        monkeypatch.setenv("REPRO_SCALE", "bogus")
+        with pytest.raises(ValueError):
+            default_scale()
+
+    def test_scales_are_positive(self):
+        assert all(factor > 0 for factor in SCALES.values())
+
+
+class TestStatistics:
+    def test_compute_statistics(self):
+        ds = load_benchmark("cds", scale="tiny")
+        stats = compute_statistics(ds)
+        assert stats.num_users == ds.num_users
+        assert stats.interactions_per_user == pytest.approx(ds.interactions_per_user)
+        row = stats.as_row()
+        assert row["dataset"] == "CDs"
+        assert row["#users"] == ds.num_users
+
+    def test_statistics_table(self):
+        rows = statistics_table([load_benchmark("cds", scale="tiny"),
+                                 load_benchmark("ml-1m", scale="tiny")])
+        assert len(rows) == 2
+        assert rows[0]["#intrns"] > 0
+
+    def test_log_frequency_percentiles(self):
+        ds = load_benchmark("comics", scale="tiny")
+        centres, percentages = log_frequency_percentiles(ds, num_bins=10)
+        assert len(centres) == 10
+        assert percentages.sum() == pytest.approx(100.0)
+        assert np.all(percentages >= 0)
+
+
+class TestLoaders:
+    def test_movielens_dat(self, tmp_path):
+        path = tmp_path / "ratings.dat"
+        lines = []
+        for user in range(3):
+            for t in range(12):
+                lines.append(f"{user}::{t % 8}::5::{t}")
+        path.write_text("\n".join(lines))
+        ds = load_movielens(path, name="ml-test", config=LENIENT)
+        assert ds.num_users == 3
+        assert ds.name == "ml-test"
+
+    def test_movielens_csv_with_header(self, tmp_path):
+        path = tmp_path / "ratings.csv"
+        rows = ["userId,movieId,rating,timestamp"]
+        for user in range(2):
+            for t in range(12):
+                rows.append(f"{user},{t % 6},4.5,{t}")
+        path.write_text("\n".join(rows))
+        ds = load_movielens(path, config=LENIENT)
+        assert ds.num_users == 2
+
+    def test_amazon_csv(self, tmp_path):
+        path = tmp_path / "ratings_CDs.csv"
+        rows = []
+        for user in range(2):
+            for t in range(15):
+                rows.append(f"u{user},i{t % 7},5.0,{t}")
+        path.write_text("\n".join(rows))
+        ds = load_amazon_ratings(path, config=LENIENT)
+        assert ds.num_users == 2
+        assert ds.num_items == 7
+
+    def test_goodreads_csv(self, tmp_path):
+        path = tmp_path / "goodreads_interactions.csv"
+        rows = ["user_id,book_id,is_read,rating"]
+        for user in range(2):
+            for t in range(12):
+                rows.append(f"u{user},b{t % 6},1,5")
+        path.write_text("\n".join(rows))
+        ds = load_goodreads_interactions(path, config=LENIENT)
+        assert ds.num_users == 2
+
+    def test_generic_loader_skips_comments(self, tmp_path):
+        path = tmp_path / "interactions.txt"
+        rows = ["# comment", "user item rating timestamp"]
+        for user in range(2):
+            for t in range(12):
+                rows.append(f"u{user} i{t % 6} 5 {t}")
+        path.write_text("\n".join(rows))
+        ds = load_generic(path, config=LENIENT)
+        assert ds.num_users == 2
+
+    def test_dispatch_by_name(self, tmp_path):
+        path = tmp_path / "ml-1m.dat"
+        lines = [f"0::{t}::5::{t}" for t in range(12)]
+        lines += [f"1::{t}::5::{t}" for t in range(12)]
+        path.write_text("\n".join(lines))
+        ds = load_dataset_file(path, config=LENIENT)
+        assert ds.num_users == 2

@@ -1,0 +1,252 @@
+"""Tests for metrics, ranking helpers, the evaluator, significance and timing."""
+
+import numpy as np
+import pytest
+
+from repro.data import InteractionDataset, split_setting
+from repro.evaluation import (
+    RankingEvaluator,
+    measure_inference_time,
+    ndcg_at_k,
+    paired_improvement_test,
+    rank_items,
+    recall_at_k,
+    top_k_items,
+)
+from repro.evaluation.metrics import average_precision_at_k, hit_rate_at_k
+from repro.evaluation.ranking import exclude_items
+from repro.models import HAM, Popularity
+
+
+class TestMetrics:
+    def test_recall_perfect(self):
+        assert recall_at_k([1, 2, 3], [1, 2, 3], k=3) == 1.0
+
+    def test_recall_partial(self):
+        assert recall_at_k([1, 9, 8], [1, 2], k=3) == 0.5
+
+    def test_recall_counts_only_topk(self):
+        assert recall_at_k([9, 8, 7, 1], [1], k=3) == 0.0
+
+    def test_recall_empty_truth(self):
+        assert recall_at_k([1, 2], [], k=2) == 0.0
+
+    def test_ndcg_perfect_is_one(self):
+        assert ndcg_at_k([4, 5], [4, 5], k=2) == pytest.approx(1.0)
+
+    def test_ndcg_position_matters(self):
+        first = ndcg_at_k([4, 9], [4], k=2)
+        second = ndcg_at_k([9, 4], [4], k=2)
+        assert first > second > 0
+
+    def test_ndcg_value(self):
+        # hit at rank 2 only, one relevant item: dcg = 1/log2(3), idcg = 1
+        assert ndcg_at_k([9, 4, 8], [4], k=3) == pytest.approx(1.0 / np.log2(3))
+
+    def test_ndcg_empty_truth(self):
+        assert ndcg_at_k([1], [], k=1) == 0.0
+
+    def test_hit_rate(self):
+        assert hit_rate_at_k([1, 2, 3], [3], k=3) == 1.0
+        assert hit_rate_at_k([1, 2, 3], [9], k=3) == 0.0
+
+    def test_average_precision(self):
+        assert average_precision_at_k([1, 9, 2], [1, 2], k=3) == pytest.approx((1.0 + 2 / 3) / 2)
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            recall_at_k([1], [1], k=0)
+        with pytest.raises(ValueError):
+            ndcg_at_k([1], [1], k=0)
+
+
+class TestRankingHelpers:
+    def test_top_k_orders_by_score(self):
+        scores = np.array([[0.1, 0.9, 0.5, 0.7]])
+        assert top_k_items(scores, 3).tolist() == [[1, 3, 2]]
+
+    def test_top_k_respects_exclusions(self):
+        scores = np.array([[0.1, 0.9, 0.5, 0.7]])
+        top = top_k_items(scores, 2, excluded=[{1}])
+        assert top.tolist() == [[3, 2]]
+
+    def test_top_k_larger_than_catalogue(self):
+        scores = np.array([[0.3, 0.1]])
+        assert top_k_items(scores, 10).shape == (1, 2)
+
+    def test_rank_items_full_order(self):
+        scores = np.array([[0.2, 0.8, 0.5]])
+        assert rank_items(scores).tolist() == [[1, 2, 0]]
+
+    def test_exclude_items_validation(self):
+        with pytest.raises(ValueError):
+            exclude_items(np.zeros((2, 3)), [set()])
+
+    def test_top_k_invalid(self):
+        with pytest.raises(ValueError):
+            top_k_items(np.zeros((1, 3)), 0)
+
+    def test_top_k_matches_full_sort(self):
+        rng = np.random.default_rng(0)
+        scores = rng.normal(size=(5, 40))
+        top = top_k_items(scores, 10)
+        full = rank_items(scores)[:, :10]
+        assert np.array_equal(top, full)
+
+
+def pattern_dataset(num_users=20, num_items=15, length=14, seed=0):
+    rng = np.random.default_rng(seed)
+    sequences = []
+    for _ in range(num_users):
+        start = int(rng.integers(0, num_items))
+        sequences.append([(start + t) % num_items for t in range(length)])
+    return InteractionDataset(sequences, num_items, name="pattern")
+
+
+class TestRankingEvaluator:
+    def test_metric_keys_and_ranges(self):
+        dataset = pattern_dataset()
+        split = split_setting(dataset, "80-20-CUT")
+        evaluator = RankingEvaluator(split, ks=(5, 10))
+        model = HAM(dataset.num_users, dataset.num_items, embedding_dim=8,
+                    rng=np.random.default_rng(1))
+        result = evaluator.evaluate(model)
+        assert set(result.metrics) == {"Recall@5", "Recall@10", "NDCG@5", "NDCG@10"}
+        assert all(0.0 <= value <= 1.0 for value in result.metrics.values())
+        assert result.num_users_evaluated == evaluator.num_evaluable_users
+
+    def test_per_user_arrays_align(self):
+        dataset = pattern_dataset(seed=1)
+        split = split_setting(dataset, "3-LOS")
+        evaluator = RankingEvaluator(split)
+        model = HAM(dataset.num_users, dataset.num_items, embedding_dim=8,
+                    rng=np.random.default_rng(2))
+        result = evaluator.evaluate(model)
+        for values in result.per_user.values():
+            assert len(values) == evaluator.num_evaluable_users
+        assert result["Recall@5"] == pytest.approx(result.per_user["Recall@5"].mean())
+
+    def test_validation_mode_uses_validation_targets(self):
+        dataset = pattern_dataset(seed=2)
+        split = split_setting(dataset, "80-20-CUT")
+        test_eval = RankingEvaluator(split, mode="test")
+        valid_eval = RankingEvaluator(split, mode="validation")
+        assert valid_eval._targets is split.valid
+        assert test_eval._targets is split.test
+
+    def test_perfect_oracle_model_gets_recall_one(self):
+        # A "model" whose scores are highest exactly on each user's next
+        # items: build it by hand through Popularity + per-user hack is
+        # complex, so instead check an oracle via direct score injection.
+        dataset = pattern_dataset(seed=3)
+        split = split_setting(dataset, "80-3-CUT")
+        evaluator = RankingEvaluator(split, ks=(5,), mode="test")
+
+        class Oracle(Popularity):
+            def score_all(self, users, inputs):
+                scores = np.zeros((len(users), self.num_items))
+                for row, user in enumerate(np.asarray(users)):
+                    for item in split.test[int(user)]:
+                        scores[row, item] = 10.0
+                return scores
+
+        oracle = Oracle(dataset.num_users, dataset.num_items)
+        oracle._fitted = True
+        result = evaluator.evaluate(oracle)
+        assert result["Recall@5"] == pytest.approx(1.0)
+
+    def test_exclude_seen_items(self):
+        # With exclusion on, training items can never be recommended even
+        # if the model scores them highest.
+        dataset = pattern_dataset(seed=4)
+        split = split_setting(dataset, "80-3-CUT")
+        evaluator = RankingEvaluator(split, ks=(5,), exclude_seen=True)
+
+        class TrainLover(Popularity):
+            def score_all(self, users, inputs):
+                scores = np.zeros((len(users), self.num_items))
+                for row, user in enumerate(np.asarray(users)):
+                    for item in split.train_plus_valid()[int(user)]:
+                        scores[row, item] = 10.0
+                return scores
+
+        model = TrainLover(dataset.num_users, dataset.num_items)
+        model._fitted = True
+        result = evaluator.evaluate(model)
+        # Train items are excluded, so scoring them high cannot produce hits
+        # beyond chance; with all remaining scores 0 the top-k is arbitrary
+        # but never contains excluded items -> recall is low but defined.
+        assert 0.0 <= result["Recall@5"] <= 1.0
+
+    def test_validation_metric_helper(self):
+        dataset = pattern_dataset(seed=5)
+        split = split_setting(dataset, "80-20-CUT")
+        evaluator = RankingEvaluator(split, ks=(10,), mode="validation")
+        model = HAM(dataset.num_users, dataset.num_items, embedding_dim=8,
+                    rng=np.random.default_rng(3))
+        value = evaluator.validation_metric(model, "Recall@10")
+        assert 0.0 <= value <= 1.0
+
+    def test_invalid_arguments(self):
+        dataset = pattern_dataset(seed=6)
+        split = split_setting(dataset, "80-20-CUT")
+        with pytest.raises(ValueError):
+            RankingEvaluator(split, mode="bogus")
+        with pytest.raises(ValueError):
+            RankingEvaluator(split, ks=())
+
+
+class TestSignificance:
+    def test_clear_improvement_is_significant(self):
+        rng = np.random.default_rng(0)
+        base = rng.uniform(0.2, 0.4, size=200)
+        better = base + 0.05 + rng.normal(0, 0.01, size=200)
+        result = paired_improvement_test(better, base)
+        assert result.significant
+        assert result.improvement_percent > 0
+        assert result.flag() == "*"
+
+    def test_identical_scores_not_significant(self):
+        scores = np.full(50, 0.3)
+        result = paired_improvement_test(scores, scores.copy())
+        assert not result.significant
+        assert result.improvement_percent == 0.0
+        assert result.flag() == ""
+
+    def test_noise_not_significant(self):
+        rng = np.random.default_rng(1)
+        a = rng.uniform(0, 1, size=30)
+        b = a + rng.normal(0, 1e-3, size=30) * np.where(rng.random(30) > 0.5, 1, -1)
+        result = paired_improvement_test(a, b, confidence=0.999)
+        assert isinstance(result.significant, bool)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            paired_improvement_test(np.ones(3), np.ones(4))
+        with pytest.raises(ValueError):
+            paired_improvement_test(np.ones(1), np.ones(1))
+        with pytest.raises(ValueError):
+            paired_improvement_test(np.ones(5), np.zeros(5), confidence=1.5)
+
+
+class TestTiming:
+    def test_measures_positive_time(self):
+        dataset = pattern_dataset(seed=7)
+        split = split_setting(dataset, "80-20-CUT")
+        evaluator = RankingEvaluator(split)
+        model = HAM(dataset.num_users, dataset.num_items, embedding_dim=8,
+                    rng=np.random.default_rng(4))
+        timing = measure_inference_time(model, evaluator, repeats=2)
+        assert timing.total_seconds > 0
+        assert timing.seconds_per_user > 0
+        assert timing.num_users == evaluator.num_evaluable_users
+        assert timing.repeats == 2
+
+    def test_invalid_repeats(self):
+        dataset = pattern_dataset(seed=8)
+        split = split_setting(dataset, "80-20-CUT")
+        evaluator = RankingEvaluator(split)
+        model = HAM(dataset.num_users, dataset.num_items, embedding_dim=8,
+                    rng=np.random.default_rng(5))
+        with pytest.raises(ValueError):
+            measure_inference_time(model, evaluator, repeats=0)

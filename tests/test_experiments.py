@@ -1,0 +1,184 @@
+"""Tests for the experiment harness: configs, reporting, overall runner, registry."""
+
+import numpy as np
+import pytest
+
+from repro.data.benchmarks import BENCHMARK_NAMES
+from repro.experiments import (
+    PAPER_BEST_PARAMETERS,
+    default_model_hyperparameters,
+    default_training_config,
+    format_table,
+    get_experiment,
+    list_experiments,
+    paper_vs_measured_table,
+    run_overall_experiment,
+)
+from repro.experiments import paper_results
+from repro.experiments.configs import default_n_p
+from repro.experiments.overall import clear_cache
+from repro.models.registry import MODEL_REGISTRY, PAPER_METHODS
+
+
+class TestReporting:
+    def test_format_table_basic(self):
+        rows = [{"a": 1, "b": 0.12345}, {"a": 2, "b": 3.0}]
+        text = format_table(rows, title="demo")
+        assert "demo" in text
+        assert "0.1235" in text or "0.1234" in text
+        assert text.count("\n") >= 4
+
+    def test_format_table_empty(self):
+        assert "(no rows)" in format_table([], title="empty")
+
+    def test_format_table_missing_keys(self):
+        rows = [{"a": 1}, {"a": 2, "b": 7}]
+        text = format_table(rows, columns=["a", "b"])
+        assert "7" in text
+
+    def test_paper_vs_measured_adds_caveat(self):
+        text = paper_vs_measured_table([{"x": 1}], title="t")
+        assert "synthetic" in text
+
+
+class TestConfigs:
+    def test_paper_best_parameters_cover_all_datasets(self):
+        for setting in ("80-20-CUT", "80-3-CUT", "3-LOS"):
+            for method in ("HAMs_m", "HGN", "SASRec", "Caser"):
+                assert set(PAPER_BEST_PARAMETERS[setting][method]) == set(BENCHMARK_NAMES)
+
+    def test_80_3_shares_80_20_parameters(self):
+        assert PAPER_BEST_PARAMETERS["80-3-CUT"] is PAPER_BEST_PARAMETERS["80-20-CUT"]
+
+    def test_default_hyperparameters_for_every_registered_model(self):
+        for method in MODEL_REGISTRY:
+            params = default_model_hyperparameters(method, "cds", "80-20-CUT")
+            assert isinstance(params, dict)
+
+    def test_ham_structure_follows_paper(self):
+        params = default_model_hyperparameters("HAMs_m", "children", "80-20-CUT")
+        # paper Table A2: Children n_h=6, n_l=1, p=3
+        assert params["n_h"] == 6 and params["n_l"] == 1 and params["synergy_order"] == 3
+
+    def test_sasrec_heads_divide_dim(self):
+        params = default_model_hyperparameters("SASRec", "ml-20m", "80-20-CUT")
+        assert params["embedding_dim"] % params["num_heads"] == 0
+
+    def test_unknown_method(self):
+        with pytest.raises(KeyError):
+            default_model_hyperparameters("NoSuchModel")
+
+    def test_gru4rec_defaults_available(self):
+        params = default_model_hyperparameters("GRU4Rec")
+        assert params["sequence_length"] > 0
+
+    def test_default_n_p(self):
+        assert default_n_p("cds", "80-20-CUT") == 3
+        assert default_n_p("comics", "80-20-CUT") == 5
+
+    def test_default_training_config(self):
+        config = default_training_config(num_epochs=7, dataset="cds")
+        assert config.num_epochs == 7
+        assert config.learning_rate == pytest.approx(1e-3)
+
+    def test_embedding_dim_env_override(self, monkeypatch):
+        monkeypatch.setenv("REPRO_EMBEDDING_DIM", "16")
+        params = default_model_hyperparameters("HAMm", "cds")
+        assert params["embedding_dim"] == 16
+
+
+class TestPaperResults:
+    def test_overall_performance_complete(self):
+        for setting, metrics in paper_results.OVERALL_PERFORMANCE.items():
+            assert set(metrics) == {"Recall@5", "Recall@10", "NDCG@5", "NDCG@10"}
+            for metric, datasets in metrics.items():
+                assert set(datasets) == set(paper_results.PAPER_DATASET_ORDER)
+                for values in datasets.values():
+                    assert set(values) == set(paper_results.PAPER_METHOD_ORDER)
+
+    def test_headline_numbers(self):
+        table3 = paper_results.OVERALL_PERFORMANCE["80-20-CUT"]["Recall@5"]
+        assert table3["cds"]["HAMm"] == pytest.approx(0.0401)
+        assert table3["comics"]["HAMs_m"] == pytest.approx(0.1385)
+        table9 = paper_results.IMPROVEMENT_SUMMARY["80-3-CUT"]["Recall@5"]
+        assert table9["Caser"] == pytest.approx(46.6)
+
+    def test_hams_m_wins_children_in_all_settings(self):
+        # Qualitative claim of the paper encoded in the transcription.
+        for setting in paper_results.OVERALL_PERFORMANCE:
+            row = paper_results.OVERALL_PERFORMANCE[setting]["Recall@5"]["children"]
+            assert max(row, key=row.get) == "HAMs_m"
+
+    def test_runtime_hamsm_fastest_everywhere(self):
+        for dataset, row in paper_results.RUNTIME_SECONDS_PER_USER.items():
+            assert min(row, key=row.get) == "HAMs_m"
+
+
+class TestOverallRunner:
+    @pytest.fixture(autouse=True)
+    def _clear(self):
+        clear_cache()
+        yield
+        clear_cache()
+
+    def test_run_small_experiment(self):
+        result = run_overall_experiment(
+            "cds", "80-3-CUT", methods=("HAMm", "POP"), scale="tiny", epochs=2, seed=0,
+        )
+        assert set(result.runs) == {"HAMm", "POP"}
+        assert 0.0 <= result.metric("HAMm", "Recall@10") <= 1.0
+        assert result.runs["HAMm"].timing.seconds_per_user > 0
+        row = result.metric_row("Recall@5")
+        assert set(row) == {"HAMm", "POP"}
+        assert result.best_method("Recall@5") in row
+        assert len(result.per_user("HAMm", "Recall@5")) > 0
+
+    def test_cache_reuses_runs(self):
+        first = run_overall_experiment("cds", "80-3-CUT", methods=("HAMm",),
+                                       scale="tiny", epochs=1, seed=0)
+        second = run_overall_experiment("cds", "80-3-CUT", methods=("HAMm",),
+                                        scale="tiny", epochs=1, seed=0)
+        assert first is second
+        different = run_overall_experiment("cds", "80-3-CUT", methods=("HAMm",),
+                                           scale="tiny", epochs=1, seed=1)
+        assert different is not first
+
+
+class TestRegistry:
+    def test_all_tables_and_figures_registered(self):
+        expected = {f"table{i}" for i in range(2, 15)} | {"tablea1", "tablea2", "fig3", "fig4"}
+        extensions = {"ext-synergy", "ext-baselines", "ext-settings", "ext-beyond"}
+        registered = {spec_id.lower() for spec_id in
+                      (entry["id"] for entry in list_experiments())}
+        assert expected | extensions == registered
+
+    def test_get_experiment_case_insensitive(self):
+        assert get_experiment("TABLE3").experiment_id == "table3"
+        with pytest.raises(KeyError):
+            get_experiment("table99")
+
+    def test_table2_runner(self):
+        output = get_experiment("table2").run(scale="tiny")
+        assert len(output["rows"]) == len(BENCHMARK_NAMES)
+        assert "Table 2" in output["text"]
+
+    def test_tableA2_runner_is_static(self):
+        output = get_experiment("tableA2").run()
+        assert any(row["method"] == "HAMs_m" and row["dataset"] == "cds"
+                   and row["n_h"] == 5 for row in output["rows"])
+
+    def test_fig3_runner(self):
+        output = get_experiment("fig3").run(datasets=("cds",), scale="tiny")
+        assert output["summary_rows"][0]["dataset"] == "CDs"
+
+    def test_table3_runner_single_dataset(self):
+        clear_cache()
+        output = get_experiment("table3").run(datasets=("cds",), scale="tiny",
+                                              epochs=1, seed=0)
+        rows = output["rows"]
+        assert {row["metric"] for row in rows} == {"Recall@5", "Recall@10"}
+        first = rows[0]
+        for method in PAPER_METHODS:
+            assert f"{method} (paper)" in first
+            assert f"{method} (measured)" in first
+        clear_cache()

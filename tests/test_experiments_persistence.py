@@ -1,0 +1,134 @@
+"""Tests for the results store, the extension experiment registry entries
+and the new CLI options."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.cli import build_parser, main
+from repro.experiments import (
+    EXPERIMENTS,
+    EXTENSION_EXPERIMENT_IDS,
+    ResultsStore,
+    get_experiment,
+    list_experiments,
+)
+
+
+class TestResultsStore:
+    def output(self):
+        return {"rows": [{"method": "HAMs_m", "Recall@10": 0.12}], "text": "a table"}
+
+    def test_save_and_load_roundtrip(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        saved = store.save("table3", self.output(), metadata={"seed": 4, "scale": "tiny"})
+        assert saved.path.exists()
+        assert saved.path.with_suffix(".txt").read_text() == "a table"
+
+        loaded = store.load(saved.path)
+        assert loaded.experiment_id == "table3"
+        assert loaded.rows == self.output()["rows"]
+        assert loaded.metadata["seed"] == 4
+        assert loaded.text == "a table"
+        assert loaded.created_at
+
+    def test_json_is_valid_and_sorted(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        saved = store.save("fig3", self.output())
+        payload = json.loads(saved.path.read_text())
+        assert payload["experiment_id"] == "fig3"
+        assert isinstance(payload["rows"], list)
+
+    def test_list_and_latest(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        assert store.list() == []
+        assert store.latest("table3") is None
+        first = store.save("table3", self.output(), metadata={"seed": 0})
+        second = store.save("table3", self.output(), metadata={"seed": 1})
+        assert len(store.list("table3")) == 2
+        assert len(store.list()) == 2
+        latest = store.latest("table3")
+        assert latest.path in (first.path, second.path)
+        assert latest.path == store.list("table3")[-1]
+
+    def test_repeated_saves_never_overwrite(self, tmp_path):
+        store = ResultsStore(tmp_path)
+        paths = {store.save("table3", self.output()).path for _ in range(3)}
+        assert len(paths) == 3
+
+    def test_invalid_output_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            ResultsStore(tmp_path).save("table3", {"rows": []})
+
+    def test_load_missing(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ResultsStore(tmp_path).load(tmp_path / "nope.json")
+
+
+class TestExtensionRegistry:
+    def test_extension_experiments_registered(self):
+        for experiment_id in EXTENSION_EXPERIMENT_IDS:
+            assert experiment_id in EXPERIMENTS
+            spec = get_experiment(experiment_id)
+            assert spec.title
+
+    def test_listed_alongside_paper_experiments(self):
+        ids = {entry["id"] for entry in list_experiments()}
+        assert "table3" in ids and "ext-synergy" in ids
+
+    def test_ext_baselines_runs_on_tiny_scale(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_EPOCHS", "1")
+        spec = get_experiment("ext-baselines")
+        output = spec.run(dataset="cds", scale="tiny", epochs=1, seed=0,
+                          methods=("HAMs_m", "MarkovChain", "POP"))
+        assert {row["method"] for row in output["rows"]} == {"HAMs_m", "MarkovChain", "POP"}
+        assert "Extension" in output["text"]
+        for row in output["rows"]:
+            assert 0.0 <= row["Recall@10"] <= 1.0
+
+    def test_ext_beyond_runs_on_tiny_scale(self):
+        spec = get_experiment("ext-beyond")
+        output = spec.run(dataset="cds", scale="tiny", epochs=1, seed=0,
+                          methods=("HAMs_m", "POP"))
+        assert len(output["rows"]) == 2
+        for row in output["rows"]:
+            assert 0.0 < row["coverage"] <= 1.0
+            assert 0.0 <= row["gini"] <= 1.0
+
+
+class TestCLI:
+    def test_parser_accepts_new_flags(self):
+        parser = build_parser()
+        args = parser.parse_args(["run", "ext-synergy", "--scale", "tiny",
+                                  "--save-dir", "/tmp/results"])
+        assert args.save_dir == "/tmp/results"
+        args = parser.parse_args(["train", "--method", "NARM", "--checkpoint", "out.npz"])
+        assert args.checkpoint == "out.npz"
+
+    def test_list_command(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        assert "table3" in output and "ext-synergy" in output
+
+    def test_run_with_save_dir(self, tmp_path, capsys):
+        exit_code = main(["run", "tableA2", "--save-dir", str(tmp_path)])
+        assert exit_code == 0
+        captured = capsys.readouterr().out
+        assert "saved to" in captured
+        assert ResultsStore(tmp_path).latest("tableA2") is not None
+
+    def test_train_with_checkpoint(self, tmp_path, capsys):
+        checkpoint = tmp_path / "model.npz"
+        exit_code = main(["train", "--dataset", "cds", "--method", "HAMm",
+                          "--setting", "80-20-CUT", "--scale", "tiny",
+                          "--epochs", "1", "--checkpoint", str(checkpoint)])
+        assert exit_code == 0
+        assert checkpoint.exists()
+        from repro.training.checkpoint import read_metadata
+
+        metadata = read_metadata(checkpoint)
+        assert metadata["method"] == "HAMm"
+        assert "Recall@10" in metadata["metrics"]

@@ -1,0 +1,264 @@
+"""Tests for the baseline models: Caser, SASRec, HGN, POP, BPR-MF, FPMC."""
+
+import numpy as np
+import pytest
+
+from repro.models import BPRMF, FPMC, HGN, Caser, Popularity, SASRec, create_model
+from repro.models.registry import HAM_VARIANTS, MODEL_REGISTRY, PAPER_METHODS
+
+
+def make_inputs(batch=3, length=5, num_items=40, num_users=12, seed=0, pad_first=False):
+    rng = np.random.default_rng(seed)
+    users = rng.integers(0, num_users, size=batch)
+    inputs = rng.integers(0, num_items, size=(batch, length))
+    if pad_first:
+        inputs[0, :2] = num_items
+    return users, inputs
+
+
+class TestCaser:
+    def _model(self, **overrides):
+        kwargs = dict(num_users=12, num_items=40, embedding_dim=8, sequence_length=5,
+                      num_vertical_filters=2, num_horizontal_filters=4,
+                      rng=np.random.default_rng(0))
+        kwargs.update(overrides)
+        return Caser(**kwargs)
+
+    def test_representation_is_twice_embedding_dim(self):
+        model = self._model()
+        users, inputs = make_inputs()
+        rep = model.sequence_representation(users, inputs)
+        assert rep.shape == (3, 16)
+
+    def test_score_all_shape(self):
+        model = self._model()
+        users, inputs = make_inputs()
+        assert model.score_all(users, inputs).shape == (3, 40)
+
+    def test_item_bias_used(self):
+        model = self._model()
+        model.eval()
+        users, inputs = make_inputs()
+        before = model.score_all(users, inputs)
+        model.output_item_bias.data[7] += 5.0
+        after = model.score_all(users, inputs)
+        assert np.allclose(after[:, 7] - before[:, 7], 5.0)
+
+    def test_gradients_reach_filters(self):
+        model = self._model()
+        users, inputs = make_inputs()
+        items = np.array([[1], [2], [3]])
+        model.score_items(users, inputs, items).sum().backward()
+        assert model.vertical_filters.grad is not None
+        assert model.horizontal_filters[0].grad is not None
+        assert model.fc.weight.grad is not None
+
+    def test_dropout_only_in_training_mode(self):
+        model = self._model(dropout=0.9)
+        users, inputs = make_inputs()
+        model.eval()
+        a = model.score_all(users, inputs)
+        b = model.score_all(users, inputs)
+        assert np.allclose(a, b)
+
+    def test_invalid_filter_counts(self):
+        with pytest.raises(ValueError):
+            self._model(num_vertical_filters=0)
+
+    def test_handles_padding(self):
+        model = self._model()
+        users, inputs = make_inputs(pad_first=True)
+        scores = model.score_all(users, inputs)
+        assert np.all(np.isfinite(scores))
+
+
+class TestSASRec:
+    def _model(self, **overrides):
+        kwargs = dict(num_users=12, num_items=40, embedding_dim=8, sequence_length=6,
+                      num_heads=2, num_blocks=2, rng=np.random.default_rng(1))
+        kwargs.update(overrides)
+        return SASRec(**kwargs)
+
+    def test_shapes(self):
+        model = self._model()
+        users, inputs = make_inputs(length=6, seed=1)
+        rep = model.sequence_representation(users, inputs)
+        assert rep.shape == (3, 8)
+        assert model.score_all(users, inputs).shape == (3, 40)
+
+    def test_wrong_sequence_length_raises(self):
+        model = self._model()
+        users, inputs = make_inputs(length=4, seed=2)
+        with pytest.raises(ValueError):
+            model.sequence_representation(users, inputs)
+
+    def test_heads_must_divide_dim(self):
+        with pytest.raises(ValueError):
+            self._model(embedding_dim=9, num_heads=2)
+
+    def test_causality_last_position_ignores_nothing_before(self):
+        # Changing an item *after* the window end is impossible; instead we
+        # verify that changing the FIRST item does change the representation
+        # (it is attended to) while the causal mask keeps scores finite.
+        model = self._model()
+        model.eval()
+        users, inputs = make_inputs(length=6, seed=3)
+        base = model.sequence_representation(users, inputs).data.copy()
+        modified = inputs.copy()
+        modified[:, 0] = (modified[:, 0] + 1) % 40
+        changed = model.sequence_representation(users, modified).data
+        assert not np.allclose(base, changed)
+
+    def test_eval_mode_is_deterministic(self):
+        model = self._model(dropout=0.5)
+        model.eval()
+        users, inputs = make_inputs(length=6, seed=4)
+        assert np.allclose(model.score_all(users, inputs), model.score_all(users, inputs))
+
+    def test_gradients_reach_attention_parameters(self):
+        model = self._model()
+        users, inputs = make_inputs(length=6, seed=5)
+        items = np.array([[1], [2], [3]])
+        model.score_items(users, inputs, items).sum().backward()
+        assert model.blocks[0].query.weight.grad is not None
+        assert model.blocks[1].ffn_outer.weight.grad is not None
+        assert model.position_embeddings.grad is not None
+
+    def test_train_eval_propagates_to_blocks(self):
+        model = self._model()
+        model.eval()
+        assert not model.blocks[0].dropout.training
+        model.train()
+        assert model.blocks[1].dropout.training
+
+    def test_num_blocks_validation(self):
+        with pytest.raises(ValueError):
+            self._model(num_blocks=0)
+
+
+class TestHGN:
+    def _model(self, **overrides):
+        kwargs = dict(num_users=12, num_items=40, embedding_dim=8, sequence_length=5,
+                      rng=np.random.default_rng(2))
+        kwargs.update(overrides)
+        return HGN(**kwargs)
+
+    def test_shapes(self):
+        model = self._model()
+        users, inputs = make_inputs(seed=6)
+        assert model.sequence_representation(users, inputs).shape == (3, 8)
+        assert model.score_all(users, inputs).shape == (3, 40)
+
+    def test_instance_gate_weights_in_unit_interval(self):
+        model = self._model()
+        users, inputs = make_inputs(seed=7)
+        weights = model.instance_gate_weights(users, inputs)
+        assert weights.shape == (3, 5)
+        assert np.nanmin(weights) > 0.0 and np.nanmax(weights) < 1.0
+
+    def test_instance_gate_weights_nan_for_padding(self):
+        model = self._model()
+        users, inputs = make_inputs(seed=8, pad_first=True)
+        weights = model.instance_gate_weights(users, inputs)
+        assert np.isnan(weights[0, 0]) and np.isnan(weights[0, 1])
+        assert not np.isnan(weights[0, 2])
+
+    def test_initial_gate_weights_center_near_half(self):
+        # With small random initialization the gate pre-activations are near
+        # zero, so sigmoid outputs concentrate around 0.5 — the basis of the
+        # paper's Fig. 4 observation about rarely-updated items.
+        model = self._model()
+        users, inputs = make_inputs(batch=50, seed=9)
+        weights = model.instance_gate_weights(users, inputs)
+        assert abs(np.nanmean(weights) - 0.5) < 0.05
+
+    def test_gradients_reach_gates(self):
+        model = self._model()
+        users, inputs = make_inputs(seed=10)
+        items = np.array([[1], [2], [3]])
+        model.score_items(users, inputs, items).sum().backward()
+        assert model.feature_gate_item.grad is not None
+        assert model.instance_gate_user.grad is not None
+
+    def test_padding_rows_are_ignored(self):
+        model = self._model()
+        users, inputs = make_inputs(seed=11, pad_first=True)
+        scores = model.score_all(users, inputs)
+        assert np.all(np.isfinite(scores))
+
+
+class TestSimpleBaselines:
+    def test_popularity_ranks_by_frequency(self):
+        model = Popularity(num_users=5, num_items=10)
+        model.fit_counts([[0, 0, 0, 1], [0, 2, 2]])
+        users = np.array([0, 1])
+        inputs = np.zeros((2, 5), dtype=np.int64)
+        scores = model.score_all(users, inputs)
+        assert scores.shape == (2, 10)
+        assert np.argmax(scores[0]) == 0
+        assert scores[0, 2] > scores[0, 1]
+
+    def test_popularity_requires_fit(self):
+        model = Popularity(num_users=5, num_items=10)
+        with pytest.raises(RuntimeError):
+            model.score_all(np.array([0]), np.zeros((1, 5), dtype=np.int64))
+
+    def test_bprmf_ignores_recent_items(self):
+        model = BPRMF(num_users=5, num_items=10, embedding_dim=4,
+                      rng=np.random.default_rng(3))
+        users = np.array([1, 1])
+        inputs_a = np.array([[0], [1]])
+        inputs_b = np.array([[5], [7]])
+        assert np.allclose(model.score_all(users, inputs_a), model.score_all(users, inputs_b))
+
+    def test_fpmc_depends_on_last_item_only(self):
+        model = FPMC(num_users=5, num_items=10, embedding_dim=4, input_length=3,
+                     rng=np.random.default_rng(4))
+        users = np.array([2])
+        inputs_a = np.array([[1, 2, 3]])
+        inputs_b = np.array([[7, 8, 3]])   # same last item
+        inputs_c = np.array([[1, 2, 4]])   # different last item
+        assert np.allclose(model.score_all(users, inputs_a), model.score_all(users, inputs_b))
+        assert not np.allclose(model.score_all(users, inputs_a), model.score_all(users, inputs_c))
+
+    def test_fpmc_representation_dim(self):
+        model = FPMC(num_users=5, num_items=10, embedding_dim=4,
+                     rng=np.random.default_rng(5))
+        rep = model.sequence_representation(np.array([0]), np.array([[1]]))
+        assert rep.shape == (1, 8)
+
+
+class TestRegistry:
+    def test_paper_methods_all_registered(self):
+        for name in PAPER_METHODS + HAM_VARIANTS:
+            assert name in MODEL_REGISTRY
+
+    def test_create_model_ham_variants(self):
+        rng = np.random.default_rng(6)
+        model = create_model("HAMs_m", num_users=8, num_items=20, rng=rng,
+                             embedding_dim=8, n_h=4, n_l=1, synergy_order=2)
+        assert model.variant_name == "HAMs_m"
+        ablated = create_model("HAMs_m-o", num_users=8, num_items=20, rng=rng,
+                               embedding_dim=8, n_h=4)
+        assert ablated.n_l == 0
+
+    def test_create_model_baselines(self):
+        rng = np.random.default_rng(7)
+        for name in ("Caser", "SASRec", "HGN", "BPR-MF", "FPMC"):
+            model = create_model(name, num_users=8, num_items=20, rng=rng, embedding_dim=8)
+            assert model.num_items == 20
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            create_model("NoSuchModel", num_users=4, num_items=10)
+
+    def test_create_model_gru4rec(self):
+        model = create_model("GRU4Rec", num_users=4, num_items=10,
+                             rng=np.random.default_rng(3), embedding_dim=8)
+        assert model.num_items == 10
+
+    def test_describe(self):
+        model = create_model("HAMm", num_users=8, num_items=20,
+                             rng=np.random.default_rng(8), embedding_dim=8)
+        text = model.describe()
+        assert "HAM" in text and "items=20" in text

@@ -1,0 +1,230 @@
+"""Tests for the extension baselines: NARM, STAMP, NextItRec and Fossil.
+
+These models come from the paper's literature review (Section 2).  Every
+test exercises a behaviour specific to the model's design (attention
+masking, causality of the convolutions, personalization of the Markov
+weights) on top of the shared interface contract.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Adam
+from repro.models import NARM, STAMP, Fossil, NextItRec, create_model
+from repro.training.bpr import bpr_loss
+
+NUM_USERS = 10
+NUM_ITEMS = 25
+PAD = NUM_ITEMS
+LENGTH = 6
+
+
+def make_batch(seed: int = 0, pad_rows: bool = True):
+    rng = np.random.default_rng(seed)
+    users = np.arange(4, dtype=np.int64)
+    inputs = rng.integers(0, NUM_ITEMS, size=(4, LENGTH)).astype(np.int64)
+    if pad_rows:
+        inputs[1, :3] = PAD
+        inputs[2, :5] = PAD
+    return users, inputs
+
+
+def build(name: str, seed: int = 0, **kwargs):
+    rng = np.random.default_rng(seed)
+    defaults = {"embedding_dim": 8}
+    if name != "Fossil":
+        defaults["sequence_length"] = LENGTH
+    else:
+        defaults["markov_order"] = LENGTH
+    defaults.update(kwargs)
+    return create_model(name, NUM_USERS, NUM_ITEMS, rng=rng, **defaults)
+
+
+class TestSharedContract:
+    @pytest.mark.parametrize("name", ["NARM", "STAMP", "NextItRec", "Fossil"])
+    def test_score_all_shape_and_finite(self, name):
+        model = build(name)
+        users, inputs = make_batch()
+        scores = model.score_all(users, inputs)
+        assert scores.shape == (4, NUM_ITEMS)
+        assert np.all(np.isfinite(scores))
+
+    @pytest.mark.parametrize("name", ["NARM", "STAMP", "NextItRec", "Fossil"])
+    def test_score_items_matches_score_all(self, name):
+        model = build(name)
+        model.eval()
+        users, inputs = make_batch()
+        items = np.array([[0, 5], [1, 6], [2, 7], [3, 8]])
+        some = model.score_items(users, inputs, items).data
+        full = model.score_all(users, inputs)
+        for row in range(4):
+            for column in range(2):
+                assert some[row, column] == pytest.approx(full[row, items[row, column]])
+
+    @pytest.mark.parametrize("name", ["NARM", "STAMP", "NextItRec", "Fossil"])
+    def test_bpr_step_reduces_loss(self, name):
+        model = build(name)
+        users, inputs = make_batch(pad_rows=False)
+        positives = np.array([[1], [2], [3], [4]])
+        negatives = np.array([[11], [12], [13], [14]])
+        optimizer = Adam(model.parameters(), lr=0.05)
+        first_loss = None
+        for _ in range(8):
+            loss = bpr_loss(model.score_items(users, inputs, positives),
+                            model.score_items(users, inputs, negatives))
+            if first_loss is None:
+                first_loss = float(loss.data)
+            optimizer.zero_grad()
+            loss.backward()
+            optimizer.step()
+            model.after_step()
+        assert float(loss.data) < first_loss
+
+    @pytest.mark.parametrize("name", ["NARM", "STAMP", "NextItRec", "Fossil"])
+    def test_padding_row_stays_zero_after_step(self, name):
+        model = build(name)
+        users, inputs = make_batch()
+        positives = np.array([[1], [2], [3], [4]])
+        negatives = np.array([[11], [12], [13], [14]])
+        optimizer = Adam(model.parameters(), lr=0.05)
+        loss = bpr_loss(model.score_items(users, inputs, positives),
+                        model.score_items(users, inputs, negatives))
+        optimizer.zero_grad()
+        loss.backward()
+        optimizer.step()
+        model.after_step()
+        table = model.candidate_item_embeddings().data
+        assert np.allclose(table[PAD], 0.0)
+
+    @pytest.mark.parametrize("name", ["NARM", "STAMP", "NextItRec", "Fossil"])
+    def test_deterministic_construction(self, name):
+        first = build(name, seed=3)
+        second = build(name, seed=3)
+        users, inputs = make_batch()
+        first.eval()
+        second.eval()
+        assert np.allclose(first.score_all(users, inputs), second.score_all(users, inputs))
+
+    @pytest.mark.parametrize("name", ["NARM", "STAMP", "NextItRec", "Fossil"])
+    def test_invalid_dimensions_rejected(self, name):
+        with pytest.raises(ValueError):
+            build(name, embedding_dim=0)
+
+
+class TestNARM:
+    def test_attention_weights_sum_to_one_over_real_positions(self):
+        model = build("NARM")
+        users, inputs = make_batch()
+        weights = model.attention_weights(users, inputs)
+        assert weights.shape == (4, LENGTH)
+        for row in range(4):
+            real = ~np.isnan(weights[row])
+            assert np.nansum(weights[row]) == pytest.approx(1.0, abs=1e-6)
+            assert real.sum() == (inputs[row] != PAD).sum()
+
+    def test_padded_positions_do_not_change_representation(self):
+        # Two inputs that differ only in the item id stored in a padded
+        # slot must produce the same scores (NARM masks padded positions).
+        model = build("NARM")
+        model.eval()
+        users = np.array([0])
+        inputs_a = np.array([[PAD, PAD, 1, 2, 3, 4]])
+        inputs_b = inputs_a.copy()
+        scores_a = model.score_all(users, inputs_a)
+        scores_b = model.score_all(users, inputs_b)
+        assert np.allclose(scores_a, scores_b)
+
+    def test_hidden_dim_override(self):
+        model = NARM(NUM_USERS, NUM_ITEMS, embedding_dim=8, hidden_dim=12,
+                     sequence_length=LENGTH, rng=np.random.default_rng(0))
+        users, inputs = make_batch()
+        assert model.score_all(users, inputs).shape == (4, NUM_ITEMS)
+
+
+class TestSTAMP:
+    def test_attention_weights_finite_and_masked(self):
+        model = build("STAMP")
+        users, inputs = make_batch()
+        weights = model.attention_weights(users, inputs)
+        real = ~np.isnan(weights)
+        assert np.all(np.isfinite(weights[real]))
+        assert np.isnan(weights[1, 0]) and np.isnan(weights[2, 0])
+        # The mask exactly mirrors the padded positions.
+        assert np.array_equal(real, inputs != PAD)
+
+    def test_last_item_matters(self):
+        # STAMP conditions on the most recent item explicitly; changing it
+        # must change the scores.
+        model = build("STAMP")
+        model.eval()
+        users = np.array([0])
+        inputs_a = np.array([[1, 2, 3, 4, 5, 6]])
+        inputs_b = np.array([[1, 2, 3, 4, 5, 7]])
+        assert not np.allclose(model.score_all(users, inputs_a),
+                               model.score_all(users, inputs_b))
+
+
+class TestNextItRec:
+    def test_causality(self):
+        # The representation is read at the last position; it may depend
+        # on every input position but the *receptive field* must be causal:
+        # changing only the earliest item when the stack's receptive field
+        # is shorter than the sequence leaves the output unchanged.
+        rng = np.random.default_rng(1)
+        model = NextItRec(NUM_USERS, NUM_ITEMS, embedding_dim=8,
+                          sequence_length=8, dilations=(1,), rng=rng)
+        model.eval()
+        users = np.array([0])
+        base = np.array([[1, 2, 3, 4, 5, 6, 7, 8]])
+        changed = base.copy()
+        changed[0, 0] = 9
+        # receptive field of a single block with dilation 1 is 1+1+2 = 4
+        # positions, so position 0 cannot reach the last position.
+        assert np.allclose(model.score_all(users, base), model.score_all(users, changed))
+
+    def test_recent_item_changes_output(self):
+        model = build("NextItRec")
+        model.eval()
+        users = np.array([0])
+        base = np.array([[1, 2, 3, 4, 5, 6]])
+        changed = base.copy()
+        changed[0, -1] = 9
+        assert not np.allclose(model.score_all(users, base), model.score_all(users, changed))
+
+    def test_requires_at_least_one_block(self):
+        with pytest.raises(ValueError):
+            NextItRec(NUM_USERS, NUM_ITEMS, embedding_dim=8, sequence_length=6,
+                      dilations=(), rng=np.random.default_rng(0))
+
+
+class TestFossil:
+    def test_markov_weights_are_personalized(self):
+        model = build("Fossil")
+        weights = model.markov_weights(np.array([0, 1]))
+        assert weights.shape == (2, LENGTH)
+        assert not np.allclose(weights.data[0], weights.data[1])
+
+    def test_user_changes_scores(self):
+        model = build("Fossil")
+        model.eval()
+        inputs = np.array([[1, 2, 3, 4, 5, 6]])
+        scores_user0 = model.score_all(np.array([0]), inputs)
+        scores_user1 = model.score_all(np.array([1]), inputs)
+        assert not np.allclose(scores_user0, scores_user1)
+
+    def test_similarity_alpha_validation(self):
+        with pytest.raises(ValueError):
+            Fossil(NUM_USERS, NUM_ITEMS, embedding_dim=8, markov_order=3,
+                   similarity_alpha=1.5, rng=np.random.default_rng(0))
+
+    def test_item_bias_used_in_scores(self):
+        model = build("Fossil")
+        model.eval()
+        users, inputs = make_batch()
+        before = model.score_all(users, inputs)
+        model.item_biases.data[3] += 10.0
+        after = model.score_all(users, inputs)
+        assert after[0, 3] - before[0, 3] == pytest.approx(10.0)
+        assert after[0, 4] == pytest.approx(before[0, 4])

@@ -1,0 +1,298 @@
+"""Tests for pooling, synergies and the HAM model family."""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.numeric import gradient_check
+from repro.models import HAM, HAMSynergy
+from repro.models.pooling import get_pooling, masked_max_pool, masked_mean_pool
+from repro.models.synergy import latent_cross, synergy_vectors
+
+
+def embeddings_and_mask(batch=2, length=4, dim=3, seed=0, masked_positions=()):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(batch, length, dim))
+    mask = np.ones((batch, length), dtype=bool)
+    for row, column in masked_positions:
+        mask[row, column] = False
+        data[row, column] = 0.0  # padded rows carry zero embeddings
+    return Tensor(data, requires_grad=True), mask
+
+
+class TestPooling:
+    def test_mean_pool_without_padding_matches_numpy(self):
+        x, mask = embeddings_and_mask()
+        pooled = masked_mean_pool(x, mask)
+        assert np.allclose(pooled.data, x.data.mean(axis=1))
+
+    def test_mean_pool_ignores_padding(self):
+        x, mask = embeddings_and_mask(masked_positions=[(0, 0), (0, 1)])
+        pooled = masked_mean_pool(x, mask)
+        expected = x.data[0, 2:].mean(axis=0)
+        assert np.allclose(pooled.data[0], expected)
+
+    def test_max_pool_without_padding_matches_numpy(self):
+        x, mask = embeddings_and_mask(seed=1)
+        pooled = masked_max_pool(x, mask)
+        assert np.allclose(pooled.data, x.data.max(axis=1))
+
+    def test_max_pool_ignores_padding(self):
+        x, mask = embeddings_and_mask(seed=2)
+        # Put a huge value in a masked slot: it must not win the max.
+        x.data[0, 0] = 100.0
+        mask[0, 0] = False
+        pooled = masked_max_pool(x, mask)
+        assert pooled.data[0].max() < 100.0
+
+    def test_fully_masked_row_gives_zero(self):
+        x, mask = embeddings_and_mask()
+        mask[1, :] = False
+        assert np.allclose(masked_mean_pool(x, mask).data[1], 0.0)
+        assert np.allclose(masked_max_pool(x, mask).data[1], 0.0)
+
+    def test_mean_pool_gradcheck(self):
+        x, mask = embeddings_and_mask(masked_positions=[(1, 3)])
+        gradient_check(lambda: (masked_mean_pool(x, mask) ** 2).sum(), [x])
+
+    def test_max_pool_gradient_goes_to_argmax(self):
+        x, mask = embeddings_and_mask(seed=3)
+        masked_max_pool(x, mask).sum().backward()
+        # each (batch, dim) cell routes gradient 1 to exactly one position
+        assert np.allclose(x.grad.sum(axis=1), 1.0)
+
+    def test_get_pooling(self):
+        assert get_pooling("mean") is masked_mean_pool
+        assert get_pooling("MAX") is masked_max_pool
+        with pytest.raises(ValueError):
+            get_pooling("sum")
+
+
+class TestSynergy:
+    def test_order_one_returns_empty(self):
+        x, mask = embeddings_and_mask()
+        assert synergy_vectors(x, mask, order=1) == []
+
+    def test_order_two_matches_bruteforce(self):
+        x, mask = embeddings_and_mask(batch=1, length=4, dim=3, seed=4)
+        data = x.data[0]
+        # brute force Eq. 2-4
+        per_item = []
+        for j in range(4):
+            synergy_j = np.zeros(3)
+            for k in range(4):
+                if k != j:
+                    synergy_j += data[j] * data[k]
+            per_item.append(synergy_j)
+        expected = np.mean(per_item, axis=0)
+        result = synergy_vectors(x, mask, order=2)[0]
+        assert np.allclose(result.data[0], expected)
+
+    def test_order_three_matches_recursive_bruteforce(self):
+        x, mask = embeddings_and_mask(batch=1, length=3, dim=2, seed=5)
+        data = x.data[0]
+        total = data.sum(axis=0)
+        per_item_2 = [data[j] * (total - data[j]) for j in range(3)]
+        per_item_3 = [per_item_2[j] * (total - data[j]) for j in range(3)]
+        expected = np.mean(per_item_3, axis=0)
+        result = synergy_vectors(x, mask, order=3)[1]
+        assert np.allclose(result.data[0], expected)
+
+    def test_padding_is_excluded(self):
+        # One padded position: the synergy must equal the bruteforce value
+        # computed on the real items only.
+        x, mask = embeddings_and_mask(batch=1, length=4, dim=3, seed=6,
+                                      masked_positions=[(0, 0)])
+        data = x.data[0, 1:]
+        per_item = []
+        for j in range(3):
+            synergy_j = np.zeros(3)
+            for k in range(3):
+                if k != j:
+                    synergy_j += data[j] * data[k]
+            per_item.append(synergy_j)
+        expected = np.mean(per_item, axis=0)
+        result = synergy_vectors(x, mask, order=2)[0]
+        assert np.allclose(result.data[0], expected)
+
+    def test_number_of_orders(self):
+        x, mask = embeddings_and_mask()
+        assert len(synergy_vectors(x, mask, order=4)) == 3
+
+    def test_gradcheck(self):
+        x, mask = embeddings_and_mask(batch=1, length=3, dim=2, seed=7)
+        gradient_check(
+            lambda: Tensor.concatenate(synergy_vectors(x, mask, 3), axis=1).sum(), [x]
+        )
+
+    def test_latent_cross(self):
+        h = Tensor(np.array([[1.0, 2.0]]), requires_grad=True)
+        c2 = Tensor(np.array([[0.5, 0.5]]))
+        c3 = Tensor(np.array([[0.1, -0.1]]))
+        out = latent_cross(h, [c2, c3])
+        assert np.allclose(out.data, [[1 + 0.5 + 0.1, 2 + 1.0 - 0.2]])
+        assert np.allclose(latent_cross(h, []).data, h.data)
+
+
+def make_inputs(batch=4, n_h=5, num_items=30, seed=0, with_padding=False):
+    rng = np.random.default_rng(seed)
+    users = rng.integers(0, 10, size=batch)
+    inputs = rng.integers(0, num_items, size=(batch, n_h))
+    if with_padding:
+        inputs[0, :2] = num_items  # pad first two slots of first row
+    return users, inputs
+
+
+class TestHAM:
+    def test_output_shapes(self):
+        model = HAM(num_users=10, num_items=30, embedding_dim=8, n_h=5, n_l=2,
+                    rng=np.random.default_rng(0))
+        users, inputs = make_inputs()
+        rep = model.sequence_representation(users, inputs)
+        assert rep.shape == (4, 8)
+        scores = model.score_all(users, inputs)
+        assert scores.shape == (4, 30)
+
+    def test_score_items_matches_score_all(self):
+        model = HAM(num_users=10, num_items=30, embedding_dim=8,
+                    rng=np.random.default_rng(1))
+        users, inputs = make_inputs(seed=1)
+        items = np.array([[0, 5, 7], [1, 2, 3], [9, 9, 9], [29, 0, 15]])
+        specific = model.score_items(users, inputs, items).data
+        full = model.score_all(users, inputs)
+        for row in range(4):
+            assert np.allclose(specific[row], full[row, items[row]])
+
+    def test_representation_is_sum_of_three_factors(self):
+        model = HAM(num_users=10, num_items=30, embedding_dim=8, n_h=5, n_l=2,
+                    rng=np.random.default_rng(2))
+        users, inputs = make_inputs(seed=2)
+        high, low = model.association_embeddings(inputs)
+        user_vec = model.user_embeddings(users)
+        rep = model.sequence_representation(users, inputs)
+        assert np.allclose(rep.data, (high + low + user_vec).data)
+
+    def test_padding_rows_do_not_affect_mean_pooling(self):
+        model = HAM(num_users=10, num_items=30, embedding_dim=8, n_h=5, n_l=2,
+                    pooling="mean", rng=np.random.default_rng(3))
+        users, inputs = make_inputs(seed=3, with_padding=True)
+        rep_padded = model.sequence_representation(users, inputs).data[0]
+        # Build the equivalent unpadded short window by hand.
+        real = inputs[0, 2:]
+        high = model.source_item_embeddings.weight.data[real].mean(axis=0)
+        low = model.source_item_embeddings.weight.data[inputs[0, -2:]].mean(axis=0)
+        user_vec = model.user_embeddings.weight.data[users[0]]
+        assert np.allclose(rep_padded, high + low + user_vec)
+
+    def test_nl_zero_drops_low_order_term(self):
+        model = HAM(num_users=10, num_items=30, embedding_dim=8, n_h=4, n_l=0,
+                    rng=np.random.default_rng(4))
+        users, inputs = make_inputs(n_h=4, seed=4)
+        high, low = model.association_embeddings(inputs)
+        assert low is None
+        rep = model.sequence_representation(users, inputs)
+        expected = high + model.user_embeddings(users)
+        assert np.allclose(rep.data, expected.data)
+
+    def test_no_user_embedding_variant(self):
+        model = HAM(num_users=10, num_items=30, embedding_dim=8, n_h=4, n_l=2,
+                    use_user_embedding=False, rng=np.random.default_rng(5))
+        users, inputs = make_inputs(n_h=4, seed=5)
+        rep = model.sequence_representation(users, inputs)
+        high, low = model.association_embeddings(inputs)
+        assert np.allclose(rep.data, (high + low).data)
+
+    def test_variant_names(self):
+        rng = np.random.default_rng(6)
+        assert HAM(5, 10, 4, pooling="mean", rng=rng).variant_name == "HAMm"
+        assert HAM(5, 10, 4, pooling="max", rng=rng).variant_name == "HAMx"
+        assert HAM(5, 10, 4, n_l=0, rng=rng).variant_name == "HAMm-o"
+        assert HAM(5, 10, 4, use_user_embedding=False, rng=rng).variant_name == "HAMm-u"
+
+    def test_invalid_configurations(self):
+        rng = np.random.default_rng(7)
+        with pytest.raises(ValueError):
+            HAM(5, 10, 4, n_h=3, n_l=4, rng=rng)
+        with pytest.raises(ValueError):
+            HAM(0, 10, 4, rng=rng)
+        with pytest.raises(ValueError):
+            HAM(5, 10, 4, pooling="median", rng=rng)
+
+    def test_gradients_reach_all_parameter_groups(self):
+        model = HAM(num_users=10, num_items=30, embedding_dim=8, n_h=5, n_l=2,
+                    rng=np.random.default_rng(8))
+        users, inputs = make_inputs(seed=8)
+        items = np.array([[1], [2], [3], [4]])
+        model.score_items(users, inputs, items).sum().backward()
+        assert model.user_embeddings.weight.grad is not None
+        assert model.source_item_embeddings.weight.grad is not None
+        assert model.target_item_embeddings.weight.grad is not None
+
+    def test_after_step_keeps_padding_zero(self):
+        model = HAM(num_users=10, num_items=30, embedding_dim=8,
+                    rng=np.random.default_rng(9))
+        model.source_item_embeddings.weight.data[model.pad_id] = 1.0
+        model.after_step()
+        assert np.allclose(model.source_item_embeddings.weight.data[model.pad_id], 0.0)
+
+
+class TestHAMSynergy:
+    def test_reduces_to_ham_when_order_one(self):
+        rng_a = np.random.default_rng(10)
+        rng_b = np.random.default_rng(10)
+        ham = HAM(num_users=10, num_items=30, embedding_dim=8, n_h=5, n_l=2, rng=rng_a)
+        hams = HAMSynergy(num_users=10, num_items=30, embedding_dim=8, n_h=5, n_l=2,
+                          synergy_order=1, rng=rng_b)
+        users, inputs = make_inputs(seed=11)
+        assert np.allclose(
+            ham.sequence_representation(users, inputs).data,
+            hams.sequence_representation(users, inputs).data,
+        )
+
+    def test_synergy_changes_representation(self):
+        rng_a = np.random.default_rng(12)
+        rng_b = np.random.default_rng(12)
+        plain = HAMSynergy(10, 30, 8, n_h=5, n_l=2, synergy_order=1, rng=rng_a)
+        synergy = HAMSynergy(10, 30, 8, n_h=5, n_l=2, synergy_order=2, rng=rng_b)
+        users, inputs = make_inputs(seed=12)
+        assert not np.allclose(
+            plain.sequence_representation(users, inputs).data,
+            synergy.sequence_representation(users, inputs).data,
+        )
+
+    def test_latent_cross_formula(self):
+        model = HAMSynergy(10, 30, 8, n_h=4, n_l=0, synergy_order=3,
+                           use_user_embedding=False, rng=np.random.default_rng(13))
+        users, inputs = make_inputs(n_h=4, seed=13)
+        high, _ = model.association_embeddings(inputs)
+        synergies = model.synergy_terms(inputs)
+        expected = high.data * (1.0 + sum(s.data for s in synergies))
+        rep = model.sequence_representation(users, inputs)
+        assert np.allclose(rep.data, expected)
+
+    def test_variant_names(self):
+        rng = np.random.default_rng(14)
+        assert HAMSynergy(5, 10, 4, pooling="mean", rng=rng).variant_name == "HAMs_m"
+        assert HAMSynergy(5, 10, 4, pooling="max", rng=rng).variant_name == "HAMs_x"
+        assert HAMSynergy(5, 10, 4, n_l=0, rng=rng).variant_name == "HAMs_m-o"
+        assert HAMSynergy(5, 10, 4, use_user_embedding=False, rng=rng).variant_name == "HAMs_m-u"
+
+    def test_invalid_synergy_order(self):
+        rng = np.random.default_rng(15)
+        with pytest.raises(ValueError):
+            HAMSynergy(5, 10, 4, synergy_order=0, rng=rng)
+        with pytest.raises(ValueError):
+            HAMSynergy(5, 10, 4, n_h=3, synergy_order=4, rng=rng)
+
+    def test_score_all_shape(self):
+        model = HAMSynergy(10, 30, 8, rng=np.random.default_rng(16))
+        users, inputs = make_inputs(seed=16)
+        assert model.score_all(users, inputs).shape == (4, 30)
+
+    def test_gradients_flow_through_synergies(self):
+        model = HAMSynergy(10, 30, 8, n_h=5, n_l=2, synergy_order=3,
+                           rng=np.random.default_rng(17))
+        users, inputs = make_inputs(seed=17)
+        items = np.array([[1], [2], [3], [4]])
+        model.score_items(users, inputs, items).sum().backward()
+        assert model.source_item_embeddings.weight.grad is not None

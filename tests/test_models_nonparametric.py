@@ -1,0 +1,179 @@
+"""Tests for the count-based recommenders: ItemKNN and MarkovChain.
+
+Both are :class:`NonParametricRecommender` sub-classes that the trainer
+fits by counting.  The tests verify the counting logic (co-occurrence,
+transitions, smoothing) on small hand-checkable datasets.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import InteractionDataset
+from repro.data.splits import split_setting
+from repro.models import ItemKNN, MarkovChain, NonParametricRecommender, Popularity
+from repro.training import Trainer, TrainingConfig
+
+NUM_USERS = 8
+NUM_ITEMS = 12
+PAD = NUM_ITEMS
+
+
+class TestNonParametricContract:
+    @pytest.mark.parametrize("factory", [
+        lambda: Popularity(NUM_USERS, NUM_ITEMS),
+        lambda: ItemKNN(NUM_USERS, NUM_ITEMS),
+        lambda: MarkovChain(NUM_USERS, NUM_ITEMS),
+    ])
+    def test_requires_fit_before_scoring(self, factory):
+        model = factory()
+        assert not model.is_fitted
+        with pytest.raises(RuntimeError):
+            model.score_all(np.array([0]), np.full((1, model.input_length), PAD))
+
+    @pytest.mark.parametrize("factory", [
+        lambda: ItemKNN(NUM_USERS, NUM_ITEMS),
+        lambda: MarkovChain(NUM_USERS, NUM_ITEMS),
+    ])
+    def test_gradient_interface_disabled(self, factory):
+        model = factory()
+        with pytest.raises(NotImplementedError):
+            model.sequence_representation(np.array([0]), np.zeros((1, 3), dtype=np.int64))
+        with pytest.raises(NotImplementedError):
+            model.candidate_item_embeddings()
+        with pytest.raises(NotImplementedError):
+            model.score_items(np.array([0]), np.zeros((1, 3), dtype=np.int64),
+                              np.zeros((1, 1), dtype=np.int64))
+
+    def test_out_of_range_items_rejected(self):
+        model = MarkovChain(NUM_USERS, NUM_ITEMS)
+        with pytest.raises(ValueError):
+            model.fit_counts([[0, 1, NUM_ITEMS]])
+
+    def test_describe_mentions_fit_state(self):
+        model = ItemKNN(NUM_USERS, NUM_ITEMS)
+        assert "unfitted" in model.describe()
+        model.fit_counts([[0, 1, 2]])
+        assert "unfitted" not in model.describe()
+        assert isinstance(model, NonParametricRecommender)
+
+    def test_trainer_fits_nonparametric_models(self):
+        sequences = [[0, 1, 2, 3, 4, 5, 6], [1, 2, 3, 4, 5, 6, 7], [2, 3, 4, 5, 6, 7, 8]]
+        dataset = InteractionDataset.from_sequences(sequences, num_items=NUM_ITEMS)
+        split = split_setting(dataset, "80-20-CUT")
+        model = MarkovChain(dataset.num_users, NUM_ITEMS, order=2)
+        trainer = Trainer(model, TrainingConfig(num_epochs=1))
+        result = trainer.fit(split.train)
+        assert model.is_fitted
+        assert result.train_seconds >= 0.0
+
+
+class TestItemKNN:
+    def test_cooccurring_items_are_neighbors(self):
+        model = ItemKNN(NUM_USERS, NUM_ITEMS, cooccurrence_window=2)
+        model.fit_counts([[0, 1, 0, 1, 0, 1], [0, 1, 2]])
+        neighbors = dict(model.neighbors(0, k=5))
+        assert 1 in neighbors
+        assert neighbors[1] > neighbors.get(5, 0.0)
+
+    def test_window_limits_cooccurrence(self):
+        # Items 0 and 5 are always far apart; with a small window they
+        # never co-occur.
+        model = ItemKNN(NUM_USERS, NUM_ITEMS, cooccurrence_window=1)
+        model.fit_counts([[0, 1, 2, 3, 4, 5]] * 3)
+        neighbors = dict(model.neighbors(0, k=NUM_ITEMS))
+        assert 5 not in neighbors
+
+    def test_whole_sequence_window(self):
+        model = ItemKNN(NUM_USERS, NUM_ITEMS, cooccurrence_window=None)
+        model.fit_counts([[0, 1, 2, 3, 4, 5]] * 3)
+        neighbors = dict(model.neighbors(0, k=NUM_ITEMS))
+        assert 5 in neighbors
+
+    def test_scores_prefer_neighbor_of_recent_item(self):
+        model = ItemKNN(NUM_USERS, NUM_ITEMS, cooccurrence_window=1)
+        model.fit_counts([[3, 4], [3, 4], [3, 4], [6, 7]])
+        inputs = np.full((1, model.input_length), PAD, dtype=np.int64)
+        inputs[0, -1] = 3
+        scores = model.score_all(np.array([0]), inputs)
+        assert scores[0, 4] > scores[0, 7]
+
+    def test_recency_decay_weighs_recent_items_higher(self):
+        model = ItemKNN(NUM_USERS, NUM_ITEMS, cooccurrence_window=1, recency_decay=0.5)
+        model.fit_counts([[0, 1], [0, 1], [2, 3], [2, 3]])
+        inputs = np.full((1, model.input_length), PAD, dtype=np.int64)
+        inputs[0, -1] = 0   # most recent: neighbor is 1
+        inputs[0, -2] = 2   # older: neighbor is 3
+        scores = model.score_all(np.array([0]), inputs)
+        assert scores[0, 1] > scores[0, 3]
+
+    def test_top_k_neighbors_prunes(self):
+        model = ItemKNN(NUM_USERS, NUM_ITEMS, cooccurrence_window=None, top_k_neighbors=2)
+        model.fit_counts([[0, 1, 2, 3, 4, 5, 6, 7]] * 2)
+        assert len(model.neighbors(0, k=NUM_ITEMS)) <= 2
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            ItemKNN(NUM_USERS, NUM_ITEMS, recency_decay=0.0)
+        with pytest.raises(ValueError):
+            ItemKNN(NUM_USERS, NUM_ITEMS, top_k_neighbors=0)
+        with pytest.raises(ValueError):
+            ItemKNN(NUM_USERS, NUM_ITEMS, cooccurrence_window=0)
+
+
+class TestMarkovChain:
+    def test_first_order_transitions(self):
+        model = MarkovChain(NUM_USERS, NUM_ITEMS, order=1, smoothing=0.0)
+        model.fit_counts([[0, 1], [0, 1], [0, 2]])
+        probabilities = model.transition_probabilities(0, lag=1)
+        assert probabilities[1] == pytest.approx(2.0 / 3.0)
+        assert probabilities[2] == pytest.approx(1.0 / 3.0)
+
+    def test_smoothing_spreads_mass(self):
+        model = MarkovChain(NUM_USERS, NUM_ITEMS, order=1, smoothing=1.0)
+        model.fit_counts([[0, 1]])
+        probabilities = model.transition_probabilities(0, lag=1)
+        assert probabilities[5] > 0.0
+        assert probabilities.sum() == pytest.approx(1.0)
+
+    def test_higher_lag_counts_skip_transitions(self):
+        model = MarkovChain(NUM_USERS, NUM_ITEMS, order=2, smoothing=0.0)
+        model.fit_counts([[0, 1, 2]])
+        lag2 = model.transition_probabilities(0, lag=2)
+        assert lag2[2] == pytest.approx(1.0)
+
+    def test_scores_follow_last_item(self):
+        model = MarkovChain(NUM_USERS, NUM_ITEMS, order=1)
+        model.fit_counts([[0, 1], [0, 1], [2, 3]])
+        inputs = np.array([[PAD, 0], [PAD, 2]])
+        scores = model.score_all(np.array([0, 1]), inputs)
+        assert scores[0, 1] > scores[0, 3]
+        assert scores[1, 3] > scores[1, 1]
+
+    def test_cold_start_falls_back_to_popularity(self):
+        model = MarkovChain(NUM_USERS, NUM_ITEMS, order=2)
+        model.fit_counts([[0, 0, 0, 1], [0, 2]])
+        inputs = np.full((1, 2), PAD, dtype=np.int64)
+        scores = model.score_all(np.array([0]), inputs)
+        assert np.argmax(scores[0]) == 0
+
+    def test_lag_decay_prioritizes_recent_lag(self):
+        model = MarkovChain(NUM_USERS, NUM_ITEMS, order=2, lag_decay=0.1, smoothing=0.0)
+        # lag-1 evidence: 4 -> 5; lag-2 evidence: 6 -> _ -> 7
+        model.fit_counts([[4, 5], [4, 5], [6, 8, 7], [6, 9, 7]])
+        inputs = np.array([[6, 4]])
+        scores = model.score_all(np.array([0]), inputs)
+        assert scores[0, 5] > scores[0, 7]
+
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            MarkovChain(NUM_USERS, NUM_ITEMS, order=0)
+        with pytest.raises(ValueError):
+            MarkovChain(NUM_USERS, NUM_ITEMS, lag_decay=0.0)
+        with pytest.raises(ValueError):
+            MarkovChain(NUM_USERS, NUM_ITEMS, smoothing=-1.0)
+        with pytest.raises(ValueError):
+            model = MarkovChain(NUM_USERS, NUM_ITEMS)
+            model.fit_counts([[0]])
+            model.transition_probabilities(0, lag=99)

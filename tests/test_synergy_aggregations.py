@@ -1,0 +1,143 @@
+"""Tests for the synergy aggregation variants (paper Section 4.2.2).
+
+The paper's final HAMs model aggregates pairwise synergies with a sum over
+partner items (Eq. 3) and a mean over window items (Eq. 4), but reports
+having also tried weighted sum and max pooling.  These tests cover the
+alternative aggregations provided for that design-choice ablation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.autograd.numeric import gradient_check
+from repro.models import HAMSynergy
+from repro.models.synergy import INNER_AGGREGATIONS, OUTER_AGGREGATIONS, synergy_vectors
+
+
+def window(batch=2, length=4, dim=3, seed=0):
+    rng = np.random.default_rng(seed)
+    data = rng.normal(size=(batch, length, dim))
+    mask = np.ones((batch, length), dtype=bool)
+    return Tensor(data, requires_grad=True), mask
+
+
+class TestInnerAggregations:
+    def test_mean_inner_matches_bruteforce(self):
+        x, mask = window(batch=1, seed=1)
+        data = x.data[0]
+        per_item = []
+        for j in range(4):
+            partners = [data[j] * data[k] for k in range(4) if k != j]
+            per_item.append(np.mean(partners, axis=0))
+        expected = np.mean(per_item, axis=0)
+        result = synergy_vectors(x, mask, order=2, inner="mean")[0]
+        assert np.allclose(result.data[0], expected)
+
+    def test_max_inner_matches_bruteforce(self):
+        x, mask = window(batch=1, seed=2)
+        data = x.data[0]
+        per_item = []
+        for j in range(4):
+            partners = [data[j] * data[k] for k in range(4) if k != j]
+            per_item.append(np.max(partners, axis=0))
+        expected = np.mean(per_item, axis=0)
+        result = synergy_vectors(x, mask, order=2, inner="max")[0]
+        assert np.allclose(result.data[0], expected)
+
+    def test_sum_and_mean_differ_by_partner_count(self):
+        x, mask = window(batch=1, length=5, seed=3)
+        summed = synergy_vectors(x, mask, order=2, inner="sum")[0].data
+        averaged = synergy_vectors(x, mask, order=2, inner="mean")[0].data
+        assert np.allclose(summed, averaged * 4.0)
+
+    def test_max_inner_respects_padding(self):
+        x, mask = window(batch=1, length=4, seed=4)
+        # pad the first position: its embedding must be zero and excluded
+        mask[0, 0] = False
+        x.data[0, 0] = 0.0
+        data = x.data[0, 1:]
+        per_item = []
+        for j in range(3):
+            partners = [data[j] * data[k] for k in range(3) if k != j]
+            per_item.append(np.max(partners, axis=0))
+        expected = np.mean(per_item, axis=0)
+        result = synergy_vectors(x, mask, order=2, inner="max")[0]
+        assert np.allclose(result.data[0], expected)
+
+    def test_max_inner_gradcheck(self):
+        x, mask = window(batch=1, length=3, dim=2, seed=5)
+        gradient_check(
+            lambda: (synergy_vectors(x, mask, 2, inner="max")[0] ** 2).sum(), [x]
+        )
+
+
+class TestOuterAggregations:
+    def test_sum_outer_scales_mean_outer(self):
+        x, mask = window(batch=1, length=4, seed=6)
+        mean_outer = synergy_vectors(x, mask, order=2, outer="mean")[0].data
+        sum_outer = synergy_vectors(x, mask, order=2, outer="sum")[0].data
+        assert np.allclose(sum_outer, mean_outer * 4.0)
+
+    def test_max_outer_matches_bruteforce(self):
+        x, mask = window(batch=1, length=4, seed=7)
+        data = x.data[0]
+        total = data.sum(axis=0)
+        per_item = np.stack([data[j] * (total - data[j]) for j in range(4)])
+        expected = per_item.max(axis=0)
+        result = synergy_vectors(x, mask, order=2, outer="max")[0]
+        assert np.allclose(result.data[0], expected)
+
+    def test_unknown_aggregations_rejected(self):
+        x, mask = window()
+        with pytest.raises(ValueError):
+            synergy_vectors(x, mask, 2, inner="median")
+        with pytest.raises(ValueError):
+            synergy_vectors(x, mask, 2, outer="median")
+
+
+class TestHAMSynergyAggregationOptions:
+    def _model(self, **kwargs):
+        defaults = dict(num_users=8, num_items=25, embedding_dim=8, n_h=4, n_l=1,
+                        synergy_order=2, rng=np.random.default_rng(8))
+        defaults.update(kwargs)
+        return HAMSynergy(**defaults)
+
+    def test_default_matches_paper_choices(self):
+        model = self._model()
+        assert model.synergy_inner == "sum"
+        assert model.synergy_outer == "mean"
+
+    def test_all_combinations_produce_finite_scores(self):
+        rng = np.random.default_rng(9)
+        users = rng.integers(0, 8, size=3)
+        inputs = rng.integers(0, 25, size=(3, 4))
+        for inner in INNER_AGGREGATIONS:
+            for outer in OUTER_AGGREGATIONS:
+                model = self._model(synergy_inner=inner, synergy_outer=outer)
+                scores = model.score_all(users, inputs)
+                assert np.all(np.isfinite(scores))
+
+    def test_aggregation_choice_changes_representation(self):
+        users = np.array([0, 1])
+        inputs = np.array([[1, 2, 3, 4], [5, 6, 7, 8]])
+        base = self._model(rng=np.random.default_rng(10))
+        alternative = self._model(rng=np.random.default_rng(10), synergy_inner="max")
+        assert not np.allclose(
+            base.sequence_representation(users, inputs).data,
+            alternative.sequence_representation(users, inputs).data,
+        )
+
+    def test_invalid_options_rejected(self):
+        with pytest.raises(ValueError):
+            self._model(synergy_inner="product")
+        with pytest.raises(ValueError):
+            self._model(synergy_outer="median")
+
+    def test_gradients_flow_for_max_aggregation(self):
+        model = self._model(synergy_inner="max", synergy_outer="max")
+        users = np.array([0, 1])
+        inputs = np.array([[1, 2, 3, 4], [5, 6, 7, 8]])
+        items = np.array([[3], [9]])
+        model.score_items(users, inputs, items).sum().backward()
+        assert model.source_item_embeddings.weight.grad is not None

@@ -1,0 +1,245 @@
+"""Tests for training extensions: schedules, early stopping, checkpoints,
+gradient clipping and the extended trainer options (loss choice, multiple
+negatives, GRU4Rec++ defaults)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor, clip_grad_norm
+from repro.autograd.module import Parameter
+from repro.data.dataset import InteractionDataset
+from repro.data.splits import split_setting
+from repro.evaluation import RankingEvaluator
+from repro.models import GRU4RecPlus, create_model
+from repro.training import (
+    ConstantSchedule,
+    CosineDecaySchedule,
+    EarlyStopping,
+    ExponentialDecaySchedule,
+    StepDecaySchedule,
+    Trainer,
+    TrainingConfig,
+    WarmupSchedule,
+    load_checkpoint,
+    read_metadata,
+    save_checkpoint,
+)
+
+NUM_ITEMS = 20
+
+
+def tiny_split(num_users: int = 12, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    sequences = [
+        rng.integers(0, NUM_ITEMS, size=rng.integers(12, 20)).tolist()
+        for _ in range(num_users)
+    ]
+    dataset = InteractionDataset.from_sequences(sequences, num_items=NUM_ITEMS)
+    return split_setting(dataset, "80-20-CUT")
+
+
+class TestSchedules:
+    def test_constant(self):
+        schedule = ConstantSchedule(1e-3)
+        assert schedule.preview(3) == [1e-3, 1e-3, 1e-3]
+
+    def test_step_decay(self):
+        schedule = StepDecaySchedule(1.0, step_size=2, decay=0.5)
+        assert schedule.preview(5) == pytest.approx([1.0, 1.0, 0.5, 0.5, 0.25])
+
+    def test_exponential_decay(self):
+        schedule = ExponentialDecaySchedule(1.0, decay=0.9)
+        assert schedule(3) == pytest.approx(0.81)
+
+    def test_cosine_endpoints(self):
+        schedule = CosineDecaySchedule(1.0, num_epochs=5, final_lr=0.1)
+        assert schedule(1) == pytest.approx(1.0)
+        assert schedule(5) == pytest.approx(0.1)
+        assert schedule(10) == pytest.approx(0.1)
+
+    def test_warmup_ramps_then_defers(self):
+        schedule = WarmupSchedule(ConstantSchedule(1.0), warmup_epochs=2)
+        rates = schedule.preview(4)
+        assert rates[0] < rates[1] < rates[2]
+        assert rates[2] == pytest.approx(1.0)
+        assert rates[3] == pytest.approx(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantSchedule(0.0)
+        with pytest.raises(ValueError):
+            StepDecaySchedule(1.0, step_size=0)
+        with pytest.raises(ValueError):
+            ExponentialDecaySchedule(1.0, decay=1.5)
+        with pytest.raises(ValueError):
+            CosineDecaySchedule(1.0, num_epochs=3, final_lr=2.0)
+        with pytest.raises(ValueError):
+            ConstantSchedule(1.0)(0)
+
+
+class TestEarlyStopping:
+    def test_stops_after_patience_without_improvement(self):
+        stopper = EarlyStopping(patience=2)
+        assert not stopper.update(0.5)
+        assert not stopper.update(0.4)
+        assert stopper.update(0.45)
+        assert stopper.should_stop
+
+    def test_improvement_resets_patience(self):
+        stopper = EarlyStopping(patience=2)
+        stopper.update(0.5)
+        stopper.update(0.4)
+        assert not stopper.update(0.6)
+        assert stopper.num_bad_evaluations == 0
+        assert stopper.best_score == pytest.approx(0.6)
+
+    def test_min_delta_counts_small_gains_as_stagnation(self):
+        stopper = EarlyStopping(patience=1, min_delta=0.1)
+        stopper.update(0.5)
+        assert stopper.update(0.55)
+
+    def test_reset(self):
+        stopper = EarlyStopping(patience=1)
+        stopper.update(1.0)
+        stopper.update(0.5)
+        stopper.reset()
+        assert not stopper.should_stop
+        assert stopper.best_score == float("-inf")
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EarlyStopping(patience=0)
+        with pytest.raises(ValueError):
+            EarlyStopping(min_delta=-0.1)
+
+
+class TestGradientClipping:
+    def test_large_gradients_scaled_to_max_norm(self):
+        param = Parameter(np.zeros(4))
+        param.grad = np.array([3.0, 4.0, 0.0, 0.0])
+        observed = clip_grad_norm([param], max_norm=1.0)
+        assert observed == pytest.approx(5.0)
+        assert np.linalg.norm(param.grad) == pytest.approx(1.0)
+
+    def test_small_gradients_untouched(self):
+        param = Parameter(np.zeros(2))
+        param.grad = np.array([0.1, 0.2])
+        clip_grad_norm([param], max_norm=10.0)
+        assert param.grad == pytest.approx([0.1, 0.2])
+
+    def test_requires_positive_max_norm(self):
+        with pytest.raises(ValueError):
+            clip_grad_norm([], max_norm=0.0)
+
+
+class TestCheckpoint:
+    def test_roundtrip_restores_parameters(self, tmp_path):
+        rng = np.random.default_rng(0)
+        model = create_model("HAMm", num_users=6, num_items=NUM_ITEMS, rng=rng,
+                             embedding_dim=8, n_h=4, n_l=2)
+        path = save_checkpoint(model, tmp_path / "ham", metadata={"method": "HAMm"})
+        assert path.suffix == ".npz"
+
+        fresh = create_model("HAMm", num_users=6, num_items=NUM_ITEMS,
+                             rng=np.random.default_rng(99), embedding_dim=8, n_h=4, n_l=2)
+        metadata = load_checkpoint(fresh, path)
+        assert metadata == {"method": "HAMm"}
+        for name, value in model.state_dict().items():
+            assert np.allclose(fresh.state_dict()[name], value)
+
+    def test_read_metadata_without_loading(self, tmp_path):
+        rng = np.random.default_rng(0)
+        model = create_model("BPR-MF", num_users=4, num_items=NUM_ITEMS, rng=rng,
+                             embedding_dim=4)
+        path = save_checkpoint(model, tmp_path / "mf.npz", metadata={"seed": 7})
+        assert read_metadata(path)["seed"] == 7
+
+    def test_strict_mismatch_raises(self, tmp_path):
+        rng = np.random.default_rng(0)
+        model = create_model("BPR-MF", num_users=4, num_items=NUM_ITEMS, rng=rng,
+                             embedding_dim=4)
+        path = save_checkpoint(model, tmp_path / "mf")
+        other = create_model("HAMm", num_users=4, num_items=NUM_ITEMS, rng=rng,
+                             embedding_dim=4, n_h=3, n_l=1)
+        with pytest.raises(KeyError):
+            load_checkpoint(other, path)
+
+    def test_non_strict_loads_intersection(self, tmp_path):
+        rng = np.random.default_rng(0)
+        model = create_model("BPR-MF", num_users=4, num_items=NUM_ITEMS, rng=rng,
+                             embedding_dim=4)
+        path = save_checkpoint(model, tmp_path / "mf")
+        bigger = create_model("BPR-MF", num_users=4, num_items=NUM_ITEMS,
+                              rng=np.random.default_rng(5), embedding_dim=8)
+        metadata = load_checkpoint(bigger, path, strict=False)
+        assert metadata == {}
+
+    def test_missing_file(self, tmp_path):
+        rng = np.random.default_rng(0)
+        model = create_model("BPR-MF", num_users=4, num_items=NUM_ITEMS, rng=rng,
+                             embedding_dim=4)
+        with pytest.raises(FileNotFoundError):
+            load_checkpoint(model, tmp_path / "absent.npz")
+
+
+class TestTrainerExtensions:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TrainingConfig(num_negatives=0)
+        with pytest.raises(ValueError):
+            TrainingConfig(max_grad_norm=0.0)
+
+    def test_alternative_loss_and_multiple_negatives_train(self):
+        split = tiny_split()
+        model = create_model("HAMm", split.num_users, NUM_ITEMS,
+                             rng=np.random.default_rng(1), embedding_dim=8, n_h=4, n_l=2)
+        config = TrainingConfig(num_epochs=2, batch_size=64, loss="bpr_max",
+                                num_negatives=4, max_grad_norm=5.0, seed=1)
+        result = Trainer(model, config).fit(split.train)
+        assert len(result.epoch_losses) == 2
+        assert all(np.isfinite(result.epoch_losses))
+
+    def test_unknown_loss_rejected_at_construction(self):
+        split = tiny_split()
+        model = create_model("HAMm", split.num_users, NUM_ITEMS,
+                             rng=np.random.default_rng(1), embedding_dim=8, n_h=4, n_l=2)
+        with pytest.raises(KeyError):
+            Trainer(model, TrainingConfig(loss="nope"))
+
+    def test_gru4rec_plus_recommends_bpr_max(self):
+        split = tiny_split()
+        model = GRU4RecPlus(split.num_users, NUM_ITEMS, embedding_dim=8,
+                            sequence_length=5, num_negatives=3,
+                            rng=np.random.default_rng(2))
+        trainer = Trainer(model, TrainingConfig(num_epochs=1, batch_size=64))
+        assert trainer.loss_name == "bpr_max"
+        assert trainer.num_negatives == 3
+        result = trainer.fit(split.train)
+        assert np.isfinite(result.final_loss)
+
+    def test_explicit_config_overrides_model_recommendation(self):
+        model = GRU4RecPlus(4, NUM_ITEMS, embedding_dim=8, sequence_length=5,
+                            rng=np.random.default_rng(2))
+        trainer = Trainer(model, TrainingConfig(loss="bpr", num_negatives=1))
+        assert trainer.loss_name == "bpr"
+        assert trainer.num_negatives == 1
+
+    def test_schedule_changes_learning_rate_and_early_stopping_halts(self):
+        split = tiny_split()
+        model = create_model("HAMm", split.num_users, NUM_ITEMS,
+                             rng=np.random.default_rng(3), embedding_dim=8, n_h=4, n_l=2)
+        evaluator = RankingEvaluator(split, ks=(5,), mode="validation")
+        config = TrainingConfig(num_epochs=10, batch_size=64, eval_every=1, seed=3)
+        trainer = Trainer(
+            model, config,
+            validation_fn=lambda m: evaluator.validation_metric(m, "Recall@5"),
+            schedule=StepDecaySchedule(1e-3, step_size=1, decay=0.5),
+            early_stopping=EarlyStopping(patience=2),
+        )
+        result = trainer.fit(split.train)
+        # Early stopping may or may not fire on such a tiny dataset, but the
+        # run must end within the epoch budget and keep a best epoch.
+        assert 1 <= len(result.epoch_losses) <= 10
+        assert result.best_epoch >= 1

@@ -1,0 +1,161 @@
+"""Tests for the ranking losses in :mod:`repro.training.losses`.
+
+Each loss is checked against a hand-computed value on a tiny example, for
+its gradient direction (pushing the positive score up must reduce the
+loss), and for correct mask handling.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import Tensor
+from repro.training.losses import (
+    LOSS_FUNCTIONS,
+    bpr_loss,
+    bpr_max_loss,
+    get_loss,
+    hinge_loss,
+    sampled_softmax_loss,
+    top1_loss,
+    top1_max_loss,
+)
+
+ALL_LOSSES = sorted(LOSS_FUNCTIONS)
+
+
+def sigmoid(x):
+    return 1.0 / (1.0 + np.exp(-x))
+
+
+def make_scores(num_negatives: int = 1, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    positives = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+    if num_negatives == 1:
+        negatives = Tensor(rng.normal(size=(3, 2)), requires_grad=True)
+    else:
+        negatives = Tensor(rng.normal(size=(3, 2, num_negatives)), requires_grad=True)
+    return positives, negatives
+
+
+class TestRegistry:
+    def test_contains_paper_default(self):
+        assert "bpr" in LOSS_FUNCTIONS
+
+    def test_get_loss_case_insensitive(self):
+        assert get_loss("BPR_MAX") is bpr_max_loss
+
+    def test_unknown_loss(self):
+        with pytest.raises(KeyError):
+            get_loss("focal")
+
+    @pytest.mark.parametrize("name", ALL_LOSSES)
+    def test_every_loss_returns_scalar(self, name):
+        positives, negatives = make_scores(num_negatives=4)
+        loss = LOSS_FUNCTIONS[name](positives, negatives)
+        assert loss.shape == ()
+        assert np.isfinite(float(loss.data))
+
+    @pytest.mark.parametrize("name", ALL_LOSSES)
+    def test_every_loss_accepts_single_negative(self, name):
+        positives, negatives = make_scores(num_negatives=1)
+        loss = LOSS_FUNCTIONS[name](positives, negatives)
+        assert np.isfinite(float(loss.data))
+
+    @pytest.mark.parametrize("name", ALL_LOSSES)
+    def test_gradient_pushes_positive_up(self, name):
+        positives, negatives = make_scores(num_negatives=3)
+        loss = LOSS_FUNCTIONS[name](positives, negatives)
+        loss.backward()
+        # The derivative of each loss w.r.t. the positive score is negative
+        # (raising the positive score lowers the loss).
+        assert np.all(positives.grad <= 1e-12)
+        assert np.any(positives.grad < 0)
+
+    @pytest.mark.parametrize("name", ALL_LOSSES)
+    def test_mask_removes_positions(self, name):
+        positives, negatives = make_scores(num_negatives=2, seed=1)
+        mask = np.array([[True, False], [True, True], [False, False]])
+        masked_value = float(LOSS_FUNCTIONS[name](positives, negatives, mask).data)
+
+        # Recompute keeping only the unmasked positions and compare.
+        keep_rows, keep_cols = np.where(mask)
+        kept_pos = Tensor(positives.data[keep_rows, keep_cols].reshape(-1, 1))
+        kept_neg = Tensor(negatives.data[keep_rows, keep_cols].reshape(-1, 1, 2))
+        expected = float(LOSS_FUNCTIONS[name](kept_pos, kept_neg).data)
+        assert masked_value == pytest.approx(expected, rel=1e-9)
+
+    @pytest.mark.parametrize("name", ALL_LOSSES)
+    def test_shape_mismatch_rejected(self, name):
+        positives = Tensor(np.zeros((3, 2)))
+        negatives = Tensor(np.zeros((4, 2, 2)))
+        with pytest.raises(ValueError):
+            LOSS_FUNCTIONS[name](positives, negatives)
+
+
+class TestHandComputedValues:
+    def test_bpr_single_pair(self):
+        loss = bpr_loss(Tensor([[2.0]]), Tensor([[0.5]]))
+        assert float(loss.data) == pytest.approx(-np.log(sigmoid(1.5)))
+
+    def test_bpr_multi_negative_averages_pairs(self):
+        positives = Tensor([[1.0]])
+        negatives = Tensor([[[0.0, 2.0]]])
+        loss = LOSS_FUNCTIONS["bpr"](positives, negatives)
+        expected = np.mean([-np.log(sigmoid(1.0)), -np.log(sigmoid(-1.0))])
+        assert float(loss.data) == pytest.approx(expected)
+
+    def test_top1_single_pair(self):
+        loss = top1_loss(Tensor([[1.0]]), Tensor([[0.0]]))
+        expected = sigmoid(-1.0) + sigmoid(0.0)
+        assert float(loss.data) == pytest.approx(expected)
+
+    def test_hinge_zero_when_margin_satisfied(self):
+        loss = hinge_loss(Tensor([[3.0]]), Tensor([[0.5]]), margin=1.0)
+        assert float(loss.data) == pytest.approx(0.0)
+
+    def test_hinge_linear_inside_margin(self):
+        loss = hinge_loss(Tensor([[1.0]]), Tensor([[0.8]]), margin=1.0)
+        assert float(loss.data) == pytest.approx(0.8)
+
+    def test_hinge_requires_positive_margin(self):
+        with pytest.raises(ValueError):
+            hinge_loss(Tensor([[1.0]]), Tensor([[0.0]]), margin=0.0)
+
+    def test_sampled_softmax_uniform_scores(self):
+        # With identical scores for the positive and N negatives, the loss
+        # is log(N + 1).
+        positives = Tensor([[0.0]])
+        negatives = Tensor([[[0.0, 0.0, 0.0]]])
+        loss = sampled_softmax_loss(positives, negatives)
+        assert float(loss.data) == pytest.approx(np.log(4.0))
+
+    def test_bpr_max_reduces_to_bpr_like_for_one_negative(self):
+        # With a single negative the softmax weight is 1 and BPR-max equals
+        # BPR plus the regularization term.
+        positives = Tensor([[1.0]])
+        negatives = Tensor([[0.2]])
+        value = float(bpr_max_loss(positives, negatives, regularization=0.0).data)
+        assert value == pytest.approx(-np.log(sigmoid(0.8)), rel=1e-6)
+
+    def test_bpr_max_regularization_adds_penalty(self):
+        positives = Tensor([[1.0]])
+        negatives = Tensor([[2.0]])
+        plain = float(bpr_max_loss(positives, negatives, regularization=0.0).data)
+        regularized = float(bpr_max_loss(positives, negatives, regularization=1.0).data)
+        assert regularized == pytest.approx(plain + 4.0)
+
+    def test_top1_max_weights_hard_negatives(self):
+        # The higher-scoring negative dominates the softmax weighting, so
+        # TOP1-max is larger than plain TOP1 averaging when one negative is
+        # much harder than the other.
+        positives = Tensor([[0.0]])
+        negatives = Tensor([[[5.0, -5.0]]])
+        assert float(top1_max_loss(positives, negatives).data) > float(
+            top1_loss(positives, negatives).data
+        )
+
+    def test_invalid_negative_rank(self):
+        with pytest.raises(ValueError):
+            bpr_max_loss(Tensor([[1.0]]), Tensor([1.0]))
