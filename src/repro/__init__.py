@@ -21,10 +21,11 @@ The package is organized as:
 ``repro.experiments``
     Registry mapping every paper table/figure to a runnable experiment.
 ``repro.serving``
-    Top-k recommendation serving and per-factor HAM score explanations.
+    The batched scoring engine, top-k recommendation serving and
+    per-factor HAM score explanations.
 """
 
-from repro.serving import Recommender, explain_ham_score
+from repro.serving import Recommender, ScoringEngine, explain_ham_score
 
 __version__ = "1.0.0"
 
@@ -38,5 +39,6 @@ __all__ = [
     "experiments",
     "serving",
     "Recommender",
+    "ScoringEngine",
     "explain_ham_score",
 ]

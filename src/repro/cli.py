@@ -6,6 +6,8 @@ Usage examples::
     repro-ham stats                      # Table 2 dataset statistics
     repro-ham run table3 --scale tiny    # reproduce one table/figure
     repro-ham train --dataset cds --method HAMs_m --setting 80-20-CUT
+    repro-ham serve --dataset cds --users 0 1 2 --k 10
+    repro-ham bench-serve --dataset cds --out BENCH_serving.json
 """
 
 from __future__ import annotations
@@ -48,15 +50,37 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--save-dir", default=None,
                      help="persist rows and report under this directory (ResultsStore)")
 
+    def add_training_arguments(subparser):
+        subparser.add_argument("--dataset", choices=BENCHMARK_NAMES, default="cds")
+        subparser.add_argument("--method", choices=sorted(MODEL_REGISTRY), default="HAMs_m")
+        subparser.add_argument("--setting", choices=SETTINGS, default="80-20-CUT")
+        subparser.add_argument("--scale", choices=sorted(SCALES), default=None)
+        subparser.add_argument("--epochs", type=int, default=None)
+        subparser.add_argument("--seed", type=int, default=0)
+
     train = subparsers.add_parser("train", help="train and evaluate a single model")
-    train.add_argument("--dataset", choices=BENCHMARK_NAMES, default="cds")
-    train.add_argument("--method", choices=sorted(MODEL_REGISTRY), default="HAMs_m")
-    train.add_argument("--setting", choices=SETTINGS, default="80-20-CUT")
-    train.add_argument("--scale", choices=sorted(SCALES), default=None)
-    train.add_argument("--epochs", type=int, default=None)
-    train.add_argument("--seed", type=int, default=0)
+    add_training_arguments(train)
     train.add_argument("--checkpoint", default=None,
                        help="write the trained parameters to this .npz path")
+
+    serve = subparsers.add_parser(
+        "serve", help="train a model and answer top-k requests through the scoring engine")
+    add_training_arguments(serve)
+    serve.add_argument("--users", type=int, nargs="+", default=[0, 1, 2],
+                       help="user ids to recommend for")
+    serve.add_argument("--k", type=int, default=10)
+    serve.add_argument("--explain", action="store_true",
+                       help="print the per-factor HAM score decomposition of each hit")
+
+    bench = subparsers.add_parser(
+        "bench-serve", help="benchmark cached (engine) vs uncached per-request scoring")
+    add_training_arguments(bench)
+    bench.add_argument("--requests", type=int, default=200,
+                       help="timed requests per serving path")
+    bench.add_argument("--users-per-request", type=int, default=1)
+    bench.add_argument("--k", type=int, default=10)
+    bench.add_argument("--out", default="BENCH_serving.json",
+                       help="write the latency report to this JSON path")
     return parser
 
 
@@ -131,6 +155,69 @@ def _command_train(dataset: str, method: str, setting: str, scale: str | None,
     return 0
 
 
+def _train_for_serving(dataset: str, method: str, setting: str, scale: str | None,
+                       epochs: int | None, seed: int):
+    """Shared train-then-snapshot path of the serve/bench-serve commands."""
+    data = load_benchmark(dataset, scale=scale)
+    split = split_setting(data, setting)
+    rng = np.random.default_rng(seed)
+    hyperparameters = default_model_hyperparameters(method, dataset, setting)
+    model = create_model(method, num_users=split.num_users, num_items=split.num_items,
+                         rng=rng, **hyperparameters)
+    config = default_training_config(num_epochs=epochs, dataset=dataset,
+                                     setting=setting, seed=seed)
+    histories = split.train_plus_valid()
+    Trainer(model, config).fit(histories)
+    return model, histories
+
+
+def _command_serve(dataset: str, method: str, setting: str, scale: str | None,
+                   epochs: int | None, seed: int, users: list[int], k: int,
+                   explain: bool = False) -> int:
+    from repro.serving import ScoringEngine, explain_ham_scores
+    from repro.models.ham import HAM
+
+    model, histories = _train_for_serving(dataset, method, setting, scale, epochs, seed)
+    engine = ScoringEngine(model, histories, precompute=True)
+    print(model.describe())
+
+    batches = engine.recommend_batch(users, k)
+    rows = []
+    for user, recommendations in zip(users, batches):
+        for entry in recommendations:
+            rows.append({"user": user, "rank": entry.rank, "item": entry.item,
+                         "score": round(entry.score, 4)})
+    print(format_table(rows, title=f"top-{k} via ScoringEngine ({method} on {dataset})"))
+
+    if explain and isinstance(model, HAM):
+        explanation_rows = []
+        for user, recommendations in zip(users, batches):
+            explanations = explain_ham_scores(model, user, engine.history(user),
+                                              [entry.item for entry in recommendations])
+            explanation_rows.extend(
+                {key: round(value, 4) if isinstance(value, float) else value
+                 for key, value in explanation.as_row().items()}
+                for explanation in explanations
+            )
+        print(format_table(explanation_rows, title="per-factor score decomposition"))
+    return 0
+
+
+def _command_bench_serve(dataset: str, method: str, setting: str, scale: str | None,
+                         epochs: int | None, seed: int, requests: int,
+                         users_per_request: int, k: int, out: str) -> int:
+    from repro.serving import run_serving_benchmark, write_report
+
+    model, histories = _train_for_serving(dataset, method, setting, scale, epochs, seed)
+    report = run_serving_benchmark(model, histories, num_requests=requests,
+                                   users_per_request=users_per_request, k=k,
+                                   seed=seed, model_name=method)
+    print(report.summary())
+    write_report(report, out)
+    print(f"latency report written to {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -145,6 +232,16 @@ def main(argv: list[str] | None = None) -> int:
         return _command_train(args.dataset, args.method, args.setting,
                               args.scale, args.epochs, args.seed,
                               checkpoint=args.checkpoint)
+    if args.command == "serve":
+        return _command_serve(args.dataset, args.method, args.setting,
+                              args.scale, args.epochs, args.seed,
+                              users=args.users, k=args.k, explain=args.explain)
+    if args.command == "bench-serve":
+        return _command_bench_serve(args.dataset, args.method, args.setting,
+                                    args.scale, args.epochs, args.seed,
+                                    requests=args.requests,
+                                    users_per_request=args.users_per_request,
+                                    k=args.k, out=args.out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -23,7 +23,12 @@ This subpackage provides:
 from repro.data.dataset import InteractionDataset, RawInteraction
 from repro.data.preprocess import PreprocessConfig, preprocess_interactions
 from repro.data.splits import DatasetSplit, leave_n_out, split_cut, split_setting
-from repro.data.windows import SlidingWindowInstances, build_training_instances
+from repro.data.windows import (
+    SlidingWindowInstances,
+    build_training_instances,
+    pad_histories,
+    pad_id_for,
+)
 from repro.data.batching import BatchIterator
 from repro.data.synthetic import SyntheticConfig, generate_synthetic_dataset
 from repro.data.benchmarks import BENCHMARKS, load_benchmark
@@ -45,6 +50,8 @@ __all__ = [
     "split_setting",
     "SlidingWindowInstances",
     "build_training_instances",
+    "pad_histories",
+    "pad_id_for",
     "BatchIterator",
     "SyntheticConfig",
     "generate_synthetic_dataset",

@@ -14,15 +14,53 @@ its embedding to zero.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Sequence
 
 import numpy as np
 
-__all__ = ["SlidingWindowInstances", "build_training_instances", "pad_id_for"]
+__all__ = ["SlidingWindowInstances", "build_training_instances", "pad_id_for",
+           "pad_histories"]
 
 
 def pad_id_for(num_items: int) -> int:
     """The padding item id used throughout the reproduction."""
     return num_items
+
+
+def pad_histories(histories: Sequence[Sequence[int]], length: int, pad_id: int,
+                  users: Sequence[int] | None = None) -> np.ndarray:
+    """Left-padded matrix of the last ``length`` items of each history.
+
+    This is the one canonical "histories to model inputs" conversion used
+    at scoring time (the evaluators, the serving engine and the timing
+    harness all funnel through it).
+
+    Parameters
+    ----------
+    histories:
+        Per-user interaction histories.
+    length:
+        Number of most-recent items kept per history (the model's
+        ``input_length``); shorter histories are left-padded.
+    pad_id:
+        Padding item id (``pad_id_for(num_items)``).
+    users:
+        Optional row selection: when given, row ``i`` of the result holds
+        the padded history of ``histories[users[i]]``.
+
+    Returns
+    -------
+    ``(len(users or histories), length)`` int64 array.
+    """
+    if length < 1:
+        raise ValueError("length must be positive")
+    rows = [histories[user] for user in users] if users is not None else histories
+    inputs = np.full((len(rows), length), pad_id, dtype=np.int64)
+    for row, history in enumerate(rows):
+        recent = history[-length:]
+        if len(recent):
+            inputs[row, -len(recent):] = recent
+    return inputs
 
 
 @dataclass

@@ -16,8 +16,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.data.splits import DatasetSplit
-from repro.data.windows import pad_id_for
-from repro.evaluation.ranking import top_k_items
 from repro.models.base import SequentialRecommender
 
 __all__ = [
@@ -133,19 +131,11 @@ def beyond_accuracy_report(model: SequentialRecommender, split: DatasetSplit,
         if seq:
             np.add.at(item_frequencies, np.asarray(seq, dtype=np.int64), 1.0)
 
-    pad = pad_id_for(split.num_items)
-    all_recommendations = []
-    for start in range(0, len(users), batch_size):
-        batch_users = users[start:start + batch_size]
-        inputs = np.full((len(batch_users), model.input_length), pad, dtype=np.int64)
-        for row, user in enumerate(batch_users):
-            history = histories[user][-model.input_length:]
-            if history:
-                inputs[row, -len(history):] = history
-        scores = model.score_all(np.asarray(batch_users, dtype=np.int64), inputs)
-        excluded = [set(histories[user]) for user in batch_users]
-        all_recommendations.append(top_k_items(scores, k, excluded=excluded))
-    recommendations = np.vstack(all_recommendations)
+    from repro.serving.engine import ScoringEngine
+
+    engine = ScoringEngine(model, histories, exclude_seen=True,
+                           micro_batch_size=batch_size, copy_weights=False)
+    recommendations = engine.top_k(users, k)  # chunks by micro_batch_size internally
 
     exposure = np.zeros(split.num_items, dtype=np.float64)
     np.add.at(exposure, recommendations.ravel(), 1.0)

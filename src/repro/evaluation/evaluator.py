@@ -15,9 +15,12 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.splits import DatasetSplit
-from repro.data.windows import pad_id_for
-from repro.evaluation.metrics import ndcg_at_k, recall_at_k
-from repro.evaluation.ranking import top_k_items
+from repro.evaluation.metrics import (
+    batch_hits,
+    batch_ndcg_at_k,
+    batch_recall_at_k,
+    truth_matrix,
+)
 from repro.models.base import SequentialRecommender
 
 __all__ = ["RankingEvaluator", "EvaluationResult"]
@@ -87,46 +90,41 @@ class RankingEvaluator:
         """Users that have at least one target item."""
         return len(self._users)
 
-    def _input_matrix(self, users: list[int], input_length: int) -> np.ndarray:
-        """Last ``input_length`` history items per user, left-padded."""
-        pad = pad_id_for(self.split.num_items)
-        inputs = np.full((len(users), input_length), pad, dtype=np.int64)
-        for row, user in enumerate(users):
-            history = self._histories[user][-input_length:]
-            if history:
-                inputs[row, -len(history):] = history
-        return inputs
-
     def evaluate(self, model: SequentialRecommender) -> EvaluationResult:
-        """Compute Recall@k and NDCG@k for ``model`` on this split."""
+        """Compute Recall@k and NDCG@k for ``model`` on this split.
+
+        Scoring funnels through one :class:`~repro.serving.engine.ScoringEngine`
+        (cached padded histories, vectorized seen-item masking) and the
+        per-user metrics are aggregated vectorized over the ranked-id
+        matrix — no per-user Python loop.
+        """
+        from repro.serving.engine import ScoringEngine
+
         model.eval()
         result = EvaluationResult(num_users_evaluated=len(self._users))
         if not self._users:
             result.metrics = {f"{metric}@{k}": 0.0 for metric in ("Recall", "NDCG") for k in self.ks}
             return result
 
-        per_user: dict[str, list[float]] = {
+        engine = ScoringEngine(model, self._histories, exclude_seen=self.exclude_seen,
+                               micro_batch_size=self.batch_size, copy_weights=False)
+        max_k = max(self.ks)
+        per_user: dict[str, list[np.ndarray]] = {
             f"{metric}@{k}": [] for metric in ("Recall", "NDCG") for k in self.ks
         }
-        max_k = max(self.ks)
 
         for start in range(0, len(self._users), self.batch_size):
             batch_users = self._users[start:start + self.batch_size]
-            inputs = self._input_matrix(batch_users, model.input_length)
-            scores = model.score_all(np.asarray(batch_users, dtype=np.int64), inputs)
-            excluded = (
-                [set(self._histories[user]) for user in batch_users]
-                if self.exclude_seen else None
-            )
-            recommendations = top_k_items(scores, max_k, excluded=excluded)
-            for row, user in enumerate(batch_users):
-                truth = self._targets[user]
-                recommended = recommendations[row].tolist()
-                for k in self.ks:
-                    per_user[f"Recall@{k}"].append(recall_at_k(recommended, truth, k))
-                    per_user[f"NDCG@{k}"].append(ndcg_at_k(recommended, truth, k))
+            ranked = engine.top_k(batch_users, max_k)
+            truth = truth_matrix([self._targets[user] for user in batch_users],
+                                 self.split.num_items)
+            hits = batch_hits(ranked, truth)
+            truth_counts = truth.sum(axis=1)
+            for k in self.ks:
+                per_user[f"Recall@{k}"].append(batch_recall_at_k(hits, truth_counts, k))
+                per_user[f"NDCG@{k}"].append(batch_ndcg_at_k(hits, truth_counts, k))
 
-        result.per_user = {name: np.asarray(values) for name, values in per_user.items()}
+        result.per_user = {name: np.concatenate(values) for name, values in per_user.items()}
         result.metrics = {name: float(values.mean()) for name, values in result.per_user.items()}
         return result
 

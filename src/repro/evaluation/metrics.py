@@ -16,7 +16,8 @@ from typing import Sequence
 import numpy as np
 
 __all__ = ["recall_at_k", "ndcg_at_k", "hit_rate_at_k", "average_precision_at_k",
-           "precision_at_k", "mrr_at_k"]
+           "precision_at_k", "mrr_at_k", "truth_matrix", "batch_hits",
+           "batch_recall_at_k", "batch_ndcg_at_k"]
 
 
 def _validate(recommended: Sequence[int], k: int) -> list[int]:
@@ -82,6 +83,56 @@ def precision_at_k(recommended: Sequence[int], ground_truth: Sequence[int], k: i
         return 0.0
     hits = sum(1 for item in top if item in truth)
     return hits / k
+
+
+# ---------------------------------------------------------------------- #
+# Vectorized batch aggregation (used by the ranking evaluator)
+# ---------------------------------------------------------------------- #
+def truth_matrix(targets: Sequence[Sequence[int]], num_items: int) -> np.ndarray:
+    """Boolean ``(B, num_items)`` membership matrix of the target items.
+
+    Duplicate target items collapse to one entry, matching the ``set``
+    semantics of the scalar metrics above.
+    """
+    truth = np.zeros((len(targets), num_items), dtype=bool)
+    for row, items in enumerate(targets):
+        if len(items):
+            truth[row, np.asarray(items, dtype=np.int64)] = True
+    return truth
+
+
+def batch_hits(ranked: np.ndarray, truth: np.ndarray) -> np.ndarray:
+    """Boolean ``(B, K)`` matrix — True where the ranked item is a target.
+
+    ``ranked`` is a ``(B, K)`` matrix of recommended item ids (best first,
+    e.g. from :func:`~repro.evaluation.ranking.top_k_items`) and ``truth``
+    a ``(B, num_items)`` membership matrix from :func:`truth_matrix`.
+    """
+    rows = np.arange(ranked.shape[0])[:, None]
+    return truth[rows, ranked]
+
+
+def batch_recall_at_k(hits: np.ndarray, truth_counts: np.ndarray, k: int) -> np.ndarray:
+    """Per-user Recall@k from a hit matrix; 0.0 where a user has no targets."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    counts = np.asarray(truth_counts, dtype=np.float64)
+    hit_counts = hits[:, :k].sum(axis=1, dtype=np.float64)
+    return np.where(counts > 0, hit_counts / np.maximum(counts, 1.0), 0.0)
+
+
+def batch_ndcg_at_k(hits: np.ndarray, truth_counts: np.ndarray, k: int) -> np.ndarray:
+    """Per-user NDCG@k (binary gains) from a hit matrix."""
+    if k < 1:
+        raise ValueError("k must be positive")
+    counts = np.asarray(truth_counts, dtype=np.int64)
+    width = min(k, hits.shape[1])
+    discounts = 1.0 / np.log2(np.arange(max(k, width)) + 2.0)
+    dcg = (hits[:, :width] * discounts[:width]).sum(axis=1)
+    # Ideal DCG places min(#targets, k) hits at the top of the list.
+    ideal_cumulative = np.concatenate([[0.0], np.cumsum(discounts[:k])])
+    ideal = ideal_cumulative[np.minimum(counts, k)]
+    return np.where(counts > 0, dcg / np.maximum(ideal, 1e-12), 0.0)
 
 
 def mrr_at_k(recommended: Sequence[int], ground_truth: Sequence[int], k: int) -> float:

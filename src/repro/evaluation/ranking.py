@@ -35,7 +35,8 @@ def top_k_items(scores: np.ndarray, k: int,
     """
     if k < 1:
         raise ValueError("k must be positive")
-    scores = exclude_items(scores, excluded)
+    if excluded is not None:
+        scores = exclude_items(scores, excluded)
     num_items = scores.shape[1]
     k = min(k, num_items)
     partitioned = np.argpartition(-scores, kth=k - 1, axis=1)[:, :k]
@@ -46,5 +47,6 @@ def top_k_items(scores: np.ndarray, k: int,
 
 def rank_items(scores: np.ndarray, excluded: list[set[int]] | None = None) -> np.ndarray:
     """Full ranking of all items per row (best first)."""
-    scores = exclude_items(scores, excluded)
+    if excluded is not None:
+        scores = exclude_items(scores, excluded)
     return np.argsort(-scores, axis=1, kind="stable")

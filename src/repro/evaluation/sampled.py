@@ -18,7 +18,6 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.data.splits import DatasetSplit
-from repro.data.windows import pad_id_for
 from repro.models.base import SequentialRecommender
 
 __all__ = ["SampledRankingEvaluator", "SampledEvaluationResult"]
@@ -106,7 +105,15 @@ class SampledRankingEvaluator:
     # Evaluation
     # ------------------------------------------------------------------ #
     def evaluate(self, model: SequentialRecommender) -> SampledEvaluationResult:
-        """HitRate@k, NDCG@k and MRR over sampled candidate lists."""
+        """HitRate@k, NDCG@k and MRR over sampled candidate lists.
+
+        Scoring goes through the shared :class:`ScoringEngine`: users with
+        several test items appear in many (user, item) pairs, and the
+        engine's representation cache scores each user's history exactly
+        once across all of them.
+        """
+        from repro.serving.engine import ScoringEngine
+
         model.eval()
         rng = np.random.default_rng(self.seed)
         pairs = self._instances()
@@ -116,19 +123,14 @@ class SampledRankingEvaluator:
             result.metrics = {name: 0.0 for name in metric_names}
             return result
 
-        pad = pad_id_for(self.split.num_items)
+        engine = ScoringEngine(model, self._histories, exclude_seen=False,
+                               micro_batch_size=self.batch_size, copy_weights=False)
         per_instance: dict[str, list[float]] = {name: [] for name in metric_names}
 
         for start in range(0, len(pairs), self.batch_size):
             batch = pairs[start:start + self.batch_size]
             users = np.asarray([user for user, _ in batch], dtype=np.int64)
-            inputs = np.full((len(batch), model.input_length), pad, dtype=np.int64)
-            for row, (user, _) in enumerate(batch):
-                history = self._histories[user][-model.input_length:]
-                if history:
-                    inputs[row, -len(history):] = history
-
-            scores = model.score_all(users, inputs)
+            scores = engine.score_all(users)
             for row, (user, positive) in enumerate(batch):
                 negatives = self._sample_negatives(user, rng)
                 candidate_scores = scores[row, np.concatenate([[positive], negatives])]

@@ -14,6 +14,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.data.windows import pad_histories, pad_id_for
 from repro.evaluation.evaluator import RankingEvaluator
 from repro.models.base import SequentialRecommender
 
@@ -56,11 +57,12 @@ def measure_inference_time(model: SequentialRecommender,
         return InferenceTiming(model_name or type(model).__name__, 0.0, 0, repeats)
 
     batch_size = evaluator.batch_size
+    pad = pad_id_for(evaluator.split.num_items)
     # Pre-build the inputs so only the scoring pass is timed.
     batches = []
     for start in range(0, len(users), batch_size):
         chunk = users[start:start + batch_size]
-        inputs = evaluator._input_matrix(chunk, model.input_length)
+        inputs = pad_histories(evaluator._histories, model.input_length, pad, users=chunk)
         batches.append((np.asarray(chunk, dtype=np.int64), inputs))
 
     start_time = time.perf_counter()

@@ -36,7 +36,7 @@ Count-based models implement
 are fitted from counts.
 """
 
-from repro.models.base import SequentialRecommender
+from repro.models.base import FrozenScorer, SequentialRecommender
 from repro.models.nonparametric import NonParametricRecommender
 from repro.models.ham import HAM
 from repro.models.ham_synergy import HAMSynergy
@@ -64,6 +64,7 @@ from repro.models.registry import (
 
 __all__ = [
     "SequentialRecommender",
+    "FrozenScorer",
     "NonParametricRecommender",
     "HAM",
     "HAMSynergy",

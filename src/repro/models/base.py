@@ -10,11 +10,41 @@ trainer and one evaluator drive every method.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
+
 import numpy as np
 
 from repro.autograd import Module, Tensor, no_grad
 
-__all__ = ["SequentialRecommender"]
+__all__ = ["SequentialRecommender", "FrozenScorer"]
+
+
+@dataclass(frozen=True)
+class FrozenScorer:
+    """Gradient-free snapshot of a model's linear scoring head.
+
+    Every gradient-based model scores as ``representation @ W.T (+ bias)``;
+    freezing captures ``W`` (and the optional bias) as plain arrays so the
+    serving engine can score cached representations without touching the
+    autograd machinery — and so :meth:`SequentialRecommender.score_all`
+    and the engine share one scoring code path.
+    """
+
+    num_items: int
+    candidate_embeddings: np.ndarray  # (num_items + 1, d), includes the pad row
+    item_bias: np.ndarray | None      # (num_items + 1,) or None
+
+    @property
+    def embedding_dim(self) -> int:
+        return self.candidate_embeddings.shape[1]
+
+    def scores_from_representation(self, representation: np.ndarray) -> np.ndarray:
+        """Scores of every real item, ``(B, num_items)``, from ``(B, d)`` reps."""
+        scores = representation @ self.candidate_embeddings.T
+        scores = scores[:, : self.num_items]
+        if self.item_bias is not None:
+            scores = scores + self.item_bias[: self.num_items]
+        return scores
 
 
 class SequentialRecommender(Module):
@@ -99,6 +129,24 @@ class SequentialRecommender(Module):
             scores = scores + bias.take_rows(items)
         return scores
 
+    def freeze(self, copy: bool = True) -> FrozenScorer:
+        """Snapshot the scoring head as a :class:`FrozenScorer`.
+
+        ``copy=True`` (the default) detaches the snapshot from further
+        training — the serving engine's "materialize once" contract.
+        ``copy=False`` returns views onto the live parameters, which is
+        what :meth:`score_all` uses to avoid per-call copies.
+        """
+        with no_grad():
+            table = self.candidate_item_embeddings().data
+            bias = self.item_bias()
+            bias_data = None if bias is None else bias.data
+        if copy:
+            table = np.array(table, copy=True)
+            bias_data = None if bias_data is None else np.array(bias_data, copy=True)
+        return FrozenScorer(num_items=self.num_items, candidate_embeddings=table,
+                            item_bias=bias_data)
+
     def score_all(self, users: np.ndarray, inputs: np.ndarray) -> np.ndarray:
         """Scores of every real item (used for top-k evaluation).
 
@@ -106,13 +154,8 @@ class SequentialRecommender(Module):
         ``no_grad`` and returns a plain ``(B, num_items)`` array.
         """
         with no_grad():
-            representation = self.sequence_representation(users, inputs)
-            weights = self.candidate_item_embeddings()
-            scores = representation.matmul(weights.T).data[:, : self.num_items]
-            bias = self.item_bias()
-            if bias is not None:
-                scores = scores + bias.data[: self.num_items]
-        return scores
+            representation = self.sequence_representation(users, inputs).data
+        return self.freeze(copy=False).scores_from_representation(representation)
 
     # ------------------------------------------------------------------ #
     # Helpers shared by sub-classes

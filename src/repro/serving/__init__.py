@@ -1,0 +1,49 @@
+"""High-level recommendation serving: the batched scoring engine,
+the back-compat recommender facade and HAM score explanations.
+
+The paper motivates HAM through its run-time behaviour (Table 14): at
+serving time a recommendation request has to be answered in microseconds
+per user.  This package is the layer a downstream application would use
+on top of a trained model:
+
+* :class:`~repro.serving.engine.ScoringEngine` — a frozen snapshot of a
+  trained model (candidate embedding table, item biases, per-user padded
+  histories and cached representations, all materialized once under
+  ``no_grad``) that answers ``score_all`` / ``top_k`` /
+  ``recommend_batch`` requests with zero per-request re-embedding, plus
+  incremental ``observe(user, item)`` updates for session-style traffic.
+* :class:`~repro.serving.recommender.Recommender` — the original serving
+  facade, now a thin wrapper over the engine.
+* :func:`~repro.serving.explain.explain_ham_score` /
+  :func:`~repro.serving.explain.explain_ham_scores` — per-factor
+  decompositions of HAM's linear score (Eq. 7/8).
+* :func:`~repro.serving.bench.run_serving_benchmark` — the cached-vs-
+  uncached latency harness behind ``repro-ham bench-serve``.
+"""
+
+from repro.serving.engine import Recommendation, ScoringEngine
+from repro.serving.recommender import Recommender
+from repro.serving.explain import (
+    HAMScoreExplanation,
+    explain_ham_score,
+    explain_ham_scores,
+)
+from repro.serving.bench import (
+    LatencyStats,
+    ServingBenchReport,
+    run_serving_benchmark,
+    write_report,
+)
+
+__all__ = [
+    "Recommendation",
+    "ScoringEngine",
+    "Recommender",
+    "HAMScoreExplanation",
+    "explain_ham_score",
+    "explain_ham_scores",
+    "LatencyStats",
+    "ServingBenchReport",
+    "run_serving_benchmark",
+    "write_report",
+]

@@ -1,0 +1,164 @@
+"""Serving latency harness: cached engine vs. uncached per-request scoring.
+
+Quantifies what the :class:`~repro.serving.engine.ScoringEngine` buys at
+request time by answering the same stream of top-k requests two ways:
+
+* **uncached** — the seed-repo path: left-pad the user's history, run the
+  full model forward, build a Python ``set`` per user to mask seen items,
+  rank (everything recomputed per request);
+* **cached** — the engine path: representations, padded histories and the
+  seen mask are materialized once and each request is a matmul + mask +
+  ``argpartition``.
+
+The report carries p50/p95 per-request latency and throughput for both
+paths and the resulting speedup; :func:`write_report` persists it as the
+``BENCH_serving.json`` artifact consumed by CI and the
+``repro-ham bench-serve`` CLI command.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.data.windows import pad_histories, pad_id_for
+from repro.evaluation.ranking import top_k_items
+from repro.models.base import SequentialRecommender
+from repro.serving.engine import ScoringEngine
+
+__all__ = ["LatencyStats", "ServingBenchReport", "run_serving_benchmark", "write_report"]
+
+
+@dataclass(frozen=True)
+class LatencyStats:
+    """Latency distribution of one serving path over the request stream."""
+
+    requests: int
+    p50_ms: float
+    p95_ms: float
+    mean_ms: float
+    throughput_rps: float
+
+    @staticmethod
+    def from_seconds(latencies: list[float]) -> "LatencyStats":
+        values = np.asarray(latencies, dtype=np.float64)
+        total = float(values.sum())
+        return LatencyStats(
+            requests=len(latencies),
+            p50_ms=float(np.percentile(values, 50) * 1e3),
+            p95_ms=float(np.percentile(values, 95) * 1e3),
+            mean_ms=float(values.mean() * 1e3),
+            throughput_rps=float(len(latencies) / total) if total > 0 else float("inf"),
+        )
+
+
+@dataclass(frozen=True)
+class ServingBenchReport:
+    """Cached-vs-uncached serving comparison for one model/workload."""
+
+    model_name: str
+    num_users: int
+    num_items: int
+    num_requests: int
+    users_per_request: int
+    k: int
+    cached: LatencyStats
+    uncached: LatencyStats
+    #: Median-latency ratio (uncached p50 / cached p50).  The median is
+    #: the robust basis: scheduler/GC outliers would otherwise dominate a
+    #: mean over sub-millisecond requests.
+    speedup: float
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def summary(self) -> str:
+        return (
+            f"{self.model_name}: cached p50 {self.cached.p50_ms:.3f} ms "
+            f"(p95 {self.cached.p95_ms:.3f} ms, {self.cached.throughput_rps:.0f} req/s) "
+            f"vs uncached p50 {self.uncached.p50_ms:.3f} ms "
+            f"(p95 {self.uncached.p95_ms:.3f} ms, {self.uncached.throughput_rps:.0f} req/s) "
+            f"-> {self.speedup:.1f}x"
+        )
+
+
+def _uncached_recommend(model: SequentialRecommender, histories: list[list[int]],
+                        users: np.ndarray, k: int) -> np.ndarray:
+    """The seed repo's per-request scoring path, kept as the baseline."""
+    pad = pad_id_for(model.num_items)
+    inputs = np.full((len(users), model.input_length), pad, dtype=np.int64)
+    for row, user in enumerate(users):
+        history = histories[user][-model.input_length:]
+        if history:
+            inputs[row, -len(history):] = history
+    scores = model.score_all(np.asarray(users, dtype=np.int64), inputs)
+    excluded = [set(histories[user]) for user in users]
+    return top_k_items(scores, k, excluded=excluded)
+
+
+def run_serving_benchmark(model: SequentialRecommender, histories: list[list[int]],
+                          num_requests: int = 200, users_per_request: int = 1,
+                          k: int = 10, seed: int = 0,
+                          model_name: str | None = None) -> ServingBenchReport:
+    """Time a stream of repeated top-k requests on both serving paths.
+
+    Parameters
+    ----------
+    num_requests:
+        Number of timed requests per path (each path also gets one
+        untimed warm-up request).
+    users_per_request:
+        Users per request; 1 models interactive traffic, larger values
+        model batched traffic.
+    seed:
+        Seed of the request-stream generator (both paths replay the
+        identical stream).
+    """
+    if num_requests < 1:
+        raise ValueError("num_requests must be positive")
+    if users_per_request < 1:
+        raise ValueError("users_per_request must be positive")
+    rng = np.random.default_rng(seed)
+    requests = [
+        rng.integers(0, model.num_users, size=users_per_request)
+        for _ in range(num_requests + 1)
+    ]
+
+    engine = ScoringEngine(model, histories, exclude_seen=True, precompute=True)
+
+    def timed(answer) -> list[float]:
+        answer(requests[0])  # warm-up, untimed
+        latencies = []
+        for users in requests[1:]:
+            start = time.perf_counter()
+            answer(users)
+            latencies.append(time.perf_counter() - start)
+        return latencies
+
+    uncached = timed(lambda users: _uncached_recommend(model, histories, users, k))
+    cached = timed(lambda users: engine.top_k(users, k))
+
+    cached_stats = LatencyStats.from_seconds(cached)
+    uncached_stats = LatencyStats.from_seconds(uncached)
+    return ServingBenchReport(
+        model_name=model_name or type(model).__name__,
+        num_users=model.num_users,
+        num_items=model.num_items,
+        num_requests=num_requests,
+        users_per_request=users_per_request,
+        k=k,
+        cached=cached_stats,
+        uncached=uncached_stats,
+        speedup=uncached_stats.p50_ms / cached_stats.p50_ms
+        if cached_stats.p50_ms > 0 else float("inf"),
+    )
+
+
+def write_report(report: ServingBenchReport, path) -> None:
+    """Persist a benchmark report as the ``BENCH_serving.json`` artifact."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
+        handle.write("\n")

@@ -1,0 +1,89 @@
+"""Back-compat serving facade over the :class:`ScoringEngine`.
+
+:class:`Recommender` keeps the original single-file ``repro.serving`` API
+(``recommend`` / ``recommend_batch`` / ``score`` / ``similar_items``) but
+delegates every scoring decision to one shared engine, so application
+code written against the old interface transparently gains the cached,
+batched scoring path.
+"""
+
+from __future__ import annotations
+
+from repro.data.windows import pad_id_for
+from repro.models.base import SequentialRecommender
+from repro.serving.engine import Recommendation, ScoringEngine
+
+__all__ = ["Recommendation", "Recommender"]
+
+
+class Recommender:
+    """Serve top-k recommendations from a trained model.
+
+    Parameters
+    ----------
+    model:
+        Any trained model of the study (gradient-based or count-based).
+    histories:
+        Per-user interaction histories the recommendations condition on —
+        typically ``split.train_plus_valid()`` after training, or the full
+        sequences in a production-style setting.
+    exclude_seen:
+        Exclude items already present in a user's history from the
+        ranking (the paper's protocol).
+
+    Notes
+    -----
+    To preserve the original class's contract — every request reflects
+    the model's *current* weights and the caller's *current* history
+    lists — the facade's engine snapshots the scoring head by view
+    (``copy_weights=False``) and re-reads the histories on every request
+    (``live_histories=True``).  Serving deployments that want the cached
+    fast path should use :class:`~repro.serving.engine.ScoringEngine`
+    directly.
+    """
+
+    def __init__(self, model: SequentialRecommender, histories: list[list[int]],
+                 exclude_seen: bool = True):
+        self.engine = ScoringEngine(model, histories, exclude_seen=exclude_seen,
+                                    copy_weights=False, live_histories=True)
+        self.model = model
+        self.histories = histories
+        self.exclude_seen = exclude_seen
+        self.pad_id = pad_id_for(model.num_items)
+
+    def observe(self, user: int, item: int) -> None:
+        """Record a new interaction (appends to the caller's history list)."""
+        self.engine.observe(user, item)
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def recommend(self, user: int, k: int = 10) -> list[Recommendation]:
+        """Top-``k`` recommendations for one user."""
+        return self.engine.recommend(user, k)
+
+    def recommend_batch(self, users: list[int], k: int = 10) -> list[list[Recommendation]]:
+        """Top-``k`` recommendations for several users at once."""
+        return self.engine.recommend_batch(users, k)
+
+    def score(self, user: int, item: int) -> float:
+        """The model score of one (user, candidate item) pair."""
+        return self.engine.score(user, item)
+
+    def similar_items(self, item: int, k: int = 10) -> list[Recommendation]:
+        """Items most similar to ``item`` under the model's own geometry.
+
+        Gradient-based models answer with cosine similarity between
+        candidate-item embeddings; count-based models that expose a
+        ``neighbors`` method (ItemKNN) answer from their similarity matrix.
+        """
+        if not 0 <= item < self.model.num_items:
+            raise ValueError(f"item id {item} outside [0, {self.model.num_items})")
+        if k < 1:
+            raise ValueError("k must be positive")
+        if hasattr(self.model, "neighbors"):
+            return [
+                Recommendation(item=neighbor, score=similarity, rank=rank)
+                for rank, (neighbor, similarity) in enumerate(self.model.neighbors(item, k))
+            ]
+        return self.engine.similar_items(item, k)

@@ -12,6 +12,8 @@ from repro.models import HAM, HAMSynergy, ItemKNN, Popularity, create_model
 from repro.serving import Recommender, explain_ham_score
 from repro.training import Trainer, TrainingConfig
 
+pytestmark = pytest.mark.fast
+
 NUM_ITEMS = 20
 
 

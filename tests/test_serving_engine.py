@@ -1,0 +1,305 @@
+"""Tests for the batched scoring engine, the canonical padding helper and
+the batched HAM score explanations."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import InteractionDataset
+from repro.data.splits import split_setting
+from repro.data.windows import pad_histories, pad_id_for
+from repro.models import HAM, HAMSynergy, Popularity, create_model
+from repro.serving import Recommender, ScoringEngine, explain_ham_score, explain_ham_scores
+from repro.serving.bench import _uncached_recommend, run_serving_benchmark
+from repro.training import Trainer, TrainingConfig
+
+pytestmark = pytest.mark.fast
+
+NUM_ITEMS = 30
+
+
+def tiny_split(num_users: int = 12, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    sequences = [
+        rng.integers(0, NUM_ITEMS, size=rng.integers(12, 18)).tolist()
+        for _ in range(num_users)
+    ]
+    dataset = InteractionDataset.from_sequences(sequences, num_items=NUM_ITEMS)
+    return split_setting(dataset, "80-3-CUT")
+
+
+def trained_model(split, name: str = "HAMs_m", **kwargs):
+    defaults = dict(embedding_dim=8, n_h=4, n_l=2) if name.startswith("HAM") else {}
+    defaults.update(kwargs)
+    model = create_model(name, split.num_users, NUM_ITEMS,
+                         rng=np.random.default_rng(0), **defaults)
+    Trainer(model, TrainingConfig(num_epochs=2, batch_size=64, seed=0)).fit(
+        split.train_plus_valid())
+    return model
+
+
+class TestPadHistories:
+    def test_left_pads_short_histories(self):
+        out = pad_histories([[1, 2], [], [3]], length=4, pad_id=9)
+        assert out.tolist() == [[9, 9, 1, 2], [9, 9, 9, 9], [9, 9, 9, 3]]
+        assert out.dtype == np.int64
+
+    def test_truncates_to_most_recent(self):
+        out = pad_histories([[1, 2, 3, 4, 5]], length=3, pad_id=9)
+        assert out.tolist() == [[3, 4, 5]]
+
+    def test_user_selection(self):
+        histories = [[1], [2, 2], [3]]
+        out = pad_histories(histories, length=2, pad_id=9, users=[2, 0])
+        assert out.tolist() == [[9, 3], [9, 1]]
+
+    def test_invalid_length(self):
+        with pytest.raises(ValueError):
+            pad_histories([[1]], length=0, pad_id=9)
+
+    def test_matches_pad_id_for(self):
+        assert pad_id_for(NUM_ITEMS) == NUM_ITEMS
+
+
+class TestScoringEngineParity:
+    @pytest.mark.parametrize("name,kwargs", [
+        ("HAMs_m", {}),
+        ("HAMm", {}),
+        ("Fossil", {"embedding_dim": 8}),   # exercises the item-bias path
+    ])
+    def test_score_all_matches_model_bit_for_bit(self, name, kwargs):
+        split = tiny_split()
+        model = trained_model(split, name, **kwargs)
+        histories = split.train_plus_valid()
+        engine = ScoringEngine(model, histories)
+        users = list(range(split.num_users))
+        inputs = pad_histories(histories, model.input_length,
+                               pad_id_for(NUM_ITEMS), users=users)
+        expected = model.score_all(np.asarray(users, dtype=np.int64), inputs)
+        assert np.array_equal(engine.score_all(users), expected)
+
+    def test_rankings_match_seed_recommender_path(self):
+        """Acceptance: engine rankings == the seed repo's uncached path."""
+        split = tiny_split(seed=1)
+        model = trained_model(split)
+        histories = split.train_plus_valid()
+        engine = ScoringEngine(model, histories, exclude_seen=True)
+        users = np.asarray(list(range(split.num_users)), dtype=np.int64)
+        assert np.array_equal(
+            engine.top_k(users, 5), _uncached_recommend(model, histories, users, 5)
+        )
+
+    def test_facade_recommend_batch_matches_engine(self):
+        split = tiny_split(seed=2)
+        model = trained_model(split)
+        histories = split.train_plus_valid()
+        engine = ScoringEngine(model, histories)
+        facade = Recommender(model, histories)
+        for engine_row, facade_row in zip(engine.recommend_batch([0, 1, 2], 4),
+                                          facade.recommend_batch([0, 1, 2], 4)):
+            assert [e.item for e in engine_row] == [f.item for f in facade_row]
+            assert [e.score for e in engine_row] == [f.score for f in facade_row]
+
+    def test_micro_batching_is_invisible(self):
+        split = tiny_split(seed=3)
+        model = trained_model(split)
+        histories = split.train_plus_valid()
+        whole = ScoringEngine(model, histories)
+        chunked = ScoringEngine(model, histories, micro_batch_size=3)
+        users = list(range(split.num_users))
+        assert np.array_equal(whole.score_all(users), chunked.score_all(users))
+
+    def test_count_based_fallback_matches_model(self):
+        split = tiny_split(seed=4)
+        histories = split.train_plus_valid()
+        pop = Popularity(split.num_users, NUM_ITEMS).fit_counts(histories)
+        engine = ScoringEngine(pop, histories, micro_batch_size=4)
+        assert not engine.supports_cached_representations
+        users = list(range(split.num_users))
+        inputs = pad_histories(histories, pop.input_length,
+                               pad_id_for(NUM_ITEMS), users=users)
+        expected = pop.score_all(np.asarray(users, dtype=np.int64), inputs)
+        assert np.array_equal(engine.score_all(users), expected)
+        # Masking must not corrupt the model's internal count array.
+        engine.masked_scores(users)
+        assert np.array_equal(engine.score_all(users), expected)
+
+
+class TestScoringEngineBehaviour:
+    def test_seen_items_never_recommended(self):
+        split = tiny_split(seed=5)
+        model = trained_model(split)
+        histories = split.train_plus_valid()
+        engine = ScoringEngine(model, histories)
+        for user, row in enumerate(engine.top_k(list(range(split.num_users)), 5)):
+            assert not set(row.tolist()) & set(histories[user])
+
+    def test_observe_matches_rebuilt_engine(self):
+        split = tiny_split(seed=6)
+        model = trained_model(split)
+        histories = [list(h) for h in split.train_plus_valid()]
+        engine = ScoringEngine(model, histories, precompute=True)
+        engine.observe(0, 7)
+        engine.observe(0, 11)
+        engine.observe(3, 2)
+
+        updated = [list(h) for h in histories]
+        updated[0] += [7, 11]
+        updated[3] += [2]
+        rebuilt = ScoringEngine(model, updated)
+        users = [0, 1, 3]
+        assert np.array_equal(engine.score_all(users), rebuilt.score_all(users))
+        assert np.array_equal(engine.masked_scores(users), rebuilt.masked_scores(users))
+        assert engine.history(0) == updated[0]
+
+    def test_observe_does_not_mutate_caller_histories(self):
+        split = tiny_split(seed=7)
+        model = trained_model(split)
+        histories = split.train_plus_valid()
+        before = [list(h) for h in histories]
+        ScoringEngine(model, histories).observe(0, 5)
+        assert [list(h) for h in histories] == before
+
+    def test_refresh_after_training(self):
+        split = tiny_split(seed=8)
+        model = trained_model(split)
+        histories = split.train_plus_valid()
+        engine = ScoringEngine(model, histories, precompute=True, copy_weights=False)
+        stale = engine.score_all([0])
+        Trainer(model, TrainingConfig(num_epochs=1, batch_size=64, seed=1)).fit(histories)
+        engine.refresh()
+        users = [0]
+        inputs = pad_histories(histories, model.input_length,
+                               pad_id_for(NUM_ITEMS), users=users)
+        fresh = model.score_all(np.asarray(users, dtype=np.int64), inputs)
+        assert np.array_equal(engine.score_all([0]), fresh)
+        assert not np.array_equal(stale, fresh)
+
+    def test_facade_honours_caller_history_mutation(self):
+        """The old Recommender contract: histories are read live, so a
+        caller-side append changes both the inputs and the exclusions."""
+        split = tiny_split(seed=16)
+        model = trained_model(split)
+        histories = split.train_plus_valid()
+        facade = Recommender(model, histories)
+        top = facade.recommend(0, k=1)[0]
+        histories[0].append(top.item)          # caller records the interaction
+        recommended = [entry.item for entry in facade.recommend(0, k=5)]
+        assert top.item not in recommended
+        assert facade.score(0, top.item) == ScoringEngine(model, histories).score(0, top.item)
+
+    # FPMC's candidate table is derived (concatenated) per call rather
+    # than a parameter view, so it exercises the per-request re-freeze.
+    @pytest.mark.parametrize("name", ["HAMs_m", "FPMC"])
+    def test_facade_reflects_further_training(self, name):
+        """The old Recommender contract: requests see the current weights."""
+        split = tiny_split(seed=15)
+        model = trained_model(split, name)
+        histories = split.train_plus_valid()
+        facade = Recommender(model, histories)
+        before = facade.score(0, 5)
+        Trainer(model, TrainingConfig(num_epochs=1, batch_size=64, seed=2)).fit(histories)
+        users = [0]
+        inputs = pad_histories(histories, model.input_length,
+                               pad_id_for(NUM_ITEMS), users=users)
+        expected = model.score_all(np.asarray(users, dtype=np.int64), inputs)[0, 5]
+        assert facade.score(0, 5) == expected
+        assert facade.score(0, 5) != before
+
+    def test_validation(self):
+        split = tiny_split(seed=9)
+        model = trained_model(split)
+        histories = split.train_plus_valid()
+        engine = ScoringEngine(model, histories)
+        with pytest.raises(ValueError):
+            engine.top_k([0], 0)
+        with pytest.raises(ValueError):
+            engine.score_all([split.num_users + 3])
+        with pytest.raises(ValueError):
+            engine.observe(0, NUM_ITEMS)
+        with pytest.raises(ValueError):
+            ScoringEngine(model, histories[:2])
+        with pytest.raises(ValueError):
+            ScoringEngine(model, histories, micro_batch_size=0)
+
+    def test_empty_request(self):
+        split = tiny_split(seed=10)
+        model = trained_model(split)
+        engine = ScoringEngine(model, split.train_plus_valid())
+        assert engine.score_all([]).shape == (0, NUM_ITEMS)
+        assert engine.recommend_batch([], 3) == []
+
+
+class TestExplainEdgeCases:
+    def test_empty_history(self):
+        model = HAMSynergy(5, NUM_ITEMS, embedding_dim=8, n_h=4, n_l=2,
+                           synergy_order=2, rng=np.random.default_rng(0))
+        explanation = explain_ham_score(model, user=0, history=[], item=3)
+        # With an all-padding window the association factors are zero and
+        # the score reduces to the user-preference dot product.
+        assert explanation.high_order == pytest.approx(0.0)
+        assert explanation.low_order == pytest.approx(0.0)
+        assert explanation.total == pytest.approx(explanation.user_preference)
+
+    def test_synergy_model_matches_engine_score(self):
+        split = tiny_split(seed=11)
+        model = trained_model(split, "HAMs_m")
+        histories = split.train_plus_valid()
+        engine = ScoringEngine(model, histories)
+        explanation = explain_ham_score(model, 0, histories[0], 9)
+        assert explanation.uses_synergies
+        assert explanation.total == pytest.approx(engine.score(0, 9), abs=1e-12)
+
+    def test_user_embedding_disabled(self):
+        model = HAM(5, NUM_ITEMS, embedding_dim=8, n_h=4, n_l=2,
+                    use_user_embedding=False, rng=np.random.default_rng(0))
+        explanation = explain_ham_score(model, user=2, history=[1, 2, 3], item=4)
+        assert explanation.user_preference == 0.0
+        assert explanation.total == pytest.approx(
+            explanation.high_order + explanation.low_order)
+
+    def test_batch_matches_single(self):
+        split = tiny_split(seed=12)
+        model = trained_model(split)
+        history = split.train_plus_valid()[0]
+        items = [0, 5, 9, 17]
+        batch = explain_ham_scores(model, 0, history, items)
+        for item, explanation in zip(items, batch):
+            single = explain_ham_score(model, 0, history, item)
+            assert explanation.item == single.item
+            assert explanation.uses_synergies == single.uses_synergies
+            # Factor values agree up to BLAS matvec-vs-matmul rounding.
+            assert explanation.total == pytest.approx(single.total, abs=1e-12)
+            assert explanation.user_preference == pytest.approx(single.user_preference, abs=1e-12)
+            assert explanation.high_order == pytest.approx(single.high_order, abs=1e-12)
+            assert explanation.low_order == pytest.approx(single.low_order, abs=1e-12)
+
+    def test_batch_validation(self):
+        model = HAM(5, NUM_ITEMS, embedding_dim=8, n_h=4, n_l=1,
+                    rng=np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            explain_ham_scores(model, 0, [1], [0, NUM_ITEMS])
+
+
+class TestServingBenchmark:
+    def test_report_shape_and_consistency(self):
+        split = tiny_split(seed=13)
+        model = trained_model(split)
+        report = run_serving_benchmark(model, split.train_plus_valid(),
+                                       num_requests=5, users_per_request=2, k=3)
+        assert report.cached.requests == report.uncached.requests == 5
+        assert report.cached.p50_ms > 0 and report.uncached.p50_ms > 0
+        assert report.speedup == pytest.approx(
+            report.uncached.p50_ms / report.cached.p50_ms)
+        as_dict = report.as_dict()
+        assert as_dict["cached"]["p95_ms"] >= as_dict["cached"]["p50_ms"]
+
+    def test_validation(self):
+        split = tiny_split(seed=14)
+        model = trained_model(split)
+        with pytest.raises(ValueError):
+            run_serving_benchmark(model, split.train_plus_valid(), num_requests=0)
+        with pytest.raises(ValueError):
+            run_serving_benchmark(model, split.train_plus_valid(),
+                                  users_per_request=0)
