@@ -20,6 +20,13 @@ Example
 [[2.0, 4.0], [6.0, 8.0]]
 """
 
+from repro.autograd.dtype import (
+    default_dtype,
+    get_default_dtype,
+    resolve_dtype,
+    set_default_dtype,
+)
+from repro.autograd.sparse import IndexedRows, sparse_embedding_grads, sparse_grads_enabled
 from repro.autograd.tensor import Tensor, no_grad, is_grad_enabled
 from repro.autograd import functional
 from repro.autograd.module import Module, Parameter
@@ -30,6 +37,8 @@ from repro.autograd.layers import (
     Linear,
     ModuleList,
     Sequential,
+    embedding_index_check,
+    index_check_enabled,
 )
 from repro.autograd.optim import SGD, Adagrad, Adam, Optimizer, clip_grad_norm
 from repro.autograd import init
@@ -55,4 +64,13 @@ __all__ = [
     "clip_grad_norm",
     "init",
     "gradient_check",
+    "resolve_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
+    "IndexedRows",
+    "sparse_embedding_grads",
+    "sparse_grads_enabled",
+    "embedding_index_check",
+    "index_check_enabled",
 ]

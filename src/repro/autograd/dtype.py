@@ -1,0 +1,83 @@
+"""Compute-dtype policy of the autograd substrate.
+
+The seed engine hard-coded ``float64`` into every operation, which makes
+the training hot path pay double memory bandwidth for no statistical
+benefit — sequential recommenders train perfectly well in single
+precision (the paper's PyTorch implementations run in ``float32``).
+
+This module holds one process-wide *default* compute dtype used whenever
+a tensor is created from non-float data (Python lists, ints, bools) and
+by the parameter initializers.  Float arrays keep their own dtype, so a
+``float32`` model stays ``float32`` end to end while legacy ``float64``
+code is bit-for-bit unaffected.
+
+The default stays ``float64`` at import time for backwards
+compatibility; training opts into ``float32`` through
+:class:`~repro.training.config.TrainingConfig` (whose ``dtype`` field
+defaults to ``"float32"``) and :meth:`~repro.autograd.module.Module.astype`.
+Benchmark tables that need bit-parity with the seed runs pin
+``dtype="float64"``.
+"""
+
+from __future__ import annotations
+
+import contextlib
+
+import numpy as np
+
+__all__ = [
+    "resolve_dtype",
+    "get_default_dtype",
+    "set_default_dtype",
+    "default_dtype",
+    "FLOAT_DTYPES",
+]
+
+#: Compute dtypes the policy accepts.
+FLOAT_DTYPES = (np.dtype(np.float32), np.dtype(np.float64))
+
+_DEFAULT_DTYPE = np.dtype(np.float64)
+
+
+def resolve_dtype(spec) -> np.dtype:
+    """Normalize a dtype spec (None / str / numpy dtype) to a float dtype.
+
+    ``None`` resolves to the current default; strings accept the numpy
+    names (``"float32"``, ``"float64"``, ``"f4"``, ...).
+    """
+    if spec is None:
+        return _DEFAULT_DTYPE
+    dtype = np.dtype(spec)
+    if dtype not in FLOAT_DTYPES:
+        raise ValueError(
+            f"unsupported compute dtype {spec!r}; expected one of "
+            f"{[d.name for d in FLOAT_DTYPES]}"
+        )
+    return dtype
+
+
+def get_default_dtype() -> np.dtype:
+    """The dtype non-float data is coerced to and initializers produce."""
+    return _DEFAULT_DTYPE
+
+
+def set_default_dtype(spec) -> np.dtype:
+    """Set the process-wide default compute dtype; returns the previous one."""
+    global _DEFAULT_DTYPE
+    previous = _DEFAULT_DTYPE
+    _DEFAULT_DTYPE = resolve_dtype(spec)
+    return previous
+
+
+@contextlib.contextmanager
+def default_dtype(spec):
+    """Context manager scoping the default compute dtype.
+
+    >>> with default_dtype("float32"):
+    ...     model = HAM(...)   # parameters initialized in float32
+    """
+    previous = set_default_dtype(spec)
+    try:
+        yield get_default_dtype()
+    finally:
+        set_default_dtype(previous)

@@ -81,7 +81,8 @@ def dropout(x: Tensor, p: float, training: bool = True,
     if p >= 1.0:
         raise ValueError("dropout probability must be < 1")
     rng = rng or np.random.default_rng()
-    mask = (rng.random(x.shape) >= p).astype(np.float64) / (1.0 - p)
+    # The mask matches x's dtype so dropout never upcasts a float32 graph.
+    mask = (rng.random(x.shape) >= p).astype(x.dtype) / x.dtype.type(1.0 - p)
     return x * Tensor(mask)
 
 
@@ -104,8 +105,8 @@ def masked_fill(x: Tensor, mask: np.ndarray, value: float) -> Tensor:
     """Replace entries where ``mask`` is true with ``value`` (no gradient
     flows through the replaced entries)."""
     mask = np.asarray(mask, dtype=bool)
-    keep = Tensor((~mask).astype(np.float64))
-    fill = Tensor(mask.astype(np.float64) * value)
+    keep = Tensor((~mask).astype(x.dtype))
+    fill = Tensor(mask.astype(x.dtype) * x.dtype.type(value))
     return x * keep + fill
 
 

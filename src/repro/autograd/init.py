@@ -10,7 +10,13 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.autograd.dtype import get_default_dtype
 from repro.autograd.module import Parameter
+
+
+def _as_param(values: np.ndarray) -> Parameter:
+    """Wrap initializer output, cast to the policy compute dtype."""
+    return Parameter(np.asarray(values).astype(get_default_dtype(), copy=False))
 
 __all__ = [
     "normal",
@@ -26,13 +32,13 @@ __all__ = [
 def normal(shape: tuple[int, ...], rng: np.random.Generator,
            std: float = 0.01, mean: float = 0.0) -> Parameter:
     """Parameter drawn from N(mean, std^2)."""
-    return Parameter(rng.normal(mean, std, size=shape))
+    return _as_param(rng.normal(mean, std, size=shape))
 
 
 def uniform(shape: tuple[int, ...], rng: np.random.Generator,
             low: float = -0.05, high: float = 0.05) -> Parameter:
     """Parameter drawn uniformly from [low, high)."""
-    return Parameter(rng.uniform(low, high, size=shape))
+    return _as_param(rng.uniform(low, high, size=shape))
 
 
 def _fans(shape: tuple[int, ...]) -> tuple[int, int]:
@@ -51,7 +57,7 @@ def xavier_uniform(shape: tuple[int, ...], rng: np.random.Generator,
     """Glorot uniform initialization."""
     fan_in, fan_out = _fans(shape)
     bound = gain * np.sqrt(6.0 / (fan_in + fan_out))
-    return Parameter(rng.uniform(-bound, bound, size=shape))
+    return _as_param(rng.uniform(-bound, bound, size=shape))
 
 
 def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator,
@@ -59,19 +65,19 @@ def xavier_normal(shape: tuple[int, ...], rng: np.random.Generator,
     """Glorot normal initialization."""
     fan_in, fan_out = _fans(shape)
     std = gain * np.sqrt(2.0 / (fan_in + fan_out))
-    return Parameter(rng.normal(0.0, std, size=shape))
+    return _as_param(rng.normal(0.0, std, size=shape))
 
 
 def zeros(shape: tuple[int, ...]) -> Parameter:
     """All-zeros parameter (typical for biases)."""
-    return Parameter(np.zeros(shape))
+    return Parameter(np.zeros(shape, dtype=get_default_dtype()))
 
 
 def ones(shape: tuple[int, ...]) -> Parameter:
     """All-ones parameter (typical for layer-norm scales)."""
-    return Parameter(np.ones(shape))
+    return Parameter(np.ones(shape, dtype=get_default_dtype()))
 
 
 def constant(shape: tuple[int, ...], value: float) -> Parameter:
     """Parameter filled with ``value``."""
-    return Parameter(np.full(shape, float(value)))
+    return Parameter(np.full(shape, float(value), dtype=get_default_dtype()))

@@ -7,14 +7,44 @@ normalization (SASRec blocks, HGN gates), dropout, and simple containers.
 
 from __future__ import annotations
 
+import contextlib
+
 import numpy as np
 
 from repro.autograd import functional as F
 from repro.autograd import init
 from repro.autograd.module import Module, Parameter
+from repro.autograd.sparse import IndexedRows
 from repro.autograd.tensor import Tensor
 
-__all__ = ["Embedding", "Linear", "LayerNorm", "Dropout", "Sequential", "ModuleList"]
+__all__ = ["Embedding", "Linear", "LayerNorm", "Dropout", "Sequential", "ModuleList",
+           "embedding_index_check", "index_check_enabled"]
+
+_INDEX_CHECK = True
+
+
+@contextlib.contextmanager
+def embedding_index_check(enabled: bool):
+    """Scope that enables/disables the per-lookup embedding range check.
+
+    The ``indices.min()/max()`` validation in :meth:`Embedding.forward`
+    is an O(batch) scan sitting inside the innermost training loop.  The
+    trainer validates each instance array *once* up front and disables
+    the per-lookup check for the epoch; interactive/debug code keeps the
+    default-on safety net.
+    """
+    global _INDEX_CHECK
+    previous = _INDEX_CHECK
+    _INDEX_CHECK = bool(enabled)
+    try:
+        yield
+    finally:
+        _INDEX_CHECK = previous
+
+
+def index_check_enabled() -> bool:
+    """Whether embedding lookups currently validate their index range."""
+    return _INDEX_CHECK
 
 
 class Embedding(Module):
@@ -52,7 +82,11 @@ class Embedding(Module):
 
     def forward(self, indices) -> Tensor:
         indices = np.asarray(indices, dtype=np.int64)
-        if indices.size and (indices.min() < 0 or indices.max() >= self.num_embeddings):
+        # The range check is an O(batch) scan; inner training loops that
+        # have already validated their index arrays disable it through
+        # ``embedding_index_check(False)``.
+        if _INDEX_CHECK and indices.size and (
+                indices.min() < 0 or indices.max() >= self.num_embeddings):
             raise IndexError(
                 f"embedding indices out of range [0, {self.num_embeddings})"
             )
@@ -63,8 +97,12 @@ class Embedding(Module):
         if self.padding_idx is None:
             return
         self.weight.data[self.padding_idx] = 0.0
-        if self.weight.grad is not None:
-            self.weight.grad[self.padding_idx] = 0.0
+        grad = self.weight.grad
+        if grad is not None:
+            if isinstance(grad, IndexedRows):
+                grad.zero_rows(self.padding_idx)
+            else:
+                grad[self.padding_idx] = 0.0
 
 
 class Linear(Module):

@@ -11,6 +11,7 @@ from typing import Iterator
 
 import numpy as np
 
+from repro.autograd.dtype import resolve_dtype
 from repro.autograd.tensor import Tensor
 
 __all__ = ["Parameter", "Module"]
@@ -94,6 +95,30 @@ class Module:
     def num_parameters(self) -> int:
         """Total number of scalar learnable parameters."""
         return int(sum(param.size for param in self.parameters()))
+
+    def astype(self, dtype) -> "Module":
+        """Cast every float parameter to ``dtype`` in place (returns self).
+
+        This is how a model opts into the ``float32`` compute path: once
+        the parameters are single precision, every forward/backward op
+        stays single precision (see :mod:`repro.autograd.dtype`).
+        Gradients and their buffers are dropped so stale double-precision
+        arrays cannot leak into the next optimizer step.
+        """
+        dtype = resolve_dtype(dtype)
+        for _, param in self.named_parameters():
+            if param.data.dtype.kind == "f" and param.data.dtype != dtype:
+                param.data = param.data.astype(dtype)
+                param.grad = None
+                param._grad_buffer = None
+        return self
+
+    def compute_dtype(self):
+        """Dtype of the first float parameter (None for count-based models)."""
+        for _, param in self.named_parameters():
+            if param.data.dtype.kind == "f":
+                return param.data.dtype
+        return None
 
     # ------------------------------------------------------------------ #
     # State persistence

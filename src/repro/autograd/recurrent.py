@@ -46,8 +46,7 @@ class GRUCell(Module):
         update = F.sigmoid(gates_input[:, 0:H] + gates_hidden[:, 0:H])
         reset = F.sigmoid(gates_input[:, H:2 * H] + gates_hidden[:, H:2 * H])
         candidate = F.tanh(gates_input[:, 2 * H:3 * H] + reset * gates_hidden[:, 2 * H:3 * H])
-        one = Tensor(1.0)
-        return (one - update) * hidden + update * candidate
+        return (1.0 - update) * hidden + update * candidate
 
 
 class GRU(Module):
@@ -65,14 +64,14 @@ class GRU(Module):
 
     def forward(self, sequence: Tensor, mask: np.ndarray | None = None) -> Tensor:
         batch, length, _ = sequence.shape
-        hidden = Tensor(np.zeros((batch, self.hidden_dim)))
+        hidden = Tensor(np.zeros((batch, self.hidden_dim), dtype=sequence.dtype))
         outputs = []
         for position in range(length):
             step_input = sequence[:, position, :]
             new_hidden = self.cell(step_input, hidden)
             if mask is not None:
-                keep = Tensor(mask[:, position].astype(np.float64)[:, None])
-                new_hidden = new_hidden * keep + hidden * (Tensor(1.0) - keep)
+                keep = Tensor(mask[:, position].astype(new_hidden.dtype)[:, None])
+                new_hidden = new_hidden * keep + hidden * (1.0 - keep)
             hidden = new_hidden
             outputs.append(hidden)
         return Tensor.stack(outputs, axis=1)

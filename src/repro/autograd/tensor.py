@@ -8,6 +8,22 @@ topological sort of the graph and accumulates gradients.
 Broadcasting is supported for the element-wise operations; gradients of
 broadcast operands are reduced back to the operand's shape with
 :func:`_unbroadcast`.
+
+Dtype policy
+------------
+Float arrays keep their dtype through every operation, so a model cast to
+``float32`` computes and accumulates gradients in ``float32``; non-float
+inputs (Python scalars, lists, int arrays) are coerced to the policy
+default of :mod:`repro.autograd.dtype` (``float64`` unless changed).
+Scalars appearing in arithmetic adopt the tensor's dtype so constants
+never silently upcast a single-precision graph.
+
+Gradient accumulation is in place: each leaf owns a persistent gradient
+buffer that is filled with ``copyto``/``+=`` instead of re-allocating
+``np.array(copy=True)`` on every backward pass.  Embedding lookups
+(:meth:`take_rows`) can record sparse :class:`~repro.autograd.sparse.IndexedRows`
+gradients when :func:`~repro.autograd.sparse.sparse_embedding_grads` is
+active.
 """
 
 from __future__ import annotations
@@ -16,6 +32,9 @@ import contextlib
 from typing import Callable, Iterable, Sequence
 
 import numpy as np
+
+from repro.autograd.dtype import get_default_dtype
+from repro.autograd.sparse import IndexedRows, sparse_grads_enabled
 
 __all__ = ["Tensor", "no_grad", "is_grad_enabled"]
 
@@ -44,7 +63,7 @@ def is_grad_enabled() -> bool:
     return _GRAD_ENABLED
 
 
-def _as_array(value, dtype=np.float64) -> np.ndarray:
+def _as_array(value, dtype=None) -> np.ndarray:
     """Coerce ``value`` (scalar, list, ndarray or Tensor) to an ndarray."""
     if isinstance(value, Tensor):
         return value.data
@@ -71,27 +90,50 @@ def _unbroadcast(grad: np.ndarray, shape: tuple[int, ...]) -> np.ndarray:
     return grad.reshape(shape)
 
 
+def _broadcast_grad(grad: np.ndarray, shape: tuple[int, ...], dtype) -> np.ndarray:
+    """Broadcast ``grad`` to ``shape`` without copying unless a cast is needed.
+
+    The result may be a read-only view; every consumer either reads it or
+    copies into its own buffer, so the view is safe and saves one full
+    allocation per reduction backward.
+    """
+    grad = np.broadcast_to(grad, shape)
+    if grad.dtype != dtype:
+        grad = grad.astype(dtype)
+    return grad
+
+
 class Tensor:
     """A NumPy-backed tensor participating in reverse-mode autodiff.
 
     Parameters
     ----------
     data:
-        Array-like payload; stored as ``float64`` unless an integer dtype is
-        passed explicitly.
+        Array-like payload.  Float arrays keep their dtype; everything
+        else is coerced to the policy default
+        (:func:`repro.autograd.dtype.get_default_dtype`, ``float64``
+        unless changed) or to an explicitly passed ``dtype``.
     requires_grad:
         Whether gradients should be accumulated into :attr:`grad` during
         :meth:`backward`.
     """
 
-    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward", "name")
+    __slots__ = ("data", "grad", "requires_grad", "_parents", "_backward",
+                 "_grad_buffer", "name")
 
-    def __init__(self, data, requires_grad: bool = False, *, dtype=np.float64, name: str | None = None):
+    def __init__(self, data, requires_grad: bool = False, *, dtype=None, name: str | None = None):
         if isinstance(data, Tensor):
             data = data.data
-        self.data = np.asarray(data, dtype=dtype)
+        if dtype is None:
+            array = np.asarray(data)
+            if array.dtype.kind != "f":
+                array = array.astype(get_default_dtype())
+            self.data = array
+        else:
+            self.data = np.asarray(data, dtype=dtype)
         self.requires_grad = bool(requires_grad) and _GRAD_ENABLED
-        self.grad: np.ndarray | None = None
+        self.grad: np.ndarray | IndexedRows | None = None
+        self._grad_buffer: np.ndarray | None = None
         self._parents: tuple[Tensor, ...] = ()
         self._backward: Callable[[np.ndarray], None] | None = None
         self.name = name
@@ -146,8 +188,21 @@ class Tensor:
         return Tensor(self.data.copy(), requires_grad=False, dtype=self.data.dtype)
 
     def zero_grad(self) -> None:
-        """Clear the accumulated gradient."""
+        """Clear the accumulated gradient (the buffer is kept for reuse)."""
         self.grad = None
+
+    def _coerce(self, other) -> "Tensor":
+        """Wrap a non-Tensor operand, matching this tensor's float dtype.
+
+        Python scalars would otherwise become 0-d ``float64`` arrays and
+        NumPy would upcast the whole expression, silently dragging a
+        ``float32`` graph back to double precision.
+        """
+        if isinstance(other, Tensor):
+            return other
+        if np.isscalar(other) and self.data.dtype.kind == "f":
+            return Tensor(other, dtype=self.data.dtype)
+        return Tensor(other)
 
     # ------------------------------------------------------------------ #
     # Graph plumbing
@@ -162,13 +217,26 @@ class Tensor:
             out._backward = backward
         return out
 
-    def _accumulate(self, grad: np.ndarray) -> None:
+    def _accumulate(self, grad) -> None:
         if not self.requires_grad:
             return
-        if self.grad is None:
-            self.grad = np.array(grad, dtype=np.float64, copy=True)
-        else:
+        if isinstance(grad, IndexedRows):
+            # IndexedRows.__add__/__radd__ handle sparse+sparse (chunk
+            # append) and dense+sparse (densify) accumulation.
+            self.grad = grad if self.grad is None else self.grad + grad
+            return
+        if isinstance(self.grad, IndexedRows):
             self.grad = self.grad + grad
+            return
+        if self.grad is None:
+            buffer = self._grad_buffer
+            if (buffer is None or buffer.shape != self.data.shape
+                    or buffer.dtype != self.data.dtype):
+                buffer = self._grad_buffer = np.empty_like(self.data)
+            np.copyto(buffer, grad)
+            self.grad = buffer
+        else:
+            self.grad += grad
 
     def backward(self, grad: np.ndarray | float | None = None) -> None:
         """Backpropagate from this tensor through the recorded graph.
@@ -186,9 +254,9 @@ class Tensor:
                     "supported for scalar tensors"
                 )
             grad = np.ones_like(self.data)
-        grad = np.asarray(grad, dtype=np.float64)
+        grad = np.asarray(grad, dtype=self.data.dtype)
         if grad.shape != self.data.shape:
-            grad = np.broadcast_to(grad, self.data.shape).astype(np.float64)
+            grad = np.broadcast_to(grad, self.data.shape)
 
         # Topological order of the graph rooted at ``self``.
         order: list[Tensor] = []
@@ -230,7 +298,7 @@ class Tensor:
     # Element-wise arithmetic
     # ------------------------------------------------------------------ #
     def __add__(self, other) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._coerce(other)
         data = self.data + other_t.data
 
         def backward(grad):
@@ -252,7 +320,7 @@ class Tensor:
         return self._make_child(data, (self,), backward)
 
     def __sub__(self, other) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._coerce(other)
         data = self.data - other_t.data
 
         def backward(grad):
@@ -264,10 +332,10 @@ class Tensor:
         return self._make_child(data, (self, other_t), backward)
 
     def __rsub__(self, other) -> "Tensor":
-        return Tensor(other) - self
+        return self._coerce(other) - self
 
     def __mul__(self, other) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._coerce(other)
         data = self.data * other_t.data
         self_data, other_data = self.data, other_t.data
 
@@ -282,7 +350,7 @@ class Tensor:
     __rmul__ = __mul__
 
     def __truediv__(self, other) -> "Tensor":
-        other_t = other if isinstance(other, Tensor) else Tensor(other)
+        other_t = self._coerce(other)
         data = self.data / other_t.data
         self_data, other_data = self.data, other_t.data
 
@@ -295,7 +363,7 @@ class Tensor:
         return self._make_child(data, (self, other_t), backward)
 
     def __rtruediv__(self, other) -> "Tensor":
-        return Tensor(other) / self
+        return self._coerce(other) / self
 
     def __pow__(self, exponent: float) -> "Tensor":
         if isinstance(exponent, Tensor):
@@ -400,15 +468,16 @@ class Tensor:
     def sum(self, axis=None, keepdims: bool = False) -> "Tensor":
         data = self.data.sum(axis=axis, keepdims=keepdims)
         input_shape = self.shape
+        dtype = self.data.dtype
 
         def backward(grad):
             grad = np.asarray(grad)
             if axis is None:
-                return (np.broadcast_to(grad, input_shape).astype(np.float64),)
+                return (_broadcast_grad(grad, input_shape, dtype),)
             axes = axis if isinstance(axis, tuple) else (axis,)
             if not keepdims:
                 grad = np.expand_dims(grad, tuple(a % len(input_shape) for a in axes))
-            return (np.broadcast_to(grad, input_shape).astype(np.float64),)
+            return (_broadcast_grad(grad, input_shape, dtype),)
 
         return self._make_child(data, (self,), backward)
 
@@ -424,16 +493,16 @@ class Tensor:
         """Maximum along ``axis``; ties share the gradient equally."""
         data = self.data.max(axis=axis, keepdims=keepdims)
         source = self.data
-        input_shape = self.shape
+        dtype = self.data.dtype
 
         def backward(grad):
             grad = np.asarray(grad)
             if axis is None:
-                mask = (source == source.max()).astype(np.float64)
+                mask = (source == source.max()).astype(dtype)
                 mask /= mask.sum()
                 return (mask * grad,)
             expanded_max = source.max(axis=axis, keepdims=True)
-            mask = (source == expanded_max).astype(np.float64)
+            mask = (source == expanded_max).astype(dtype)
             mask /= mask.sum(axis=axis, keepdims=True)
             if not keepdims:
                 grad = np.expand_dims(grad, axis)
@@ -515,9 +584,10 @@ class Tensor:
     def __getitem__(self, index) -> "Tensor":
         data = self.data[index]
         input_shape = self.shape
+        dtype = self.data.dtype
 
         def backward(grad):
-            full = np.zeros(input_shape, dtype=np.float64)
+            full = np.zeros(input_shape, dtype=dtype)
             np.add.at(full, index, grad)
             return (full,)
 
@@ -528,15 +598,33 @@ class Tensor:
 
         ``indices`` may be any integer array; the result has shape
         ``indices.shape + self.shape[1:]``.  The backward pass scatter-adds
-        gradients into the source rows, matching ``torch.nn.Embedding``.
+        gradients into the source rows, matching ``torch.nn.Embedding`` —
+        unless :func:`~repro.autograd.sparse.sparse_embedding_grads` is
+        active and this tensor is a leaf, in which case the gradient is
+        recorded as an :class:`~repro.autograd.sparse.IndexedRows` and no
+        dense ``(num_rows, d)`` matrix is ever materialized.
         """
         idx = np.asarray(indices, dtype=np.int64)
         data = self.data[idx]
         input_shape = self.shape
+        dtype = self.data.dtype
+        # Only leaves may receive sparse gradients: interior nodes feed
+        # their gradient into another backward closure that expects a
+        # dense array.
+        emit_sparse = (sparse_grads_enabled() and self.requires_grad
+                       and self._backward is None)
 
         def backward(grad):
-            full = np.zeros(input_shape, dtype=np.float64)
-            np.add.at(full, idx.reshape(-1), grad.reshape(-1, *input_shape[1:]))
+            rows = np.asarray(grad).reshape(-1, *input_shape[1:])
+            if emit_sparse:
+                # The copy gives the sparse gradient its own memory: the
+                # incoming grad may be a read-only broadcast view or an
+                # array shared with another parent's backward, and
+                # IndexedRows mutates rows in place (zero_rows, clipping).
+                return (IndexedRows(idx.reshape(-1), np.array(rows, copy=True),
+                                    input_shape),)
+            full = np.zeros(input_shape, dtype=dtype)
+            np.add.at(full, idx.reshape(-1), rows)
             return (full,)
 
         return self._make_child(data, (self,), backward)
@@ -545,18 +633,22 @@ class Tensor:
     # Factory helpers
     # ------------------------------------------------------------------ #
     @staticmethod
-    def zeros(*shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.zeros(shape), requires_grad=requires_grad)
+    def zeros(*shape, requires_grad: bool = False, dtype=None) -> "Tensor":
+        return Tensor(np.zeros(shape, dtype=dtype or get_default_dtype()),
+                      requires_grad=requires_grad)
 
     @staticmethod
-    def ones(*shape, requires_grad: bool = False) -> "Tensor":
-        return Tensor(np.ones(shape), requires_grad=requires_grad)
+    def ones(*shape, requires_grad: bool = False, dtype=None) -> "Tensor":
+        return Tensor(np.ones(shape, dtype=dtype or get_default_dtype()),
+                      requires_grad=requires_grad)
 
     @staticmethod
     def randn(*shape, rng: np.random.Generator | None = None,
-              scale: float = 1.0, requires_grad: bool = False) -> "Tensor":
+              scale: float = 1.0, requires_grad: bool = False, dtype=None) -> "Tensor":
         rng = rng or np.random.default_rng()
-        return Tensor(rng.normal(0.0, scale, size=shape), requires_grad=requires_grad)
+        values = rng.normal(0.0, scale, size=shape)
+        return Tensor(values.astype(dtype or get_default_dtype(), copy=False),
+                      requires_grad=requires_grad)
 
     @staticmethod
     def concatenate(tensors: Iterable["Tensor"], axis: int = 0) -> "Tensor":

@@ -8,6 +8,7 @@ Usage examples::
     repro-ham train --dataset cds --method HAMs_m --setting 80-20-CUT
     repro-ham serve --dataset cds --users 0 1 2 --k 10
     repro-ham bench-serve --dataset cds --out BENCH_serving.json
+    repro-ham bench-train --items 8000 --out BENCH_training.json
 """
 
 from __future__ import annotations
@@ -81,6 +82,25 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--k", type=int, default=10)
     bench.add_argument("--out", default="BENCH_serving.json",
                        help="write the latency report to this JSON path")
+
+    bench_train = subparsers.add_parser(
+        "bench-train",
+        help="benchmark the fast training path (float32 + sparse gradients + "
+             "vectorized sampling) against the legacy substrate")
+    bench_train.add_argument("--method", choices=sorted(MODEL_REGISTRY), default="HAMm")
+    bench_train.add_argument("--users", type=int, default=96,
+                             help="users in the synthetic workload")
+    bench_train.add_argument("--items", type=int, default=8000,
+                             help="catalogue size of the synthetic workload")
+    bench_train.add_argument("--max-history", type=int, default=60,
+                             help="maximum per-user history length")
+    bench_train.add_argument("--epochs", type=int, default=3,
+                             help="timed epochs per training path")
+    bench_train.add_argument("--batch-size", type=int, default=256)
+    bench_train.add_argument("--embedding-dim", type=int, default=48)
+    bench_train.add_argument("--seed", type=int, default=0)
+    bench_train.add_argument("--out", default="BENCH_training.json",
+                             help="write the throughput report to this JSON path")
     return parser
 
 
@@ -218,6 +238,22 @@ def _command_bench_serve(dataset: str, method: str, setting: str, scale: str | N
     return 0
 
 
+def _command_bench_train(method: str, users: int, items: int, max_history: int,
+                         epochs: int, batch_size: int, embedding_dim: int,
+                         seed: int, out: str) -> int:
+    from repro.training.bench import run_training_benchmark, write_training_report
+
+    report = run_training_benchmark(
+        num_users=users, num_items=items, max_history=max_history,
+        epochs=epochs, batch_size=batch_size, model_name=method, seed=seed,
+        model_kwargs={"embedding_dim": embedding_dim},
+    )
+    print(report.summary())
+    write_training_report(report, out)
+    print(f"throughput report written to {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -242,6 +278,11 @@ def main(argv: list[str] | None = None) -> int:
                                     requests=args.requests,
                                     users_per_request=args.users_per_request,
                                     k=args.k, out=args.out)
+    if args.command == "bench-train":
+        return _command_bench_train(args.method, args.users, args.items,
+                                    args.max_history, args.epochs,
+                                    args.batch_size, args.embedding_dim,
+                                    args.seed, args.out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

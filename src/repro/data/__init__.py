@@ -12,6 +12,8 @@ This subpackage provides:
 * :mod:`~repro.data.splits` — the three experimental settings of Fig. 2.
 * :mod:`~repro.data.windows` — sliding-window training instances of length
   ``n_h + n_p`` (Fig. 1/Fig. 2).
+* :mod:`~repro.data.seen` — CSR-style per-user seen-item index shared by
+  the serving engine's score masks and the BPR negative sampler.
 * :mod:`~repro.data.synthetic` / :mod:`~repro.data.benchmarks` — synthetic
   analogues of the six benchmark datasets for offline reproduction.
 * :mod:`~repro.data.loaders` — parsers for the original on-disk formats,
@@ -30,6 +32,7 @@ from repro.data.windows import (
     pad_id_for,
 )
 from repro.data.batching import BatchIterator
+from repro.data.seen import SeenIndex
 from repro.data.synthetic import SyntheticConfig, generate_synthetic_dataset
 from repro.data.benchmarks import BENCHMARKS, load_benchmark
 from repro.data.stats import DatasetStatistics, compute_statistics
@@ -53,6 +56,7 @@ __all__ = [
     "pad_histories",
     "pad_id_for",
     "BatchIterator",
+    "SeenIndex",
     "SyntheticConfig",
     "generate_synthetic_dataset",
     "BENCHMARKS",

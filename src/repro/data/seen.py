@@ -1,0 +1,119 @@
+"""CSR-style per-user seen-item index.
+
+Both halves of the runtime story need "has user u interacted with item
+i?" in bulk: the serving engine masks seen items out of score rows and
+the BPR negative sampler rejects seen items when drawing negatives.  The
+seed code answered it with one Python ``set`` per user — per-element
+membership tests in the innermost loops.
+
+:class:`SeenIndex` stores the same information as two flat arrays
+(``indptr`` + sorted unique ``items`` per user segment, exactly the CSR
+layout the scoring engine introduced for its seen masks), plus a lazily
+built globally sorted key array ``user * num_items + item`` that answers
+*batched* membership queries with one ``searchsorted`` — no Python loop,
+memory proportional to the number of interactions.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["SeenIndex"]
+
+
+class SeenIndex:
+    """Immutable per-user seen-item sets in CSR form.
+
+    Parameters
+    ----------
+    indptr:
+        ``(num_users + 1,)`` segment offsets into ``items``.
+    items:
+        Concatenated per-user item ids, sorted and unique within each
+        user's segment.
+    num_items:
+        Number of real items (ids are in ``[0, num_items)``).
+    """
+
+    __slots__ = ("num_users", "num_items", "indptr", "items", "_keys")
+
+    def __init__(self, indptr: np.ndarray, items: np.ndarray, num_items: int):
+        self.indptr = np.asarray(indptr, dtype=np.int64)
+        self.items = np.asarray(items, dtype=np.int64)
+        self.num_users = int(self.indptr.shape[0] - 1)
+        self.num_items = int(num_items)
+        self._keys: np.ndarray | None = None
+
+    @classmethod
+    def from_histories(cls, histories: Sequence[Sequence[int]],
+                       num_items: int) -> "SeenIndex":
+        """Build the index from per-user interaction histories."""
+        uniques = [
+            np.unique(np.asarray(history, dtype=np.int64))
+            if len(history) else np.zeros(0, dtype=np.int64)
+            for history in histories
+        ]
+        indptr = np.zeros(len(uniques) + 1, dtype=np.int64)
+        if uniques:
+            np.cumsum([u.shape[0] for u in uniques], out=indptr[1:])
+        items = np.concatenate(uniques) if uniques else np.zeros(0, dtype=np.int64)
+        return cls(indptr, items, num_items)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def total(self) -> int:
+        """Total number of stored (user, item) pairs."""
+        return int(self.items.shape[0])
+
+    def counts(self) -> np.ndarray:
+        """Number of distinct seen items per user, shape ``(num_users,)``."""
+        return np.diff(self.indptr)
+
+    def user_items(self, user: int) -> np.ndarray:
+        """Sorted unique items of ``user`` (a view; empty for unknown users)."""
+        if not 0 <= user < self.num_users:
+            return np.zeros(0, dtype=np.int64)
+        return self.items[self.indptr[user]:self.indptr[user + 1]]
+
+    def user_set(self, user: int) -> set[int]:
+        """The seen items of ``user`` as a Python set."""
+        return set(self.user_items(user).tolist())
+
+    # ------------------------------------------------------------------ #
+    # Batched membership
+    # ------------------------------------------------------------------ #
+    def _key_array(self) -> np.ndarray:
+        if self._keys is None:
+            # user-major, per-user-sorted -> globally sorted without a sort.
+            users = np.repeat(np.arange(self.num_users, dtype=np.int64),
+                              np.diff(self.indptr))
+            self._keys = users * np.int64(self.num_items) + self.items
+        return self._keys
+
+    def contains(self, users: np.ndarray, items: np.ndarray) -> np.ndarray:
+        """Vectorized membership: ``out[i] = items[i] in seen(users[i])``.
+
+        ``users`` and ``items`` are broadcast-compatible int arrays; users
+        outside ``[0, num_users)`` and items outside ``[0, num_items)``
+        have (by definition) not been seen.  The item guard also keeps an
+        out-of-range id from colliding with an adjacent user's key
+        segment in the encoding below.
+        """
+        users = np.asarray(users, dtype=np.int64)
+        items = np.asarray(items, dtype=np.int64)
+        users, items = np.broadcast_arrays(users, items)
+        result = np.zeros(users.shape, dtype=bool)
+        if self.total == 0 or users.size == 0:
+            return result
+        valid = ((users >= 0) & (users < self.num_users)
+                 & (items >= 0) & (items < self.num_items))
+        keys = self._key_array()
+        queries = users[valid] * np.int64(self.num_items) + items[valid]
+        positions = np.searchsorted(keys, queries)
+        positions_clipped = np.minimum(positions, keys.shape[0] - 1)
+        result[valid] = keys[positions_clipped] == queries
+        return result

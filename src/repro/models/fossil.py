@@ -21,6 +21,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.autograd import Embedding, Tensor, init
+from repro.autograd.sparse import IndexedRows
 from repro.models.base import SequentialRecommender
 
 __all__ = ["Fossil"]
@@ -91,8 +92,8 @@ class Fossil(SequentialRecommender):
         # FISM similarity term: 1/|H|^alpha * sum of history embeddings.
         counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)
         normalizer = 1.0 / np.power(counts, self.similarity_alpha)        # (B, 1)
-        masked = embedded * Tensor(mask.astype(np.float64)[:, :, None])
-        similarity_part = masked.sum(axis=1) * Tensor(normalizer)         # (B, d)
+        masked = embedded * Tensor(mask.astype(embedded.dtype)[:, :, None])
+        similarity_part = masked.sum(axis=1) * Tensor(normalizer.astype(embedded.dtype))  # (B, d)
 
         # Higher-order Markov term with personalized per-lag weights.  The
         # weight of position t applies to the item t steps from the end,
@@ -114,5 +115,9 @@ class Fossil(SequentialRecommender):
         self.source_item_embeddings.apply_padding_mask()
         self.target_item_embeddings.apply_padding_mask()
         self.item_biases.data[self.pad_id] = 0.0
-        if self.item_biases.grad is not None:
-            self.item_biases.grad[self.pad_id] = 0.0
+        grad = self.item_biases.grad
+        if grad is not None:
+            if isinstance(grad, IndexedRows):
+                grad.zero_rows(self.pad_id)
+            else:
+                grad[self.pad_id] = 0.0

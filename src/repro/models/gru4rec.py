@@ -37,7 +37,8 @@ class GRU4Rec(SequentialRecommender):
 
     def __init__(self, num_users: int, num_items: int, embedding_dim: int = 64,
                  hidden_dim: int | None = None, sequence_length: int = 10,
-                 rng: np.random.Generator | None = None, init_std: float = 0.01):
+                 rng: np.random.Generator | None = None, init_std: float = 0.01,
+                 dtype=None):
         super().__init__()
         self._validate_dims(num_users, num_items, embedding_dim, sequence_length)
         rng = rng or np.random.default_rng()
@@ -57,6 +58,8 @@ class GRU4Rec(SequentialRecommender):
         # Project the hidden state back to the item-embedding space so the
         # candidate table can be shared with the input embeddings.
         self.output_projection = Linear(hidden_dim, embedding_dim, rng=rng)
+        if dtype is not None:
+            self.astype(dtype)
 
     def sequence_representation(self, users: np.ndarray, inputs: np.ndarray) -> Tensor:
         inputs = np.asarray(inputs, dtype=np.int64)

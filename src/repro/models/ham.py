@@ -47,12 +47,16 @@ class HAM(SequentialRecommender):
         Random generator for parameter initialization.
     init_std:
         Standard deviation of the embedding initializer.
+    dtype:
+        Optional compute dtype (``"float32"``/``"float64"``); the
+        parameters are cast via :meth:`Module.astype` after construction.
     """
 
     def __init__(self, num_users: int, num_items: int, embedding_dim: int = 64,
                  n_h: int = 5, n_l: int = 2, pooling: str = "mean",
                  use_user_embedding: bool = True,
-                 rng: np.random.Generator | None = None, init_std: float = 0.01):
+                 rng: np.random.Generator | None = None, init_std: float = 0.01,
+                 dtype=None):
         super().__init__()
         self._validate_dims(num_users, num_items, embedding_dim, n_h)
         if not 0 <= n_l <= n_h:
@@ -78,6 +82,8 @@ class HAM(SequentialRecommender):
                                                 std=init_std, padding_idx=self.pad_id)
         self.target_item_embeddings = Embedding(num_items + 1, embedding_dim, rng=rng,
                                                 std=init_std, padding_idx=self.pad_id)
+        if dtype is not None:
+            self.astype(dtype)
 
     # ------------------------------------------------------------------ #
     # Representation factors

@@ -124,7 +124,7 @@ class HGN(SequentialRecommender):
 
         # Item-item product term: sum of raw recent-item embeddings.
         raw = self.item_embeddings(inputs)
-        item_item = (raw * Tensor(mask.astype(np.float64)[:, :, None])).sum(axis=1)
+        item_item = (raw * Tensor(mask.astype(raw.dtype)[:, :, None])).sum(axis=1)
 
         user_vectors = self.user_embeddings(users)
         return user_vectors + short_term + item_item

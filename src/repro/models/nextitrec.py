@@ -41,7 +41,7 @@ class _CausalConv(Module):
     def forward(self, x: Tensor) -> Tensor:
         batch, length, _ = x.shape
         shift = min(self.dilation, length)
-        zeros = Tensor(np.zeros((batch, shift, x.shape[2])))
+        zeros = Tensor(np.zeros((batch, shift, x.shape[2]), dtype=x.dtype))
         shifted = Tensor.concatenate([zeros, x[:, : length - shift, :]], axis=1)
         return (
             shifted.matmul(self.weight_previous)
@@ -110,8 +110,9 @@ class NextItRec(SequentialRecommender):
 
     def sequence_representation(self, users: np.ndarray, inputs: np.ndarray) -> Tensor:
         inputs = np.asarray(inputs, dtype=np.int64)
-        padding_mask = (inputs != self.pad_id).astype(np.float64)[:, :, None]
-        hidden = self.item_embeddings(inputs) * Tensor(padding_mask)      # (B, L, d)
+        hidden = self.item_embeddings(inputs)
+        padding_mask = (inputs != self.pad_id).astype(hidden.dtype)[:, :, None]
+        hidden = hidden * Tensor(padding_mask)      # (B, L, d)
         for block in self.blocks:
             hidden = block(hidden) * Tensor(padding_mask)
         hidden = self.final_norm(hidden)

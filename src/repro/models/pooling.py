@@ -29,10 +29,10 @@ def masked_mean_pool(embeddings: Tensor, mask: np.ndarray) -> Tensor:
         ``(B, L)`` boolean array, True for real (non-padding) items.  Rows
         with no real item produce a zero vector.
     """
-    mask = np.asarray(mask, dtype=np.float64)
+    mask = np.asarray(mask).astype(embeddings.dtype)
     counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)  # (B, 1)
     masked = embeddings * Tensor(mask[:, :, None])
-    return masked.sum(axis=1) * Tensor(1.0 / counts)
+    return masked.sum(axis=1) * Tensor((1.0 / counts).astype(embeddings.dtype))
 
 
 def masked_max_pool(embeddings: Tensor, mask: np.ndarray) -> Tensor:
@@ -42,7 +42,7 @@ def masked_max_pool(embeddings: Tensor, mask: np.ndarray) -> Tensor:
     so they can never win; rows with no real item produce a zero vector.
     """
     mask = np.asarray(mask, dtype=bool)
-    offset = np.where(mask[:, :, None], 0.0, _NEG_INF)
+    offset = np.where(mask[:, :, None], 0.0, _NEG_INF).astype(embeddings.dtype)
     shifted = embeddings + Tensor(offset)
     pooled = shifted.max(axis=1)
     # Rows without any real item would be -inf; zero them out (no gradient
@@ -50,7 +50,7 @@ def masked_max_pool(embeddings: Tensor, mask: np.ndarray) -> Tensor:
     # embedding is pinned to zero).
     empty_rows = ~mask.any(axis=1)
     if empty_rows.any():
-        keep = Tensor((~empty_rows)[:, None].astype(np.float64))
+        keep = Tensor((~empty_rows)[:, None].astype(pooled.dtype))
         pooled = pooled * keep
     return pooled
 

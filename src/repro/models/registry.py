@@ -109,9 +109,17 @@ def create_model(name: str, num_users: int, num_items: int,
         Random generator controlling parameter initialization.
     hyperparameters:
         Model-specific keyword arguments (``embedding_dim``, ``n_h`` ...).
+        The special key ``dtype`` works for every model: the constructed
+        model's parameters are cast via
+        :meth:`~repro.autograd.module.Module.astype` (count-based models
+        without parameters ignore it).
     """
     if name not in MODEL_REGISTRY:
         raise KeyError(
             f"unknown model {name!r}; available: {', '.join(sorted(MODEL_REGISTRY))}"
         )
-    return MODEL_REGISTRY[name](num_users, num_items, rng=rng, **hyperparameters)
+    dtype = hyperparameters.pop("dtype", None)
+    model = MODEL_REGISTRY[name](num_users, num_items, rng=rng, **hyperparameters)
+    if dtype is not None:
+        model.astype(dtype)
+    return model

@@ -87,7 +87,7 @@ class SASRec(SequentialRecommender):
     def __init__(self, num_users: int, num_items: int, embedding_dim: int = 64,
                  sequence_length: int = 10, num_heads: int = 1, num_blocks: int = 2,
                  dropout: float = 0.2, rng: np.random.Generator | None = None,
-                 init_std: float = 0.01):
+                 init_std: float = 0.01, dtype=None):
         super().__init__()
         self._validate_dims(num_users, num_items, embedding_dim, sequence_length)
         if num_blocks < 1:
@@ -115,6 +115,8 @@ class SASRec(SequentialRecommender):
 
         # Causal mask: position i may only attend to positions <= i.
         self._causal_mask = np.triu(np.ones((sequence_length, sequence_length), dtype=bool), k=1)
+        if dtype is not None:
+            self.astype(dtype)
 
     def sequence_representation(self, users: np.ndarray, inputs: np.ndarray) -> Tensor:
         inputs = np.asarray(inputs, dtype=np.int64)
@@ -124,7 +126,7 @@ class SASRec(SequentialRecommender):
             )
         hidden = self.item_embeddings(inputs) + self.position_embeddings
         # Zero out padded positions so they contribute nothing downstream.
-        padding_mask = (inputs != self.pad_id).astype(np.float64)[:, :, None]
+        padding_mask = (inputs != self.pad_id).astype(hidden.dtype)[:, :, None]
         hidden = hidden * Tensor(padding_mask)
         hidden = self.input_dropout(hidden)
         for block in self.blocks:

@@ -96,7 +96,7 @@ class STAMP(SequentialRecommender):
         )
         scores = energies.matmul(self.attention_vector).squeeze(2)        # (B, L)
         # Padded positions must contribute nothing to the weighted sum.
-        return scores * Tensor(np.asarray(mask, dtype=np.float64))
+        return scores * Tensor(np.asarray(mask).astype(scores.dtype))
 
     # ------------------------------------------------------------------ #
     # SequentialRecommender interface

@@ -38,7 +38,7 @@ def _aggregate_outer(per_item: Tensor, mask3: Tensor, mask: np.ndarray,
     if outer == "sum":
         return per_item.sum(axis=1)
     # max over real items: push padded rows far down before the max.
-    offset = Tensor(np.where(mask[:, :, None] > 0, 0.0, _NEG_INF))
+    offset = Tensor(np.where(mask[:, :, None] > 0, 0.0, _NEG_INF).astype(per_item.dtype))
     return (per_item + offset).max(axis=1)
 
 
@@ -75,13 +75,13 @@ def synergy_vectors(embeddings: Tensor, mask: np.ndarray, order: int,
     if outer not in OUTER_AGGREGATIONS:
         raise ValueError(f"outer must be one of {OUTER_AGGREGATIONS}, got {outer!r}")
 
-    mask = np.asarray(mask, dtype=np.float64)
+    mask = np.asarray(mask).astype(embeddings.dtype)
     mask3 = Tensor(mask[:, :, None])
     counts = np.maximum(mask.sum(axis=1, keepdims=True), 1.0)        # (B, 1)
-    inverse_counts = Tensor(1.0 / counts)
+    inverse_counts = Tensor((1.0 / counts).astype(embeddings.dtype))
     # Partner counts per item j: number of *other* real items.
     partner_counts = np.maximum(mask.sum(axis=1, keepdims=True) - 1.0, 1.0)  # (B, 1)
-    inverse_partner_counts = Tensor((1.0 / partner_counts)[:, :, None])
+    inverse_partner_counts = Tensor((1.0 / partner_counts)[:, :, None].astype(embeddings.dtype))
 
     real = embeddings * mask3                       # zero out padded rows
     total = real.sum(axis=1, keepdims=True)          # (B, 1, d) = S
@@ -118,12 +118,12 @@ def _max_over_partners(per_item: Tensor, real: Tensor, mask: np.ndarray) -> Tens
     partner_mask = np.broadcast_to(mask[:, None, :, None] > 0, (batch, length, length, dim)).copy()
     diagonal = np.eye(length, dtype=bool)[None, :, :, None]
     partner_mask &= ~np.broadcast_to(diagonal, partner_mask.shape)
-    offset = Tensor(np.where(partner_mask, 0.0, _NEG_INF))
+    offset = Tensor(np.where(partner_mask, 0.0, _NEG_INF).astype(pairwise.dtype))
     maxed = (pairwise + offset).max(axis=2)          # (B, L, d)
     # Items with no valid partner produce -inf rows; zero them out.
     no_partner = ~partner_mask.any(axis=2)
     if no_partner.any():
-        maxed = maxed * Tensor((~no_partner).astype(np.float64))
+        maxed = maxed * Tensor((~no_partner).astype(maxed.dtype))
     return maxed
 
 

@@ -39,6 +39,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.autograd import no_grad
+from repro.data.seen import SeenIndex
 from repro.data.windows import pad_histories, pad_id_for
 from repro.evaluation.ranking import top_k_items
 from repro.models.base import FrozenScorer, SequentialRecommender
@@ -145,8 +146,12 @@ class ScoringEngine:
             pass
         else:
             if self._cache_representations:
+                # The cache matches the model's compute dtype so the
+                # cached path stays bit-for-bit identical to
+                # model.score_all (float32 models included).
                 self._representations = np.zeros(
-                    (self.num_users, self._frozen.embedding_dim), dtype=np.float64
+                    (self.num_users, self._frozen.embedding_dim),
+                    dtype=self._frozen.candidate_embeddings.dtype,
                 )
                 self._rep_valid = np.zeros(self.num_users, dtype=bool)
         if precompute:
@@ -172,6 +177,10 @@ class ScoringEngine:
             self._frozen = self.model.freeze(copy=self._copy_weights)
             if self._rep_valid is not None:
                 self._rep_valid[:] = False
+                dtype = self._frozen.candidate_embeddings.dtype
+                if self._representations.dtype != dtype:
+                    # Training may have re-cast the model (Module.astype).
+                    self._representations = self._representations.astype(dtype)
         return self
 
     def history(self, user: int) -> list[int]:
@@ -239,7 +248,8 @@ class ScoringEngine:
 
     def _compute_representations(self, users: np.ndarray) -> np.ndarray:
         """Model forward over ``users``' inputs, in micro-batches."""
-        result = np.empty((users.size, self._frozen.embedding_dim), dtype=np.float64)
+        result = np.empty((users.size, self._frozen.embedding_dim),
+                          dtype=self._frozen.candidate_embeddings.dtype)
         for start in range(0, users.size, self.micro_batch_size):
             chunk = users[start:start + self.micro_batch_size]
             with no_grad():
@@ -271,11 +281,11 @@ class ScoringEngine:
                     scores[row, np.asarray(history, dtype=np.int64)] = -np.inf
             return
         if self._seen_items is None:
-            self._seen_items = [
-                np.unique(np.asarray(history, dtype=np.int64))
-                if history else np.zeros(0, dtype=np.int64)
-                for history in self._histories
-            ]
+            # Built through the shared CSR index (one pass over the
+            # histories); the per-user views stay cheap to index with and
+            # observe() replaces them per user as interactions arrive.
+            index = SeenIndex.from_histories(self._histories, self.num_items)
+            self._seen_items = [index.user_items(user) for user in range(self.num_users)]
         for row, user in enumerate(users):
             scores[row, self._seen_items[user]] = -np.inf
 

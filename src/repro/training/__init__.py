@@ -12,6 +12,13 @@ stopping and checkpointing — live in their own modules and are opt-in;
 the defaults reproduce the paper's setup exactly.
 """
 
+from repro.training.bench import (
+    FAST_PATH_OVERRIDES,
+    LEGACY_PATH_OVERRIDES,
+    TrainingBenchReport,
+    run_training_benchmark,
+    write_training_report,
+)
 from repro.training.bpr import bpr_loss
 from repro.training.checkpoint import load_checkpoint, read_metadata, save_checkpoint
 from repro.training.config import TrainingConfig
@@ -63,4 +70,9 @@ __all__ = [
     "save_checkpoint",
     "load_checkpoint",
     "read_metadata",
+    "FAST_PATH_OVERRIDES",
+    "LEGACY_PATH_OVERRIDES",
+    "TrainingBenchReport",
+    "run_training_benchmark",
+    "write_training_report",
 ]

@@ -38,7 +38,7 @@ def bpr_loss(positive_scores: Tensor, negative_scores: Tensor,
     losses = -F.logsigmoid(difference)
     if mask is None:
         return losses.mean()
-    mask = np.asarray(mask, dtype=np.float64)
+    mask = np.asarray(mask).astype(losses.dtype)
     if mask.shape != losses.shape:
         raise ValueError("mask shape must match the score shape")
     count = max(mask.sum(), 1.0)

@@ -48,6 +48,25 @@ class TrainingConfig:
         paper's setting).
     max_grad_norm:
         Optional global gradient-norm clipping threshold.
+    dtype:
+        Compute dtype of the training run (``"float32"`` — the default
+        fast path — or ``"float64"``).  The trainer casts the model's
+        parameters before the first epoch; ``None`` leaves the model's
+        dtype untouched (seed behaviour: ``float64`` at construction).
+        Pin ``"float64"`` for bit-parity with the seed training runs.
+    sparse_embedding_grad:
+        Record embedding-lookup gradients as indexed rows and take the
+        row-wise ("lazy") optimizer path instead of materializing a dense
+        ``(num_items, d)`` gradient per lookup.  The legacy dense path
+        (``False``) is bit-identical to the seed engine.
+    vectorized_sampling:
+        Use the batched negative sampler (``False`` selects the legacy
+        per-element Python rejection loop).
+    validate_indices:
+        Re-validate embedding index ranges on *every* lookup inside the
+        epoch loop (debug flag).  The trainer always validates the
+        training instances and sampler output once up front, so the
+        per-lookup check is redundant and off by default.
     """
 
     num_epochs: int = 30
@@ -62,6 +81,10 @@ class TrainingConfig:
     loss: str | None = None
     num_negatives: int | None = None
     max_grad_norm: float | None = None
+    dtype: str | None = "float32"
+    sparse_embedding_grad: bool = True
+    vectorized_sampling: bool = True
+    validate_indices: bool = False
 
     def __post_init__(self):
         if self.num_epochs < 1:
@@ -80,6 +103,8 @@ class TrainingConfig:
             raise ValueError("num_negatives must be positive")
         if self.max_grad_norm is not None and self.max_grad_norm <= 0:
             raise ValueError("max_grad_norm must be positive")
+        if self.dtype is not None and str(self.dtype) not in ("float32", "float64"):
+            raise ValueError("dtype must be 'float32', 'float64' or None")
 
     def with_overrides(self, **overrides) -> "TrainingConfig":
         """Return a copy with selected fields replaced."""

@@ -58,7 +58,7 @@ def _masked_mean(per_position: Tensor, mask: np.ndarray | None) -> Tensor:
     """Mean of ``per_position`` (shape ``(B, T)``) over unmasked entries."""
     if mask is None:
         return per_position.mean()
-    mask = np.asarray(mask, dtype=np.float64)
+    mask = np.asarray(mask).astype(per_position.dtype)
     if mask.shape != per_position.shape:
         raise ValueError("mask shape must match the per-position loss shape")
     count = max(mask.sum(), 1.0)

@@ -15,7 +15,7 @@ from typing import Callable
 
 import numpy as np
 
-from repro.autograd import Adam, clip_grad_norm
+from repro.autograd import Adam, clip_grad_norm, embedding_index_check, sparse_embedding_grads
 from repro.data.batching import BatchIterator
 from repro.data.windows import build_training_instances
 from repro.models.base import SequentialRecommender
@@ -38,6 +38,11 @@ class TrainingResult:
     best_validation: float = float("-inf")
     best_epoch: int = -1
     train_seconds: float = 0.0
+    #: Wall-clock seconds of each optimization epoch (excludes validation);
+    #: the training benchmark derives its p50 epoch time from this.
+    epoch_seconds: list[float] = field(default_factory=list)
+    #: Sliding-window instances the run trained on (0 for count-based models).
+    num_instances: int = 0
 
     @property
     def final_loss(self) -> float:
@@ -101,14 +106,25 @@ class Trainer:
             result.train_seconds = time.perf_counter() - start
             return result
 
+        if self.config.dtype is not None:
+            # The fast path trains in float32; benchmark tables that need
+            # bit-parity with the seed runs pin dtype="float64".
+            self.model.astype(self.config.dtype)
+
         instances = build_training_instances(
             train_sequences, num_items=self.model.num_items,
             n_h=self.model.input_length, n_p=self.config.n_p,
         )
         if len(instances) == 0:
             raise ValueError("no training instances could be built from the sequences")
+        result.num_instances = len(instances)
+        # Index ranges are validated once here, so the per-lookup check in
+        # Embedding.forward can be skipped inside the epoch loop (the
+        # sampler only ever draws from [0, num_items)).
+        self._validate_instances(instances)
 
-        sampler = NegativeSampler(self.model.num_items, train_sequences, rng=self.rng)
+        sampler = NegativeSampler(self.model.num_items, train_sequences, rng=self.rng,
+                                  vectorized=self.config.vectorized_sampling)
         optimizer = Adam(self.model.parameters(), lr=self.config.learning_rate,
                          weight_decay=self.config.weight_decay)
         iterator = BatchIterator(instances, batch_size=self.config.batch_size, rng=self.rng)
@@ -118,7 +134,9 @@ class Trainer:
         for epoch in range(1, self.config.num_epochs + 1):
             if self.schedule is not None:
                 optimizer.lr = self.schedule(epoch)
+            epoch_start = time.perf_counter()
             epoch_loss = self._run_epoch(iterator, sampler, optimizer)
+            result.epoch_seconds.append(time.perf_counter() - epoch_start)
             result.epoch_losses.append(epoch_loss)
             if self.config.verbose:
                 print(f"epoch {epoch:4d}  loss {epoch_loss:.4f}")
@@ -153,8 +171,27 @@ class Trainer:
     # ------------------------------------------------------------------ #
     # One epoch
     # ------------------------------------------------------------------ #
+    def _validate_instances(self, instances) -> None:
+        """One-time range validation of the training index arrays."""
+        pad = instances.pad_id
+        for name, array in (("inputs", instances.inputs), ("targets", instances.targets)):
+            if array.size and (array.min() < 0 or array.max() > pad):
+                raise ValueError(f"training {name} contain ids outside [0, {pad}]")
+        if instances.users.size and (
+                instances.users.min() < 0
+                or instances.users.max() >= self.model.num_users):
+            raise ValueError(
+                f"training users outside [0, {self.model.num_users})"
+            )
+
     def _run_epoch(self, iterator: BatchIterator, sampler: NegativeSampler,
                    optimizer: Adam) -> float:
+        with embedding_index_check(self.config.validate_indices), \
+                sparse_embedding_grads(self.config.sparse_embedding_grad):
+            return self._run_epoch_inner(iterator, sampler, optimizer)
+
+    def _run_epoch_inner(self, iterator: BatchIterator, sampler: NegativeSampler,
+                         optimizer: Adam) -> float:
         total_loss = 0.0
         total_batches = 0
         for batch in iterator:

@@ -72,9 +72,11 @@ class TestRecommender:
         for user, expected in zip((0, 1), batch):
             single = recommender.recommend(user, k=3)
             assert [entry.item for entry in single] == [entry.item for entry in expected]
-            # Scores may differ in the last float bit across batch layouts.
+            # Scores may differ in the last float bit across batch layouts;
+            # models train in float32 by default, so the bound is single
+            # precision.
             for got, want in zip(single, expected):
-                assert got.score == pytest.approx(want.score, rel=1e-9)
+                assert got.score == pytest.approx(want.score, rel=1e-5)
 
     def test_score_matches_recommendation_score(self):
         split = tiny_split()

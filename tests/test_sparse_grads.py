@@ -1,0 +1,271 @@
+"""Indexed (sparse) embedding gradients and the sparse-aware optimizers.
+
+The acceptance property of the sparse path is *bit-equivalence after
+densification*: running the identical forward/backward once with dense
+scatters and once with :func:`sparse_embedding_grads` must produce the
+same gradients to the last bit (both accumulate contributions in
+occurrence order), and a single optimizer step from identical state must
+move the parameters identically.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.autograd import (
+    Adagrad,
+    Adam,
+    Embedding,
+    IndexedRows,
+    Parameter,
+    SGD,
+    Tensor,
+    clip_grad_norm,
+    sparse_embedding_grads,
+    sparse_grads_enabled,
+)
+from repro.models import create_model
+from repro.training import Trainer, TrainingConfig
+from repro.training.losses import get_loss
+
+pytestmark = pytest.mark.fast
+
+
+class TestIndexedRows:
+    def test_to_dense_scatter_adds_duplicates(self):
+        grad = IndexedRows(np.array([1, 1, 3]),
+                           np.array([[1.0, 2.0], [10.0, 20.0], [5.0, 6.0]]),
+                           (4, 2))
+        dense = grad.to_dense()
+        assert dense.tolist() == [[0, 0], [11, 22], [0, 0], [5, 6]]
+
+    def test_coalesce_matches_dense(self):
+        rng = np.random.default_rng(0)
+        indices = rng.integers(0, 40, size=500)
+        rows = rng.normal(size=(500, 8))
+        grad = IndexedRows(indices, rows, (50, 8))
+        coalesced = grad.coalesce()
+        assert np.array_equal(np.unique(indices), coalesced.indices)
+        assert np.allclose(coalesced.to_dense(), grad.to_dense())
+
+    def test_add_concatenates_sparse(self):
+        a = IndexedRows(np.array([0]), np.array([[1.0]]), (3, 1))
+        b = IndexedRows(np.array([0, 2]), np.array([[2.0], [3.0]]), (3, 1))
+        combined = a + b
+        assert isinstance(combined, IndexedRows)
+        assert combined.to_dense().tolist() == [[3.0], [0.0], [3.0]]
+
+    def test_add_dense_densifies(self):
+        sparse = IndexedRows(np.array([1]), np.array([[1.0, 1.0]]), (2, 2))
+        out = sparse + np.ones((2, 2))
+        assert isinstance(out, np.ndarray)
+        assert out.tolist() == [[1, 1], [2, 2]]
+
+    def test_zero_rows(self):
+        grad = IndexedRows(np.array([0, 1, 0]),
+                           np.ones((3, 2)), (2, 2))
+        grad.zero_rows(0)
+        assert grad.to_dense().tolist() == [[0, 0], [1, 1]]
+
+    def test_sum_of_squares_counts_duplicates_once_summed(self):
+        grad = IndexedRows(np.array([0, 0]), np.array([[1.0], [1.0]]), (2, 1))
+        # ||dense grad||^2 = (1+1)^2 = 4, not 1^2 + 1^2.
+        assert grad.sum_of_squares() == pytest.approx(4.0)
+
+    def test_context_manager(self):
+        assert not sparse_grads_enabled()
+        with sparse_embedding_grads(True):
+            assert sparse_grads_enabled()
+        assert not sparse_grads_enabled()
+
+
+class TestSparseTakeRows:
+    def test_leaf_gets_indexed_rows(self):
+        weight = Parameter(np.arange(12.0).reshape(4, 3))
+        with sparse_embedding_grads(True):
+            out = weight.take_rows(np.array([[1, 2], [2, 2]]))
+            out.sum().backward()
+        assert isinstance(weight.grad, IndexedRows)
+        assert np.array_equal(weight.grad.to_dense(),
+                              np.array([[0.0] * 3, [1.0] * 3, [3.0] * 3, [0.0] * 3]))
+
+    def test_interior_nodes_stay_dense(self):
+        weight = Parameter(np.ones((4, 3)))
+        with sparse_embedding_grads(True):
+            doubled = weight * 2.0          # interior node
+            out = doubled.take_rows(np.array([0, 1]))
+            out.sum().backward()
+        assert isinstance(weight.grad, np.ndarray)
+
+    @pytest.mark.parametrize("dtype", ["float32", "float64"])
+    def test_bit_equivalence_after_densification(self, dtype):
+        """Same forward/backward, sparse vs dense: identical to the bit."""
+        def run(sparse):
+            model = create_model("HAMs_m", 6, 20, rng=np.random.default_rng(1),
+                                 embedding_dim=8, n_h=4, n_l=2, dtype=dtype)
+            rng = np.random.default_rng(2)
+            users = rng.integers(0, 6, size=5)
+            inputs = rng.integers(0, 20, size=(5, 4))
+            targets = rng.integers(0, 20, size=(5, 2))
+            negatives = rng.integers(0, 20, size=(5, 2))
+            with sparse_embedding_grads(sparse):
+                loss = get_loss("bpr")(
+                    model.score_items(users, inputs, targets),
+                    model.score_items(users, inputs, negatives),
+                )
+                loss.backward()
+            out = {}
+            for name, param in model.named_parameters():
+                grad = param.grad
+                if isinstance(grad, IndexedRows):
+                    grad = grad.to_dense()
+                out[name] = None if grad is None else np.array(grad, copy=True)
+            return out
+
+        dense, sparse = run(False), run(True)
+        assert set(dense) == set(sparse)
+        for key in dense:
+            assert (dense[key] is None) == (sparse[key] is None), key
+            if dense[key] is not None:
+                assert np.array_equal(dense[key], sparse[key]), key
+
+
+def _one_step(optimizer_cls, sparse, dtype="float64", **opt_kwargs):
+    """One backward + optimizer step on an Embedding; returns the weights."""
+    rng = np.random.default_rng(4)
+    emb = Embedding(10, 4, rng=rng)
+    if dtype is not None:
+        emb.astype(dtype)
+    optimizer = optimizer_cls(emb.parameters(), **opt_kwargs)
+    indices = np.array([[1, 3, 3], [7, 1, 0]])
+    with sparse_embedding_grads(sparse):
+        out = emb(indices)
+        (out * out).sum().backward()
+    optimizer.step()
+    return np.array(emb.weight.data, copy=True)
+
+
+class TestSparseOptimizers:
+    @pytest.mark.parametrize("optimizer_cls,kwargs", [
+        (SGD, {"lr": 0.1}),
+        (Adam, {"lr": 0.1}),
+        (Adagrad, {"lr": 0.1}),
+    ])
+    def test_single_step_matches_dense(self, optimizer_cls, kwargs):
+        dense = _one_step(optimizer_cls, sparse=False, **kwargs)
+        sparse = _one_step(optimizer_cls, sparse=True, **kwargs)
+        # From zero optimizer state, untouched rows move in neither path
+        # and touched rows receive the same update (up to reduction
+        # rounding in the coalesced segment sums).
+        assert np.allclose(dense, sparse, rtol=1e-12, atol=1e-15)
+
+    def test_sgd_momentum_densifies(self):
+        dense = _one_step(SGD, sparse=False, lr=0.1, momentum=0.9)
+        sparse = _one_step(SGD, sparse=True, lr=0.1, momentum=0.9)
+        assert np.allclose(dense, sparse, rtol=1e-12, atol=1e-15)
+
+    def test_lazy_weight_decay_touches_only_seen_rows(self):
+        emb = Embedding(10, 4, rng=np.random.default_rng(5))
+        before = np.array(emb.weight.data, copy=True)
+        optimizer = SGD(emb.parameters(), lr=0.1, weight_decay=0.5)
+        with sparse_embedding_grads(True):
+            emb(np.array([[2, 4]])).sum().backward()
+        optimizer.step()
+        touched = {2, 4}
+        for row in range(10):
+            changed = not np.array_equal(emb.weight.data[row], before[row])
+            assert changed == (row in touched), row
+
+    def test_clip_grad_norm_matches_dense(self):
+        def run(sparse):
+            emb = Embedding(10, 4, rng=np.random.default_rng(6))
+            with sparse_embedding_grads(sparse):
+                emb(np.array([[1, 1, 5]])).sum().backward()
+            norm = clip_grad_norm(emb.parameters(), 0.5)
+            grad = emb.weight.grad
+            if isinstance(grad, IndexedRows):
+                grad = grad.to_dense()
+            return norm, grad
+
+        norm_dense, grad_dense = run(False)
+        norm_sparse, grad_sparse = run(True)
+        assert norm_sparse == pytest.approx(norm_dense)
+        assert np.allclose(grad_dense, grad_sparse)
+
+    def test_zero_rows_safe_on_broadcast_gradients(self):
+        # sum() backward feeds a read-only broadcast view into take_rows;
+        # the sparse gradient must own its rows or zero_rows would crash.
+        emb = Embedding(6, 3, rng=np.random.default_rng(8), padding_idx=5)
+        with sparse_embedding_grads(True):
+            emb(np.array([[1, 5]])).sum().backward()
+        emb.apply_padding_mask()  # must not raise / corrupt
+        dense = emb.weight.grad.to_dense()
+        assert np.all(dense[5] == 0.0)
+        assert np.all(dense[1] == 1.0)
+
+    def test_zero_rows_cannot_corrupt_sibling_gradients(self):
+        # Two embeddings added together share one upstream grad array;
+        # zeroing one table's padding row must not touch the other's grad.
+        rng = np.random.default_rng(9)
+        a = Embedding(4, 3, rng=rng, padding_idx=3)
+        b = Embedding(4, 3, rng=rng, padding_idx=2)
+        with sparse_embedding_grads(True):
+            (a(np.array([[0, 2]])) + b(np.array([[2, 1]]))).sum().backward()
+        a.apply_padding_mask()
+        b.apply_padding_mask()
+        assert np.all(a.weight.grad.to_dense()[2] == 1.0)  # real row of a intact
+        assert np.all(b.weight.grad.to_dense()[2] == 0.0)  # b's padding zeroed
+
+    def test_sgd_momentum_weight_decay_not_applied_twice(self):
+        dense = _one_step(SGD, sparse=False, lr=0.1, momentum=0.9, weight_decay=0.5)
+        sparse = _one_step(SGD, sparse=True, lr=0.1, momentum=0.9, weight_decay=0.5)
+        # The densify fallback must not run the decayed rows through the
+        # dense decay again; touched rows must match the dense update.
+        indices = np.unique(np.array([1, 3, 3, 7, 1, 0]))
+        assert np.allclose(dense[indices], sparse[indices], rtol=1e-12, atol=1e-15)
+
+    def test_padding_row_stays_pinned_during_sparse_training(self):
+        sequences = [np.random.default_rng(s).integers(0, 15, size=10).tolist()
+                     for s in range(8)]
+        model = create_model("HAMm", 8, 15, rng=np.random.default_rng(7),
+                             embedding_dim=6, n_h=3, n_l=1)
+        config = TrainingConfig(num_epochs=2, batch_size=16,
+                                sparse_embedding_grad=True)
+        Trainer(model, config).fit(sequences)
+        assert np.all(model.source_item_embeddings.weight.data[15] == 0.0)
+        assert np.all(model.target_item_embeddings.weight.data[15] == 0.0)
+
+
+class TestAccumulationBuffer:
+    def test_grad_buffer_reused_across_steps(self):
+        param = Parameter(np.ones(4))
+        (param * 2.0).sum().backward()
+        first = param.grad
+        param.zero_grad()
+        (param * 3.0).sum().backward()
+        assert param.grad is first  # same buffer, refilled in place
+        assert param.grad.tolist() == [3.0, 3.0, 3.0, 3.0]
+
+    def test_accumulation_without_zero_grad_still_adds(self):
+        param = Parameter(np.ones(4))
+        (param * 2.0).sum().backward()
+        (param * 3.0).sum().backward()
+        assert param.grad.tolist() == [5.0, 5.0, 5.0, 5.0]
+
+    def test_astype_drops_stale_buffer(self):
+        param = Parameter(np.ones(4))
+        (param * 2.0).sum().backward()
+
+        class Holder:
+            pass
+
+        from repro.autograd import Module
+
+        module = Module.__new__(Module)
+        module.training = True
+        module.weight = param
+        module.astype("float32")
+        assert param.grad is None
+        (param * 2.0).sum().backward()
+        assert param.grad.dtype == np.float32
