@@ -1,0 +1,16 @@
+"""Shared ``BENCH_*.json`` schema, re-exported for the benchmark suite.
+
+The writer lives in :mod:`repro.bench_schema` so the library-side bench
+harnesses (``repro.serving.bench``, ``repro.training.bench``,
+``repro.parallel.bench``) can use it without depending on the test tree;
+this shim gives benchmark modules a local import path.
+"""
+
+from repro.bench_schema import (  # noqa: F401
+    HISTORY_LIMIT,
+    SCHEMA_VERSION,
+    host_info,
+    read_bench_history,
+    read_bench_report,
+    write_bench_report,
+)

@@ -1,0 +1,75 @@
+"""Parallel throughput benchmark: sharded sweeps and worker-pool loading.
+
+The multi-process counterpart of ``test_serving_latency.py`` /
+``test_training_throughput.py``: the same synthetic HAM workload answers
+a full-catalogue top-k sweep through the serial engine and through the
+shared-memory :class:`~repro.parallel.sharded.ShardedScoringEngine`, and
+trains with the in-process batch path vs the worker-pool loader.  The
+result is persisted as ``benchmarks/results/BENCH_parallel.json`` under
+the unified schema.
+
+Real speedups need real cores: on single-core runners the artifact is
+still written (bit-parity is asserted regardless) but the >= 2x
+eval-sweep assertion is skipped, and the regression guard keys off the
+``cpu_count`` recorded in the artifact rather than the current machine.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+import pytest
+
+from repro.bench_schema import read_bench_report
+from repro.parallel.bench import run_parallel_benchmark, write_parallel_report
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_parallel.json"
+
+CPU_COUNT = os.cpu_count() or 1
+#: The acceptance configuration: 4 shards (capped by the machine).
+BENCH_WORKERS = max(2, min(4, CPU_COUNT))
+
+
+def test_parallel_throughput_workers_vs_serial():
+    report = run_parallel_benchmark(n_workers=BENCH_WORKERS, seed=0)
+    if CPU_COUNT >= 2 and report.eval_sweep_speedup < 2.0:
+        # One retry absorbs scheduler noise on loaded machines.
+        report = run_parallel_benchmark(n_workers=BENCH_WORKERS, seed=0)
+
+    write_parallel_report(report, RESULTS_PATH)
+    print()
+    print(report.summary())
+
+    persisted = read_bench_report(RESULTS_PATH)
+    assert persisted["eval_sweep_speedup"] == report.eval_sweep_speedup
+
+    # Correctness is asserted on every machine: sharding must never
+    # change a single ranked id.
+    assert report.topk_bit_identical, "sharded top_k diverged from serial"
+    # Both training paths must actually optimize the objective.
+    assert report.train_serial.final_loss < 1.0
+    assert report.train_loader.final_loss < 1.0
+
+    if CPU_COUNT < 2:
+        pytest.skip(
+            f"single-core runner (cpu_count={CPU_COUNT}): BENCH_parallel.json "
+            "written, speedup assertion needs >= 2 cores"
+        )
+    # The acceptance bar of the multi-process substrate: a full
+    # evaluation sweep at workers=N is at least 2x faster than serial.
+    assert report.eval_sweep_speedup >= 2.0, report.summary()
+
+
+def test_parallel_bench_regression_guard():
+    """Fail if a multi-core run ever recorded a sub-2x sweep speedup."""
+    if not RESULTS_PATH.exists():
+        pytest.skip("BENCH_parallel.json not generated yet")
+    persisted = read_bench_report(RESULTS_PATH)
+    assert persisted["topk_bit_identical"] is True
+    if persisted.get("cpu_count", 1) < 2:
+        pytest.skip("artifact was recorded on a single-core runner")
+    assert persisted["eval_sweep_speedup"] >= 2.0, (
+        f"parallel eval-sweep speedup regressed to "
+        f"{persisted['eval_sweep_speedup']:.2f}x (recorded in {RESULTS_PATH})"
+    )

@@ -12,11 +12,11 @@ least 3x faster, and persists the p50/p95/throughput numbers as
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
 import numpy as np
 
+from repro.bench_schema import read_bench_history, read_bench_report
 from repro.models import create_model
 from repro.serving import run_serving_benchmark, write_report
 
@@ -55,8 +55,11 @@ def test_serving_latency_cached_vs_uncached():
     print()
     print(report.summary())
 
-    persisted = json.loads(out.read_text(encoding="utf-8"))
+    persisted = read_bench_report(out)
     assert persisted["speedup"] == report.speedup
+    # The unified schema appends one headline row per run.
+    history = read_bench_history(out)
+    assert history and history[-1]["speedup"] == report.speedup
     assert report.cached.requests == report.uncached.requests == 150
     assert report.cached.p50_ms > 0
     # The engine's whole point: repeated top-k requests must be much

@@ -15,9 +15,9 @@ without re-timing anything.
 
 from __future__ import annotations
 
-import json
 from pathlib import Path
 
+from repro.bench_schema import read_bench_report
 from repro.training.bench import run_training_benchmark, write_training_report
 
 RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_training.json"
@@ -35,7 +35,7 @@ def test_training_throughput_fast_vs_legacy():
     print()
     print(report.summary())
 
-    persisted = json.loads(RESULTS_PATH.read_text(encoding="utf-8"))
+    persisted = read_bench_report(RESULTS_PATH)
     assert persisted["speedup"] == report.speedup
     assert report.fast.epochs == report.legacy.epochs == report.epochs
     assert report.fast.p50_s > 0
@@ -53,7 +53,7 @@ def test_training_bench_regression_guard():
 
     if not RESULTS_PATH.exists():
         pytest.skip("BENCH_training.json not generated yet")
-    persisted = json.loads(RESULTS_PATH.read_text(encoding="utf-8"))
+    persisted = read_bench_report(RESULTS_PATH)
     assert persisted["speedup"] >= 2.0, (
         f"training hot-path speedup regressed to {persisted['speedup']:.2f}x "
         f"(recorded in {RESULTS_PATH})"

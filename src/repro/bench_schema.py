@@ -1,0 +1,131 @@
+"""Unified schema of the ``BENCH_*.json`` performance artifacts.
+
+Until PR 4 each benchmark artifact (``BENCH_serving.json``,
+``BENCH_training.json``) had its own ad-hoc top-level shape, which made
+the performance trajectory across PRs impossible to read mechanically.
+Every artifact now shares one envelope::
+
+    {
+      "schema_version": 1,
+      "bench": "serving" | "training" | "parallel" | ...,
+      "generated_at": "2026-01-01T00:00:00+00:00",
+      "host": {"platform": ..., "python": ..., "cpu_count": ...},
+      "report": { ... bench-specific payload ... },
+      "history": [ {"generated_at": ..., <headline metrics>}, ... ]
+    }
+
+``report`` is the current run's full payload (what the old files held at
+top level).  ``history`` appends one headline-metric row per run — the
+machine-readable perf trajectory — and survives rewrites: the writer
+re-reads the existing file and carries the list forward (capped at
+:data:`HISTORY_LIMIT` entries).
+
+:func:`read_bench_report` hides the envelope from consumers and still
+understands pre-schema files, so regression guards keep working across
+the transition.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+from datetime import datetime, timezone
+from pathlib import Path
+from typing import Any
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "HISTORY_LIMIT",
+    "host_info",
+    "write_bench_report",
+    "read_bench_report",
+    "read_bench_history",
+]
+
+SCHEMA_VERSION = 1
+
+#: History rows kept per artifact; old rows roll off the front.
+HISTORY_LIMIT = 200
+
+
+def host_info() -> dict[str, Any]:
+    """Machine fingerprint stored with every artifact."""
+    return {
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "python": sys.version.split()[0],
+        "cpu_count": os.cpu_count() or 1,
+    }
+
+
+def _now_iso() -> str:
+    return datetime.now(timezone.utc).isoformat(timespec="seconds")
+
+
+def _load_existing(path: Path) -> dict[str, Any] | None:
+    if not path.exists():
+        return None
+    try:
+        return json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def write_bench_report(path: str | Path, bench: str, report: dict[str, Any],
+                       headline: dict[str, Any] | None = None) -> dict[str, Any]:
+    """Persist ``report`` under the unified envelope and return the payload.
+
+    Parameters
+    ----------
+    bench:
+        Artifact family name (``"serving"``, ``"training"``,
+        ``"parallel"``, ...).
+    report:
+        The full, bench-specific payload of this run.
+    headline:
+        Small dict of the metrics worth tracking across runs (e.g.
+        ``{"speedup": 3.8}``); appended to the artifact's ``history``.
+    """
+    path = Path(path)
+    existing = _load_existing(path)
+    history: list[dict[str, Any]] = []
+    if isinstance(existing, dict) and isinstance(existing.get("history"), list):
+        history = list(existing["history"])
+    entry = {"generated_at": _now_iso()}
+    entry.update(headline or {})
+    history.append(entry)
+    payload = {
+        "schema_version": SCHEMA_VERSION,
+        "bench": bench,
+        "generated_at": entry["generated_at"],
+        "host": host_info(),
+        "report": report,
+        "history": history[-HISTORY_LIMIT:],
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return payload
+
+
+def read_bench_report(path: str | Path) -> dict[str, Any]:
+    """The current run's payload, with or without the envelope.
+
+    Pre-schema artifacts stored the payload at top level; enveloped
+    artifacts store it under ``"report"``.
+    """
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if isinstance(data, dict) and "schema_version" in data and "report" in data:
+        return data["report"]
+    return data
+
+
+def read_bench_history(path: str | Path) -> list[dict[str, Any]]:
+    """The appended headline-metric rows (empty for pre-schema files)."""
+    data = json.loads(Path(path).read_text(encoding="utf-8"))
+    if isinstance(data, dict) and isinstance(data.get("history"), list):
+        return data["history"]
+    return []

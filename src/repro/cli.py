@@ -7,8 +7,10 @@ Usage examples::
     repro-ham run table3 --scale tiny    # reproduce one table/figure
     repro-ham train --dataset cds --method HAMs_m --setting 80-20-CUT
     repro-ham serve --dataset cds --users 0 1 2 --k 10
+    repro-ham serve --checkpoint model.npz --workers 4 --users 0 1 2
     repro-ham bench-serve --dataset cds --out BENCH_serving.json
     repro-ham bench-train --items 8000 --out BENCH_training.json
+    repro-ham bench-parallel --workers 4 --out BENCH_parallel.json
 """
 
 from __future__ import annotations
@@ -65,13 +67,20 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write the trained parameters to this .npz path")
 
     serve = subparsers.add_parser(
-        "serve", help="train a model and answer top-k requests through the scoring engine")
+        "serve", help="train a model (or load a checkpoint) and answer top-k "
+                      "requests through the scoring engine")
     add_training_arguments(serve)
     serve.add_argument("--users", type=int, nargs="+", default=[0, 1, 2],
                        help="user ids to recommend for")
     serve.add_argument("--k", type=int, default=10)
     serve.add_argument("--explain", action="store_true",
                        help="print the per-factor HAM score decomposition of each hit")
+    serve.add_argument("--checkpoint", default=None,
+                       help="serve this trained .npz checkpoint instead of "
+                            "training (no trainer stack is instantiated)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="shard the engine over this many worker processes "
+                            "(shared-memory fan-out; <= 1 stays in-process)")
 
     bench = subparsers.add_parser(
         "bench-serve", help="benchmark cached (engine) vs uncached per-request scoring")
@@ -101,6 +110,27 @@ def build_parser() -> argparse.ArgumentParser:
     bench_train.add_argument("--seed", type=int, default=0)
     bench_train.add_argument("--out", default="BENCH_training.json",
                              help="write the throughput report to this JSON path")
+
+    bench_parallel = subparsers.add_parser(
+        "bench-parallel",
+        help="benchmark the multi-process substrate (sharded eval sweeps + "
+             "worker-pool data loading) against the serial paths")
+    bench_parallel.add_argument("--method", choices=sorted(MODEL_REGISTRY), default="HAMm")
+    bench_parallel.add_argument("--users", type=int, default=1200,
+                                help="users in the synthetic sweep workload")
+    bench_parallel.add_argument("--items", type=int, default=6000,
+                                help="catalogue size of the sweep workload")
+    bench_parallel.add_argument("--workers", type=int, default=4,
+                                help="worker processes / shards to compare "
+                                     "against the serial path (at least 2)")
+    bench_parallel.add_argument("--repeats", type=int, default=5,
+                                help="timed sweeps per serving path")
+    bench_parallel.add_argument("--k", type=int, default=10)
+    bench_parallel.add_argument("--epochs", type=int, default=3,
+                                help="timed training epochs per loader mode")
+    bench_parallel.add_argument("--seed", type=int, default=0)
+    bench_parallel.add_argument("--out", default="BENCH_parallel.json",
+                                help="write the throughput report to this JSON path")
     return parser
 
 
@@ -167,8 +197,12 @@ def _command_train(dataset: str, method: str, setting: str, scale: str | None,
     if checkpoint is not None:
         from repro.training.checkpoint import save_checkpoint
 
+        # Everything engine_from_checkpoint needs to rebuild the model
+        # without re-deriving defaults: method, dims, hyperparameters.
         path = save_checkpoint(model, checkpoint, metadata={
             "method": method, "dataset": dataset, "setting": setting, "seed": seed,
+            "model": {"num_users": split.num_users, "num_items": split.num_items},
+            "hyperparameters": hyperparameters,
             "metrics": {k: round(v, 6) for k, v in metrics.items()},
         })
         print(f"checkpoint written to {path}")
@@ -193,26 +227,46 @@ def _train_for_serving(dataset: str, method: str, setting: str, scale: str | Non
 
 def _command_serve(dataset: str, method: str, setting: str, scale: str | None,
                    epochs: int | None, seed: int, users: list[int], k: int,
-                   explain: bool = False) -> int:
-    from repro.serving import ScoringEngine, explain_ham_scores
+                   explain: bool = False, checkpoint: str | None = None,
+                   workers: int = 0) -> int:
+    from repro.parallel import make_scoring_engine
+    from repro.serving import model_from_checkpoint, explain_ham_scores
     from repro.models.ham import HAM
 
-    model, histories = _train_for_serving(dataset, method, setting, scale, epochs, seed)
-    engine = ScoringEngine(model, histories, precompute=True)
+    if checkpoint is not None:
+        # Serve-only path: rebuild the trained model from the checkpoint;
+        # the dataset/setting arguments only provide the histories.
+        data = load_benchmark(dataset, scale=scale)
+        split = split_setting(data, setting)
+        histories = split.train_plus_valid()
+        model, metadata = model_from_checkpoint(checkpoint)
+        method = metadata.get("method", method)
+    else:
+        model, histories = _train_for_serving(dataset, method, setting, scale,
+                                              epochs, seed)
+    engine = make_scoring_engine(model, histories, n_workers=workers,
+                                 precompute=True)
+    engine_name = type(engine).__name__
+    if workers and workers > 1:
+        print(f"sharded over {workers} worker processes "
+              f"(user ranges, shared-memory snapshot)")
     print(model.describe())
 
-    batches = engine.recommend_batch(users, k)
+    try:
+        batches = engine.recommend_batch(users, k)
+    finally:
+        engine.close()
     rows = []
     for user, recommendations in zip(users, batches):
         for entry in recommendations:
             rows.append({"user": user, "rank": entry.rank, "item": entry.item,
                          "score": round(entry.score, 4)})
-    print(format_table(rows, title=f"top-{k} via ScoringEngine ({method} on {dataset})"))
+    print(format_table(rows, title=f"top-{k} via {engine_name} ({method} on {dataset})"))
 
     if explain and isinstance(model, HAM):
         explanation_rows = []
         for user, recommendations in zip(users, batches):
-            explanations = explain_ham_scores(model, user, engine.history(user),
+            explanations = explain_ham_scores(model, user, list(histories[user]),
                                               [entry.item for entry in recommendations])
             explanation_rows.extend(
                 {key: round(value, 4) if isinstance(value, float) else value
@@ -254,6 +308,26 @@ def _command_bench_train(method: str, users: int, items: int, max_history: int,
     return 0
 
 
+def _command_bench_parallel(method: str, users: int, items: int, workers: int,
+                            repeats: int, k: int, epochs: int, seed: int,
+                            out: str) -> int:
+    from repro.parallel.bench import run_parallel_benchmark, write_parallel_report
+
+    if workers < 2:
+        print("bench-parallel compares worker processes against the serial "
+              "path and needs --workers >= 2")
+        return 2
+
+    report = run_parallel_benchmark(
+        num_users=users, num_items=items, n_workers=workers, repeats=repeats,
+        k=k, train_epochs=epochs, model_name=method, seed=seed,
+    )
+    print(report.summary())
+    write_parallel_report(report, out)
+    print(f"parallel throughput report written to {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -271,7 +345,8 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "serve":
         return _command_serve(args.dataset, args.method, args.setting,
                               args.scale, args.epochs, args.seed,
-                              users=args.users, k=args.k, explain=args.explain)
+                              users=args.users, k=args.k, explain=args.explain,
+                              checkpoint=args.checkpoint, workers=args.workers)
     if args.command == "bench-serve":
         return _command_bench_serve(args.dataset, args.method, args.setting,
                                     args.scale, args.epochs, args.seed,
@@ -283,6 +358,10 @@ def main(argv: list[str] | None = None) -> int:
                                     args.max_history, args.epochs,
                                     args.batch_size, args.embedding_dim,
                                     args.seed, args.out)
+    if args.command == "bench-parallel":
+        return _command_bench_parallel(args.method, args.users, args.items,
+                                       args.workers, args.repeats, args.k,
+                                       args.epochs, args.seed, args.out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -112,12 +112,15 @@ def novelty(recommendations: np.ndarray, item_frequencies: np.ndarray) -> float:
 
 
 def beyond_accuracy_report(model: SequentialRecommender, split: DatasetSplit,
-                           k: int = 10, batch_size: int = 256) -> BeyondAccuracyReport:
+                           k: int = 10, batch_size: int = 256,
+                           n_workers: int = 0) -> BeyondAccuracyReport:
     """Compute the beyond-accuracy statistics of ``model`` on ``split``.
 
     The model recommends ``k`` items to every user with test items, using
     the paper's testing protocol (inputs are the last training+validation
-    items, already-seen items are excluded from the ranking).
+    items, already-seen items are excluded from the ranking).  With
+    ``n_workers > 1`` the top-k sweep fans out over user-range shards
+    (bit-identical recommendations).
     """
     if k < 1:
         raise ValueError("k must be positive")
@@ -131,11 +134,15 @@ def beyond_accuracy_report(model: SequentialRecommender, split: DatasetSplit,
         if seq:
             np.add.at(item_frequencies, np.asarray(seq, dtype=np.int64), 1.0)
 
-    from repro.serving.engine import ScoringEngine
+    from repro.parallel.sharded import make_scoring_engine
 
-    engine = ScoringEngine(model, histories, exclude_seen=True,
-                           micro_batch_size=batch_size, copy_weights=False)
-    recommendations = engine.top_k(users, k)  # chunks by micro_batch_size internally
+    engine = make_scoring_engine(model, histories, n_workers=n_workers,
+                                 exclude_seen=True, micro_batch_size=batch_size,
+                                 copy_weights=False)
+    try:
+        recommendations = engine.top_k(users, k)  # chunked/fanned out internally
+    finally:
+        engine.close()
 
     exposure = np.zeros(split.num_items, dtype=np.float64)
     np.add.at(exposure, recommendations.ravel(), 1.0)

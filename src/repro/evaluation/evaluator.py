@@ -62,11 +62,16 @@ class RankingEvaluator:
         the ranking (the protocol of HGN/Caser that the paper follows).
     batch_size:
         Number of users scored per forward pass.
+    n_workers:
+        Fan the scoring sweep out over this many worker processes
+        (:class:`~repro.parallel.sharded.ShardedScoringEngine`, sharded
+        by user range over shared memory).  ``<= 1`` keeps the serial
+        engine; results are bit-identical either way.
     """
 
     def __init__(self, split: DatasetSplit, ks: tuple[int, ...] = (5, 10),
                  mode: str = "test", exclude_seen: bool = True,
-                 batch_size: int = 256):
+                 batch_size: int = 256, n_workers: int = 0):
         if mode not in ("test", "validation"):
             raise ValueError("mode must be 'test' or 'validation'")
         if not ks or any(k < 1 for k in ks):
@@ -76,6 +81,7 @@ class RankingEvaluator:
         self.mode = mode
         self.exclude_seen = exclude_seen
         self.batch_size = batch_size
+        self.n_workers = n_workers
 
         if mode == "test":
             self._histories = split.train_plus_valid()
@@ -96,9 +102,11 @@ class RankingEvaluator:
         Scoring funnels through one :class:`~repro.serving.engine.ScoringEngine`
         (cached padded histories, vectorized seen-item masking) and the
         per-user metrics are aggregated vectorized over the ranked-id
-        matrix — no per-user Python loop.
+        matrix — no per-user Python loop.  With ``n_workers > 1`` the
+        sweep is sharded by user range over worker processes
+        (bit-identical results, see :mod:`repro.parallel`).
         """
-        from repro.serving.engine import ScoringEngine
+        from repro.parallel.sharded import make_scoring_engine
 
         model.eval()
         result = EvaluationResult(num_users_evaluated=len(self._users))
@@ -106,16 +114,29 @@ class RankingEvaluator:
             result.metrics = {f"{metric}@{k}": 0.0 for metric in ("Recall", "NDCG") for k in self.ks}
             return result
 
-        engine = ScoringEngine(model, self._histories, exclude_seen=self.exclude_seen,
-                               micro_batch_size=self.batch_size, copy_weights=False)
+        engine = make_scoring_engine(model, self._histories,
+                                     n_workers=self.n_workers,
+                                     exclude_seen=self.exclude_seen,
+                                     micro_batch_size=self.batch_size,
+                                     copy_weights=False)
+        try:
+            return self._evaluate_with_engine(engine, result)
+        finally:
+            engine.close()
+
+    def _evaluate_with_engine(self, engine, result: EvaluationResult) -> EvaluationResult:
         max_k = max(self.ks)
         per_user: dict[str, list[np.ndarray]] = {
             f"{metric}@{k}": [] for metric in ("Recall", "NDCG") for k in self.ks
         }
 
+        # One top_k call over all evaluable users: the serial engine chunks
+        # by micro_batch_size internally and the sharded engine fans the
+        # whole sweep out to its workers in one round trip.
+        ranked_all = engine.top_k(self._users, max_k)
         for start in range(0, len(self._users), self.batch_size):
             batch_users = self._users[start:start + self.batch_size]
-            ranked = engine.top_k(batch_users, max_k)
+            ranked = ranked_all[start:start + self.batch_size]
             truth = truth_matrix([self._targets[user] for user in batch_users],
                                  self.split.num_items)
             hits = batch_hits(ranked, truth)

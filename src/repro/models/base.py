@@ -122,12 +122,54 @@ class SequentialRecommender(Module):
         Tensor of shape ``(B, T)``.
         """
         representation = self.sequence_representation(users, inputs)
+        return self._candidate_scores(representation, items)
+
+    def _candidate_scores(self, representation: Tensor, items: np.ndarray) -> Tensor:
+        """Dot the ``(B, d)`` representation with ``(B, T)`` candidate ids.
+
+        The one scoring body shared by :meth:`score_items` and the fused
+        :meth:`score_item_pairs`, so the two training paths cannot
+        diverge.
+        """
         candidates = self.candidate_item_embeddings().take_rows(items)  # (B, T, d)
         scores = (candidates * representation.expand_dims(1)).sum(axis=-1)
         bias = self.item_bias()
         if bias is not None:
             scores = scores + bias.take_rows(items)
         return scores
+
+    def score_item_pairs(self, users: np.ndarray, inputs: np.ndarray,
+                         positives: np.ndarray,
+                         negatives: np.ndarray) -> tuple[Tensor, Tensor]:
+        """Fused BPR forward: positive and negative scores in one pass.
+
+        The two :meth:`score_items` calls of the naive BPR step each run
+        the full :meth:`sequence_representation` forward — the expensive
+        part of the step — even though both candidate sets condition on
+        the *same* (user, recent items) pair.  Here the representation is
+        computed once and both candidate sets go through one
+        ``take_rows`` on the concatenated ids, halving the forward (and
+        the backward through the sequence encoder).
+
+        Parameters
+        ----------
+        positives:
+            ``(B, T)`` target item ids.
+        negatives:
+            ``(B, N)`` sampled negative ids (``N`` need not equal ``T``).
+
+        Returns
+        -------
+        ``(positive_scores, negative_scores)`` of shapes ``(B, T)`` and
+        ``(B, N)``.
+        """
+        positives = np.asarray(positives, dtype=np.int64)
+        negatives = np.asarray(negatives, dtype=np.int64)
+        items = np.concatenate([positives, negatives], axis=1)
+        representation = self.sequence_representation(users, inputs)
+        scores = self._candidate_scores(representation, items)
+        split = positives.shape[1]
+        return scores[:, :split], scores[:, split:]
 
     def freeze(self, copy: bool = True) -> FrozenScorer:
         """Snapshot the scoring head as a :class:`FrozenScorer`.

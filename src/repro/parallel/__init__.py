@@ -1,0 +1,43 @@
+"""Multi-process execution substrate.
+
+Parallelizes both ends of the pipeline across worker processes while
+keeping the single-process results bit-for-bit reproducible:
+
+* :class:`~repro.parallel.shm.SharedArena` — publish a set of read-only
+  numpy arrays into one ``multiprocessing.shared_memory`` segment;
+  workers attach zero-copy views.
+* :class:`~repro.parallel.sharded.ShardedScoringEngine` — the serving /
+  evaluation half: the frozen candidate table, cached padded inputs and
+  CSR seen-item arrays are shared once, and ``score_all`` /
+  ``masked_scores`` / ``top_k`` requests fan out to persistent workers
+  by user-range shard, bit-identical to the serial
+  :class:`~repro.serving.engine.ScoringEngine`.
+* :class:`~repro.parallel.loader.ParallelBatchLoader` — the training
+  half: batch gathering and vectorized negative sampling run in worker
+  processes attached to the shared ``SeenIndex``, feeding the optimizer
+  loop through a bounded prefetch queue with deterministic per-batch
+  seeding (same stream for any worker count).
+* :func:`~repro.parallel.bench.run_parallel_benchmark` — the
+  workers=1-vs-N throughput harness behind ``BENCH_parallel.json`` and
+  ``repro-ham bench-parallel``.
+"""
+
+from repro.parallel.shm import ArenaLayout, SharedArena, SharedArraySpec
+from repro.parallel.sharded import (
+    ShardedScoringEngine,
+    default_start_method,
+    make_scoring_engine,
+    shard_bounds,
+)
+from repro.parallel.loader import ParallelBatchLoader
+
+__all__ = [
+    "ArenaLayout",
+    "SharedArena",
+    "SharedArraySpec",
+    "ShardedScoringEngine",
+    "ParallelBatchLoader",
+    "default_start_method",
+    "make_scoring_engine",
+    "shard_bounds",
+]

@@ -1,0 +1,234 @@
+"""Parallel throughput harness: workers=1 vs workers=N on both pipeline ends.
+
+The serving/training benches quantified single-process hot-path wins;
+this harness quantifies what the multi-process substrate adds on top:
+
+* **eval sweep** — a full-catalogue ``top_k`` sweep over every user
+  (the shape of a ``RankingEvaluator`` pass), answered by the serial
+  :class:`~repro.serving.engine.ScoringEngine` and by the
+  :class:`~repro.parallel.sharded.ShardedScoringEngine` with
+  ``n_workers`` shards.  Both paths are warmed (representations
+  materialized, one untimed sweep) so the comparison isolates the
+  steady-state sweep cost; the sharded result is also checked
+  bit-for-bit against the serial one and the verdict is recorded in the
+  artifact.
+* **training epochs** — the same synthetic BPR workload trained with the
+  in-process batch path and with the worker-pool
+  :class:`~repro.parallel.loader.ParallelBatchLoader` feeding the
+  optimizer loop.
+
+:func:`write_parallel_report` persists the result as
+``benchmarks/results/BENCH_parallel.json`` under the unified
+:mod:`repro.bench_schema` envelope; ``repro-ham bench-parallel`` is the
+CLI entry point.  On single-core machines the numbers are still written
+(the regression guard keys off the recorded ``cpu_count``) — real
+speedups need real cores.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.bench_schema import write_bench_report
+from repro.models.registry import create_model
+from repro.parallel.sharded import ShardedScoringEngine
+from repro.serving.engine import ScoringEngine
+from repro.training.bench import synthetic_training_histories
+from repro.training.config import TrainingConfig
+from repro.training.trainer import Trainer
+
+__all__ = [
+    "SweepStats",
+    "EpochStats",
+    "ParallelBenchReport",
+    "run_parallel_benchmark",
+    "write_parallel_report",
+]
+
+
+@dataclass(frozen=True)
+class SweepStats:
+    """Timing distribution of repeated full-catalogue top-k sweeps."""
+
+    n_workers: int
+    repeats: int
+    p50_s: float
+    mean_s: float
+    users_per_sec: float
+
+    @staticmethod
+    def from_seconds(times: list[float], n_workers: int, num_users: int) -> "SweepStats":
+        values = np.asarray(times, dtype=np.float64)
+        p50 = float(np.percentile(values, 50))
+        return SweepStats(
+            n_workers=n_workers,
+            repeats=len(times),
+            p50_s=p50,
+            mean_s=float(values.mean()),
+            users_per_sec=float(num_users / p50) if p50 > 0 else float("inf"),
+        )
+
+
+@dataclass(frozen=True)
+class EpochStats:
+    """Timing distribution of BPR training epochs for one loader mode."""
+
+    loader_workers: int
+    epochs: int
+    p50_s: float
+    mean_s: float
+    final_loss: float
+
+    @staticmethod
+    def from_result(epoch_seconds: list[float], loader_workers: int,
+                    final_loss: float) -> "EpochStats":
+        values = np.asarray(epoch_seconds, dtype=np.float64)
+        return EpochStats(
+            loader_workers=loader_workers,
+            epochs=len(epoch_seconds),
+            p50_s=float(np.percentile(values, 50)),
+            mean_s=float(values.mean()),
+            final_loss=final_loss,
+        )
+
+
+@dataclass(frozen=True)
+class ParallelBenchReport:
+    """Workers=1 vs workers=N comparison on the synthetic HAM workload."""
+
+    model_name: str
+    num_users: int
+    num_items: int
+    k: int
+    n_workers: int
+    cpu_count: int
+    eval_serial: SweepStats
+    eval_sharded: SweepStats
+    #: p50 sweep-time ratio (serial / sharded); > 1 means the shards win.
+    eval_sweep_speedup: float
+    #: Sharded top_k compared bit-for-bit against the serial engine.
+    topk_bit_identical: bool
+    train_serial: EpochStats
+    train_loader: EpochStats
+    #: p50 epoch-time ratio (in-process / worker-pool loader).
+    epoch_speedup: float
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def summary(self) -> str:
+        return (
+            f"{self.model_name} sweep over {self.num_users} users x "
+            f"{self.num_items} items (top-{self.k}, {self.cpu_count} cores): "
+            f"serial p50 {self.eval_serial.p50_s * 1e3:.1f} ms vs "
+            f"{self.n_workers}-shard p50 {self.eval_sharded.p50_s * 1e3:.1f} ms "
+            f"-> {self.eval_sweep_speedup:.2f}x "
+            f"(top-k bit-identical: {self.topk_bit_identical}); "
+            f"epochs: in-process p50 {self.train_serial.p50_s:.3f} s vs "
+            f"loader p50 {self.train_loader.p50_s:.3f} s "
+            f"-> {self.epoch_speedup:.2f}x"
+        )
+
+
+def _timed_sweeps(engine, users: np.ndarray, k: int, repeats: int) -> list[float]:
+    engine.top_k(users, k)  # warm-up, untimed
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        engine.top_k(users, k)
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def run_parallel_benchmark(num_users: int = 1200, num_items: int = 6000,
+                           max_history: int = 60, k: int = 10,
+                           n_workers: int = 4, repeats: int = 5,
+                           train_users: int = 64, train_items: int = 2000,
+                           train_epochs: int = 3, batch_size: int = 256,
+                           model_name: str = "HAMm", seed: int = 0,
+                           embedding_dim: int = 48) -> ParallelBenchReport:
+    """Measure sweep and epoch throughput, workers=1 vs ``n_workers``.
+
+    Both sides use the synthetic HAM workload of the earlier benches.
+    The scoring model is used as constructed (training would not change
+    a single flop of the timed sweep); the training side runs real BPR
+    epochs on a smaller catalogue so the harness stays tractable in CI.
+    """
+    if n_workers < 2:
+        raise ValueError("n_workers must be at least 2 to compare against serial")
+    if repeats < 1 or train_epochs < 1:
+        raise ValueError("repeats and train_epochs must be positive")
+
+    model_kwargs = dict(embedding_dim=embedding_dim)
+    if model_name.startswith("HAM"):
+        model_kwargs.update(n_h=10, n_l=2)
+
+    # ---- eval-sweep side ---------------------------------------------- #
+    model = create_model(model_name, num_users, num_items,
+                         rng=np.random.default_rng(seed), **model_kwargs)
+    histories = synthetic_training_histories(num_users, num_items, max_history,
+                                             seed=seed)
+    users = np.arange(num_users, dtype=np.int64)
+
+    serial = ScoringEngine(model, histories, exclude_seen=True, precompute=True)
+    serial_times = _timed_sweeps(serial, users, k, repeats)
+    serial_ranked = serial.top_k(users, k)
+
+    with ShardedScoringEngine(model, histories, n_workers=n_workers,
+                              exclude_seen=True, precompute=True) as sharded:
+        sharded_times = _timed_sweeps(sharded, users, k, repeats)
+        sharded_ranked = sharded.top_k(users, k)
+    bit_identical = bool(np.array_equal(serial_ranked, sharded_ranked))
+
+    eval_serial = SweepStats.from_seconds(serial_times, 1, num_users)
+    eval_sharded = SweepStats.from_seconds(sharded_times, n_workers, num_users)
+
+    # ---- training-epoch side ------------------------------------------ #
+    train_histories = synthetic_training_histories(train_users, train_items,
+                                                   max_history, seed=seed + 1)
+    base = TrainingConfig(num_epochs=train_epochs, batch_size=batch_size,
+                          seed=seed, keep_best=False)
+
+    def timed_fit(loader_workers: int) -> EpochStats:
+        m = create_model(model_name, train_users, train_items,
+                         rng=np.random.default_rng(seed), **model_kwargs)
+        result = Trainer(m, base.with_overrides(loader_workers=loader_workers)).fit(
+            train_histories)
+        return EpochStats.from_result(result.epoch_seconds, loader_workers,
+                                      result.final_loss)
+
+    train_serial = timed_fit(0)
+    train_loader = timed_fit(n_workers)
+
+    return ParallelBenchReport(
+        model_name=model_name,
+        num_users=num_users,
+        num_items=num_items,
+        k=k,
+        n_workers=n_workers,
+        cpu_count=os.cpu_count() or 1,
+        eval_serial=eval_serial,
+        eval_sharded=eval_sharded,
+        eval_sweep_speedup=eval_serial.p50_s / eval_sharded.p50_s
+        if eval_sharded.p50_s > 0 else float("inf"),
+        topk_bit_identical=bit_identical,
+        train_serial=train_serial,
+        train_loader=train_loader,
+        epoch_speedup=train_serial.p50_s / train_loader.p50_s
+        if train_loader.p50_s > 0 else float("inf"),
+    )
+
+
+def write_parallel_report(report: ParallelBenchReport, path) -> None:
+    """Persist a report as the ``BENCH_parallel.json`` artifact."""
+    write_bench_report(path, "parallel", report.as_dict(), headline={
+        "eval_sweep_speedup": report.eval_sweep_speedup,
+        "epoch_speedup": report.epoch_speedup,
+        "n_workers": report.n_workers,
+        "cpu_count": report.cpu_count,
+        "topk_bit_identical": report.topk_bit_identical,
+    })

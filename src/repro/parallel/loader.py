@@ -1,0 +1,347 @@
+"""Prefetching worker-pool data loader for the BPR training loop.
+
+Between two optimizer steps the serial trainer does work the optimizer
+never needed to wait for: shuffle-slice the sliding-window instances,
+gather the batch arrays and draw vectorized negatives.  This module
+moves that work into worker processes.  The instance arrays
+(``users`` / ``inputs`` / ``targets``) and the CSR
+:class:`~repro.data.seen.SeenIndex` arrays are published once into a
+:class:`~repro.parallel.shm.SharedArena`; workers attach zero-copy views
+(never pickling the index), build whole batches and feed them to the
+optimizer loop through a bounded queue, so the main process dequeues a
+ready batch instead of constructing one.
+
+Determinism is a hard contract: the permutation of epoch ``e`` derives
+from ``(seed, e)`` and the negatives of batch ``b`` derive from
+``(seed, e, b)``, so the delivered batch stream is **bit-for-bit
+identical for any worker count** — including ``n_workers=0``, the
+in-process fallback that runs the very same construction code.  Which
+worker happens to build a batch can never influence its contents.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import queue as queue_module
+import weakref
+
+import numpy as np
+
+from repro.data.batching import Batch
+from repro.data.seen import SeenIndex
+from repro.data.windows import SlidingWindowInstances
+from repro.parallel.shm import ArenaLayout, SharedArena
+from repro.training.negative_sampling import NegativeSampler
+
+__all__ = ["ParallelBatchLoader"]
+
+#: Domain-separation tags so the permutation stream and the negative
+#: stream can never collide even for equal (seed, epoch, batch) tuples.
+_PERM_TAG = 0x5EED
+_NEG_TAG = 0x7E64
+
+
+def _epoch_permutation(seed: int, epoch: int, total: int, shuffle: bool) -> np.ndarray:
+    if not shuffle:
+        return np.arange(total, dtype=np.int64)
+    return np.random.default_rng([_PERM_TAG, seed, epoch]).permutation(total)
+
+
+def _batch_rng(seed: int, epoch: int, batch_index: int) -> np.random.Generator:
+    return np.random.default_rng([_NEG_TAG, seed, epoch, batch_index])
+
+
+def _build_batch(users: np.ndarray, inputs: np.ndarray, targets: np.ndarray,
+                 rows: np.ndarray, sampler: NegativeSampler,
+                 num_negatives: int) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Gather one batch and draw its negatives (shared by both paths)."""
+    batch_users = users[rows]
+    batch_inputs = inputs[rows]
+    batch_targets = targets[rows]
+    negatives = sampler.sample(
+        batch_users,
+        (batch_users.shape[0], batch_targets.shape[1] * num_negatives),
+    )
+    return batch_users, batch_inputs, batch_targets, negatives
+
+
+def _loader_worker_main(layout: ArenaLayout, options: dict,
+                        task_queue, result_queue) -> None:
+    arena = SharedArena.attach(layout)
+    try:
+        users = arena.array("users")
+        inputs = arena.array("inputs")
+        targets = arena.array("targets")
+        seen = SeenIndex(arena.array("seen_indptr"), arena.array("seen_items"),
+                         options["num_items"])
+        sampler = NegativeSampler(options["num_items"], seen_index=seen,
+                                  max_resample=options["max_resample"],
+                                  vectorized=options["vectorized"])
+        batch_size = options["batch_size"]
+        seed = options["seed"]
+        shuffle = options["shuffle"]
+        total = users.shape[0]
+        perm_epoch, perm = -1, None
+        while True:
+            message = task_queue.get()
+            if message is None:
+                break
+            epoch, batch_index = message
+            if epoch != perm_epoch:
+                perm = _epoch_permutation(seed, epoch, total, shuffle)
+                perm_epoch = epoch
+            rows = perm[batch_index * batch_size:(batch_index + 1) * batch_size]
+            sampler.rng = _batch_rng(seed, epoch, batch_index)
+            payload = _build_batch(users, inputs, targets, rows, sampler,
+                                   options["num_negatives"])
+            result_queue.put((epoch, batch_index, payload))
+    finally:
+        arena.close()
+
+
+class ParallelBatchLoader:
+    """Deterministic batch stream with optional worker-pool prefetching.
+
+    Parameters
+    ----------
+    instances:
+        The sliding-window training instances (built once by the trainer).
+    num_items:
+        Catalogue size (negatives are drawn from ``[0, num_items)``).
+    seen_index:
+        CSR index of each user's interacted items; negatives avoid them.
+    batch_size / num_negatives:
+        As in the trainer: instances per batch and sampled negatives per
+        positive target.
+    seed:
+        Root seed of the permutation and negative streams.
+    n_workers:
+        Worker processes; ``0`` builds batches in-process (same output).
+    prefetch_batches:
+        Bound of the ready-batch queue — how far the pool may run ahead
+        of the optimizer loop.
+    shuffle:
+        Permute instances every epoch (disable for diagnostic runs).
+    """
+
+    def __init__(self, instances: SlidingWindowInstances, num_items: int,
+                 seen_index: SeenIndex, batch_size: int, num_negatives: int = 1,
+                 seed: int = 0, n_workers: int = 0, prefetch_batches: int = 4,
+                 shuffle: bool = True, max_resample: int = 20,
+                 vectorized: bool = True, start_method: str | None = None):
+        if batch_size < 1:
+            raise ValueError("batch_size must be positive")
+        if num_negatives < 1:
+            raise ValueError("num_negatives must be positive")
+        if prefetch_batches < 1:
+            raise ValueError("prefetch_batches must be positive")
+        self.instances = instances
+        self.num_items = num_items
+        self.batch_size = batch_size
+        self.num_negatives = num_negatives
+        self.seed = seed
+        self.n_workers = max(int(n_workers), 0)
+        self.prefetch_batches = prefetch_batches
+        self.shuffle = shuffle
+        self.max_resample = max_resample
+        self.vectorized = vectorized
+        self.pad_id = instances.pad_id
+
+        self._closed = False
+        self._workers: list = []
+        self._task_queue = None
+        self._result_queue = None
+        self._arena: SharedArena | None = None
+        self._finalizer = None
+        self._seen_index = seen_index
+
+        if self.n_workers == 0:
+            self._sampler = NegativeSampler(num_items, seen_index=seen_index,
+                                            max_resample=max_resample,
+                                            vectorized=vectorized)
+            return
+
+        self._arena = SharedArena.publish({
+            "users": instances.users,
+            "inputs": instances.inputs,
+            "targets": instances.targets,
+            "seen_indptr": seen_index.indptr,
+            "seen_items": seen_index.items,
+        })
+        options = {
+            "num_items": num_items,
+            "batch_size": batch_size,
+            "num_negatives": num_negatives,
+            "seed": seed,
+            "shuffle": shuffle,
+            "max_resample": max_resample,
+            "vectorized": vectorized,
+        }
+        from repro.parallel.sharded import default_start_method
+
+        ctx = mp.get_context(start_method or default_start_method())
+        self._task_queue = ctx.Queue()
+        self._result_queue = ctx.Queue(maxsize=prefetch_batches)
+        try:
+            for _ in range(self.n_workers):
+                worker = ctx.Process(
+                    target=_loader_worker_main,
+                    args=(self._arena.layout, options, self._task_queue,
+                          self._result_queue),
+                    daemon=True,
+                )
+                worker.start()
+                self._workers.append(worker)
+        except Exception:
+            self.close()
+            raise
+        self._finalizer = weakref.finalize(
+            self, _cleanup, self._arena, list(self._workers),
+            self._task_queue, self._result_queue)
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    def __len__(self) -> int:
+        """Batches per epoch."""
+        total = len(self.instances)
+        return (total + self.batch_size - 1) // self.batch_size
+
+    @property
+    def num_instances(self) -> int:
+        return len(self.instances)
+
+    @property
+    def is_parallel(self) -> bool:
+        return self.n_workers > 0
+
+    # ------------------------------------------------------------------ #
+    # The batch stream
+    # ------------------------------------------------------------------ #
+    def epoch(self, epoch_index: int):
+        """Yield the batches of ``epoch_index`` in deterministic order.
+
+        Every yielded :class:`~repro.data.batching.Batch` arrives with its
+        ``negatives`` already drawn.
+        """
+        if self._closed:
+            raise RuntimeError("loader is closed")
+        if self.n_workers == 0:
+            yield from self._epoch_serial(epoch_index)
+        else:
+            yield from self._epoch_parallel(epoch_index)
+
+    def _epoch_serial(self, epoch_index: int):
+        data = self.instances
+        perm = _epoch_permutation(self.seed, epoch_index, len(data), self.shuffle)
+        for batch_index in range(len(self)):
+            rows = perm[batch_index * self.batch_size:
+                        (batch_index + 1) * self.batch_size]
+            self._sampler.rng = _batch_rng(self.seed, epoch_index, batch_index)
+            users, inputs, targets, negatives = _build_batch(
+                data.users, data.inputs, data.targets, rows, self._sampler,
+                self.num_negatives)
+            yield Batch(users=users, inputs=inputs, targets=targets,
+                        pad_id=self.pad_id, negatives=negatives)
+
+    def _check_workers(self) -> None:
+        for worker in self._workers:
+            if not worker.is_alive():
+                raise RuntimeError(
+                    f"loader worker pid={worker.pid} died "
+                    f"(exitcode {worker.exitcode})"
+                )
+
+    def _epoch_parallel(self, epoch_index: int):
+        num_batches = len(self)
+        self._check_workers()
+        # Tasks are released in a bounded window rather than all at once:
+        # together with the bounded result queue this caps the batches
+        # alive at any moment (queued + reordered) near prefetch_batches
+        # even when the next-expected batch happens to be the slowest.
+        window = self.prefetch_batches + self.n_workers
+        next_task = 0
+        reorder: dict[int, tuple] = {}
+        for expected in range(num_batches):
+            while expected not in reorder:
+                # next_task - expected counts every undelivered batch,
+                # whether queued, in a worker, or parked in reorder.
+                while next_task < num_batches and next_task - expected < window:
+                    self._task_queue.put((epoch_index, next_task))
+                    next_task += 1
+                try:
+                    epoch, batch_index, payload = self._result_queue.get(timeout=60.0)
+                except queue_module.Empty:
+                    self._check_workers()
+                    continue
+                if epoch != epoch_index:
+                    # Stale result of an abandoned epoch — drop it; the
+                    # deterministic stream only ever serves the epoch the
+                    # consumer asked for.
+                    continue
+                reorder[batch_index] = payload
+            users, inputs, targets, negatives = reorder.pop(expected)
+            yield Batch(users=users, inputs=inputs, targets=targets,
+                        pad_id=self.pad_id, negatives=negatives)
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop the workers and release the shared segment."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._finalizer is not None:
+            self._finalizer.detach()
+        _cleanup(self._arena, self._workers, self._task_queue, self._result_queue)
+        self._workers = []
+        self._arena = None
+        self._task_queue = None
+        self._result_queue = None
+
+    def __enter__(self) -> "ParallelBatchLoader":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _cleanup(arena, workers, task_queue, result_queue) -> None:
+    """Shutdown shared by close() and the GC finalizer.
+
+    Workers may be blocked on a full result queue (e.g. the consumer
+    abandoned an epoch mid-way), so the parent drains results while the
+    sentinels propagate.
+    """
+    if task_queue is not None:
+        for _ in workers:
+            try:
+                task_queue.put(None)
+            except Exception:
+                pass
+    deadline = 50  # ~10 s of 0.2 s drain rounds
+    while deadline and any(worker.is_alive() for worker in workers):
+        if result_queue is not None:
+            try:
+                result_queue.get(timeout=0.2)
+            except queue_module.Empty:
+                deadline -= 1
+            except Exception:
+                break
+        else:
+            deadline -= 1
+    for worker in workers:
+        worker.join(timeout=1.0)
+        if worker.is_alive():
+            worker.terminate()
+            worker.join(timeout=5.0)
+    for q in (task_queue, result_queue):
+        if q is not None:
+            try:
+                q.close()
+                q.join_thread()
+            except Exception:
+                pass
+    if arena is not None:
+        arena.close()

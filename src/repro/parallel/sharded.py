@@ -1,0 +1,495 @@
+"""Multi-process sharded scoring engine.
+
+The serial :class:`~repro.serving.engine.ScoringEngine` made a single
+request cheap; this module makes a *sweep* fast by fanning requests out
+over persistent worker processes, each owning a contiguous user-range
+shard.  The expensive, read-only state — padded per-user inputs, the CSR
+seen-item arrays and the frozen candidate table — is published exactly
+once into a :class:`~repro.parallel.shm.SharedArena`; each worker
+attaches zero-copy views and wires them into a regular
+:meth:`ScoringEngine.from_snapshot` engine.  Because every worker runs
+the serial engine's own code on identical arrays, sharded ``score_all``
+/ ``masked_scores`` / ``top_k`` results are **bit-for-bit identical** to
+the single-process engine (asserted by the test suite and the
+``BENCH_parallel.json`` harness).
+
+Request flow::
+
+    parent                          worker i (users [s_i, e_i))
+    ------                          ----------------------------
+    partition users by shard  --->  task queue: (rid, method, users, kw)
+    scatter result rows       <---  result queue: (rid, rows)
+
+Workers cache the representations of their shard lazily, exactly like
+the serial engine, so repeated sweeps cost one matmul + mask +
+``argpartition`` per shard — spread over ``n_workers`` cores.
+
+``n_workers <= 1`` degrades to a plain in-process engine with the same
+API, so callers can thread an ``n_workers`` knob through without
+special-casing single-core machines.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+import os
+import queue as queue_module
+import traceback
+import weakref
+
+import numpy as np
+
+from repro.data.seen import SeenIndex
+from repro.data.windows import pad_histories, pad_id_for
+from repro.models.base import FrozenScorer, SequentialRecommender
+from repro.parallel.shm import ArenaLayout, SharedArena
+from repro.serving.engine import ScoringEngine
+
+__all__ = ["ShardedScoringEngine", "make_scoring_engine", "shard_bounds",
+           "default_start_method"]
+
+_RESULT_TIMEOUT_S = 120.0
+
+
+def make_scoring_engine(model, histories, n_workers: int = 0,
+                        exclude_seen: bool = True, micro_batch_size: int = 1024,
+                        copy_weights: bool = True, precompute: bool = False):
+    """The one ``n_workers``-aware engine factory.
+
+    ``n_workers > 1`` builds a :class:`ShardedScoringEngine`; anything
+    else the serial :class:`~repro.serving.engine.ScoringEngine`
+    (``copy_weights`` applies to the serial branch only — sharded
+    workers always hold a copied snapshot).  Both results expose
+    ``close()``, so callers can tear down unconditionally.
+    """
+    if n_workers and n_workers > 1:
+        return ShardedScoringEngine(model, histories, n_workers=n_workers,
+                                    exclude_seen=exclude_seen,
+                                    micro_batch_size=micro_batch_size,
+                                    precompute=precompute)
+    return ScoringEngine(model, histories, exclude_seen=exclude_seen,
+                         micro_batch_size=micro_batch_size,
+                         copy_weights=copy_weights, precompute=precompute)
+
+
+def default_start_method() -> str:
+    """``fork`` where available (cheap, inherits the model), else ``spawn``."""
+    methods = mp.get_all_start_methods()
+    return "fork" if "fork" in methods else "spawn"
+
+
+def shard_bounds(num_users: int, n_shards: int) -> np.ndarray:
+    """Contiguous user-range shard boundaries, shape ``(n_shards + 1,)``.
+
+    Users are split as evenly as possible; the first ``num_users %
+    n_shards`` shards get one extra user.
+    """
+    if n_shards < 1:
+        raise ValueError("n_shards must be positive")
+    base, extra = divmod(num_users, n_shards)
+    sizes = np.full(n_shards, base, dtype=np.int64)
+    sizes[:extra] += 1
+    bounds = np.zeros(n_shards + 1, dtype=np.int64)
+    np.cumsum(sizes, out=bounds[1:])
+    return bounds
+
+
+def _seen_views(indptr: np.ndarray, items: np.ndarray) -> list[np.ndarray]:
+    """Per-user item views into the shared CSR arrays."""
+    return [items[indptr[user]:indptr[user + 1]]
+            for user in range(indptr.shape[0] - 1)]
+
+
+def _shard_worker_main(layout: ArenaLayout, model: SequentialRecommender,
+                       options: dict, task_queue, result_queue) -> None:
+    """Worker loop: attach shared state, serve requests until sentinel."""
+    arena = SharedArena.attach(layout)
+    try:
+        frozen = None
+        if options["has_frozen"]:
+            bias = arena.array("item_bias") if options["has_bias"] else None
+            frozen = FrozenScorer(num_items=model.num_items,
+                                  candidate_embeddings=arena.array("candidates"),
+                                  item_bias=bias)
+        engine = ScoringEngine.from_snapshot(
+            model,
+            inputs=arena.array("inputs"),
+            seen_items=_seen_views(arena.array("seen_indptr"),
+                                   arena.array("seen_items")),
+            frozen=frozen,
+            exclude_seen=options["exclude_seen"],
+            micro_batch_size=options["micro_batch_size"],
+        )
+        while True:
+            message = task_queue.get()
+            if message is None:
+                break
+            request_id, method, users, kwargs = message
+            try:
+                if method == "score_all":
+                    payload = engine.score_all(users)
+                elif method == "masked_scores":
+                    payload = engine.masked_scores(users)
+                elif method == "top_k":
+                    payload = engine.top_k(users, **kwargs)
+                elif method == "recommend_batch":
+                    payload = engine.recommend_batch(users, **kwargs)
+                elif method == "materialize":
+                    shard_users = np.arange(users[0], users[1], dtype=np.int64)
+                    if engine._rep_valid is not None:
+                        engine._ensure_representations(shard_users)
+                    payload = True
+                else:  # pragma: no cover - protocol error
+                    raise ValueError(f"unknown request method {method!r}")
+                result_queue.put((request_id, payload, None))
+            except Exception:
+                result_queue.put((request_id, None, traceback.format_exc()))
+    finally:
+        arena.close()
+
+
+class ShardedScoringEngine:
+    """Scoring engine sharded by user range over worker processes.
+
+    Parameters
+    ----------
+    model:
+        Any trained model of the study.  The model is shipped to each
+        worker once at startup (by fork inheritance or one pickle);
+        afterwards only user-id arrays and result rows cross the process
+        boundary.
+    histories:
+        Per-user interaction histories, as for the serial engine.
+    n_workers:
+        Worker processes.  Values ``<= 1`` select the in-process serial
+        fallback (no processes, no shared memory).
+    exclude_seen / micro_batch_size:
+        As for :class:`~repro.serving.engine.ScoringEngine`.
+    start_method:
+        ``multiprocessing`` start method; defaults to ``fork`` when the
+        platform offers it.
+    precompute:
+        Materialize every shard's representations eagerly (in parallel)
+        at construction.
+    """
+
+    def __init__(self, model: SequentialRecommender, histories: list[list[int]],
+                 n_workers: int = 2, exclude_seen: bool = True,
+                 micro_batch_size: int = 1024, start_method: str | None = None,
+                 precompute: bool = False):
+        if len(histories) < model.num_users:
+            raise ValueError(
+                f"histories cover {len(histories)} users but the model expects "
+                f"{model.num_users}"
+            )
+        if micro_batch_size < 1:
+            raise ValueError("micro_batch_size must be positive")
+        model.eval()
+        self.model = model
+        self.num_users = model.num_users
+        self.num_items = model.num_items
+        self.input_length = model.input_length
+        self.pad_id = pad_id_for(model.num_items)
+        self.exclude_seen = exclude_seen
+        self.micro_batch_size = micro_batch_size
+        self.n_workers = max(int(n_workers), 1)
+
+        self._serial: ScoringEngine | None = None
+        self._arena: SharedArena | None = None
+        self._workers: list = []
+        self._task_queues: list = []
+        self._result_queue = None
+        self._request_counter = 0
+        self._closed = False
+        self._finalizer = None
+
+        if self.n_workers == 1:
+            self._serial = ScoringEngine(model, histories, exclude_seen=exclude_seen,
+                                         micro_batch_size=micro_batch_size,
+                                         precompute=precompute)
+            self._bounds = shard_bounds(self.num_users, 1)
+            return
+
+        # ---- materialize the shared, read-only state once ------------- #
+        # Like the serial engine, only the first num_users histories are
+        # part of the snapshot (callers may pass a longer list).  The
+        # seen arrays are published even for exclude_seen=False engines:
+        # unlike the serial engine, workers cannot build them lazily (no
+        # histories), and top_k(..., exclude_seen=True) must keep working
+        # per request.  The cost is one pass over the histories — the
+        # same order as the pad_histories call above.
+        inputs = pad_histories(histories, self.input_length, self.pad_id,
+                               users=np.arange(self.num_users, dtype=np.int64))
+        seen = SeenIndex.from_histories(histories[:self.num_users], self.num_items)
+        try:
+            frozen = model.freeze(copy=True)
+        except NotImplementedError:
+            frozen = None
+
+        arrays = {
+            "inputs": inputs,
+            "seen_indptr": seen.indptr,
+            "seen_items": seen.items,
+        }
+        if frozen is not None:
+            arrays["candidates"] = frozen.candidate_embeddings
+            if frozen.item_bias is not None:
+                arrays["item_bias"] = frozen.item_bias
+        self._arena = SharedArena.publish(arrays)
+
+        self._bounds = shard_bounds(self.num_users, self.n_workers)
+        options = {
+            "exclude_seen": exclude_seen,
+            "micro_batch_size": micro_batch_size,
+            "has_frozen": frozen is not None,
+            "has_bias": frozen is not None and frozen.item_bias is not None,
+        }
+
+        ctx = mp.get_context(start_method or default_start_method())
+        self._result_queue = ctx.Queue()
+        try:
+            for _ in range(self.n_workers):
+                task_queue = ctx.Queue()
+                worker = ctx.Process(
+                    target=_shard_worker_main,
+                    args=(self._arena.layout, model, options, task_queue,
+                          self._result_queue),
+                    daemon=True,
+                )
+                worker.start()
+                self._task_queues.append(task_queue)
+                self._workers.append(worker)
+        except Exception:
+            self.close()
+            raise
+        # Belt-and-braces cleanup if the caller forgets close(): the
+        # finalizer only touches OS resources, never the worker results.
+        self._finalizer = weakref.finalize(
+            self, _cleanup, self._arena, list(self._workers),
+            list(self._task_queues), self._result_queue)
+        if precompute:
+            self.materialize()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+    @property
+    def is_parallel(self) -> bool:
+        """Whether requests actually fan out to worker processes."""
+        return self._serial is None
+
+    def shard_of(self, users: np.ndarray) -> np.ndarray:
+        """Shard index of each user id."""
+        users = np.asarray(users, dtype=np.int64)
+        return np.searchsorted(self._bounds, users, side="right") - 1
+
+    # ------------------------------------------------------------------ #
+    # Request plumbing
+    # ------------------------------------------------------------------ #
+    def _as_user_array(self, users) -> np.ndarray:
+        users = np.asarray(users, dtype=np.int64)
+        if users.ndim != 1:
+            raise ValueError("users must be a 1-d sequence of user ids")
+        if users.size and (users.min() < 0 or users.max() >= self.num_users):
+            bad = users[(users < 0) | (users >= self.num_users)][0]
+            raise ValueError(f"user id {bad} outside [0, {self.num_users})")
+        return users
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError("engine is closed")
+        for worker in self._workers:
+            if not worker.is_alive():
+                raise RuntimeError(
+                    f"shard worker pid={worker.pid} died "
+                    f"(exitcode {worker.exitcode})"
+                )
+
+    def _collect(self, expected: dict[int, object]) -> dict[int, object]:
+        """Drain results for the outstanding request ids in ``expected``."""
+        results: dict[int, object] = {}
+        while len(results) < len(expected):
+            try:
+                request_id, payload, error = self._result_queue.get(
+                    timeout=_RESULT_TIMEOUT_S)
+            except queue_module.Empty:
+                # A slow shard is not an error: keep waiting as long as
+                # every worker is alive (a dead one raises here).
+                self._check_open()
+                continue
+            if request_id not in expected:
+                # Stale result (success or error) of an earlier request
+                # that failed part-way — drop it so it cannot poison
+                # this merge.
+                continue
+            if error is not None:
+                raise RuntimeError(f"shard worker request failed:\n{error}")
+            results[request_id] = payload
+        return results
+
+    def _fan_out(self, method: str, users: np.ndarray,
+                 kwargs: dict | None = None) -> list[tuple[np.ndarray, object]]:
+        """Send per-shard subsets, return ``(positions, payload)`` pairs."""
+        self._check_open()
+        shard_ids = self.shard_of(users)
+        pending: dict[int, np.ndarray] = {}
+        for shard in np.unique(shard_ids):
+            positions = np.nonzero(shard_ids == shard)[0]
+            self._request_counter += 1
+            request_id = self._request_counter
+            self._task_queues[int(shard)].put(
+                (request_id, method, users[positions], kwargs or {}))
+            pending[request_id] = positions
+        results = self._collect(pending)
+        return [(positions, results[request_id])
+                for request_id, positions in pending.items()]
+
+    # ------------------------------------------------------------------ #
+    # Scoring API (mirrors the serial engine)
+    # ------------------------------------------------------------------ #
+    def materialize(self) -> "ShardedScoringEngine":
+        """Eagerly compute every shard's representation cache, in parallel."""
+        if self._serial is not None:
+            self._serial.materialize()
+            return self
+        self._check_open()
+        pending: dict[int, object] = {}
+        for shard in range(self.n_workers):
+            self._request_counter += 1
+            request_id = self._request_counter
+            self._task_queues[shard].put(
+                (request_id,
+                 "materialize",
+                 (int(self._bounds[shard]), int(self._bounds[shard + 1])),
+                 {}))
+            pending[request_id] = shard
+        self._collect(pending)
+        return self
+
+    def score_all(self, users) -> np.ndarray:
+        """Raw scores of every real item, ``(B, num_items)`` (bit-identical
+        to the serial engine on the same users)."""
+        if self._serial is not None:
+            return self._serial.score_all(users)
+        users = self._as_user_array(users)
+        return self._merge_matrix("score_all", users, None)
+
+    def masked_scores(self, users) -> np.ndarray:
+        """Scores with each user's seen items pushed to ``-inf``."""
+        if self._serial is not None:
+            return self._serial.masked_scores(users)
+        users = self._as_user_array(users)
+        return self._merge_matrix("masked_scores", users, None)
+
+    def top_k(self, users, k: int, exclude_seen: bool | None = None) -> np.ndarray:
+        """Ranked ids of the top-``k`` items per user, best first."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        if self._serial is not None:
+            return self._serial.top_k(users, k, exclude_seen=exclude_seen)
+        users = self._as_user_array(users)
+        width = min(k, self.num_items)
+        out = np.empty((users.size, width), dtype=np.int64)
+        if users.size == 0:
+            return out
+        for positions, rows in self._fan_out(
+                "top_k", users, {"k": k, "exclude_seen": exclude_seen}):
+            out[positions] = rows
+        return out
+
+    def recommend(self, user: int, k: int = 10) -> list:
+        """Top-``k`` recommendations for one user."""
+        return self.recommend_batch([user], k)[0]
+
+    def recommend_batch(self, users, k: int = 10) -> list[list]:
+        """Top-``k`` :class:`~repro.serving.engine.Recommendation` lists.
+
+        Workers build their shard's recommendation entries locally and
+        only the ``k`` (item, score, rank) triples per user cross the
+        process boundary — never the full score matrix.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        if self._serial is not None:
+            return self._serial.recommend_batch(users, k)
+        users = self._as_user_array(users)
+        results: list = [None] * users.size
+        for positions, payload in self._fan_out("recommend_batch", users,
+                                                {"k": k}):
+            for position, recommendations in zip(positions, payload):
+                results[int(position)] = recommendations
+        return results
+
+    def _merge_matrix(self, method: str, users: np.ndarray,
+                      dtype) -> np.ndarray:
+        if users.size == 0:
+            return np.zeros((0, self.num_items), dtype=dtype or np.float64)
+        parts = self._fan_out(method, users)
+        first = parts[0][1]
+        out = np.empty((users.size, self.num_items), dtype=first.dtype)
+        for positions, rows in parts:
+            out[positions] = rows
+        return out
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """Stop the workers, join them and release the shared segment."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._finalizer is not None:
+            self._finalizer.detach()
+        _cleanup(self._arena, self._workers, self._task_queues,
+                 self._result_queue)
+        self._workers = []
+        self._task_queues = []
+        self._result_queue = None
+        self._arena = None
+
+    def __enter__(self) -> "ShardedScoringEngine":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def _cleanup(arena: SharedArena | None, workers: list, task_queues: list,
+             result_queue=None) -> None:
+    """Shutdown path shared by close() and the GC finalizer.
+
+    After an error a worker may still be flushing a large pending result
+    into the queue, so the parent drains results while the sentinels
+    propagate — otherwise the worker blocks at exit on a full pipe and
+    ends up force-terminated.
+    """
+    for queue in task_queues:
+        try:
+            queue.put(None)
+        except Exception:
+            pass
+    deadline = 50  # ~10 s of 0.2 s drain rounds
+    while deadline and any(worker.is_alive() for worker in workers):
+        if result_queue is not None:
+            try:
+                result_queue.get(timeout=0.2)
+            except queue_module.Empty:
+                deadline -= 1
+            except Exception:
+                break
+        else:
+            deadline -= 1
+    for worker in workers:
+        worker.join(timeout=1.0)
+        if worker.is_alive():
+            worker.terminate()
+            worker.join(timeout=5.0)
+    for queue in task_queues:
+        try:
+            queue.close()
+            queue.join_thread()
+        except Exception:
+            pass
+    if arena is not None:
+        arena.close()

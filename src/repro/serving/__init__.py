@@ -19,9 +19,14 @@ on top of a trained model:
   decompositions of HAM's linear score (Eq. 7/8).
 * :func:`~repro.serving.bench.run_serving_benchmark` — the cached-vs-
   uncached latency harness behind ``repro-ham bench-serve``.
+* :func:`~repro.serving.deploy.engine_from_checkpoint` — rebuild a
+  trained model from a ``.npz`` checkpoint and serve it (serially or
+  sharded over worker processes) without the trainer stack
+  (``repro-ham serve --checkpoint``).
 """
 
 from repro.serving.engine import Recommendation, ScoringEngine
+from repro.serving.deploy import engine_from_checkpoint, model_from_checkpoint
 from repro.serving.recommender import Recommender
 from repro.serving.explain import (
     HAMScoreExplanation,
@@ -39,6 +44,8 @@ __all__ = [
     "Recommendation",
     "ScoringEngine",
     "Recommender",
+    "engine_from_checkpoint",
+    "model_from_checkpoint",
     "HAMScoreExplanation",
     "explain_ham_score",
     "explain_ham_scores",

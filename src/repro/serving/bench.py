@@ -18,11 +18,12 @@ paths and the resulting speedup; :func:`write_report` persists it as the
 
 from __future__ import annotations
 
-import json
 import time
 from dataclasses import asdict, dataclass
 
 import numpy as np
+
+from repro.bench_schema import write_bench_report
 
 from repro.data.windows import pad_histories, pad_id_for
 from repro.evaluation.ranking import top_k_items
@@ -158,7 +159,14 @@ def run_serving_benchmark(model: SequentialRecommender, histories: list[list[int
 
 
 def write_report(report: ServingBenchReport, path) -> None:
-    """Persist a benchmark report as the ``BENCH_serving.json`` artifact."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Persist a report as the ``BENCH_serving.json`` artifact.
+
+    Uses the unified envelope of :mod:`repro.bench_schema` (timestamp,
+    host info, appended headline history) shared by every ``BENCH_*``
+    artifact.
+    """
+    write_bench_report(path, "serving", report.as_dict(), headline={
+        "speedup": report.speedup,
+        "cached_p50_ms": report.cached.p50_ms,
+        "uncached_p50_ms": report.uncached.p50_ms,
+    })

@@ -1,0 +1,110 @@
+"""Checkpoint-to-engine deployment path.
+
+A serve-only deployment should not have to drag in the trainer stack
+(losses, samplers, optimizers) just to answer requests: everything the
+engine needs is the trained parameters and the histories to condition
+on.  This module rebuilds a model from a ``.npz`` checkpoint written by
+``repro-ham train --checkpoint`` (whose metadata records the method
+name, dataset dimensions, hyperparameters and compute dtype) and wires
+it straight into a :class:`~repro.serving.engine.ScoringEngine` — or,
+with ``n_workers > 1``, a sharded multi-process
+:class:`~repro.parallel.sharded.ShardedScoringEngine`.  This is the
+``repro-ham serve --checkpoint`` path.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any
+
+import numpy as np
+
+from repro.models.base import SequentialRecommender
+from repro.models.registry import create_model
+from repro.training.checkpoint import _METADATA_KEY, load_checkpoint, read_metadata
+
+__all__ = ["model_from_checkpoint", "engine_from_checkpoint"]
+
+
+def _stored_float_dtype(path: str | Path) -> np.dtype | None:
+    """Dtype of the first float parameter stored in the checkpoint."""
+    with np.load(Path(path), allow_pickle=False) as archive:
+        for name in archive.files:
+            if name == _METADATA_KEY:
+                continue
+            array = archive[name]
+            if array.dtype.kind == "f":
+                return array.dtype
+    return None
+
+
+def model_from_checkpoint(path: str | Path, method: str | None = None,
+                          num_users: int | None = None,
+                          num_items: int | None = None,
+                          hyperparameters: dict | None = None,
+                          ) -> tuple[SequentialRecommender, dict[str, Any]]:
+    """Rebuild the trained model stored at ``path``.
+
+    The checkpoint metadata written by ``repro-ham train`` carries the
+    method name, the dataset dimensions and the model hyperparameters;
+    any of them can be overridden (or supplied, for checkpoints written
+    by older code or external tools) through the keyword arguments.
+
+    The model's parameters are cast to the checkpoint's stored dtype
+    *before* loading, so the reconstruction is bit-exact — an engine
+    built on it scores identically to the model that was saved.
+
+    Returns
+    -------
+    ``(model, metadata)`` — the model is in ``eval`` mode and holds the
+    checkpointed parameters.
+    """
+    metadata = read_metadata(path)
+    dims = metadata.get("model", {})
+    method = method if method is not None else metadata.get("method")
+    num_users = num_users if num_users is not None else dims.get("num_users")
+    num_items = num_items if num_items is not None else dims.get("num_items")
+    if hyperparameters is None:
+        hyperparameters = metadata.get("hyperparameters", {})
+    if method is None or num_users is None or num_items is None:
+        raise ValueError(
+            f"checkpoint {path} does not record method/num_users/num_items; "
+            "pass them explicitly to model_from_checkpoint"
+        )
+
+    model = create_model(method, int(num_users), int(num_items),
+                         rng=np.random.default_rng(0), **dict(hyperparameters))
+    dtype = _stored_float_dtype(path)
+    if dtype is not None:
+        model.astype(dtype)
+    load_checkpoint(model, path)
+    model.eval()
+    return model, metadata
+
+
+def engine_from_checkpoint(path: str | Path, histories: list[list[int]],
+                           n_workers: int = 0, exclude_seen: bool = True,
+                           micro_batch_size: int = 1024,
+                           precompute: bool = False, **model_overrides):
+    """``load_checkpoint`` → scoring engine, no trainer stack involved.
+
+    Parameters
+    ----------
+    histories:
+        Per-user interaction histories the recommendations condition on
+        (typically ``split.train_plus_valid()`` of the serving dataset).
+    n_workers:
+        ``> 1`` builds a multi-process
+        :class:`~repro.parallel.sharded.ShardedScoringEngine`; otherwise
+        the serial engine.
+    model_overrides:
+        Forwarded to :func:`model_from_checkpoint` (``method``,
+        ``num_users``, ``num_items``, ``hyperparameters``).
+    """
+    from repro.parallel.sharded import make_scoring_engine
+
+    model, _ = model_from_checkpoint(path, **model_overrides)
+    return make_scoring_engine(model, histories, n_workers=n_workers,
+                               exclude_seen=exclude_seen,
+                               micro_batch_size=micro_batch_size,
+                               precompute=precompute)

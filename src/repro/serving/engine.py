@@ -109,16 +109,7 @@ class ScoringEngine:
                 f"histories cover {len(histories)} users but the model expects "
                 f"{model.num_users}"
             )
-        if micro_batch_size < 1:
-            raise ValueError("micro_batch_size must be positive")
-        model.eval()
-        self.model = model
-        self.num_users = model.num_users
-        self.num_items = model.num_items
-        self.input_length = model.input_length
-        self.pad_id = pad_id_for(model.num_items)
-        self.exclude_seen = exclude_seen
-        self.micro_batch_size = micro_batch_size
+        self._wire_core(model, exclude_seen, micro_batch_size)
         self._copy_weights = copy_weights
         self._live = live_histories
         self._cache_representations = cache_representations and not live_histories
@@ -137,29 +128,90 @@ class ScoringEngine:
         # Fast path: models exposing the representation/embedding
         # decomposition get cached representations; the rest fall back to
         # model.score_all on the cached padded inputs.
-        self._frozen: FrozenScorer | None = None
-        self._representations: np.ndarray | None = None
-        self._rep_valid: np.ndarray | None = None
         try:
             self._frozen = model.freeze(copy=copy_weights)
         except NotImplementedError:
             pass
         else:
             if self._cache_representations:
-                # The cache matches the model's compute dtype so the
-                # cached path stays bit-for-bit identical to
-                # model.score_all (float32 models included).
-                self._representations = np.zeros(
-                    (self.num_users, self._frozen.embedding_dim),
-                    dtype=self._frozen.candidate_embeddings.dtype,
-                )
-                self._rep_valid = np.zeros(self.num_users, dtype=bool)
+                self._alloc_representation_cache()
         if precompute:
             self.materialize()
+
+    def _wire_core(self, model: SequentialRecommender, exclude_seen: bool,
+                   micro_batch_size: int) -> None:
+        """Shared field wiring of ``__init__`` and :meth:`from_snapshot`."""
+        if micro_batch_size < 1:
+            raise ValueError("micro_batch_size must be positive")
+        model.eval()
+        self.model = model
+        self.num_users = model.num_users
+        self.num_items = model.num_items
+        self.input_length = model.input_length
+        self.pad_id = pad_id_for(model.num_items)
+        self.exclude_seen = exclude_seen
+        self.micro_batch_size = micro_batch_size
+        self._frozen: FrozenScorer | None = None
+        self._representations: np.ndarray | None = None
+        self._rep_valid: np.ndarray | None = None
+
+    def _alloc_representation_cache(self) -> None:
+        # The cache matches the model's compute dtype so the cached path
+        # stays bit-for-bit identical to model.score_all (float32 models
+        # included).
+        self._representations = np.zeros(
+            (self.num_users, self._frozen.embedding_dim),
+            dtype=self._frozen.candidate_embeddings.dtype,
+        )
+        self._rep_valid = np.zeros(self.num_users, dtype=bool)
+
+    @classmethod
+    def from_snapshot(cls, model: SequentialRecommender, *, inputs: np.ndarray,
+                      seen_items: list[np.ndarray] | None,
+                      frozen: FrozenScorer | None,
+                      exclude_seen: bool = True,
+                      micro_batch_size: int = 1024) -> "ScoringEngine":
+        """Build an engine directly from pre-materialized arrays.
+
+        This is the constructor the multi-process substrate uses: a shard
+        worker attaches the parent's padded ``inputs``, per-user
+        ``seen_items`` views and :class:`FrozenScorer` arrays from
+        ``multiprocessing.shared_memory`` and wires them into a regular
+        engine — every scoring request then runs the exact serial code
+        path, which is what makes sharded results bit-identical to the
+        single-process engine.
+
+        Snapshot engines are request-only: they have no history lists, so
+        :meth:`observe` and :meth:`history` raise.
+        """
+        engine = cls.__new__(cls)
+        engine._wire_core(model, exclude_seen, micro_batch_size)
+        engine._copy_weights = True
+        engine._live = False
+        engine._cache_representations = frozen is not None
+        engine._histories = None
+        if inputs.shape != (engine.num_users, engine.input_length):
+            raise ValueError(
+                f"inputs shape {inputs.shape} does not match "
+                f"({engine.num_users}, {engine.input_length})"
+            )
+        engine._inputs = inputs
+        engine._seen_items = seen_items
+        engine._frozen = frozen
+        if frozen is not None:
+            engine._alloc_representation_cache()
+        return engine
 
     # ------------------------------------------------------------------ #
     # Snapshot maintenance
     # ------------------------------------------------------------------ #
+    def close(self) -> None:
+        """No-op: the serial engine holds no external resources.
+
+        Exists so serial and sharded engines share one lifecycle API and
+        callers can ``engine.close()`` unconditionally.
+        """
+
     @property
     def supports_cached_representations(self) -> bool:
         """Whether the model exposes the fast representation path."""
@@ -186,6 +238,8 @@ class ScoringEngine:
     def history(self, user: int) -> list[int]:
         """Copy of the engine's current history of ``user``."""
         self._validate_user(user)
+        if self._histories is None:
+            raise RuntimeError("snapshot engines hold no history lists")
         return list(self._histories[user])
 
     def observe(self, user: int, item: int) -> None:
@@ -198,6 +252,9 @@ class ScoringEngine:
         """
         self._validate_user(user)
         self._validate_item(item)
+        if self._histories is None:
+            raise RuntimeError("snapshot engines are read-only; observe() is "
+                               "only available on engines built from histories")
         self._histories[user].append(item)
         if self._inputs is not None:
             row = self._inputs[user]
@@ -281,6 +338,11 @@ class ScoringEngine:
                     scores[row, np.asarray(history, dtype=np.int64)] = -np.inf
             return
         if self._seen_items is None:
+            if self._histories is None:
+                raise RuntimeError(
+                    "this snapshot engine was built without seen-item arrays; "
+                    "masked requests are unavailable"
+                )
             # Built through the shared CSR index (one pass over the
             # histories); the per-user views stay cheap to index with and
             # observe() replaces them per user as interactions arrive.

@@ -20,10 +20,11 @@ produced by the ``repro-ham bench-train`` CLI command.
 
 from __future__ import annotations
 
-import json
 from dataclasses import asdict, dataclass
 
 import numpy as np
+
+from repro.bench_schema import write_bench_report
 
 from repro.models.nonparametric import NonParametricRecommender
 from repro.models.registry import create_model
@@ -46,6 +47,7 @@ FAST_PATH_OVERRIDES = dict(
     sparse_embedding_grad=True,
     vectorized_sampling=True,
     validate_indices=False,
+    fused_scoring=True,
 )
 
 #: TrainingConfig overrides reproducing the seed-repo substrate.
@@ -54,6 +56,7 @@ LEGACY_PATH_OVERRIDES = dict(
     sparse_embedding_grad=False,
     vectorized_sampling=False,
     validate_indices=True,
+    fused_scoring=False,
 )
 
 
@@ -197,7 +200,14 @@ def run_training_benchmark(num_users: int = 96, num_items: int = 8000,
 
 
 def write_training_report(report: TrainingBenchReport, path) -> None:
-    """Persist a benchmark report as the ``BENCH_training.json`` artifact."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(report.as_dict(), handle, indent=2, sort_keys=True)
-        handle.write("\n")
+    """Persist a report as the ``BENCH_training.json`` artifact.
+
+    Uses the unified envelope of :mod:`repro.bench_schema` (timestamp,
+    host info, appended headline history) shared by every ``BENCH_*``
+    artifact.
+    """
+    write_bench_report(path, "training", report.as_dict(), headline={
+        "speedup": report.speedup,
+        "fast_p50_s": report.fast.p50_s,
+        "legacy_p50_s": report.legacy.p50_s,
+    })

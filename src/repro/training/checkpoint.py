@@ -70,11 +70,18 @@ def _load_arrays(path: str | Path) -> dict[str, np.ndarray]:
 
 
 def read_metadata(path: str | Path) -> dict[str, Any]:
-    """Return the metadata record stored in a checkpoint."""
-    arrays = _load_arrays(path)
-    raw = arrays.get(_METADATA_KEY)
-    if raw is None:
-        return {}
+    """Return the metadata record stored in a checkpoint.
+
+    Only the metadata entry is materialized — the parameter arrays are
+    never read, so this stays cheap for large checkpoints.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(f"checkpoint not found: {path}")
+    with np.load(path, allow_pickle=False) as archive:
+        if _METADATA_KEY not in archive.files:
+            return {}
+        raw = archive[_METADATA_KEY]
     return json.loads(raw.tobytes().decode("utf-8"))
 
 

@@ -47,18 +47,24 @@ class NegativeSampler:
         testing and for the benchmark's "legacy path" timing.
     """
 
-    def __init__(self, num_items: int, user_sequences: list[list[int]],
+    def __init__(self, num_items: int, user_sequences: list[list[int]] | None = None,
                  rng: np.random.Generator | None = None, max_resample: int = 20,
-                 vectorized: bool = True):
+                 vectorized: bool = True, seen_index: SeenIndex | None = None):
         if num_items < 1:
             raise ValueError("num_items must be positive")
         if max_resample < 1:
             raise ValueError("max_resample must be positive")
+        if (user_sequences is None) == (seen_index is None):
+            raise ValueError("pass exactly one of user_sequences or seen_index")
         self.num_items = num_items
         self.rng = rng or np.random.default_rng()
         self.max_resample = max_resample
         self.vectorized = vectorized
-        self.seen_index = SeenIndex.from_histories(user_sequences, num_items)
+        # A prebuilt index lets data-loading workers attach the parent's
+        # shared-memory CSR arrays instead of re-deriving (or pickling)
+        # the per-user seen sets.
+        self.seen_index = seen_index if seen_index is not None \
+            else SeenIndex.from_histories(user_sequences, num_items)
         self._seen_sets: list[set[int]] | None = None
 
     def seen_items(self, user: int) -> set[int]:

@@ -17,6 +17,7 @@ import numpy as np
 
 from repro.autograd import Adam, clip_grad_norm, embedding_index_check, sparse_embedding_grads
 from repro.data.batching import BatchIterator
+from repro.data.seen import SeenIndex
 from repro.data.windows import build_training_instances
 from repro.models.base import SequentialRecommender
 from repro.models.nonparametric import NonParametricRecommender
@@ -123,19 +124,58 @@ class Trainer:
         # sampler only ever draws from [0, num_items)).
         self._validate_instances(instances)
 
-        sampler = NegativeSampler(self.model.num_items, train_sequences, rng=self.rng,
-                                  vectorized=self.config.vectorized_sampling)
+        seen_index = SeenIndex.from_histories(train_sequences, self.model.num_items)
+        loader = None
+        sampler = None
+        iterator = None
+        if self.config.loader_workers > 0:
+            # Worker-pool path: batches arrive with negatives already
+            # drawn; the optimizer loop never waits on sampling.
+            from repro.parallel.loader import ParallelBatchLoader
+
+            loader = ParallelBatchLoader(
+                instances, self.model.num_items, seen_index,
+                batch_size=self.config.batch_size,
+                num_negatives=self.num_negatives,
+                seed=self.config.seed,
+                n_workers=self.config.loader_workers,
+                prefetch_batches=self.config.prefetch_batches,
+                vectorized=self.config.vectorized_sampling,
+            )
+        else:
+            sampler = NegativeSampler(self.model.num_items, seen_index=seen_index,
+                                      rng=self.rng,
+                                      vectorized=self.config.vectorized_sampling)
+            iterator = BatchIterator(instances, batch_size=self.config.batch_size,
+                                     rng=self.rng)
         optimizer = Adam(self.model.parameters(), lr=self.config.learning_rate,
                          weight_decay=self.config.weight_decay)
-        iterator = BatchIterator(instances, batch_size=self.config.batch_size, rng=self.rng)
 
+        try:
+            best_state = self._fit_epochs(result, optimizer, loader, iterator, sampler)
+        finally:
+            if loader is not None:
+                loader.close()
+
+        if best_state is not None:
+            self.model.load_state_dict(best_state)
+        self.model.eval()
+        result.train_seconds = time.perf_counter() - start
+        return result
+
+    def _fit_epochs(self, result: TrainingResult, optimizer: Adam, loader,
+                    iterator, sampler):
         best_state = None
         self.model.train()
         for epoch in range(1, self.config.num_epochs + 1):
             if self.schedule is not None:
                 optimizer.lr = self.schedule(epoch)
+            if loader is not None:
+                batches = loader.epoch(epoch - 1)
+            else:
+                batches = self._sampled_batches(iterator, sampler)
             epoch_start = time.perf_counter()
-            epoch_loss = self._run_epoch(iterator, sampler, optimizer)
+            epoch_loss = self._run_epoch(batches, optimizer)
             result.epoch_seconds.append(time.perf_counter() - epoch_start)
             result.epoch_losses.append(epoch_loss)
             if self.config.verbose:
@@ -161,12 +201,7 @@ class Trainer:
                     if self.config.verbose:
                         print(f"early stopping after epoch {epoch}")
                     break
-
-        if best_state is not None:
-            self.model.load_state_dict(best_state)
-        self.model.eval()
-        result.train_seconds = time.perf_counter() - start
-        return result
+        return best_state
 
     # ------------------------------------------------------------------ #
     # One epoch
@@ -184,26 +219,41 @@ class Trainer:
                 f"training users outside [0, {self.model.num_users})"
             )
 
-    def _run_epoch(self, iterator: BatchIterator, sampler: NegativeSampler,
-                   optimizer: Adam) -> float:
-        with embedding_index_check(self.config.validate_indices), \
-                sparse_embedding_grads(self.config.sparse_embedding_grad):
-            return self._run_epoch_inner(iterator, sampler, optimizer)
+    def _sampled_batches(self, iterator: BatchIterator, sampler: NegativeSampler):
+        """The in-process batch stream: draw negatives batch by batch.
 
-    def _run_epoch_inner(self, iterator: BatchIterator, sampler: NegativeSampler,
-                         optimizer: Adam) -> float:
-        total_loss = 0.0
-        total_batches = 0
+        This preserves the exact RNG call order of the earlier trainer,
+        so ``loader_workers=0`` runs stay bit-identical to it.
+        """
         for batch in iterator:
             batch_size, num_targets = batch.targets.shape
-            negatives = sampler.sample(
+            batch.negatives = sampler.sample(
                 batch.users, (batch_size, num_targets * self.num_negatives)
             )
+            yield batch
+
+    def _run_epoch(self, batches, optimizer: Adam) -> float:
+        with embedding_index_check(self.config.validate_indices), \
+                sparse_embedding_grads(self.config.sparse_embedding_grad):
+            return self._run_epoch_inner(batches, optimizer)
+
+    def _run_epoch_inner(self, batches, optimizer: Adam) -> float:
+        total_loss = 0.0
+        total_batches = 0
+        for batch in batches:
+            batch_size, num_targets = batch.targets.shape
+            negatives = batch.negatives
             mask = batch.target_mask()
             # Padded targets point at the pad row (zero embedding); they are
             # excluded from the loss by the mask.
-            positive_scores = self.model.score_items(batch.users, batch.inputs, batch.targets)
-            negative_scores = self.model.score_items(batch.users, batch.inputs, negatives)
+            if self.config.fused_scoring:
+                # One sequence forward + one candidate gather for both
+                # score sets (see SequentialRecommender.score_item_pairs).
+                positive_scores, negative_scores = self.model.score_item_pairs(
+                    batch.users, batch.inputs, batch.targets, negatives)
+            else:
+                positive_scores = self.model.score_items(batch.users, batch.inputs, batch.targets)
+                negative_scores = self.model.score_items(batch.users, batch.inputs, negatives)
             if self.num_negatives > 1:
                 negative_scores = negative_scores.reshape(
                     batch_size, num_targets, self.num_negatives

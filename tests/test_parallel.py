@@ -1,0 +1,515 @@
+"""Tests of the multi-process execution substrate (:mod:`repro.parallel`).
+
+Covers the contracts the substrate is built on:
+
+* shared-memory round-trips — arrays published by the parent attach
+  bit-identically in a subprocess (``SeenIndex`` and ``FrozenScorer``
+  included);
+* sharded vs serial bit-equality of ``score_all`` / ``masked_scores`` /
+  ``top_k`` (the ``n_workers=2`` smoke of the fast tier);
+* deterministic loader output for a fixed seed regardless of worker
+  count, and the fused BPR forward matching the two-pass step;
+* clean shutdown — no leaked ``/dev/shm`` segments, workers joined
+  (guarded by the ``shm_guard`` fixture on every test in this module).
+"""
+
+from __future__ import annotations
+
+import gc
+import multiprocessing as mp
+import os
+
+import numpy as np
+import pytest
+
+from repro.data.dataset import InteractionDataset
+from repro.data.seen import SeenIndex
+from repro.data.splits import split_setting
+from repro.data.windows import build_training_instances
+from repro.models import create_model
+from repro.models.base import FrozenScorer
+from repro.parallel import (
+    ParallelBatchLoader,
+    SharedArena,
+    ShardedScoringEngine,
+    default_start_method,
+    shard_bounds,
+)
+from repro.parallel.shm import SHM_PREFIX
+from repro.serving import ScoringEngine
+from repro.training import Trainer, TrainingConfig
+
+pytestmark = pytest.mark.fast
+
+NUM_ITEMS = 30
+
+
+def _shm_entries() -> set[str]:
+    if not os.path.isdir("/dev/shm"):
+        return set()
+    return {name for name in os.listdir("/dev/shm") if name.startswith(SHM_PREFIX)}
+
+
+@pytest.fixture(autouse=True)
+def shm_guard():
+    """Every test must leave /dev/shm exactly as it found it."""
+    before = _shm_entries()
+    yield
+    gc.collect()
+    leaked = _shm_entries() - before
+    assert not leaked, f"leaked shared-memory segments: {sorted(leaked)}"
+
+
+def tiny_split(num_users: int = 14, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    sequences = [
+        rng.integers(0, NUM_ITEMS, size=rng.integers(12, 18)).tolist()
+        for _ in range(num_users)
+    ]
+    dataset = InteractionDataset.from_sequences(sequences, num_items=NUM_ITEMS)
+    return split_setting(dataset, "80-3-CUT")
+
+
+def trained_model(split, name: str = "HAMs_m", epochs: int = 2):
+    model = create_model(name, split.num_users, NUM_ITEMS,
+                         rng=np.random.default_rng(0),
+                         embedding_dim=8, n_h=4, n_l=2)
+    Trainer(model, TrainingConfig(num_epochs=epochs, batch_size=64, seed=0)).fit(
+        split.train_plus_valid())
+    return model
+
+
+# ---------------------------------------------------------------------- #
+# Shared-memory round-trips
+# ---------------------------------------------------------------------- #
+def _echo_arrays(layout, keys, queue):
+    arena = SharedArena.attach(layout)
+    try:
+        queue.put({key: np.array(arena.array(key), copy=True) for key in keys})
+    finally:
+        arena.close()
+
+
+def _score_in_subprocess(layout, options, queue):
+    """Rebuild SeenIndex + FrozenScorer from shared views and use them."""
+    arena = SharedArena.attach(layout)
+    try:
+        seen = SeenIndex(arena.array("indptr"), arena.array("items"),
+                         options["num_items"])
+        bias = arena.array("bias") if "bias" in arena.keys() else None
+        frozen = FrozenScorer(num_items=options["num_items"],
+                              candidate_embeddings=arena.array("table"),
+                              item_bias=bias)
+        queue.put({
+            "per_user": [seen.user_items(u).tolist() for u in range(seen.num_users)],
+            "contains": seen.contains(options["q_users"], options["q_items"]),
+            "scores": frozen.scores_from_representation(arena.array("reps")),
+        })
+    finally:
+        arena.close()
+
+
+class TestSharedArena:
+    def test_roundtrip_in_subprocess(self):
+        rng = np.random.default_rng(0)
+        arrays = {
+            "f32": rng.standard_normal((7, 5)).astype(np.float32),
+            "f64": rng.standard_normal((3, 4)),
+            "i64": rng.integers(0, 100, size=(11,)),
+            "empty": np.zeros(0, dtype=np.int64),
+        }
+        ctx = mp.get_context(default_start_method())
+        queue = ctx.Queue()
+        with SharedArena.publish(arrays) as arena:
+            proc = ctx.Process(target=_echo_arrays,
+                               args=(arena.layout, list(arrays), queue))
+            proc.start()
+            echoed = queue.get(timeout=30)
+            proc.join(timeout=30)
+        assert proc.exitcode == 0
+        for key, value in arrays.items():
+            assert echoed[key].dtype == value.dtype
+            assert np.array_equal(echoed[key], value)
+
+    def test_worker_views_are_read_only(self):
+        with SharedArena.publish({"x": np.arange(4)}) as arena:
+            attached = SharedArena.attach(arena.layout)
+            with pytest.raises((ValueError, RuntimeError)):
+                attached.array("x")[0] = 99
+            attached.close()
+
+    def test_closed_arena_rejects_access(self):
+        arena = SharedArena.publish({"x": np.arange(4)})
+        arena.close()
+        with pytest.raises(RuntimeError):
+            arena.array("x")
+        arena.close()  # idempotent
+
+    def test_seen_index_and_frozen_scorer_attach_parity(self):
+        """The satellite contract: both structures survive shm bit-for-bit."""
+        rng = np.random.default_rng(1)
+        histories = [rng.integers(0, NUM_ITEMS, size=rng.integers(0, 20)).tolist()
+                     for _ in range(9)]
+        seen = SeenIndex.from_histories(histories, NUM_ITEMS)
+        table = rng.standard_normal((NUM_ITEMS + 1, 6)).astype(np.float32)
+        bias = rng.standard_normal(NUM_ITEMS + 1).astype(np.float32)
+        reps = rng.standard_normal((5, 6)).astype(np.float32)
+        frozen = FrozenScorer(NUM_ITEMS, table, bias)
+
+        q_users = rng.integers(-1, 10, size=64)
+        q_items = rng.integers(-1, NUM_ITEMS + 1, size=64)
+        options = {"num_items": NUM_ITEMS, "q_users": q_users, "q_items": q_items}
+
+        ctx = mp.get_context(default_start_method())
+        queue = ctx.Queue()
+        with SharedArena.publish({"indptr": seen.indptr, "items": seen.items,
+                                  "table": table, "bias": bias,
+                                  "reps": reps}) as arena:
+            proc = ctx.Process(target=_score_in_subprocess,
+                               args=(arena.layout, options, queue))
+            proc.start()
+            result = queue.get(timeout=30)
+            proc.join(timeout=30)
+        assert proc.exitcode == 0
+        assert result["per_user"] == [seen.user_items(u).tolist()
+                                      for u in range(seen.num_users)]
+        assert np.array_equal(result["contains"], seen.contains(q_users, q_items))
+        assert np.array_equal(result["scores"],
+                              frozen.scores_from_representation(reps))
+
+
+# ---------------------------------------------------------------------- #
+# Sharded engine
+# ---------------------------------------------------------------------- #
+class TestShardedScoringEngine:
+    def test_shard_bounds(self):
+        assert shard_bounds(10, 3).tolist() == [0, 4, 7, 10]
+        assert shard_bounds(2, 4).tolist() == [0, 1, 2, 2, 2]
+        with pytest.raises(ValueError):
+            shard_bounds(5, 0)
+
+    def test_bit_identical_to_serial(self):
+        """The fast-tier n_workers=2 smoke: sharding changes nothing."""
+        split = tiny_split(seed=2)
+        model = trained_model(split)
+        histories = split.train_plus_valid()
+        serial = ScoringEngine(model, histories)
+        users = list(range(split.num_users))
+        shuffled = np.random.default_rng(0).permutation(split.num_users).tolist()
+        with ShardedScoringEngine(model, histories, n_workers=2,
+                                  micro_batch_size=5) as sharded:
+            assert sharded.is_parallel
+            assert np.array_equal(sharded.score_all(users), serial.score_all(users))
+            assert np.array_equal(sharded.masked_scores(users),
+                                  serial.masked_scores(users))
+            assert np.array_equal(sharded.top_k(users, 5), serial.top_k(users, 5))
+            # Shuffled + repeated ids must scatter back to request order.
+            request = shuffled + [1, 1, 0]
+            assert np.array_equal(sharded.top_k(request, 4),
+                                  serial.top_k(request, 4))
+            assert np.array_equal(sharded.top_k(users, 5, exclude_seen=False),
+                                  serial.top_k(users, 5, exclude_seen=False))
+            assert sharded.score_all([]).shape == (0, NUM_ITEMS)
+
+    def test_accepts_extra_histories_like_serial(self):
+        """histories may cover more users than the model (serial contract)."""
+        split = tiny_split(seed=13)
+        model = trained_model(split)
+        histories = split.train_plus_valid() + [[1, 2, 3], [4, 5]]
+        serial = ScoringEngine(model, histories)
+        users = list(range(split.num_users))
+        with ShardedScoringEngine(model, histories, n_workers=2) as sharded:
+            assert np.array_equal(sharded.top_k(users, 5), serial.top_k(users, 5))
+            assert np.array_equal(sharded.masked_scores(users),
+                                  serial.masked_scores(users))
+
+    def test_recommend_batch_matches_serial(self):
+        split = tiny_split(seed=14)
+        model = trained_model(split)
+        histories = split.train_plus_valid()
+        serial = ScoringEngine(model, histories)
+        users = [3, 0, 2]
+        with ShardedScoringEngine(model, histories, n_workers=2) as sharded:
+            for ours, theirs in zip(sharded.recommend_batch(users, 4),
+                                    serial.recommend_batch(users, 4)):
+                assert [(e.item, e.rank) for e in ours] == \
+                    [(e.item, e.rank) for e in theirs]
+                assert [e.score for e in ours] == [e.score for e in theirs]
+            assert sharded.recommend(1, 3) == serial.recommend(1, 3)
+
+    def test_count_based_fallback(self):
+        from repro.models import Popularity
+
+        split = tiny_split(seed=3)
+        histories = split.train_plus_valid()
+        pop = Popularity(split.num_users, NUM_ITEMS).fit_counts(histories)
+        serial = ScoringEngine(pop, histories)
+        users = list(range(split.num_users))
+        with ShardedScoringEngine(pop, histories, n_workers=2) as sharded:
+            assert np.array_equal(sharded.top_k(users, 5), serial.top_k(users, 5))
+
+    def test_serial_fallback_below_two_workers(self):
+        split = tiny_split(seed=4)
+        model = trained_model(split)
+        histories = split.train_plus_valid()
+        engine = ShardedScoringEngine(model, histories, n_workers=1)
+        try:
+            assert not engine.is_parallel
+            assert np.array_equal(
+                engine.top_k([0, 1], 3),
+                ScoringEngine(model, histories).top_k([0, 1], 3))
+        finally:
+            engine.close()
+
+    def test_validation_and_shutdown(self):
+        split = tiny_split(seed=5)
+        model = trained_model(split)
+        histories = split.train_plus_valid()
+        engine = ShardedScoringEngine(model, histories, n_workers=2)
+        with pytest.raises(ValueError):
+            engine.top_k([0], 0)
+        with pytest.raises(ValueError):
+            engine.score_all([split.num_users + 7])
+        workers = list(engine._workers)
+        engine.close()
+        assert all(not worker.is_alive() for worker in workers)
+        with pytest.raises(RuntimeError):
+            engine.score_all([0])
+        engine.close()  # idempotent
+
+    def test_evaluators_match_serial(self):
+        from repro.evaluation.coverage import beyond_accuracy_report
+        from repro.evaluation.evaluator import RankingEvaluator
+        from repro.evaluation.sampled import SampledRankingEvaluator
+
+        split = tiny_split(seed=6)
+        model = trained_model(split)
+        serial = RankingEvaluator(split, ks=(5, 10)).evaluate(model)
+        parallel = RankingEvaluator(split, ks=(5, 10), n_workers=2).evaluate(model)
+        assert serial.metrics == parallel.metrics
+        for name in serial.per_user:
+            assert np.array_equal(serial.per_user[name], parallel.per_user[name])
+
+        sampled_serial = SampledRankingEvaluator(split, num_negatives=10,
+                                                 seed=1).evaluate(model)
+        sampled_parallel = SampledRankingEvaluator(split, num_negatives=10,
+                                                   seed=1, n_workers=2).evaluate(model)
+        assert sampled_serial.metrics == sampled_parallel.metrics
+
+        assert beyond_accuracy_report(model, split, k=5) == \
+            beyond_accuracy_report(model, split, k=5, n_workers=2)
+
+
+# ---------------------------------------------------------------------- #
+# Worker-pool data loader
+# ---------------------------------------------------------------------- #
+def _loader_stream(instances, seen, n_workers: int, epochs: int = 2):
+    batches = []
+    with ParallelBatchLoader(instances, NUM_ITEMS, seen, batch_size=16,
+                             num_negatives=2, seed=7, n_workers=n_workers,
+                             prefetch_batches=3) as loader:
+        for epoch in range(epochs):
+            for batch in loader.epoch(epoch):
+                batches.append((batch.users, batch.inputs, batch.targets,
+                                batch.negatives))
+    return batches
+
+
+class TestParallelBatchLoader:
+    @pytest.fixture(scope="class")
+    def workload(self):
+        rng = np.random.default_rng(8)
+        sequences = [rng.integers(0, NUM_ITEMS, size=rng.integers(6, 25)).tolist()
+                     for _ in range(24)]
+        instances = build_training_instances(sequences, num_items=NUM_ITEMS,
+                                             n_h=4, n_p=3)
+        return instances, SeenIndex.from_histories(sequences, NUM_ITEMS)
+
+    def test_deterministic_for_any_worker_count(self, workload):
+        """The satellite contract: the stream is identical for 0/1/2 workers."""
+        instances, seen = workload
+        serial = _loader_stream(instances, seen, n_workers=0)
+        assert serial  # non-empty workload
+        for n_workers in (1, 2):
+            parallel = _loader_stream(instances, seen, n_workers=n_workers)
+            assert len(parallel) == len(serial)
+            for ours, theirs in zip(serial, parallel):
+                for a, b in zip(ours, theirs):
+                    assert np.array_equal(a, b)
+
+    def test_negatives_avoid_seen_items(self, workload):
+        instances, seen = workload
+        for users, _, _, negatives in _loader_stream(instances, seen, 0, epochs=1):
+            flat_users = np.repeat(users, negatives.shape[1])
+            assert not seen.contains(flat_users, negatives.reshape(-1)).any()
+
+    def test_epochs_differ(self, workload):
+        instances, seen = workload
+        stream = _loader_stream(instances, seen, 0, epochs=2)
+        half = len(stream) // 2
+        assert not np.array_equal(stream[0][3], stream[half][3])
+
+    def test_trainer_with_loader_workers(self):
+        split = tiny_split(seed=9)
+        config = TrainingConfig(num_epochs=2, batch_size=32, seed=0,
+                                keep_best=False, loader_workers=2)
+        model = create_model("HAMm", split.num_users, NUM_ITEMS,
+                             rng=np.random.default_rng(0),
+                             embedding_dim=8, n_h=4, n_l=2)
+        result = Trainer(model, config).fit(split.train_plus_valid())
+        assert len(result.epoch_losses) == 2
+        assert all(np.isfinite(loss) for loss in result.epoch_losses)
+
+        # Same seed, same worker count -> bit-identical parameters.
+        rerun = create_model("HAMm", split.num_users, NUM_ITEMS,
+                             rng=np.random.default_rng(0),
+                             embedding_dim=8, n_h=4, n_l=2)
+        rerun_result = Trainer(rerun, config).fit(split.train_plus_valid())
+        assert result.epoch_losses == rerun_result.epoch_losses
+        for (name, ours), (_, theirs) in zip(model.named_parameters(),
+                                             rerun.named_parameters()):
+            assert np.array_equal(ours.data, theirs.data), name
+
+    def test_validation(self, workload):
+        instances, seen = workload
+        with pytest.raises(ValueError):
+            ParallelBatchLoader(instances, NUM_ITEMS, seen, batch_size=0)
+        with pytest.raises(ValueError):
+            ParallelBatchLoader(instances, NUM_ITEMS, seen, batch_size=4,
+                                prefetch_batches=0)
+        loader = ParallelBatchLoader(instances, NUM_ITEMS, seen, batch_size=4)
+        loader.close()
+        with pytest.raises(RuntimeError):
+            next(loader.epoch(0))
+
+
+# ---------------------------------------------------------------------- #
+# Fused BPR forward
+# ---------------------------------------------------------------------- #
+class TestFusedScoring:
+    def test_matches_two_pass_forward_and_backward(self):
+        model = create_model("HAMs_m", 6, NUM_ITEMS,
+                             rng=np.random.default_rng(0),
+                             embedding_dim=8, n_h=4, n_l=2)
+        rng = np.random.default_rng(1)
+        users = rng.integers(0, 6, size=5)
+        inputs = rng.integers(0, NUM_ITEMS, size=(5, 4))
+        positives = rng.integers(0, NUM_ITEMS, size=(5, 3))
+        negatives = rng.integers(0, NUM_ITEMS, size=(5, 3))
+
+        fused_pos, fused_neg = model.score_item_pairs(users, inputs,
+                                                      positives, negatives)
+        two_pos = model.score_items(users, inputs, positives)
+        two_neg = model.score_items(users, inputs, negatives)
+        assert np.allclose(fused_pos.data, two_pos.data, rtol=0, atol=1e-12)
+        assert np.allclose(fused_neg.data, two_neg.data, rtol=0, atol=1e-12)
+
+        (fused_pos - fused_neg).sum().backward()
+        fused_grads = {name: np.array(param.grad, copy=True)
+                       for name, param in model.named_parameters()
+                       if param.grad is not None}
+        model.zero_grad()
+        (two_pos - two_neg).sum().backward()
+        for name, param in model.named_parameters():
+            if param.grad is None:
+                assert name not in fused_grads
+                continue
+            assert np.allclose(fused_grads[name], param.grad,
+                               rtol=1e-10, atol=1e-12), name
+
+    def test_trainer_fused_matches_two_pass_losses(self):
+        split = tiny_split(seed=10)
+
+        def run(fused: bool):
+            model = create_model("HAMm", split.num_users, NUM_ITEMS,
+                                 rng=np.random.default_rng(0),
+                                 embedding_dim=8, n_h=4, n_l=2)
+            config = TrainingConfig(num_epochs=2, batch_size=32, seed=0,
+                                    keep_best=False, fused_scoring=fused)
+            return Trainer(model, config).fit(split.train_plus_valid())
+
+        fused, two_pass = run(True), run(False)
+        assert np.allclose(fused.epoch_losses, two_pass.epoch_losses,
+                           rtol=1e-6, atol=1e-9)
+
+
+# ---------------------------------------------------------------------- #
+# Checkpoint-to-engine serve path
+# ---------------------------------------------------------------------- #
+class TestCheckpointServing:
+    def test_engine_from_checkpoint_matches_trained_model(self, tmp_path):
+        from repro.serving import engine_from_checkpoint, model_from_checkpoint
+        from repro.training.checkpoint import save_checkpoint
+
+        split = tiny_split(seed=11)
+        model = trained_model(split)
+        histories = split.train_plus_valid()
+        hyperparameters = dict(embedding_dim=8, n_h=4, n_l=2)
+        path = save_checkpoint(model, tmp_path / "model.npz", metadata={
+            "method": "HAMs_m",
+            "model": {"num_users": split.num_users, "num_items": NUM_ITEMS},
+            "hyperparameters": hyperparameters,
+        })
+
+        rebuilt, metadata = model_from_checkpoint(path)
+        assert metadata["method"] == "HAMs_m"
+        assert rebuilt.compute_dtype() == model.compute_dtype()
+
+        reference = ScoringEngine(model, histories)
+        users = list(range(split.num_users))
+        engine = engine_from_checkpoint(path, histories)
+        assert np.array_equal(engine.score_all(users), reference.score_all(users))
+
+        with engine_from_checkpoint(path, histories, n_workers=2) as sharded:
+            assert np.array_equal(sharded.top_k(users, 5),
+                                  reference.top_k(users, 5))
+
+    def test_missing_metadata_requires_overrides(self, tmp_path):
+        from repro.serving import model_from_checkpoint
+        from repro.training.checkpoint import save_checkpoint
+
+        split = tiny_split(seed=12)
+        model = trained_model(split)
+        path = save_checkpoint(model, tmp_path / "bare.npz")
+        with pytest.raises(ValueError):
+            model_from_checkpoint(path)
+        rebuilt, _ = model_from_checkpoint(
+            path, method="HAMs_m", num_users=split.num_users,
+            num_items=NUM_ITEMS,
+            hyperparameters=dict(embedding_dim=8, n_h=4, n_l=2))
+        users = np.arange(split.num_users, dtype=np.int64)
+        inputs = np.full((split.num_users, model.input_length), model.pad_id,
+                         dtype=np.int64)
+        assert np.array_equal(rebuilt.score_all(users, inputs),
+                              model.score_all(users, inputs))
+
+
+# ---------------------------------------------------------------------- #
+# Unified benchmark schema
+# ---------------------------------------------------------------------- #
+class TestBenchSchema:
+    def test_envelope_and_history_append(self, tmp_path):
+        from repro.bench_schema import (
+            read_bench_history,
+            read_bench_report,
+            write_bench_report,
+        )
+
+        path = tmp_path / "BENCH_x.json"
+        write_bench_report(path, "x", {"speedup": 3.0}, headline={"speedup": 3.0})
+        write_bench_report(path, "x", {"speedup": 4.0}, headline={"speedup": 4.0})
+        report = read_bench_report(path)
+        assert report == {"speedup": 4.0}
+        history = read_bench_history(path)
+        assert [row["speedup"] for row in history] == [3.0, 4.0]
+        assert all("generated_at" in row for row in history)
+
+    def test_reads_legacy_flat_files(self, tmp_path):
+        import json
+
+        from repro.bench_schema import read_bench_history, read_bench_report
+
+        path = tmp_path / "BENCH_legacy.json"
+        path.write_text(json.dumps({"speedup": 2.5}), encoding="utf-8")
+        assert read_bench_report(path) == {"speedup": 2.5}
+        assert read_bench_history(path) == []
