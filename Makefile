@@ -1,0 +1,17 @@
+# Convenience targets; the canonical test command is in ROADMAP.md.
+
+PYTHON ?= python
+
+.PHONY: test test-fast docs-check bench-gateway
+
+test:
+	PYTHONPATH=src $(PYTHON) -m pytest -x -q
+
+test-fast:
+	PYTHONPATH=src $(PYTHON) -m pytest -m fast -q
+
+docs-check:
+	$(PYTHON) -m scripts.docs_check
+
+bench-gateway:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_gateway_throughput.py -q -s

@@ -1,10 +1,14 @@
-"""Shared ``BENCH_*.json`` schema, re-exported for the benchmark suite.
+"""Deprecated shim: import :mod:`repro.bench_schema` instead.
 
 The writer lives in :mod:`repro.bench_schema` so the library-side bench
 harnesses (``repro.serving.bench``, ``repro.training.bench``,
-``repro.parallel.bench``) can use it without depending on the test tree;
-this shim gives benchmark modules a local import path.
+``repro.parallel.bench``) can use it without depending on the test tree.
+This module only survives for callers that grew a ``benchmarks.schema``
+import while the schema lived here; it warns on import and will be
+removed once nothing triggers the warning.
 """
+
+import warnings
 
 from repro.bench_schema import (  # noqa: F401
     HISTORY_LIMIT,
@@ -13,4 +17,10 @@ from repro.bench_schema import (  # noqa: F401
     read_bench_history,
     read_bench_report,
     write_bench_report,
+)
+
+warnings.warn(
+    "benchmarks.schema is deprecated; import repro.bench_schema instead",
+    DeprecationWarning,
+    stacklevel=2,
 )

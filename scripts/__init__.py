@@ -1,0 +1,1 @@
+"""Repository tooling scripts (run as ``python -m scripts.<name>``)."""

@@ -1,0 +1,106 @@
+"""Validate intra-repo links in the Markdown documentation.
+
+Scans ``README.md`` and every ``docs/*.md`` page for Markdown links and
+reference-style definitions, and verifies that each repo-relative target
+resolves to an existing file or directory.  External links
+(``http(s)://``, ``mailto:``) are not fetched — this checker only keeps
+the *internal* documentation graph from rotting as files move.
+
+Run it directly::
+
+    python -m scripts.docs_check          # from the repo root
+    make docs-check
+
+or through the fast test tier (``tests/test_docs_check.py``), which
+fails the suite on the first broken link.
+
+Exit status: 0 when every link resolves, 1 otherwise (one line per
+broken link on stderr).
+"""
+
+from __future__ import annotations
+
+import re
+import sys
+from pathlib import Path
+
+__all__ = ["check_file", "check_repo", "collect_links", "main"]
+
+#: Inline links ``[text](target)`` — images included via the optional
+#: leading ``!`` — plus reference definitions ``[label]: target``.
+_INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+_REFERENCE_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+_FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+#: Schemes that point outside the repository and are skipped.
+_EXTERNAL_PREFIXES = ("http://", "https://", "mailto:", "ftp://")
+
+
+def collect_links(text: str) -> list[str]:
+    """All link targets in ``text``, fenced code blocks excluded."""
+    prose = _FENCE.sub("", text)
+    targets = _INLINE_LINK.findall(prose)
+    targets += _REFERENCE_DEF.findall(prose)
+    return targets
+
+
+def _is_external(target: str) -> bool:
+    return target.startswith(_EXTERNAL_PREFIXES)
+
+
+def check_file(path: Path, root: Path) -> list[str]:
+    """Broken-link descriptions for one Markdown file (empty = clean).
+
+    Targets are resolved relative to the file's own directory, must stay
+    inside ``root``, and must exist on disk.  Pure-fragment targets
+    (``#section``) are accepted; fragments on file targets are checked
+    for the file part only.
+    """
+    errors: list[str] = []
+    text = path.read_text(encoding="utf-8")
+    for target in collect_links(text):
+        if _is_external(target) or target.startswith("#"):
+            continue
+        file_part = target.split("#", 1)[0]
+        if not file_part:
+            continue
+        resolved = (path.parent / file_part).resolve()
+        relative = path.relative_to(root)
+        try:
+            resolved.relative_to(root.resolve())
+        except ValueError:
+            errors.append(f"{relative}: link escapes the repository: {target}")
+            continue
+        if not resolved.exists():
+            errors.append(f"{relative}: broken link: {target}")
+    return errors
+
+
+def check_repo(root: Path | None = None) -> list[str]:
+    """Broken links across ``README.md`` and ``docs/*.md`` under ``root``."""
+    root = Path(root) if root is not None else Path(__file__).resolve().parent.parent
+    pages = sorted(root.glob("docs/*.md"))
+    readme = root / "README.md"
+    if readme.exists():
+        pages.insert(0, readme)
+    errors: list[str] = []
+    for page in pages:
+        errors.extend(check_file(page, root))
+    return errors
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point: report broken links, exit 1 if any."""
+    root = Path(argv[0]) if argv else None
+    errors = check_repo(root)
+    for error in errors:
+        print(error, file=sys.stderr)
+    if errors:
+        print(f"docs-check: {len(errors)} broken link(s)", file=sys.stderr)
+        return 1
+    print("docs-check: all intra-repo documentation links resolve")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

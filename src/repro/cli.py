@@ -8,6 +8,8 @@ Usage examples::
     repro-ham train --dataset cds --method HAMs_m --setting 80-20-CUT
     repro-ham serve --dataset cds --users 0 1 2 --k 10
     repro-ham serve --checkpoint model.npz --workers 4 --users 0 1 2
+    repro-ham serve --dataset cds --gateway --max-batch 32 --max-wait-ms 2 \
+              --cache-size 256 --cache-ttl 30 --users 0 1 2
     repro-ham bench-serve --dataset cds --out BENCH_serving.json
     repro-ham bench-train --items 8000 --out BENCH_training.json
     repro-ham bench-parallel --workers 4 --out BENCH_parallel.json
@@ -81,6 +83,23 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", type=int, default=0,
                        help="shard the engine over this many worker processes "
                             "(shared-memory fan-out; <= 1 stays in-process)")
+    serve.add_argument("--gateway", action="store_true",
+                       help="serve through the online gateway: requests are "
+                            "coalesced into engine micro-batches and hot "
+                            "users are answered from the score-row cache")
+    serve.add_argument("--max-batch", type=int, default=32,
+                       help="gateway flush threshold: flush as soon as this "
+                            "many requests are queued")
+    serve.add_argument("--max-wait-ms", type=float, default=2.0,
+                       help="gateway flush deadline: maximum milliseconds the "
+                            "oldest queued request waits before its batch is "
+                            "flushed regardless of size")
+    serve.add_argument("--cache-size", type=int, default=256,
+                       help="gateway score-row cache capacity (rows; 0 "
+                            "disables caching)")
+    serve.add_argument("--cache-ttl", type=float, default=None,
+                       help="gateway score-row cache TTL in seconds "
+                            "(default: no expiry)")
 
     bench = subparsers.add_parser(
         "bench-serve", help="benchmark cached (engine) vs uncached per-request scoring")
@@ -228,9 +247,11 @@ def _train_for_serving(dataset: str, method: str, setting: str, scale: str | Non
 def _command_serve(dataset: str, method: str, setting: str, scale: str | None,
                    epochs: int | None, seed: int, users: list[int], k: int,
                    explain: bool = False, checkpoint: str | None = None,
-                   workers: int = 0) -> int:
+                   workers: int = 0, gateway: bool = False,
+                   max_batch: int = 32, max_wait_ms: float = 2.0,
+                   cache_size: int = 256, cache_ttl: float | None = None) -> int:
     from repro.parallel import make_scoring_engine
-    from repro.serving import model_from_checkpoint, explain_ham_scores
+    from repro.serving import ServingGateway, model_from_checkpoint, explain_ham_scores
     from repro.models.ham import HAM
 
     if checkpoint is not None:
@@ -252,10 +273,36 @@ def _command_serve(dataset: str, method: str, setting: str, scale: str | None,
               f"(user ranges, shared-memory snapshot)")
     print(model.describe())
 
-    try:
-        batches = engine.recommend_batch(users, k)
-    finally:
-        engine.close()
+    if gateway:
+        # Online front-end: every user becomes one single-user request,
+        # coalesced by the flusher into engine micro-batches (results
+        # are bit-identical to engine.recommend_batch).
+        engine_name = f"ServingGateway[{engine_name}]"
+        try:
+            front = ServingGateway(engine, max_batch=max_batch,
+                                   max_wait_ms=max_wait_ms,
+                                   cache_size=cache_size,
+                                   cache_ttl_s=cache_ttl, own_engine=True)
+        except Exception:
+            engine.close()
+            raise
+        with front:
+            futures = [front.submit(user, k) for user in users]
+            batches = [future.recommendations() for future in futures]
+            stats = front.stats()
+        cache = stats.cache
+        cache_line = (
+            f", cache {cache.hits}/{cache.requests} hits" if cache else ""
+        )
+        print(f"gateway: {stats.requests} requests in {stats.batches} "
+              f"micro-batches (max {stats.max_batch_observed}, "
+              f"{stats.flush_full} full / {stats.flush_deadline} deadline "
+              f"flushes{cache_line})")
+    else:
+        try:
+            batches = engine.recommend_batch(users, k)
+        finally:
+            engine.close()
     rows = []
     for user, recommendations in zip(users, batches):
         for entry in recommendations:
@@ -346,7 +393,11 @@ def main(argv: list[str] | None = None) -> int:
         return _command_serve(args.dataset, args.method, args.setting,
                               args.scale, args.epochs, args.seed,
                               users=args.users, k=args.k, explain=args.explain,
-                              checkpoint=args.checkpoint, workers=args.workers)
+                              checkpoint=args.checkpoint, workers=args.workers,
+                              gateway=args.gateway, max_batch=args.max_batch,
+                              max_wait_ms=args.max_wait_ms,
+                              cache_size=args.cache_size,
+                              cache_ttl=args.cache_ttl)
     if args.command == "bench-serve":
         return _command_bench_serve(args.dataset, args.method, args.setting,
                                     args.scale, args.epochs, args.seed,

@@ -11,7 +11,8 @@ keeping the single-process results bit-for-bit reproducible:
   CSR seen-item arrays are shared once, and ``score_all`` /
   ``masked_scores`` / ``top_k`` requests fan out to persistent workers
   by user-range shard, bit-identical to the serial
-  :class:`~repro.serving.engine.ScoringEngine`.
+  :class:`~repro.serving.engine.ScoringEngine`; ``observe()`` routes
+  incremental updates to the owning worker (no snapshot rebuild).
 * :class:`~repro.parallel.loader.ParallelBatchLoader` — the training
   half: batch gathering and vectorized negative sampling run in worker
   processes attached to the shared ``SeenIndex``, feeding the optimizer

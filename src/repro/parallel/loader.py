@@ -209,10 +209,12 @@ class ParallelBatchLoader:
 
     @property
     def num_instances(self) -> int:
+        """Training instances per epoch (before batching)."""
         return len(self.instances)
 
     @property
     def is_parallel(self) -> bool:
+        """Whether batches are built by worker processes."""
         return self.n_workers > 0
 
     # ------------------------------------------------------------------ #

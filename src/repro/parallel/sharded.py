@@ -119,6 +119,7 @@ def _shard_worker_main(layout: ArenaLayout, model: SequentialRecommender,
             frozen=frozen,
             exclude_seen=options["exclude_seen"],
             micro_batch_size=options["micro_batch_size"],
+            observable=True,
         )
         while True:
             message = task_queue.get()
@@ -134,6 +135,13 @@ def _shard_worker_main(layout: ArenaLayout, model: SequentialRecommender,
                     payload = engine.top_k(users, **kwargs)
                 elif method == "recommend_batch":
                     payload = engine.recommend_batch(users, **kwargs)
+                elif method == "observe":
+                    # Shard-local incremental update: shifts the user's
+                    # padded input row (writable shm), extends their
+                    # seen array and invalidates one cached
+                    # representation — no snapshot rebuild anywhere.
+                    engine.observe(int(users[0]), int(kwargs["item"]))
+                    payload = True
                 elif method == "materialize":
                     shard_users = np.arange(users[0], users[1], dtype=np.int64)
                     if engine._rep_valid is not None:
@@ -207,8 +215,13 @@ class ShardedScoringEngine:
             self._serial = ScoringEngine(model, histories, exclude_seen=exclude_seen,
                                          micro_batch_size=micro_batch_size,
                                          precompute=precompute)
+            self._histories = None  # the serial engine owns the lists
             self._bounds = shard_bounds(self.num_users, 1)
             return
+
+        # Parent-side history bookkeeping (history() parity with the
+        # serial engine); the scoring state itself lives in the workers.
+        self._histories = [list(histories[user]) for user in range(self.num_users)]
 
         # ---- materialize the shared, read-only state once ------------- #
         # Like the serial engine, only the first num_users histories are
@@ -235,7 +248,10 @@ class ShardedScoringEngine:
             arrays["candidates"] = frozen.candidate_embeddings
             if frozen.item_bias is not None:
                 arrays["item_bias"] = frozen.item_bias
-        self._arena = SharedArena.publish(arrays)
+        # "inputs" stays worker-writable: each padded row is owned by
+        # exactly one shard, whose task queue serializes the observe()
+        # updates against that shard's scoring requests.
+        self._arena = SharedArena.publish(arrays, writable_keys={"inputs"})
 
         self._bounds = shard_bounds(self.num_users, self.n_workers)
         options = {
@@ -282,6 +298,45 @@ class ShardedScoringEngine:
         """Shard index of each user id."""
         users = np.asarray(users, dtype=np.int64)
         return np.searchsorted(self._bounds, users, side="right") - 1
+
+    def history(self, user: int) -> list[int]:
+        """Copy of the engine's current history of ``user``."""
+        if not 0 <= user < self.num_users:
+            raise ValueError(f"user id {user} outside [0, {self.num_users})")
+        if self._serial is not None:
+            return self._serial.history(user)
+        return list(self._histories[user])
+
+    def observe(self, user: int, item: int) -> None:
+        """Record a ``(user, item)`` interaction, shard-aware.
+
+        The update is routed to the worker owning ``user``'s range and
+        applied there through the serial engine's own ``observe`` — one
+        padded-row shift, one seen-array extension and one cached-
+        representation invalidation.  No snapshot is rebuilt and the
+        other shards are never touched.  The call returns once the
+        owning worker acknowledged the update, so a subsequent request
+        for the same user reflects it (per-shard task queues are FIFO).
+        """
+        if not 0 <= user < self.num_users:
+            raise ValueError(f"user id {user} outside [0, {self.num_users})")
+        if not 0 <= item < self.num_items:
+            raise ValueError(f"item id {item} outside [0, {self.num_items})")
+        if self._serial is not None:
+            self._serial.observe(user, item)
+            return
+        self._check_open()
+        shard = int(self.shard_of(np.asarray([user]))[0])
+        self._request_counter += 1
+        request_id = self._request_counter
+        self._task_queues[shard].put(
+            (request_id, "observe", np.asarray([user], dtype=np.int64),
+             {"item": int(item)}))
+        self._collect({request_id: shard})
+        # Record the interaction only after the owning worker's ack, so
+        # a failed/retried observe cannot leave history() diverged from
+        # the shard's actual scoring state.
+        self._histories[user].append(item)
 
     # ------------------------------------------------------------------ #
     # Request plumbing

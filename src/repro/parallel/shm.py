@@ -40,14 +40,22 @@ _ALIGNMENT = 64  # cache-line alignment for each packed array
 
 @dataclass(frozen=True)
 class SharedArraySpec:
-    """Location of one array inside a shared segment (picklable)."""
+    """Location of one array inside a shared segment (picklable).
+
+    ``writable`` marks the array as mutable from attached workers —
+    the exception to the arena's read-only rule, used for state that is
+    owned exclusively by one worker (e.g. the sharded engine's padded
+    input rows, evolved by shard-routed ``observe()`` calls).
+    """
 
     offset: int
     shape: tuple[int, ...]
     dtype: str
+    writable: bool = False
 
     @property
     def nbytes(self) -> int:
+        """Payload size of the array in bytes (alignment padding excluded)."""
         return int(np.dtype(self.dtype).itemsize * int(np.prod(self.shape, dtype=np.int64)))
 
 
@@ -85,7 +93,7 @@ class SharedArena:
         for key, spec in layout.specs.items():
             view = np.ndarray(spec.shape, dtype=np.dtype(spec.dtype),
                               buffer=segment.buf, offset=spec.offset)
-            if not owner:
+            if not owner and not spec.writable:
                 view.flags.writeable = False
             self._arrays[key] = view
 
@@ -93,15 +101,25 @@ class SharedArena:
     # Constructors
     # ------------------------------------------------------------------ #
     @classmethod
-    def publish(cls, arrays: dict[str, np.ndarray]) -> "SharedArena":
-        """Copy ``arrays`` into one new shared segment (parent side)."""
+    def publish(cls, arrays: dict[str, np.ndarray],
+                writable_keys: frozenset[str] | set[str] = frozenset()) -> "SharedArena":
+        """Copy ``arrays`` into one new shared segment (parent side).
+
+        Keys listed in ``writable_keys`` stay writable in attached
+        workers (see :class:`SharedArraySpec`); everything else is
+        mapped read-only on the worker side.
+        """
+        unknown = set(writable_keys) - set(arrays)
+        if unknown:
+            raise KeyError(f"writable_keys not in arrays: {sorted(unknown)}")
         specs: dict[str, SharedArraySpec] = {}
         offset = 0
         contiguous = {key: np.ascontiguousarray(value) for key, value in arrays.items()}
         for key, value in contiguous.items():
             offset = _aligned(offset)
             specs[key] = SharedArraySpec(offset=offset, shape=tuple(value.shape),
-                                         dtype=value.dtype.str)
+                                         dtype=value.dtype.str,
+                                         writable=key in writable_keys)
             offset += value.nbytes
         name = f"{SHM_PREFIX}-{os.getpid()}-{secrets.token_hex(4)}"
         segment = shared_memory.SharedMemory(name=name, create=True, size=max(offset, 1))
@@ -127,6 +145,7 @@ class SharedArena:
         return self._arrays[key]
 
     def keys(self):
+        """The published array names."""
         return self._arrays.keys()
 
     # ------------------------------------------------------------------ #

@@ -17,8 +17,17 @@ on top of a trained model:
 * :func:`~repro.serving.explain.explain_ham_score` /
   :func:`~repro.serving.explain.explain_ham_scores` — per-factor
   decompositions of HAM's linear score (Eq. 7/8).
+* :class:`~repro.serving.gateway.ServingGateway` — the online request
+  front-end: coalesces concurrent single-user requests into engine
+  micro-batches (bounded queue, ``max_batch``/``max_wait_ms`` flush
+  policy) and layers a hot-user
+  :class:`~repro.serving.cache.ScoreRowCache` (LRU + TTL) over the
+  engine's representation cache; results stay bit-identical to direct
+  engine calls (``repro-ham serve --gateway``).
 * :func:`~repro.serving.bench.run_serving_benchmark` — the cached-vs-
-  uncached latency harness behind ``repro-ham bench-serve``.
+  uncached latency harness behind ``repro-ham bench-serve`` — and
+  :func:`~repro.serving.gateway_bench.run_gateway_benchmark`, the
+  batched-vs-unbatched throughput harness behind ``BENCH_gateway.json``.
 * :func:`~repro.serving.deploy.engine_from_checkpoint` — rebuild a
   trained model from a ``.npz`` checkpoint and serve it (serially or
   sharded over worker processes) without the trainer stack
@@ -26,6 +35,8 @@ on top of a trained model:
 """
 
 from repro.serving.engine import Recommendation, ScoringEngine
+from repro.serving.cache import CacheStats, ScoreRowCache
+from repro.serving.gateway import GatewayFuture, GatewayStats, ServingGateway
 from repro.serving.deploy import engine_from_checkpoint, model_from_checkpoint
 from repro.serving.recommender import Recommender
 from repro.serving.explain import (
@@ -39,10 +50,20 @@ from repro.serving.bench import (
     run_serving_benchmark,
     write_report,
 )
+from repro.serving.gateway_bench import (
+    GatewayBenchReport,
+    run_gateway_benchmark,
+    write_gateway_report,
+)
 
 __all__ = [
     "Recommendation",
     "ScoringEngine",
+    "CacheStats",
+    "ScoreRowCache",
+    "GatewayFuture",
+    "GatewayStats",
+    "ServingGateway",
     "Recommender",
     "engine_from_checkpoint",
     "model_from_checkpoint",
@@ -53,4 +74,7 @@ __all__ = [
     "ServingBenchReport",
     "run_serving_benchmark",
     "write_report",
+    "GatewayBenchReport",
+    "run_gateway_benchmark",
+    "write_gateway_report",
 ]

@@ -45,6 +45,7 @@ class LatencyStats:
 
     @staticmethod
     def from_seconds(latencies: list[float]) -> "LatencyStats":
+        """Build the stats row from raw per-request latencies (seconds)."""
         values = np.asarray(latencies, dtype=np.float64)
         total = float(values.sum())
         return LatencyStats(
@@ -74,9 +75,11 @@ class ServingBenchReport:
     speedup: float
 
     def as_dict(self) -> dict:
+        """Plain-dict form for the ``BENCH_serving.json`` payload."""
         return asdict(self)
 
     def summary(self) -> str:
+        """One-line human-readable verdict."""
         return (
             f"{self.model_name}: cached p50 {self.cached.p50_ms:.3f} ms "
             f"(p95 {self.cached.p95_ms:.3f} ms, {self.cached.throughput_rps:.0f} req/s) "

@@ -1,0 +1,212 @@
+"""Hot-user score-row cache: LRU eviction, optional TTL, counted.
+
+The :class:`~repro.serving.engine.ScoringEngine` already caches the
+expensive half of a request — the per-user *representation* — but every
+``top_k`` still pays the ``(d,) @ (d, num_items)`` matmul plus the seen
+mask.  Real traffic is heavily skewed: a small set of hot users issues
+most requests, and between two requests of the same user nothing about
+their score row changes unless ``observe()`` recorded a new interaction
+or the model was re-frozen.
+
+:class:`ScoreRowCache` closes that gap for the
+:class:`~repro.serving.gateway.ServingGateway`: it keeps the most
+recently used masked/raw score rows (one ``(num_items,)`` float vector
+per entry, an owned copy so no batch matrix is pinned alive), evicts in
+LRU order once ``capacity`` is reached, and optionally expires entries
+``ttl_s`` seconds after insertion — the freshness bound for deployments
+where the engine is periodically re-frozen behind the gateway's back.
+Every outcome is counted (hits, misses, evictions, expirations,
+invalidations) and surfaced through :meth:`stats`, which the gateway
+folds into its own stats report.
+
+The cache is deliberately *not* thread-safe: the gateway serializes all
+engine and cache access behind its execution lock, and keeping the lock
+out of the cache keeps single-threaded reuse (tests, offline replays)
+free of locking overhead.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from collections import OrderedDict
+from typing import Callable, Hashable
+
+import numpy as np
+
+__all__ = ["CacheStats", "ScoreRowCache"]
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Counter snapshot of one :class:`ScoreRowCache`.
+
+    ``hits``/``misses`` count :meth:`ScoreRowCache.get` outcomes (an
+    expired entry counts as both an expiration and a miss);
+    ``evictions`` counts capacity-driven LRU drops, ``invalidations``
+    explicit per-user/``clear`` removals.  ``size`` is the current
+    number of live entries and ``capacity``/``ttl_s`` echo the cache
+    configuration so a stats row is self-describing.
+    """
+
+    capacity: int
+    ttl_s: float | None
+    size: int
+    hits: int
+    misses: int
+    evictions: int
+    expirations: int
+    invalidations: int
+
+    @property
+    def requests(self) -> int:
+        """Total lookups (hits + misses)."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        total = self.requests
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        """Plain-dict form (counters plus derived ``hit_rate``)."""
+        payload = asdict(self)
+        payload["hit_rate"] = self.hit_rate
+        return payload
+
+
+class ScoreRowCache:
+    """Capacity-bounded LRU + TTL cache of per-user score rows.
+
+    Parameters
+    ----------
+    capacity:
+        Maximum number of cached rows; inserting beyond it evicts the
+        least recently used entry.  Must be positive — callers that want
+        caching off should not construct a cache at all.
+    ttl_s:
+        Optional time-to-live in seconds.  An entry older than this is
+        treated as absent on lookup (counted as an expiration) and
+        removed.  ``None`` disables expiry.
+    clock:
+        Monotonic time source, injectable for deterministic TTL tests.
+
+    Keys are arbitrary hashables; the gateway uses ``(user, masked)``
+    pairs so the masked and unmasked row of one user live as separate
+    entries, and :meth:`invalidate_user` drops both at once.
+    """
+
+    def __init__(self, capacity: int, ttl_s: float | None = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        if ttl_s is not None and ttl_s <= 0:
+            raise ValueError("ttl_s must be positive (or None to disable)")
+        self.capacity = int(capacity)
+        self.ttl_s = ttl_s
+        self._clock = clock
+        self._entries: OrderedDict[Hashable, tuple[np.ndarray, float | None]] = OrderedDict()
+        self._hits = 0
+        self._misses = 0
+        self._evictions = 0
+        self._expirations = 0
+        self._invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        """Whether ``key`` holds a live (non-expired) entry.
+
+        Does not touch the LRU order or the hit/miss counters, but does
+        drop (and count) an expired entry it finds.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            return False
+        if self._expired(entry):
+            del self._entries[key]
+            self._expirations += 1
+            return False
+        return True
+
+    def _expired(self, entry: tuple[np.ndarray, float | None]) -> bool:
+        expires_at = entry[1]
+        return expires_at is not None and self._clock() >= expires_at
+
+    def get(self, key: Hashable) -> np.ndarray | None:
+        """The cached row for ``key``, or ``None`` on miss/expiry.
+
+        A hit refreshes the entry's LRU position.  The returned array is
+        the cache's own copy — callers must not mutate it.
+        """
+        entry = self._entries.get(key)
+        if entry is None:
+            self._misses += 1
+            return None
+        if self._expired(entry):
+            del self._entries[key]
+            self._expirations += 1
+            self._misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self._hits += 1
+        return entry[0]
+
+    def put(self, key: Hashable, row: np.ndarray) -> np.ndarray:
+        """Insert (or replace) the row for ``key``; returns the stored copy.
+
+        Stores an owned copy of ``row`` so cached entries never pin a
+        batch score matrix alive, and returns that copy so callers can
+        serve it without copying a second time (they must not mutate
+        it).  Replacing an existing key refreshes its LRU position and
+        TTL deadline; inserting a new key beyond ``capacity`` evicts the
+        least recently used entry first.
+        """
+        if key not in self._entries and len(self._entries) >= self.capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+        expires_at = None if self.ttl_s is None else self._clock() + self.ttl_s
+        stored = np.array(row, copy=True)
+        self._entries[key] = (stored, expires_at)
+        self._entries.move_to_end(key)
+        return stored
+
+    def invalidate(self, key: Hashable) -> bool:
+        """Drop one entry; returns whether it existed."""
+        if key in self._entries:
+            del self._entries[key]
+            self._invalidations += 1
+            return True
+        return False
+
+    def invalidate_user(self, user: int) -> int:
+        """Drop every row of ``user`` (masked and raw); returns the count.
+
+        This is the ``observe()`` hook: a new interaction changes both
+        the user's representation and their seen mask, so neither cached
+        row may survive.
+        """
+        removed = 0
+        for masked in (False, True):
+            removed += self.invalidate((user, masked))
+        return removed
+
+    def clear(self) -> None:
+        """Drop every entry (counted as invalidations)."""
+        self._invalidations += len(self._entries)
+        self._entries.clear()
+
+    def stats(self) -> CacheStats:
+        """Counter snapshot (see :class:`CacheStats`)."""
+        return CacheStats(
+            capacity=self.capacity,
+            ttl_s=self.ttl_s,
+            size=len(self._entries),
+            hits=self._hits,
+            misses=self._misses,
+            evictions=self._evictions,
+            expirations=self._expirations,
+            invalidations=self._invalidations,
+        )

@@ -154,6 +154,9 @@ class ScoringEngine:
         self._frozen: FrozenScorer | None = None
         self._representations: np.ndarray | None = None
         self._rep_valid: np.ndarray | None = None
+        # History-less snapshot engines raise on observe() unless
+        # from_snapshot() opted them in (the shard workers do).
+        self._snapshot_observable = False
 
     def _alloc_representation_cache(self) -> None:
         # The cache matches the model's compute dtype so the cached path
@@ -170,7 +173,8 @@ class ScoringEngine:
                       seen_items: list[np.ndarray] | None,
                       frozen: FrozenScorer | None,
                       exclude_seen: bool = True,
-                      micro_batch_size: int = 1024) -> "ScoringEngine":
+                      micro_batch_size: int = 1024,
+                      observable: bool = False) -> "ScoringEngine":
         """Build an engine directly from pre-materialized arrays.
 
         This is the constructor the multi-process substrate uses: a shard
@@ -181,8 +185,13 @@ class ScoringEngine:
         path, which is what makes sharded results bit-identical to the
         single-process engine.
 
-        Snapshot engines are request-only: they have no history lists, so
-        :meth:`observe` and :meth:`history` raise.
+        Snapshot engines have no history lists, so :meth:`history`
+        raises.  By default :meth:`observe` raises too; ``observable=True``
+        opts a snapshot engine into incremental updates — ``inputs`` must
+        then be writable (the shard workers attach their padded-input
+        block writable for exactly this) and ``observe`` evolves the
+        padded row, the per-user seen array and the representation-cache
+        validity bit without a backing history list.
         """
         engine = cls.__new__(cls)
         engine._wire_core(model, exclude_seen, micro_batch_size)
@@ -190,6 +199,9 @@ class ScoringEngine:
         engine._live = False
         engine._cache_representations = frozen is not None
         engine._histories = None
+        engine._snapshot_observable = observable
+        if observable and not inputs.flags.writeable:
+            raise ValueError("observable=True needs writable inputs")
         if inputs.shape != (engine.num_users, engine.input_length):
             raise ValueError(
                 f"inputs shape {inputs.shape} does not match "
@@ -253,9 +265,14 @@ class ScoringEngine:
         self._validate_user(user)
         self._validate_item(item)
         if self._histories is None:
-            raise RuntimeError("snapshot engines are read-only; observe() is "
-                               "only available on engines built from histories")
-        self._histories[user].append(item)
+            if not self._snapshot_observable:
+                raise RuntimeError(
+                    "snapshot engines are read-only; observe() is only "
+                    "available on engines built from histories or snapshots "
+                    "taken with observable=True"
+                )
+        else:
+            self._histories[user].append(item)
         if self._inputs is not None:
             row = self._inputs[user]
             row[:-1] = row[1:]

@@ -49,6 +49,7 @@ class HAMScoreExplanation:
         return max(contributions, key=contributions.get)
 
     def as_row(self) -> dict:
+        """Flat dict form of the decomposition (one table row per item)."""
         return {
             "user": self.user,
             "item": self.item,

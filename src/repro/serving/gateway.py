@@ -1,0 +1,442 @@
+"""Online serving gateway: async micro-batching over the scoring engine.
+
+The engines serve *batches* cheaply — one ``(B, d) @ (d, num_items)``
+matmul amortizes all per-request overhead — but online traffic arrives
+as *single-user* requests.  The :class:`ServingGateway` is the front-end
+that reconciles the two: callers submit requests from any thread and get
+a :class:`GatewayFuture` back immediately; a background flusher thread
+coalesces whatever is queued into one engine batch and resolves all the
+futures at once.  A batch is flushed as soon as either
+
+* ``max_batch`` requests are waiting (**flush-on-full**), or
+* the oldest queued request has waited ``max_wait_ms`` milliseconds
+  (**flush-on-deadline**) — the knob that trades p95 latency against
+  batching efficiency (see ``docs/serving.md``).
+
+Layered over the engine's per-user *representation* cache, the gateway
+keeps a :class:`~repro.serving.cache.ScoreRowCache` of finished *score
+rows* (LRU + TTL): a hot user's repeat request skips the engine
+entirely and re-ranks the cached ``(num_items,)`` row.  Because the
+cached row is bit-for-bit the row the engine would recompute (until
+``observe``/``refresh`` invalidates it), gateway results are
+**bit-identical** to direct ``ScoringEngine.top_k`` calls — asserted by
+the test suite and the ``BENCH_gateway.json`` harness.
+
+``observe(user, item)`` forwards the interaction to the engine (which
+routes it to the owning shard when the engine is a
+:class:`~repro.parallel.sharded.ShardedScoringEngine`) and drops only
+that user's cached rows.
+
+The gateway works over any engine exposing the scoring API
+(``score_all`` / ``masked_scores`` / ``top_k`` / ``observe``) — the
+serial :class:`~repro.serving.engine.ScoringEngine` and the sharded
+multi-process engine alike.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.evaluation.ranking import top_k_items
+from repro.serving.cache import CacheStats, ScoreRowCache
+from repro.serving.engine import Recommendation
+
+__all__ = ["GatewayFuture", "GatewayStats", "ServingGateway"]
+
+
+class GatewayFuture:
+    """Handle to one in-flight gateway request.
+
+    Resolved by the flusher thread; :meth:`result` blocks the caller
+    until then.  Futures are single-assignment: exactly one of a value
+    or an error is ever set.
+    """
+
+    __slots__ = ("_event", "_ranked", "_scores", "_error")
+
+    def __init__(self):
+        self._event = threading.Event()
+        self._ranked: np.ndarray | None = None
+        self._scores: np.ndarray | None = None
+        self._error: BaseException | None = None
+
+    def done(self) -> bool:
+        """Whether the request has been resolved (value or error)."""
+        return self._event.is_set()
+
+    def _resolve(self, ranked: np.ndarray, scores: np.ndarray) -> None:
+        self._ranked = ranked
+        self._scores = scores
+        self._event.set()
+
+    def _fail(self, error: BaseException) -> None:
+        self._error = error
+        self._event.set()
+
+    def result(self, timeout: float | None = None) -> np.ndarray:
+        """The ranked top-k item ids (best first), blocking until ready.
+
+        Raises the batch's error if the engine call failed, and
+        ``TimeoutError`` if ``timeout`` seconds elapse first.
+        """
+        if not self._event.wait(timeout):
+            raise TimeoutError("gateway request did not complete in time")
+        if self._error is not None:
+            raise self._error
+        return self._ranked
+
+    def recommendations(self, timeout: float | None = None) -> list[Recommendation]:
+        """The result as :class:`Recommendation` entries (item/score/rank)."""
+        ranked = self.result(timeout)
+        return [
+            Recommendation(item=int(item), score=float(score), rank=rank)
+            for rank, (item, score) in enumerate(zip(ranked, self._scores))
+        ]
+
+
+@dataclass(frozen=True)
+class GatewayStats:
+    """Operational counters of one :class:`ServingGateway`.
+
+    ``flush_full`` / ``flush_deadline`` / ``flush_drain`` partition the
+    batches by what triggered them (queue reached ``max_batch``, the
+    oldest request hit ``max_wait_ms``, or the close-time drain).
+    ``cache`` is the embedded :class:`~repro.serving.cache.CacheStats`
+    snapshot, or ``None`` when the gateway was built with caching off.
+    """
+
+    requests: int
+    batches: int
+    flush_full: int
+    flush_deadline: int
+    flush_drain: int
+    max_batch_observed: int
+    mean_batch_size: float
+    cache: CacheStats | None = None
+
+    def as_dict(self) -> dict:
+        """Plain-dict form with the cache stats inlined."""
+        payload = {
+            "requests": self.requests,
+            "batches": self.batches,
+            "flush_full": self.flush_full,
+            "flush_deadline": self.flush_deadline,
+            "flush_drain": self.flush_drain,
+            "max_batch_observed": self.max_batch_observed,
+            "mean_batch_size": self.mean_batch_size,
+        }
+        if self.cache is not None:
+            payload["cache"] = self.cache.as_dict()
+        return payload
+
+
+@dataclass
+class _Request:
+    """One queued request plus its arrival stamp and future."""
+
+    user: int
+    k: int
+    masked: bool
+    arrived: float
+    future: GatewayFuture = field(default_factory=GatewayFuture)
+
+
+class ServingGateway:
+    """Async micro-batching front-end over a scoring engine.
+
+    Parameters
+    ----------
+    engine:
+        The engine requests are served from — a serial
+        :class:`~repro.serving.engine.ScoringEngine` or a
+        :class:`~repro.parallel.sharded.ShardedScoringEngine`.  The
+        gateway serializes every engine call behind one lock, so the
+        engine needs no thread-safety of its own.
+    max_batch:
+        Flush as soon as this many requests are queued.  Larger batches
+        amortize more per-call overhead; ``max_wait_ms`` bounds how long
+        a lone request waits for company.
+    max_wait_ms:
+        Maximum milliseconds the *oldest* queued request may wait before
+        its batch is flushed regardless of size — the direct p95-latency
+        knob.  ``0`` flushes every poll (micro-batches still form under
+        concurrent bursts).
+    cache_size:
+        Capacity of the hot-user score-row cache; ``0`` disables
+        caching entirely.
+    cache_ttl_s:
+        Optional TTL for cached rows (seconds); ``None`` keeps rows
+        until eviction or invalidation.
+    own_engine:
+        When true, :meth:`close` also closes the engine.
+
+    Notes
+    -----
+    The gateway starts its flusher thread at construction and must be
+    closed (it is also a context manager).  Requests still queued at
+    close time are drained, not dropped.
+    """
+
+    def __init__(self, engine, max_batch: int = 32, max_wait_ms: float = 2.0,
+                 cache_size: int = 256, cache_ttl_s: float | None = None,
+                 own_engine: bool = False):
+        if max_batch < 1:
+            raise ValueError("max_batch must be positive")
+        if max_wait_ms < 0:
+            raise ValueError("max_wait_ms must be non-negative")
+        if cache_size < 0:
+            raise ValueError("cache_size must be non-negative (0 disables)")
+        if cache_ttl_s is not None and cache_ttl_s <= 0:
+            raise ValueError("cache_ttl_s must be positive (or None to disable)")
+        self.engine = engine
+        self.max_batch = int(max_batch)
+        self.max_wait_s = float(max_wait_ms) / 1e3
+        self.cache = (ScoreRowCache(cache_size, ttl_s=cache_ttl_s)
+                      if cache_size else None)
+        self._own_engine = own_engine
+
+        self._lock = threading.Lock()
+        self._queued = threading.Condition(self._lock)
+        self._queue: deque[_Request] = deque()
+        self._closed = False
+
+        # Engine + cache access is serialized: the flusher thread and
+        # observe()/refresh() callers never touch them concurrently.
+        self._engine_lock = threading.Lock()
+
+        self._requests = 0
+        self._batches = 0
+        self._flush_full = 0
+        self._flush_deadline = 0
+        self._flush_drain = 0
+        self._batched_requests = 0
+        self._max_batch_observed = 0
+
+        self._thread = threading.Thread(target=self._run, name="gateway-flusher",
+                                        daemon=True)
+        self._thread.start()
+
+    # ------------------------------------------------------------------ #
+    # Request API
+    # ------------------------------------------------------------------ #
+    def submit(self, user: int, k: int = 10,
+               exclude_seen: bool | None = None) -> GatewayFuture:
+        """Enqueue one single-user top-k request; returns immediately.
+
+        ``exclude_seen=None`` inherits the engine's default.  Raises at
+        the call site on invalid ids so bad requests never poison a
+        batch.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        if not 0 <= user < self.engine.num_users:
+            raise ValueError(f"user id {user} outside [0, {self.engine.num_users})")
+        masked = bool(self.engine.exclude_seen if exclude_seen is None
+                      else exclude_seen)
+        request = _Request(user=int(user), k=int(k), masked=masked,
+                           arrived=time.monotonic())
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("gateway is closed")
+            self._queue.append(request)
+            self._requests += 1
+            self._queued.notify_all()
+        return request.future
+
+    def top_k(self, user: int, k: int = 10,
+              exclude_seen: bool | None = None) -> np.ndarray:
+        """Blocking top-k for one user (``submit`` + ``result``)."""
+        return self.submit(user, k, exclude_seen=exclude_seen).result()
+
+    def recommend(self, user: int, k: int = 10) -> list[Recommendation]:
+        """Blocking :class:`Recommendation` list for one user."""
+        return self.submit(user, k).recommendations()
+
+    def observe(self, user: int, item: int) -> None:
+        """Record a new interaction and invalidate the user's cached rows.
+
+        Delegates to ``engine.observe`` — which a sharded engine routes
+        to the owning user-range worker — then drops the user's score
+        rows from the gateway cache so the next request re-scores.
+        """
+        with self._engine_lock:
+            self.engine.observe(user, item)
+            if self.cache is not None:
+                self.cache.invalidate_user(user)
+
+    def refresh(self) -> None:
+        """Re-snapshot the engine's weights and clear the row cache.
+
+        Serial engines only: a sharded engine's frozen table lives in
+        an already-published shared-memory segment, so refreshing it
+        means building a new engine (raises ``NotImplementedError``).
+        """
+        refresh = getattr(self.engine, "refresh", None)
+        if refresh is None:
+            raise NotImplementedError(
+                f"{type(self.engine).__name__} cannot refresh in place; "
+                "build a new engine (and gateway) from the updated model"
+            )
+        with self._engine_lock:
+            refresh()
+            if self.cache is not None:
+                self.cache.clear()
+
+    def stats(self) -> GatewayStats:
+        """Operational counter snapshot (see :class:`GatewayStats`)."""
+        # The cache is only ever touched under the engine lock (its own
+        # documented contract), so its snapshot is taken there; the two
+        # locks are acquired sequentially, never nested.
+        cache_stats = None
+        if self.cache is not None:
+            with self._engine_lock:
+                cache_stats = self.cache.stats()
+        with self._lock:
+            batches = self._batches
+            mean = self._batched_requests / batches if batches else 0.0
+            snapshot = GatewayStats(
+                requests=self._requests,
+                batches=batches,
+                flush_full=self._flush_full,
+                flush_deadline=self._flush_deadline,
+                flush_drain=self._flush_drain,
+                max_batch_observed=self._max_batch_observed,
+                mean_batch_size=mean,
+                cache=cache_stats,
+            )
+        return snapshot
+
+    # ------------------------------------------------------------------ #
+    # Flusher
+    # ------------------------------------------------------------------ #
+    def _run(self) -> None:
+        while True:
+            batch, reason = self._next_batch()
+            if batch is None:
+                return
+            # Count the batch *before* resolving its futures: a caller
+            # unblocked by result() may read stats() immediately and
+            # must see the batch that served it.
+            with self._lock:
+                self._batches += 1
+                self._batched_requests += len(batch)
+                self._max_batch_observed = max(self._max_batch_observed, len(batch))
+                if reason == "full":
+                    self._flush_full += 1
+                elif reason == "deadline":
+                    self._flush_deadline += 1
+                else:
+                    self._flush_drain += 1
+            self._execute(batch)
+
+    def _next_batch(self) -> tuple[list[_Request] | None, str]:
+        """Block until a batch is due; ``(None, ...)`` means shut down."""
+        with self._lock:
+            while True:
+                if self._queue:
+                    if self._closed:
+                        reason = "drain"
+                        break
+                    if len(self._queue) >= self.max_batch:
+                        reason = "full"
+                        break
+                    # The deadline is anchored at the *arrival* of the
+                    # oldest request, so time a request spent queued
+                    # behind a running batch counts against it.
+                    deadline = self._queue[0].arrived + self.max_wait_s
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        reason = "deadline"
+                        break
+                    self._queued.wait(timeout=remaining)
+                elif self._closed:
+                    return None, "shutdown"
+                else:
+                    self._queued.wait()
+            batch = [self._queue.popleft()
+                     for _ in range(min(len(self._queue), self.max_batch))]
+        return batch, reason
+
+    def _execute(self, batch: list[_Request]) -> None:
+        try:
+            with self._engine_lock:
+                rows = self._score_rows(batch)
+            for request, row in zip(batch, rows):
+                # Per-row ranking is bit-identical to the engine's batch
+                # call: argpartition/argsort operate row-independently.
+                ranked = top_k_items(row[None, :], request.k)[0]
+                request.future._resolve(ranked, row[ranked])
+        except BaseException as error:
+            # Resolve with the error and keep the flusher alive: a dead
+            # flusher would strand every future submitted afterwards,
+            # which is strictly worse than reporting the failure
+            # per-batch.
+            for request in batch:
+                if not request.future.done():
+                    request.future._fail(error)
+
+    def _score_rows(self, batch: list[_Request]) -> list[np.ndarray]:
+        """One score row per request: cache hits + one engine batch."""
+        rows: dict[tuple[int, bool], np.ndarray] = {}
+        pending: list[tuple[int, bool]] = []
+        for request in batch:
+            key = (request.user, request.masked)
+            if key in rows or key in pending:
+                continue
+            cached = self.cache.get(key) if self.cache is not None else None
+            if cached is not None:
+                rows[key] = cached
+            else:
+                pending.append(key)
+        for masked in (True, False):
+            users = [user for user, flag in pending if flag == masked]
+            if not users:
+                continue
+            user_array = np.asarray(users, dtype=np.int64)
+            scores = (self.engine.masked_scores(user_array) if masked
+                      else self.engine.score_all(user_array))
+            for position, user in enumerate(users):
+                if self.cache is not None:
+                    # put() returns the cache's owned copy — serve that
+                    # instead of copying the row a second time.
+                    row = self.cache.put((user, masked), scores[position])
+                else:
+                    row = np.array(scores[position], copy=True)
+                rows[(user, masked)] = row
+        return [rows[(request.user, request.masked)] for request in batch]
+
+    # ------------------------------------------------------------------ #
+    # Lifecycle
+    # ------------------------------------------------------------------ #
+    def close(self, timeout: float = 30.0) -> None:
+        """Drain queued requests, stop the flusher and (optionally) the engine.
+
+        Raises ``RuntimeError`` if the flusher fails to drain within
+        ``timeout`` seconds — in that case an owned engine is left
+        open, since tearing it down under an in-flight batch would turn
+        pending results into shutdown errors.
+        """
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            self._queued.notify_all()
+        self._thread.join(timeout=timeout)
+        if self._thread.is_alive():
+            raise RuntimeError(
+                f"gateway flusher did not drain within {timeout:.1f}s; "
+                "the engine was left open"
+            )
+        if self._own_engine:
+            self.engine.close()
+
+    def __enter__(self) -> "ServingGateway":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

@@ -1,0 +1,256 @@
+"""Gateway throughput harness: micro-batched vs per-request serving.
+
+The serving bench (:mod:`repro.serving.bench`) quantified what the
+cached engine buys over the seed path; this harness quantifies what the
+:class:`~repro.serving.gateway.ServingGateway` adds on top for *online*
+traffic — a stream of single-user top-k requests:
+
+* **unbatched** — the pre-gateway path: every request is one
+  ``engine.top_k([user], k)`` call, paying the full per-call overhead
+  (Python dispatch, one-row matmul, one-row mask, one ``argpartition``)
+  per request;
+* **batched** — the same request stream submitted through the gateway
+  in waves of ``concurrency`` outstanding requests, coalesced into
+  engine micro-batches (``max_batch``/``max_wait_ms`` flush policy) with
+  the hot-user score-row cache enabled.
+
+Both arms replay the *identical* request stream (a skewed mix: half the
+requests hit a small hot-user set, so the row cache sees realistic
+reuse), and the batched arm's ranked ids are compared bit-for-bit
+against the unbatched arm's — batching and caching must never change a
+single recommendation.
+
+Latency accounting is end-to-end from the caller's seat: an unbatched
+request is timed around its engine call; a batched request from submit
+to future resolution, so queueing and flush-deadline waits count
+against the gateway.  The report also records a fixed p95 budget
+(``max_wait_ms`` plus a multiple of the unbatched p95) and whether the
+batched arm held it — the "sustained req/s at fixed p95" framing of the
+acceptance bar.
+
+:func:`write_gateway_report` persists the result as
+``benchmarks/results/BENCH_gateway.json`` under the unified
+:mod:`repro.bench_schema` envelope.  Real speedups need real cores (the
+flusher thread runs concurrently with the submitting caller), so the
+``>= 3x`` assertion in ``benchmarks/test_gateway_throughput.py`` skips
+on single-core runners — bit-parity is asserted everywhere.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.bench_schema import write_bench_report
+from repro.models.registry import create_model
+from repro.serving.bench import LatencyStats
+from repro.serving.engine import ScoringEngine
+from repro.serving.gateway import ServingGateway
+from repro.training.bench import synthetic_training_histories
+
+__all__ = ["GatewayBenchReport", "run_gateway_benchmark", "write_gateway_report"]
+
+#: Batched p95 budget = 2 x max_wait_ms + this multiple of the unbatched
+#: p95.  A healthy request waits at most one flush deadline, may queue
+#: behind one in-flight batch (a second deadline's worth), and then
+#: shares a micro-batch whose per-request service cost is a few
+#: single-request times; blowing through the budget means batching is
+#: buying throughput by unbounded queueing, which the guard should catch.
+P95_BUDGET_FACTOR = 10.0
+
+
+@dataclass(frozen=True)
+class GatewayBenchReport:
+    """Batched-vs-unbatched comparison on one synthetic request stream."""
+
+    model_name: str
+    num_users: int
+    num_items: int
+    num_requests: int
+    k: int
+    max_batch: int
+    max_wait_ms: float
+    concurrency: int
+    cache_size: int
+    cpu_count: int
+    unbatched: LatencyStats
+    batched: LatencyStats
+    #: Throughput ratio (batched req/s / unbatched req/s); > 1 means the
+    #: gateway wins.
+    throughput_speedup: float
+    #: The fixed p95 budget (ms) the batched arm is held to.
+    p95_budget_ms: float
+    within_p95_budget: bool
+    #: Gateway results compared bit-for-bit against direct engine calls.
+    topk_bit_identical: bool
+    #: Gateway operational counters (flush reasons, cache hit rate, ...).
+    gateway_stats: dict
+
+    def as_dict(self) -> dict:
+        """Plain-dict form for the ``BENCH_gateway.json`` payload."""
+        return asdict(self)
+
+    def summary(self) -> str:
+        """One-line human-readable verdict."""
+        cache = self.gateway_stats.get("cache") or {}
+        return (
+            f"{self.model_name} gateway over {self.num_requests} single-user "
+            f"requests ({self.num_users} users x {self.num_items} items, "
+            f"top-{self.k}, {self.cpu_count} cores): "
+            f"unbatched {self.unbatched.throughput_rps:.0f} req/s "
+            f"(p95 {self.unbatched.p95_ms:.3f} ms) vs batched "
+            f"{self.batched.throughput_rps:.0f} req/s "
+            f"(p95 {self.batched.p95_ms:.3f} ms, budget "
+            f"{self.p95_budget_ms:.3f} ms) -> {self.throughput_speedup:.2f}x; "
+            f"cache hit rate {cache.get('hit_rate', 0.0):.2f}; "
+            f"bit-identical: {self.topk_bit_identical}"
+        )
+
+
+def _request_stream(num_users: int, num_requests: int, hot_users: int,
+                    hot_fraction: float, seed: int) -> np.ndarray:
+    """Skewed single-user request stream: hot set + uniform tail."""
+    rng = np.random.default_rng(seed)
+    hot = rng.choice(num_users, size=min(hot_users, num_users), replace=False)
+    users = rng.integers(0, num_users, size=num_requests)
+    is_hot = rng.random(num_requests) < hot_fraction
+    users[is_hot] = rng.choice(hot, size=int(is_hot.sum()))
+    return users.astype(np.int64)
+
+
+def run_gateway_benchmark(num_users: int = 1200, num_items: int = 4000,
+                          max_history: int = 60, k: int = 10,
+                          num_requests: int = 600, max_batch: int = 32,
+                          max_wait_ms: float = 2.0, concurrency: int = 64,
+                          cache_size: int = 256, hot_users: int = 32,
+                          hot_fraction: float = 0.5,
+                          model_name: str = "HAMm", seed: int = 0,
+                          embedding_dim: int = 48) -> GatewayBenchReport:
+    """Replay one request stream through both serving paths and compare.
+
+    Parameters
+    ----------
+    num_requests:
+        Timed single-user requests per arm (both arms replay the same
+        stream; each arm gets an untimed warm-up pass over one wave).
+    concurrency:
+        Outstanding requests per submission wave on the batched arm —
+        the open-loop load the gateway coalesces.  Must be >= 1.
+    hot_users / hot_fraction:
+        ``hot_fraction`` of the requests are drawn from a fixed set of
+        ``hot_users`` ids, giving the score-row cache realistic reuse.
+    """
+    if num_requests < 1:
+        raise ValueError("num_requests must be positive")
+    if concurrency < 1:
+        raise ValueError("concurrency must be positive")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in [0, 1]")
+
+    model_kwargs = dict(embedding_dim=embedding_dim)
+    if model_name.startswith("HAM"):
+        model_kwargs.update(n_h=10, n_l=2)
+    model = create_model(model_name, num_users, num_items,
+                         rng=np.random.default_rng(seed), **model_kwargs)
+    histories = synthetic_training_histories(num_users, num_items, max_history,
+                                             seed=seed)
+    stream = _request_stream(num_users, num_requests, hot_users, hot_fraction,
+                             seed=seed + 1)
+
+    engine = ScoringEngine(model, histories, exclude_seen=True, precompute=True)
+
+    # ---- unbatched arm: one engine call per request ------------------- #
+    warmup = stream[:concurrency]
+    for user in warmup:
+        engine.top_k(np.asarray([user], dtype=np.int64), k)
+    unbatched_rows = np.empty((num_requests, min(k, num_items)), dtype=np.int64)
+    unbatched_latencies = []
+    unbatched_start = time.perf_counter()
+    for position, user in enumerate(stream):
+        start = time.perf_counter()
+        unbatched_rows[position] = engine.top_k(
+            np.asarray([user], dtype=np.int64), k)[0]
+        unbatched_latencies.append(time.perf_counter() - start)
+    unbatched_total = time.perf_counter() - unbatched_start
+
+    # ---- batched arm: the same stream through the gateway ------------- #
+    batched_rows = np.empty_like(unbatched_rows)
+    batched_latencies = [0.0] * num_requests
+    with ServingGateway(engine, max_batch=max_batch, max_wait_ms=max_wait_ms,
+                        cache_size=cache_size) as gateway:
+        for user in warmup:  # untimed warm-up wave
+            gateway.submit(int(user), k)
+        # Drain the warm-up before timing; the row cache stays warm,
+        # exactly like the engine's representation cache above.
+        gateway.top_k(int(warmup[-1]), k)
+
+        batched_start = time.perf_counter()
+        for wave_start in range(0, num_requests, concurrency):
+            wave = range(wave_start,
+                         min(wave_start + concurrency, num_requests))
+            submitted = []
+            for position in wave:
+                submitted.append(
+                    (position, time.perf_counter(),
+                     gateway.submit(int(stream[position]), k)))
+            for position, submit_time, future in submitted:
+                batched_rows[position] = future.result(timeout=60.0)
+                batched_latencies[position] = time.perf_counter() - submit_time
+        batched_total = time.perf_counter() - batched_start
+        gateway_stats = gateway.stats().as_dict()
+
+    unbatched_stats = LatencyStats.from_seconds(unbatched_latencies)
+    batched_stats = LatencyStats.from_seconds(batched_latencies)
+    # Throughput from wall-clock totals (the batched arm overlaps
+    # requests, so summing its per-request latencies would undercount).
+    unbatched_rps = num_requests / unbatched_total if unbatched_total > 0 else float("inf")
+    batched_rps = num_requests / batched_total if batched_total > 0 else float("inf")
+    unbatched_stats = LatencyStats(requests=num_requests,
+                                   p50_ms=unbatched_stats.p50_ms,
+                                   p95_ms=unbatched_stats.p95_ms,
+                                   mean_ms=unbatched_stats.mean_ms,
+                                   throughput_rps=unbatched_rps)
+    batched_stats = LatencyStats(requests=num_requests,
+                                 p50_ms=batched_stats.p50_ms,
+                                 p95_ms=batched_stats.p95_ms,
+                                 mean_ms=batched_stats.mean_ms,
+                                 throughput_rps=batched_rps)
+
+    p95_budget_ms = 2 * max_wait_ms + P95_BUDGET_FACTOR * unbatched_stats.p95_ms
+    return GatewayBenchReport(
+        model_name=model_name,
+        num_users=num_users,
+        num_items=num_items,
+        num_requests=num_requests,
+        k=k,
+        max_batch=max_batch,
+        max_wait_ms=max_wait_ms,
+        concurrency=concurrency,
+        cache_size=cache_size,
+        cpu_count=os.cpu_count() or 1,
+        unbatched=unbatched_stats,
+        batched=batched_stats,
+        throughput_speedup=batched_rps / unbatched_rps
+        if unbatched_rps > 0 else float("inf"),
+        p95_budget_ms=p95_budget_ms,
+        within_p95_budget=bool(batched_stats.p95_ms <= p95_budget_ms),
+        topk_bit_identical=bool(np.array_equal(unbatched_rows, batched_rows)),
+        gateway_stats=gateway_stats,
+    )
+
+
+def write_gateway_report(report: GatewayBenchReport, path) -> None:
+    """Persist a report as the ``BENCH_gateway.json`` artifact."""
+    cache = report.gateway_stats.get("cache") or {}
+    write_bench_report(path, "gateway", report.as_dict(), headline={
+        "throughput_speedup": report.throughput_speedup,
+        "batched_p95_ms": report.batched.p95_ms,
+        "unbatched_p95_ms": report.unbatched.p95_ms,
+        "within_p95_budget": report.within_p95_budget,
+        "cache_hit_rate": cache.get("hit_rate", 0.0),
+        "cpu_count": report.cpu_count,
+        "topk_bit_identical": report.topk_bit_identical,
+    })

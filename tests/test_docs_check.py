@@ -1,0 +1,71 @@
+"""Fast-tier run of the documentation link checker.
+
+Keeps ``docs/*.md`` and ``README.md`` honest: a page that links to a
+moved or deleted file fails the suite, not just ``make docs-check``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from scripts.docs_check import check_file, check_repo, collect_links, main
+
+pytestmark = pytest.mark.fast
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_repo_docs_have_no_broken_links():
+    errors = check_repo(REPO_ROOT)
+    assert not errors, "\n".join(errors)
+
+
+def test_docs_tree_exists_with_required_pages():
+    for page in ("architecture.md", "serving.md", "benchmarks.md"):
+        assert (REPO_ROOT / "docs" / page).is_file(), f"docs/{page} missing"
+    # README must point readers at the docs tree.
+    readme = (REPO_ROOT / "README.md").read_text(encoding="utf-8")
+    for page in ("docs/architecture.md", "docs/serving.md", "docs/benchmarks.md"):
+        assert page in readme, f"README does not link {page}"
+
+
+def test_collect_links_finds_inline_reference_and_image_links():
+    text = (
+        "See [a](docs/a.md) and ![img](assets/b.png \"title\").\n"
+        "[ref]: other/c.md\n"
+        "```\n[not a link](inside/fence.md)\n```\n"
+        "External [site](https://example.com) and [frag](#anchor).\n"
+    )
+    links = collect_links(text)
+    assert "docs/a.md" in links
+    assert "assets/b.png" in links
+    assert "other/c.md" in links
+    assert "inside/fence.md" not in links
+
+
+def test_check_file_flags_broken_and_escaping_links(tmp_path):
+    (tmp_path / "real.md").write_text("hello", encoding="utf-8")
+    page = tmp_path / "page.md"
+    page.write_text(
+        "[ok](real.md) [ok-frag](real.md#part) [pure-frag](#here)\n"
+        "[missing](gone.md) [outside](../../../etc/passwd)\n",
+        encoding="utf-8",
+    )
+    errors = check_file(page, tmp_path)
+    assert len(errors) == 2
+    assert any("gone.md" in error for error in errors)
+    assert any("escapes" in error for error in errors)
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    docs = tmp_path / "docs"
+    docs.mkdir()
+    (docs / "good.md").write_text("[up](../README.md)", encoding="utf-8")
+    (tmp_path / "README.md").write_text("[d](docs/good.md)", encoding="utf-8")
+    assert main([str(tmp_path)]) == 0
+    (docs / "bad.md").write_text("[x](nope.md)", encoding="utf-8")
+    assert main([str(tmp_path)]) == 1
+    captured = capsys.readouterr()
+    assert "broken link" in captured.err

@@ -237,6 +237,46 @@ class TestShardedScoringEngine:
                 assert [e.score for e in ours] == [e.score for e in theirs]
             assert sharded.recommend(1, 3) == serial.recommend(1, 3)
 
+    def test_observe_routes_to_owning_shard(self):
+        """Shard-aware observe(): no snapshot rebuild, serial bit-parity."""
+        split = tiny_split(seed=15)
+        model = trained_model(split)
+        histories = split.train_plus_valid()
+        serial = ScoringEngine(model, histories, precompute=True)
+        users = list(range(split.num_users))
+        with ShardedScoringEngine(model, histories, n_workers=2,
+                                  precompute=True) as sharded:
+            arena = sharded._arena  # the one snapshot: never republished
+            # Interactions land in both shards, repeatedly for user 1.
+            last = split.num_users - 1
+            for user, item in [(1, 5), (1, 7), (0, 2), (last, 9), (last, 9)]:
+                serial.observe(user, item)
+                sharded.observe(user, item)
+                assert sharded.history(user) == serial.history(user)
+            assert sharded._arena is arena
+            assert np.array_equal(sharded.top_k(users, 5),
+                                  serial.top_k(users, 5))
+            assert np.array_equal(sharded.masked_scores(users),
+                                  serial.masked_scores(users))
+            with pytest.raises(ValueError):
+                sharded.observe(split.num_users, 0)
+            with pytest.raises(ValueError):
+                sharded.observe(0, NUM_ITEMS)
+
+    def test_observe_serial_fallback(self):
+        split = tiny_split(seed=16)
+        model = trained_model(split)
+        histories = split.train_plus_valid()
+        serial = ScoringEngine(model, histories)
+        engine = ShardedScoringEngine(model, histories, n_workers=1)
+        try:
+            serial.observe(2, 4)
+            engine.observe(2, 4)
+            assert engine.history(2) == serial.history(2)
+            assert np.array_equal(engine.top_k([2], 5), serial.top_k([2], 5))
+        finally:
+            engine.close()
+
     def test_count_based_fallback(self):
         from repro.models import Popularity
 
