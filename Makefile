@@ -2,13 +2,16 @@
 
 PYTHON ?= python
 
-.PHONY: test test-fast docs-check bench-gateway
+.PHONY: test test-fast chaos docs-check bench-gateway
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
 
 test-fast:
 	PYTHONPATH=src $(PYTHON) -m pytest -m fast -q
+
+chaos:
+	PYTHONPATH=src $(PYTHON) -m pytest -m chaos -q -s
 
 docs-check:
 	$(PYTHON) -m scripts.docs_check

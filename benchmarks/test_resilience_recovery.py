@@ -1,0 +1,72 @@
+"""Resilience benchmark: crash recovery of the sharded serving engine.
+
+The failure-path counterpart of ``test_parallel_throughput.py``: the
+same synthetic HAM workload runs through
+:func:`~repro.parallel.resilience_bench.run_resilience_benchmark`, which
+SIGKILLs the shard-0 worker mid-sweep (respawn scenario) and then kills
+it in every incarnation under a two-restart budget (degraded scenario).
+The result is persisted as ``benchmarks/results/BENCH_resilience.json``
+under the unified schema.
+
+Unlike throughput, recovery *correctness* needs no real cores, so both
+bit-parity assertions and the recovery-time metric hold on single-core
+runners too; only the post-recovery throughput guard keys off the
+``cpu_count`` recorded in the artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench_schema import read_bench_report
+from repro.parallel.resilience_bench import (
+    run_resilience_benchmark,
+    write_resilience_report,
+)
+
+pytestmark = pytest.mark.chaos
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_resilience.json"
+
+
+def test_resilience_kill_recover_degrade():
+    report = run_resilience_benchmark(n_workers=2, seed=0)
+
+    write_resilience_report(report, RESULTS_PATH)
+    print()
+    print(report.summary())
+
+    persisted = read_bench_report(RESULTS_PATH)
+    assert persisted["recovery_overhead_s"] == report.recovery_overhead_s
+
+    # The acceptance bar: a SIGKILL mid-stream must cost exactly one
+    # respawn (no restart storm), re-dispatch the in-flight sub-request,
+    # and never change a single ranked id afterwards.
+    assert report.worker_deaths == 1 and report.restarts == 1
+    assert report.redispatched >= 1
+    assert report.post_recovery_bit_identical, (
+        "post-respawn top-k diverged from serial")
+    assert report.recovery_overhead_s < 30.0, report.summary()
+
+    # Budget exhaustion must land in degraded serial mode, still
+    # bit-identical.
+    assert report.degraded_shards == 1
+    assert report.degraded_bit_identical, (
+        "degraded-mode top-k diverged from serial")
+
+
+def test_resilience_bench_regression_guard():
+    """Fail if a recorded run ever lost parity or recovered slowly."""
+    if not RESULTS_PATH.exists():
+        pytest.skip("BENCH_resilience.json not generated yet")
+    persisted = read_bench_report(RESULTS_PATH)
+    assert persisted["post_recovery_bit_identical"] is True
+    assert persisted["degraded_bit_identical"] is True
+    assert persisted["recovery_overhead_s"] < 30.0
+    if persisted.get("cpu_count", 1) < 2:
+        pytest.skip("artifact was recorded on a single-core runner")
+    # With real cores the respawned shard must get back to within 3x of
+    # the healthy baseline (generous: p50 over few repeats is noisy).
+    assert persisted["post_recovery_p50_s"] <= 3.0 * persisted["baseline_p50_s"]

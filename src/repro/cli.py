@@ -10,9 +10,12 @@ Usage examples::
     repro-ham serve --checkpoint model.npz --workers 4 --users 0 1 2
     repro-ham serve --dataset cds --gateway --max-batch 32 --max-wait-ms 2 \
               --cache-size 256 --cache-ttl 30 --users 0 1 2
+    repro-ham serve --dataset cds --workers 4 --request-timeout 5 \
+              --gateway --max-queue 256 --users 0 1 2
     repro-ham bench-serve --dataset cds --out BENCH_serving.json
     repro-ham bench-train --items 8000 --out BENCH_training.json
     repro-ham bench-parallel --workers 4 --out BENCH_parallel.json
+    repro-ham bench-resilience --workers 2 --out BENCH_resilience.json
 """
 
 from __future__ import annotations
@@ -100,6 +103,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--cache-ttl", type=float, default=None,
                        help="gateway score-row cache TTL in seconds "
                             "(default: no expiry)")
+    serve.add_argument("--request-timeout", type=float, default=None,
+                       help="per-request deadline in seconds: bounds every "
+                            "sharded fan-out and, with --gateway, every "
+                            "queued request (default: the engine's 120 s)")
+    serve.add_argument("--max-queue", type=int, default=None,
+                       help="gateway admission watermark: submissions beyond "
+                            "this backlog are shed with "
+                            "GatewayOverloadedError (default: unbounded)")
 
     bench = subparsers.add_parser(
         "bench-serve", help="benchmark cached (engine) vs uncached per-request scoring")
@@ -150,6 +161,26 @@ def build_parser() -> argparse.ArgumentParser:
     bench_parallel.add_argument("--seed", type=int, default=0)
     bench_parallel.add_argument("--out", default="BENCH_parallel.json",
                                 help="write the throughput report to this JSON path")
+
+    bench_resilience = subparsers.add_parser(
+        "bench-resilience",
+        help="benchmark crash recovery: SIGKILL a shard worker mid-sweep and "
+             "measure respawn time, post-recovery parity and degraded mode")
+    bench_resilience.add_argument("--method", choices=sorted(MODEL_REGISTRY),
+                                  default="HAMm")
+    bench_resilience.add_argument("--users", type=int, default=400,
+                                  help="users in the synthetic sweep workload")
+    bench_resilience.add_argument("--items", type=int, default=2000,
+                                  help="catalogue size of the sweep workload")
+    bench_resilience.add_argument("--workers", type=int, default=2,
+                                  help="worker processes / shards (at least 2; "
+                                       "shard 0 is the one killed)")
+    bench_resilience.add_argument("--repeats", type=int, default=5,
+                                  help="timed sweeps per phase")
+    bench_resilience.add_argument("--k", type=int, default=10)
+    bench_resilience.add_argument("--seed", type=int, default=0)
+    bench_resilience.add_argument("--out", default="BENCH_resilience.json",
+                                  help="write the recovery report to this JSON path")
     return parser
 
 
@@ -244,13 +275,28 @@ def _train_for_serving(dataset: str, method: str, setting: str, scale: str | Non
     return model, histories
 
 
+def _print_health_line(health: dict | None) -> None:
+    """One-line shard-health summary of a sharded serve run."""
+    if not health or health.get("mode") != "sharded":
+        return
+    shards = health.get("shards", [])
+    alive = sum(1 for shard in shards if shard.get("alive"))
+    restarts = sum(shard.get("restarts", 0) for shard in shards)
+    degraded = health.get("degraded_shards", [])
+    print(f"health: {alive}/{health['n_workers']} shard workers alive, "
+          f"{restarts} restart(s), "
+          f"degraded shards: {degraded if degraded else 'none'}")
+
+
 def _command_serve(dataset: str, method: str, setting: str, scale: str | None,
                    epochs: int | None, seed: int, users: list[int], k: int,
                    explain: bool = False, checkpoint: str | None = None,
                    workers: int = 0, gateway: bool = False,
                    max_batch: int = 32, max_wait_ms: float = 2.0,
-                   cache_size: int = 256, cache_ttl: float | None = None) -> int:
-    from repro.parallel import make_scoring_engine
+                   cache_size: int = 256, cache_ttl: float | None = None,
+                   request_timeout: float | None = None,
+                   max_queue: int | None = None) -> int:
+    from repro.parallel import DEFAULT_REQUEST_TIMEOUT_S, make_scoring_engine
     from repro.serving import ServingGateway, model_from_checkpoint, explain_ham_scores
     from repro.models.ham import HAM
 
@@ -265,8 +311,10 @@ def _command_serve(dataset: str, method: str, setting: str, scale: str | None,
     else:
         model, histories = _train_for_serving(dataset, method, setting, scale,
                                               epochs, seed)
-    engine = make_scoring_engine(model, histories, n_workers=workers,
-                                 precompute=True)
+    engine = make_scoring_engine(
+        model, histories, n_workers=workers, precompute=True,
+        request_timeout_s=(request_timeout if request_timeout is not None
+                           else DEFAULT_REQUEST_TIMEOUT_S))
     engine_name = type(engine).__name__
     if workers and workers > 1:
         print(f"sharded over {workers} worker processes "
@@ -282,7 +330,10 @@ def _command_serve(dataset: str, method: str, setting: str, scale: str | None,
             front = ServingGateway(engine, max_batch=max_batch,
                                    max_wait_ms=max_wait_ms,
                                    cache_size=cache_size,
-                                   cache_ttl_s=cache_ttl, own_engine=True)
+                                   cache_ttl_s=cache_ttl,
+                                   max_queue=max_queue,
+                                   request_timeout_s=request_timeout,
+                                   own_engine=True)
         except Exception:
             engine.close()
             raise
@@ -290,6 +341,7 @@ def _command_serve(dataset: str, method: str, setting: str, scale: str | None,
             futures = [front.submit(user, k) for user in users]
             batches = [future.recommendations() for future in futures]
             stats = front.stats()
+            health = front.health()
         cache = stats.cache
         cache_line = (
             f", cache {cache.hits}/{cache.requests} hits" if cache else ""
@@ -297,12 +349,16 @@ def _command_serve(dataset: str, method: str, setting: str, scale: str | None,
         print(f"gateway: {stats.requests} requests in {stats.batches} "
               f"micro-batches (max {stats.max_batch_observed}, "
               f"{stats.flush_full} full / {stats.flush_deadline} deadline "
-              f"flushes{cache_line})")
+              f"flushes, {stats.shed} shed / {stats.expired} expired"
+              f"{cache_line})")
+        _print_health_line(health.get("engine"))
     else:
         try:
             batches = engine.recommend_batch(users, k)
+            health = engine.health() if hasattr(engine, "health") else None
         finally:
             engine.close()
+        _print_health_line(health)
     rows = []
     for user, recommendations in zip(users, batches):
         for entry in recommendations:
@@ -375,6 +431,28 @@ def _command_bench_parallel(method: str, users: int, items: int, workers: int,
     return 0
 
 
+def _command_bench_resilience(method: str, users: int, items: int, workers: int,
+                              repeats: int, k: int, seed: int, out: str) -> int:
+    from repro.parallel.resilience_bench import (
+        run_resilience_benchmark,
+        write_resilience_report,
+    )
+
+    if workers < 2:
+        print("bench-resilience kills one shard worker and needs "
+              "--workers >= 2")
+        return 2
+
+    report = run_resilience_benchmark(
+        num_users=users, num_items=items, n_workers=workers, repeats=repeats,
+        k=k, model_name=method, seed=seed,
+    )
+    print(report.summary())
+    write_resilience_report(report, out)
+    print(f"resilience report written to {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -397,7 +475,9 @@ def main(argv: list[str] | None = None) -> int:
                               gateway=args.gateway, max_batch=args.max_batch,
                               max_wait_ms=args.max_wait_ms,
                               cache_size=args.cache_size,
-                              cache_ttl=args.cache_ttl)
+                              cache_ttl=args.cache_ttl,
+                              request_timeout=args.request_timeout,
+                              max_queue=args.max_queue)
     if args.command == "bench-serve":
         return _command_bench_serve(args.dataset, args.method, args.setting,
                                     args.scale, args.epochs, args.seed,
@@ -413,6 +493,10 @@ def main(argv: list[str] | None = None) -> int:
         return _command_bench_parallel(args.method, args.users, args.items,
                                        args.workers, args.repeats, args.k,
                                        args.epochs, args.seed, args.out)
+    if args.command == "bench-resilience":
+        return _command_bench_resilience(args.method, args.users, args.items,
+                                         args.workers, args.repeats, args.k,
+                                         args.seed, args.out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

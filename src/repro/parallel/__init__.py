@@ -21,15 +21,33 @@ keeping the single-process results bit-for-bit reproducible:
 * :func:`~repro.parallel.bench.run_parallel_benchmark` — the
   workers=1-vs-N throughput harness behind ``BENCH_parallel.json`` and
   ``repro-ham bench-parallel``.
+* Fault tolerance (``docs/robustness.md``):
+  :class:`~repro.parallel.supervisor.ShardSupervisor` +
+  :class:`~repro.parallel.supervisor.RestartPolicy` respawn dead shard
+  workers against the already-published arena (bounded budget,
+  exponential-backoff circuit breaker) and degrade exhausted shards to
+  an in-process serial fallback;
+  :class:`~repro.parallel.faults.FaultPlan` injects deterministic
+  worker crashes/delays/stalls for the chaos suite and
+  :func:`~repro.parallel.resilience_bench.run_resilience_benchmark`
+  (``BENCH_resilience.json``, ``repro-ham bench-resilience``).
 """
 
 from repro.parallel.shm import ArenaLayout, SharedArena, SharedArraySpec
 from repro.parallel.sharded import (
+    DEFAULT_REQUEST_TIMEOUT_S,
     ShardedScoringEngine,
     default_start_method,
     make_scoring_engine,
     shard_bounds,
 )
+from repro.parallel.supervisor import (
+    RestartPolicy,
+    ShardCircuitOpenError,
+    ShardHealth,
+    ShardSupervisor,
+)
+from repro.parallel.faults import FaultInjector, FaultPlan, ShardFault
 from repro.parallel.loader import ParallelBatchLoader
 
 __all__ = [
@@ -38,7 +56,15 @@ __all__ = [
     "SharedArraySpec",
     "ShardedScoringEngine",
     "ParallelBatchLoader",
+    "DEFAULT_REQUEST_TIMEOUT_S",
     "default_start_method",
     "make_scoring_engine",
     "shard_bounds",
+    "RestartPolicy",
+    "ShardCircuitOpenError",
+    "ShardHealth",
+    "ShardSupervisor",
+    "FaultInjector",
+    "FaultPlan",
+    "ShardFault",
 ]

@@ -1,0 +1,225 @@
+"""Resilience harness: worker-kill recovery time and post-crash parity.
+
+The parallel bench (``BENCH_parallel.json``) measures the substrate's
+happy path; this harness measures its failure path, driving the
+supervision machinery of :mod:`repro.parallel.sharded` with a
+deterministic :class:`~repro.parallel.faults.FaultPlan`:
+
+* **baseline** — repeated full-catalogue ``top_k`` sweeps on a healthy
+  sharded engine (the steady state every recovery is compared against);
+* **kill + respawn** — a fresh engine whose shard-0 worker SIGKILLs
+  itself mid-stream; the harness records how much longer the interrupted
+  sweep took than the baseline p50 (**recovery overhead**) and checks
+  that every sweep after the respawn is **bit-identical** to the serial
+  engine at baseline throughput;
+* **degraded mode** — an engine whose shard-0 worker dies in *every*
+  incarnation under a small restart budget, forcing the
+  degrade-to-serial fallback; the harness records that the answers stay
+  bit-identical and how much the degraded sweep costs.
+
+Every scenario is single-process-observable and runs on a single-core
+machine (recovery correctness, unlike speedup, does not need real
+cores).  :func:`write_resilience_report` persists the result as
+``benchmarks/results/BENCH_resilience.json`` under the unified
+:mod:`repro.bench_schema` envelope; ``repro-ham bench-resilience`` is
+the CLI entry point and ``benchmarks/test_resilience_recovery.py`` regenerates
+and guards the artifact (``chaos`` tier, see ``docs/benchmarks.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.bench_schema import write_bench_report
+from repro.models.registry import create_model
+from repro.parallel.faults import FaultPlan
+from repro.parallel.sharded import ShardedScoringEngine
+from repro.parallel.supervisor import RestartPolicy
+from repro.serving.engine import ScoringEngine
+from repro.training.bench import synthetic_training_histories
+
+__all__ = ["ResilienceBenchReport", "run_resilience_benchmark",
+           "write_resilience_report"]
+
+
+@dataclass(frozen=True)
+class ResilienceBenchReport:
+    """Recovery-time / post-crash-parity measurements of one workload."""
+
+    model_name: str
+    num_users: int
+    num_items: int
+    k: int
+    n_workers: int
+    cpu_count: int
+    repeats: int
+    #: Healthy-engine p50 sweep seconds (the recovery reference).
+    baseline_p50_s: float
+    baseline_users_per_sec: float
+    #: Wall seconds of the sweep during which the worker was SIGKILLed
+    #: (includes death detection, respawn and re-dispatch).
+    killed_sweep_s: float
+    #: ``killed_sweep_s - baseline_p50_s`` — what the crash cost.
+    recovery_overhead_s: float
+    #: Post-respawn p50 sweep seconds (should track the baseline).
+    post_recovery_p50_s: float
+    post_recovery_users_per_sec: float
+    #: Post-respawn sweeps compared bit-for-bit against the serial engine.
+    post_recovery_bit_identical: bool
+    #: Respawns/deaths/re-dispatches recorded by the kill scenario.
+    restarts: int
+    worker_deaths: int
+    redispatched: int
+    stale_results_dropped: int
+    #: Budget-exhaustion scenario: sweep seconds once the shard runs the
+    #: in-process serial fallback, and its parity with the serial engine.
+    degraded_sweep_s: float
+    degraded_bit_identical: bool
+    degraded_shards: int
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def summary(self) -> str:
+        return (
+            f"{self.model_name} resilience over {self.num_users} users x "
+            f"{self.num_items} items ({self.n_workers} shards, "
+            f"{self.cpu_count} cores): baseline p50 "
+            f"{self.baseline_p50_s * 1e3:.1f} ms; SIGKILL mid-sweep -> "
+            f"recovered in +{self.recovery_overhead_s * 1e3:.1f} ms "
+            f"({self.restarts} respawn(s), {self.redispatched} re-dispatched, "
+            f"post-recovery bit-identical: {self.post_recovery_bit_identical}, "
+            f"post-recovery p50 {self.post_recovery_p50_s * 1e3:.1f} ms); "
+            f"budget exhaustion -> {self.degraded_shards} degraded shard(s), "
+            f"sweep {self.degraded_sweep_s * 1e3:.1f} ms, bit-identical: "
+            f"{self.degraded_bit_identical}"
+        )
+
+
+def _timed_sweeps(engine, users: np.ndarray, k: int, repeats: int) -> list[float]:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        engine.top_k(users, k)
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def run_resilience_benchmark(num_users: int = 400, num_items: int = 2000,
+                             max_history: int = 60, k: int = 10,
+                             n_workers: int = 2, repeats: int = 5,
+                             model_name: str = "HAMm", seed: int = 0,
+                             embedding_dim: int = 32,
+                             request_timeout_s: float = 60.0,
+                             ) -> ResilienceBenchReport:
+    """Measure crash recovery: kill a shard worker mid-stream, time it.
+
+    Uses the synthetic HAM workload of the other benches.  Three engines
+    are built over the same model/histories: a healthy one (baseline
+    sweeps), one whose shard-0 worker kills itself on its second sweep
+    (respawn scenario), and one whose shard-0 worker dies in every
+    incarnation under a two-restart budget (degraded scenario).  All
+    answers are checked bit-for-bit against the serial engine.
+    """
+    if n_workers < 2:
+        raise ValueError("n_workers must be at least 2 to have shards to kill")
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+
+    model_kwargs = dict(embedding_dim=embedding_dim)
+    if model_name.startswith("HAM"):
+        model_kwargs.update(n_h=10, n_l=2)
+    model = create_model(model_name, num_users, num_items,
+                         rng=np.random.default_rng(seed), **model_kwargs)
+    histories = synthetic_training_histories(num_users, num_items, max_history,
+                                             seed=seed)
+    users = np.arange(num_users, dtype=np.int64)
+
+    serial = ScoringEngine(model, histories, exclude_seen=True, precompute=True)
+    reference = serial.top_k(users, k)
+
+    # ---- baseline: healthy engine --------------------------------------- #
+    with ShardedScoringEngine(model, histories, n_workers=n_workers,
+                              exclude_seen=True, precompute=True,
+                              request_timeout_s=request_timeout_s) as engine:
+        engine.top_k(users, k)  # warm-up, untimed
+        baseline_times = _timed_sweeps(engine, users, k, repeats)
+    baseline = np.asarray(baseline_times, dtype=np.float64)
+    baseline_p50 = float(np.percentile(baseline, 50))
+
+    # ---- kill + respawn mid-stream -------------------------------------- #
+    # Request 1 on shard 0 is the warm sweep; request 2 — the first timed
+    # sweep — kills the worker after it consumed the sub-request, i.e.
+    # with the request in flight (the supervisor's worst case).
+    plan = FaultPlan.kill_worker(shard=0, at_request=2)
+    with ShardedScoringEngine(model, histories, n_workers=n_workers,
+                              exclude_seen=True, fault_plan=plan,
+                              request_timeout_s=request_timeout_s) as engine:
+        engine.top_k(users, k)  # warm sweep (request 1: survives)
+        start = time.perf_counter()
+        killed_ranked = engine.top_k(users, k)  # request 2: SIGKILL + recover
+        killed_sweep_s = time.perf_counter() - start
+        post_times = _timed_sweeps(engine, users, k, repeats)
+        post_ranked = engine.top_k(users, k)
+        stats = engine.stats()
+        restarts = engine.health()["shards"][0]["restarts"]
+    post = np.asarray(post_times, dtype=np.float64)
+    post_p50 = float(np.percentile(post, 50))
+    post_identical = bool(np.array_equal(killed_ranked, reference)
+                          and np.array_equal(post_ranked, reference))
+
+    # ---- budget exhaustion -> degraded serial fallback ------------------- #
+    plan = FaultPlan.kill_worker(shard=0, at_request=1, every_incarnation=True)
+    policy = RestartPolicy(max_restarts=2, backoff_base_s=0.01,
+                           backoff_max_s=0.05)
+    with ShardedScoringEngine(model, histories, n_workers=n_workers,
+                              exclude_seen=True, fault_plan=plan,
+                              restart_policy=policy,
+                              request_timeout_s=request_timeout_s) as engine:
+        start = time.perf_counter()
+        degraded_ranked = engine.top_k(users, k)
+        degraded_sweep_s = time.perf_counter() - start
+        degraded_shards = len(engine.health()["degraded_shards"])
+    degraded_identical = bool(np.array_equal(degraded_ranked, reference))
+
+    return ResilienceBenchReport(
+        model_name=model_name,
+        num_users=num_users,
+        num_items=num_items,
+        k=k,
+        n_workers=n_workers,
+        cpu_count=os.cpu_count() or 1,
+        repeats=repeats,
+        baseline_p50_s=baseline_p50,
+        baseline_users_per_sec=float(num_users / baseline_p50)
+        if baseline_p50 > 0 else float("inf"),
+        killed_sweep_s=killed_sweep_s,
+        recovery_overhead_s=killed_sweep_s - baseline_p50,
+        post_recovery_p50_s=post_p50,
+        post_recovery_users_per_sec=float(num_users / post_p50)
+        if post_p50 > 0 else float("inf"),
+        post_recovery_bit_identical=post_identical,
+        restarts=int(restarts),
+        worker_deaths=int(stats["worker_deaths"]),
+        redispatched=int(stats["redispatched"]),
+        stale_results_dropped=int(stats["stale_results_dropped"]),
+        degraded_sweep_s=degraded_sweep_s,
+        degraded_bit_identical=degraded_identical,
+        degraded_shards=int(degraded_shards),
+    )
+
+
+def write_resilience_report(report: ResilienceBenchReport, path) -> None:
+    """Persist a report as the ``BENCH_resilience.json`` artifact."""
+    write_bench_report(path, "resilience", report.as_dict(), headline={
+        "recovery_overhead_s": report.recovery_overhead_s,
+        "post_recovery_bit_identical": report.post_recovery_bit_identical,
+        "degraded_bit_identical": report.degraded_bit_identical,
+        "restarts": report.restarts,
+        "n_workers": report.n_workers,
+        "cpu_count": report.cpu_count,
+    })

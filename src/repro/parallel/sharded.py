@@ -1,4 +1,4 @@
-"""Multi-process sharded scoring engine.
+"""Multi-process sharded scoring engine with shard supervision.
 
 The serial :class:`~repro.serving.engine.ScoringEngine` made a single
 request cheap; this module makes a *sweep* fast by fanning requests out
@@ -27,46 +27,100 @@ the serial engine, so repeated sweeps cost one matmul + mask +
 ``n_workers <= 1`` degrades to a plain in-process engine with the same
 API, so callers can thread an ``n_workers`` knob through without
 special-casing single-core machines.
+
+Fault tolerance
+---------------
+A dead shard worker no longer bricks the engine.  The parent supervises
+its workers through a :class:`~repro.parallel.supervisor.ShardSupervisor`:
+
+* **Respawn** — a dead worker is replaced by a fresh process that
+  re-attaches to the already-published arena (the picklable
+  ``ArenaLayout`` makes this one queue message, not a re-publication).
+  Acknowledged ``observe`` interactions are replayed into the new
+  incarnation (seen/representation state only — the shared input rows
+  were already shifted in place), and the dead shard's in-flight
+  *idempotent* sub-requests are re-dispatched onto a fresh task queue,
+  so the merged answer stays bit-identical to the no-crash run.
+* **Degrade** — after :class:`~repro.parallel.supervisor.RestartPolicy`
+  exhausts the restart budget (exponential backoff between respawns,
+  enforced as a per-shard circuit breaker), the shard falls back to an
+  in-process serial engine built over the parent's own arena views.
+  The service answers degraded instead of failing.
+* **Deadlines** — every public call takes a ``timeout`` (defaulting to
+  the constructor's ``request_timeout_s``); an expired deadline raises
+  ``TimeoutError`` for *that* request and drops its late results as
+  stale, without poisoning later requests.
+* **At-most-once observe** — ``observe`` is the one non-idempotent
+  request (re-applying it would double-shift the shared input row).  If
+  the owning worker dies with an observe in flight, the call raises
+  instead of re-dispatching; a deadline expiry on observe is likewise
+  indeterminate (the worker may still apply it).  Scoring requests are
+  pure reads and re-dispatch freely.
+
+Deterministic failures for tests come from
+:class:`~repro.parallel.faults.FaultPlan` (``fault_plan=`` constructor
+parameter); ``health()`` / ``stats()`` expose per-shard liveness,
+restart counts and the shed/stale/deadline counters.
 """
 
 from __future__ import annotations
 
 import multiprocessing as mp
-import os
 import queue as queue_module
+import time
 import traceback
 import weakref
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.data.seen import SeenIndex
 from repro.data.windows import pad_histories, pad_id_for
 from repro.models.base import FrozenScorer, SequentialRecommender
+from repro.parallel.faults import FaultInjector, FaultPlan
 from repro.parallel.shm import ArenaLayout, SharedArena
+from repro.parallel.supervisor import RestartPolicy, ShardSupervisor
 from repro.serving.engine import ScoringEngine
 
 __all__ = ["ShardedScoringEngine", "make_scoring_engine", "shard_bounds",
-           "default_start_method"]
+           "default_start_method", "DEFAULT_REQUEST_TIMEOUT_S"]
 
-_RESULT_TIMEOUT_S = 120.0
+#: Default per-request deadline (seconds).  Overridable per engine via
+#: ``request_timeout_s`` and per call via ``timeout=``; ``None`` waits
+#: forever (the pre-deadline behaviour).
+DEFAULT_REQUEST_TIMEOUT_S = 120.0
+
+#: Result-queue poll interval while a request waits: short enough that
+#: worker deaths and deadline expiries are noticed promptly, long enough
+#: to stay off the profile.
+_POLL_INTERVAL_S = 0.05
 
 
 def make_scoring_engine(model, histories, n_workers: int = 0,
                         exclude_seen: bool = True, micro_batch_size: int = 1024,
-                        copy_weights: bool = True, precompute: bool = False):
+                        copy_weights: bool = True, precompute: bool = False,
+                        request_timeout_s: float | None = DEFAULT_REQUEST_TIMEOUT_S,
+                        restart_policy: RestartPolicy | None = None,
+                        fault_plan: FaultPlan | None = None):
     """The one ``n_workers``-aware engine factory.
 
     ``n_workers > 1`` builds a :class:`ShardedScoringEngine`; anything
     else the serial :class:`~repro.serving.engine.ScoringEngine`
     (``copy_weights`` applies to the serial branch only — sharded
-    workers always hold a copied snapshot).  Both results expose
-    ``close()``, so callers can tear down unconditionally.
+    workers always hold a copied snapshot; ``request_timeout_s`` /
+    ``restart_policy`` / ``fault_plan`` apply to the sharded branch
+    only, as the serial engine never blocks on another process).  Both
+    results expose ``close()``, so callers can tear down
+    unconditionally.
     """
     if n_workers and n_workers > 1:
         return ShardedScoringEngine(model, histories, n_workers=n_workers,
                                     exclude_seen=exclude_seen,
                                     micro_batch_size=micro_batch_size,
-                                    precompute=precompute)
+                                    precompute=precompute,
+                                    request_timeout_s=request_timeout_s,
+                                    restart_policy=restart_policy,
+                                    fault_plan=fault_plan)
     return ScoringEngine(model, histories, exclude_seen=exclude_seen,
                          micro_batch_size=micro_batch_size,
                          copy_weights=copy_weights, precompute=precompute)
@@ -100,10 +154,45 @@ def _seen_views(indptr: np.ndarray, items: np.ndarray) -> list[np.ndarray]:
             for user in range(indptr.shape[0] - 1)]
 
 
+def _execute_request(engine: ScoringEngine, method: str, users,
+                     kwargs: dict):
+    """Run one shard sub-request against a serial engine.
+
+    The single dispatch shared by the worker loop and the parent's
+    degraded in-process fallback — both therefore run the exact same
+    serial code path, which is what keeps degraded answers bit-identical
+    to worker answers.
+    """
+    if method == "score_all":
+        return engine.score_all(users)
+    if method == "masked_scores":
+        return engine.masked_scores(users)
+    if method == "top_k":
+        return engine.top_k(users, **kwargs)
+    if method == "recommend_batch":
+        return engine.recommend_batch(users, **kwargs)
+    if method == "observe":
+        # Shard-local incremental update: shifts the user's padded input
+        # row (writable shm), extends their seen array and invalidates
+        # one cached representation — no snapshot rebuild anywhere.
+        engine.observe(int(users[0]), int(kwargs["item"]))
+        return True
+    if method == "materialize":
+        shard_users = np.arange(users[0], users[1], dtype=np.int64)
+        if engine._rep_valid is not None:
+            engine._ensure_representations(shard_users)
+        return True
+    raise ValueError(f"unknown request method {method!r}")
+
+
 def _shard_worker_main(layout: ArenaLayout, model: SequentialRecommender,
                        options: dict, task_queue, result_queue) -> None:
     """Worker loop: attach shared state, serve requests until sentinel."""
     arena = SharedArena.attach(layout)
+    injector = None
+    if options.get("fault_plan") is not None:
+        injector = FaultInjector(options["fault_plan"], options["shard"],
+                                 options.get("incarnation", 0))
     try:
         frozen = None
         if options["has_frozen"]:
@@ -126,29 +215,23 @@ def _shard_worker_main(layout: ArenaLayout, model: SequentialRecommender,
             if message is None:
                 break
             request_id, method, users, kwargs = message
+            if method == "replay_observes":
+                # Recovery bootstrap of a respawned incarnation: re-mark
+                # the acknowledged interactions seen and invalidate their
+                # representations (the shm input rows are already
+                # current).  Fire-and-forget — queued before any
+                # re-dispatched request, so FIFO ordering guarantees the
+                # state is rebuilt first.
+                for user, item in kwargs["entries"]:
+                    engine.replay_observe(int(user), int(item))
+                if request_id is None:
+                    continue
+            if injector is not None:
+                injector.on_request()
             try:
-                if method == "score_all":
-                    payload = engine.score_all(users)
-                elif method == "masked_scores":
-                    payload = engine.masked_scores(users)
-                elif method == "top_k":
-                    payload = engine.top_k(users, **kwargs)
-                elif method == "recommend_batch":
-                    payload = engine.recommend_batch(users, **kwargs)
-                elif method == "observe":
-                    # Shard-local incremental update: shifts the user's
-                    # padded input row (writable shm), extends their
-                    # seen array and invalidates one cached
-                    # representation — no snapshot rebuild anywhere.
-                    engine.observe(int(users[0]), int(kwargs["item"]))
-                    payload = True
-                elif method == "materialize":
-                    shard_users = np.arange(users[0], users[1], dtype=np.int64)
-                    if engine._rep_valid is not None:
-                        engine._ensure_representations(shard_users)
-                    payload = True
-                else:  # pragma: no cover - protocol error
-                    raise ValueError(f"unknown request method {method!r}")
+                payload = _execute_request(engine, method, users, kwargs)
+                if injector is not None:
+                    injector.before_reply()
                 result_queue.put((request_id, payload, None))
             except Exception:
                 result_queue.put((request_id, None, traceback.format_exc()))
@@ -156,8 +239,26 @@ def _shard_worker_main(layout: ArenaLayout, model: SequentialRecommender,
         arena.close()
 
 
+@dataclass
+class _PendingRequest:
+    """Parent-side record of one dispatched shard sub-request.
+
+    Carries everything needed to re-dispatch the request onto a
+    respawned worker (or run it inline on a degraded shard) and to merge
+    its result back into the caller's output (``tag`` is the caller's
+    bookkeeping — output positions for fan-outs, the shard index for
+    materialize).
+    """
+
+    shard: int
+    method: str
+    users: object
+    kwargs: dict = field(default_factory=dict)
+    tag: object = None
+
+
 class ShardedScoringEngine:
-    """Scoring engine sharded by user range over worker processes.
+    """Scoring engine sharded by user range over supervised workers.
 
     Parameters
     ----------
@@ -179,12 +280,28 @@ class ShardedScoringEngine:
     precompute:
         Materialize every shard's representations eagerly (in parallel)
         at construction.
+    request_timeout_s:
+        Default per-request deadline in seconds for every scoring call
+        (overridable per call via ``timeout=``).  ``None`` disables
+        deadlines.  Replaces the old hard-coded module constant; the
+        default keeps its value (120 s).
+    restart_policy:
+        :class:`~repro.parallel.supervisor.RestartPolicy` governing dead
+        worker respawns, backoff and the degrade-to-serial fallback.
+    fault_plan:
+        Optional :class:`~repro.parallel.faults.FaultPlan` injected into
+        the workers — deterministic crashes/delays/stalls for the chaos
+        test suite and the resilience benchmark.  Production engines
+        leave this ``None``.
     """
 
     def __init__(self, model: SequentialRecommender, histories: list[list[int]],
                  n_workers: int = 2, exclude_seen: bool = True,
                  micro_batch_size: int = 1024, start_method: str | None = None,
-                 precompute: bool = False):
+                 precompute: bool = False,
+                 request_timeout_s: float | None = DEFAULT_REQUEST_TIMEOUT_S,
+                 restart_policy: RestartPolicy | None = None,
+                 fault_plan: FaultPlan | None = None):
         if len(histories) < model.num_users:
             raise ValueError(
                 f"histories cover {len(histories)} users but the model expects "
@@ -192,6 +309,8 @@ class ShardedScoringEngine:
             )
         if micro_batch_size < 1:
             raise ValueError("micro_batch_size must be positive")
+        if request_timeout_s is not None and request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive or None")
         model.eval()
         self.model = model
         self.num_users = model.num_users
@@ -201,15 +320,31 @@ class ShardedScoringEngine:
         self.exclude_seen = exclude_seen
         self.micro_batch_size = micro_batch_size
         self.n_workers = max(int(n_workers), 1)
+        self.request_timeout_s = request_timeout_s
 
         self._serial: ScoringEngine | None = None
         self._arena: SharedArena | None = None
         self._workers: list = []
         self._task_queues: list = []
-        self._result_queue = None
+        self._result_queues: list = []
         self._request_counter = 0
         self._closed = False
         self._finalizer = None
+        self._supervisor = ShardSupervisor(self.n_workers, restart_policy)
+        self._fault_plan = fault_plan
+        # Observability counters (see stats()).
+        self._stale_results = 0
+        self._deadline_timeouts = 0
+        self._redispatched = 0
+        # Degraded-mode state: a lazily built in-process engine over the
+        # parent's own arena views, plus the per-shard log of
+        # acknowledged observes (replayed into respawned workers and
+        # into the degraded engine) and the per-shard watermark of how
+        # much of each log the degraded engine has already applied.
+        self._degraded_engine: ScoringEngine | None = None
+        self._observed_log: list[list[tuple[int, int]]] = [
+            [] for _ in range(self.n_workers)]
+        self._replayed_upto = [0] * self.n_workers
 
         if self.n_workers == 1:
             self._serial = ScoringEngine(model, histories, exclude_seen=exclude_seen,
@@ -254,35 +389,35 @@ class ShardedScoringEngine:
         self._arena = SharedArena.publish(arrays, writable_keys={"inputs"})
 
         self._bounds = shard_bounds(self.num_users, self.n_workers)
-        options = {
+        self._options = {
             "exclude_seen": exclude_seen,
             "micro_batch_size": micro_batch_size,
             "has_frozen": frozen is not None,
             "has_bias": frozen is not None and frozen.item_bias is not None,
+            "fault_plan": fault_plan,
         }
 
-        ctx = mp.get_context(start_method or default_start_method())
-        self._result_queue = ctx.Queue()
+        self._ctx = mp.get_context(start_method or default_start_method())
+        self._workers = [None] * self.n_workers
+        self._task_queues = [None] * self.n_workers
+        # One result queue per shard, recreated on every respawn: queue
+        # locks are not robust to SIGKILL (a worker killed mid-reply
+        # would hold a shared queue's write lock forever and starve the
+        # healthy shards), so no queue is ever shared between workers.
+        self._result_queues = [None] * self.n_workers
         try:
-            for _ in range(self.n_workers):
-                task_queue = ctx.Queue()
-                worker = ctx.Process(
-                    target=_shard_worker_main,
-                    args=(self._arena.layout, model, options, task_queue,
-                          self._result_queue),
-                    daemon=True,
-                )
-                worker.start()
-                self._task_queues.append(task_queue)
-                self._workers.append(worker)
+            for shard in range(self.n_workers):
+                self._spawn_shard(shard, incarnation=0)
         except Exception:
             self.close()
             raise
-        # Belt-and-braces cleanup if the caller forgets close(): the
-        # finalizer only touches OS resources, never the worker results.
+        # Belt-and-braces cleanup if the caller forgets close().  The
+        # worker/queue lists are passed *live* (not copied) so respawned
+        # workers are still covered; the finalizer only touches OS
+        # resources, never the worker results.
         self._finalizer = weakref.finalize(
-            self, _cleanup, self._arena, list(self._workers),
-            list(self._task_queues), self._result_queue)
+            self, _cleanup, self._arena, self._workers,
+            self._task_queues, self._result_queues)
         if precompute:
             self.materialize()
 
@@ -293,6 +428,15 @@ class ShardedScoringEngine:
     def is_parallel(self) -> bool:
         """Whether requests actually fan out to worker processes."""
         return self._serial is None
+
+    @property
+    def supports_deadlines(self) -> bool:
+        """Whether scoring calls accept a per-request ``timeout=``.
+
+        The capability probe the gateway uses before propagating its
+        request deadlines into the engine.
+        """
+        return True
 
     def shard_of(self, users: np.ndarray) -> np.ndarray:
         """Shard index of each user id."""
@@ -307,7 +451,47 @@ class ShardedScoringEngine:
             return self._serial.history(user)
         return list(self._histories[user])
 
-    def observe(self, user: int, item: int) -> None:
+    def health(self) -> dict:
+        """Liveness snapshot: per-shard supervision state, JSON-ready.
+
+        Keys: ``mode`` (``"serial"``/``"sharded"``), ``alive`` (engine
+        open), ``degraded_shards`` and the per-shard ``shards`` records
+        (liveness, restarts, incarnation, breaker window, exit codes)
+        from the :class:`~repro.parallel.supervisor.ShardSupervisor`.
+        """
+        if self._serial is not None:
+            return {"mode": "serial", "alive": not self._closed,
+                    "degraded_shards": [], "shards": []}
+        return {
+            "mode": "sharded",
+            "alive": not self._closed,
+            "n_workers": self.n_workers,
+            "degraded_shards": self._supervisor.degraded_shards,
+            "shards": self._supervisor.snapshot(),
+        }
+
+    def stats(self) -> dict:
+        """Request/fault counters since construction, JSON-ready.
+
+        ``stale_results_dropped`` counts results discarded in the merge
+        because their request was re-dispatched, timed out or abandoned
+        — silent before, observable now so retry correctness can be
+        audited.  ``redispatched`` counts sub-requests re-sent to a
+        respawned worker; ``deadline_timeouts`` counts requests failed
+        by an expired deadline.
+        """
+        return {
+            "requests": self._request_counter,
+            "stale_results_dropped": self._stale_results,
+            "deadline_timeouts": self._deadline_timeouts,
+            "redispatched": self._redispatched,
+            "worker_deaths": self._supervisor.total_deaths if self.is_parallel else 0,
+            "restarts": self._supervisor.total_restarts if self.is_parallel else 0,
+            "degraded_shards": len(self._supervisor.degraded_shards) if self.is_parallel else 0,
+            "observed_interactions": sum(len(log) for log in self._observed_log),
+        }
+
+    def observe(self, user: int, item: int, timeout: float | None = None) -> None:
         """Record a ``(user, item)`` interaction, shard-aware.
 
         The update is routed to the worker owning ``user``'s range and
@@ -317,6 +501,13 @@ class ShardedScoringEngine:
         other shards are never touched.  The call returns once the
         owning worker acknowledged the update, so a subsequent request
         for the same user reflects it (per-shard task queues are FIFO).
+
+        Observe is the engine's only non-idempotent request: if the
+        owning worker dies while one is in flight, the call raises
+        ``RuntimeError`` instead of re-dispatching (a replay would
+        double-shift the input row), and a ``TimeoutError`` here is
+        indeterminate — the worker may still apply the update after the
+        deadline.  Both leave the engine serving.
         """
         if not 0 <= user < self.num_users:
             raise ValueError(f"user id {user} outside [0, {self.num_users})")
@@ -326,17 +517,204 @@ class ShardedScoringEngine:
             self._serial.observe(user, item)
             return
         self._check_open()
+        deadline = self._deadline_for(timeout)
         shard = int(self.shard_of(np.asarray([user]))[0])
+        if not self._is_degraded(shard):
+            self._ensure_shard_ready(shard, deadline)
+        if self._is_degraded(shard):
+            engine = self._degraded_engine_for(shard)
+            engine.observe(user, item)
+            self._observed_log[shard].append((user, item))
+            self._replayed_upto[shard] = len(self._observed_log[shard])
+            self._histories[user].append(item)
+            return
         self._request_counter += 1
         request_id = self._request_counter
-        self._task_queues[shard].put(
-            (request_id, "observe", np.asarray([user], dtype=np.int64),
-             {"item": int(item)}))
-        self._collect({request_id: shard})
+        users = np.asarray([user], dtype=np.int64)
+        kwargs = {"item": int(item)}
+        self._task_queues[shard].put((request_id, "observe", users, kwargs))
+        self._collect({request_id: _PendingRequest(shard, "observe", users,
+                                                   kwargs)}, deadline)
         # Record the interaction only after the owning worker's ack, so
         # a failed/retried observe cannot leave history() diverged from
         # the shard's actual scoring state.
         self._histories[user].append(item)
+        self._observed_log[shard].append((user, item))
+
+    # ------------------------------------------------------------------ #
+    # Supervision: respawn, degrade, deadlines
+    # ------------------------------------------------------------------ #
+    def _deadline_for(self, timeout: float | None) -> float | None:
+        """Monotonic-clock deadline of a call (``None`` = wait forever)."""
+        effective = self.request_timeout_s if timeout is None else timeout
+        if effective is None:
+            return None
+        if effective <= 0:
+            raise ValueError("timeout must be positive or None")
+        return time.monotonic() + float(effective)
+
+    def _is_degraded(self, shard: int) -> bool:
+        return self._supervisor.health_of(shard).degraded
+
+    def _spawn_shard(self, shard: int, incarnation: int) -> None:
+        """Start (or restart) the worker process of ``shard``.
+
+        Each incarnation gets a *fresh* task queue: messages left on a
+        dead incarnation's queue are deliberately abandoned, so a
+        request can never execute both from the old queue and from its
+        re-dispatch (which matters for the non-idempotent observe).
+        Respawns replay the shard's acknowledged observes before any
+        re-dispatched request (FIFO).
+        """
+        options = dict(self._options, shard=shard, incarnation=incarnation)
+        task_queue = self._ctx.Queue()
+        result_queue = self._ctx.Queue()
+        if incarnation and self._observed_log[shard]:
+            entries = [(int(user), int(item))
+                       for user, item in self._observed_log[shard]]
+            task_queue.put((None, "replay_observes", None, {"entries": entries}))
+        worker = self._ctx.Process(
+            target=_shard_worker_main,
+            args=(self._arena.layout, self.model, options, task_queue,
+                  result_queue),
+            daemon=True,
+        )
+        worker.start()
+        self._task_queues[shard] = task_queue
+        self._result_queues[shard] = result_queue
+        self._workers[shard] = worker
+
+    def _retire_worker(self, shard: int) -> None:
+        """Reap a dead worker and abandon both of its queues.
+
+        The dead incarnation's result queue may be corrupt (the worker
+        could have been killed mid-reply), so it is never read again —
+        re-dispatch onto the fresh incarnation recomputes anything lost.
+        """
+        worker = self._workers[shard]
+        if worker is not None:
+            worker.join(timeout=1.0)
+        for old_queue in (self._task_queues[shard], self._result_queues[shard]):
+            if old_queue is None:
+                continue
+            try:
+                old_queue.cancel_join_thread()
+                old_queue.close()
+            except Exception:
+                pass
+        self._workers[shard] = None
+        self._task_queues[shard] = None
+        self._result_queues[shard] = None
+
+    def _degraded_engine_for(self, shard: int) -> ScoringEngine:
+        """The in-process fallback engine, caught up on observed state.
+
+        Built lazily over the parent's *own* arena views (the owner
+        mapping is writable, so observes keep working), then brought up
+        to date by replaying every shard's acknowledged observes past
+        its watermark — the shared input rows already hold them, only
+        the seen/representation state needs the replay.  One engine
+        serves all degraded shards; requests for live shards never touch
+        it, so per-shard catch-up on later degradations stays correct.
+        """
+        engine = self._degraded_engine
+        if engine is None:
+            frozen = None
+            if self._options["has_frozen"]:
+                bias = (self._arena.array("item_bias")
+                        if self._options["has_bias"] else None)
+                frozen = FrozenScorer(
+                    num_items=self.model.num_items,
+                    candidate_embeddings=self._arena.array("candidates"),
+                    item_bias=bias)
+            engine = ScoringEngine.from_snapshot(
+                self.model,
+                inputs=self._arena.array("inputs"),
+                seen_items=_seen_views(self._arena.array("seen_indptr"),
+                                       self._arena.array("seen_items")),
+                frozen=frozen,
+                exclude_seen=self.exclude_seen,
+                micro_batch_size=self.micro_batch_size,
+                observable=True,
+            )
+            self._degraded_engine = engine
+        for other in range(self.n_workers):
+            log = self._observed_log[other]
+            for user, item in log[self._replayed_upto[other]:]:
+                engine.replay_observe(user, item)
+            self._replayed_upto[other] = len(log)
+        return engine
+
+    def _execute_inline(self, shard: int, method: str, users, kwargs: dict):
+        """Serve one sub-request of a degraded shard in-process."""
+        return _execute_request(self._degraded_engine_for(shard), method,
+                                users, kwargs)
+
+    def _ensure_shard_ready(self, shard: int, deadline: float | None) -> None:
+        """Pre-dispatch gate: recover a dead worker, honour the breaker.
+
+        May leave the shard degraded (caller re-checks) and raises
+        :class:`~repro.parallel.supervisor.ShardCircuitOpenError` when
+        the shard's post-respawn backoff window outlives ``deadline``.
+        """
+        worker = self._workers[shard]
+        if worker is not None and not worker.is_alive():
+            self._recover({}, {}, deadline)
+        if self._is_degraded(shard):
+            return
+        self._supervisor.wait_for_breaker(shard, deadline)
+
+    def _recover(self, pending: dict[int, _PendingRequest],
+                 results: dict[int, object], deadline: float | None) -> None:
+        """Handle every dead worker: respawn + re-dispatch, or degrade.
+
+        Called whenever a result wait comes up empty (and before
+        dispatching to a shard found dead).  Idempotent in-flight
+        sub-requests of a dead shard are re-dispatched onto the fresh
+        incarnation — or, once the restart budget is spent, answered
+        inline by the degraded fallback (into ``results``).  An
+        in-flight observe aborts with ``RuntimeError`` *after* the shard
+        has been recovered, so the engine stays serving.
+        """
+        aborted_observe: tuple[int, int | None] | None = None
+        for shard in range(self.n_workers):
+            worker = self._workers[shard]
+            if worker is None or worker.is_alive():
+                continue
+            exitcode = worker.exitcode
+            self._supervisor.record_death(shard, exitcode)
+            self._retire_worker(shard)
+            inflight = {rid: request for rid, request in pending.items()
+                        if request.shard == shard and rid not in results}
+            observes = [rid for rid, request in inflight.items()
+                        if request.method == "observe"]
+            if observes:
+                self._supervisor.record_aborted(shard, len(observes))
+                aborted_observe = (shard, exitcode)
+            if self._supervisor.should_respawn(shard):
+                self._supervisor.record_respawn(shard)
+                incarnation = self._supervisor.health_of(shard).incarnation
+                self._spawn_shard(shard, incarnation)
+                for rid, request in inflight.items():
+                    if request.method == "observe":
+                        continue
+                    self._task_queues[shard].put(
+                        (rid, request.method, request.users, request.kwargs))
+                    self._redispatched += 1
+            else:
+                self._supervisor.record_degraded(shard)
+                for rid, request in inflight.items():
+                    if request.method == "observe":
+                        continue
+                    results[rid] = self._execute_inline(
+                        shard, request.method, request.users, request.kwargs)
+        if aborted_observe is not None:
+            shard, exitcode = aborted_observe
+            raise RuntimeError(
+                f"shard {shard} worker died (exitcode {exitcode}) with an "
+                f"observe in flight; the interaction was not recorded — "
+                f"the shard has been recovered, retry observe()"
+            )
 
     # ------------------------------------------------------------------ #
     # Request plumbing
@@ -353,90 +731,147 @@ class ShardedScoringEngine:
     def _check_open(self) -> None:
         if self._closed:
             raise RuntimeError("engine is closed")
-        for worker in self._workers:
-            if not worker.is_alive():
-                raise RuntimeError(
-                    f"shard worker pid={worker.pid} died "
-                    f"(exitcode {worker.exitcode})"
-                )
 
-    def _collect(self, expected: dict[int, object]) -> dict[int, object]:
-        """Drain results for the outstanding request ids in ``expected``."""
+    def _collect(self, pending: dict[int, _PendingRequest],
+                 deadline: float | None) -> dict[int, object]:
+        """Drain results for the outstanding request ids in ``pending``.
+
+        Polls the per-shard result queues in short intervals so worker
+        deaths (→ :meth:`_recover`) and deadline expiries (→
+        ``TimeoutError``) are noticed within ``_POLL_INTERVAL_S``.
+        Results of requests this merge no longer expects — late answers
+        of timed-out or re-dispatched requests — are dropped and counted
+        in ``stats()['stale_results_dropped']``.
+        """
         results: dict[int, object] = {}
-        while len(results) < len(expected):
-            try:
-                request_id, payload, error = self._result_queue.get(
-                    timeout=_RESULT_TIMEOUT_S)
-            except queue_module.Empty:
-                # A slow shard is not an error: keep waiting as long as
-                # every worker is alive (a dead one raises here).
-                self._check_open()
-                continue
-            if request_id not in expected:
-                # Stale result (success or error) of an earlier request
-                # that failed part-way — drop it so it cannot poison
-                # this merge.
-                continue
-            if error is not None:
-                raise RuntimeError(f"shard worker request failed:\n{error}")
-            results[request_id] = payload
+        while len(results) < len(pending):
+            timeout = _POLL_INTERVAL_S
+            if deadline is not None:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0.0:
+                    self._deadline_timeouts += 1
+                    outstanding = len(pending) - len(results)
+                    raise TimeoutError(
+                        f"request deadline expired with {outstanding} shard "
+                        f"sub-request(s) outstanding"
+                    )
+                timeout = min(timeout, remaining)
+            shards = sorted({request.shard
+                             for request_id, request in pending.items()
+                             if request_id not in results})
+            received = False
+            for index, shard in enumerate(shards):
+                result_queue = self._result_queues[shard]
+                if result_queue is None:
+                    continue  # respawn/degrade already answered via _recover
+                try:
+                    if not received and index == len(shards) - 1:
+                        # Nothing drained so far and this is the last
+                        # outstanding shard: block for one poll interval
+                        # instead of spinning.
+                        message = result_queue.get(timeout=timeout)
+                    else:
+                        message = result_queue.get_nowait()
+                except queue_module.Empty:
+                    continue
+                received = True
+                request_id, payload, error = message
+                if request_id not in pending or request_id in results:
+                    self._stale_results += 1
+                    continue
+                if error is not None:
+                    raise RuntimeError(
+                        f"shard worker request failed:\n{error}")
+                results[request_id] = payload
+            if not received:
+                # A slow shard is not an error: check for dead workers
+                # (respawn/degrade as budget allows) and keep waiting
+                # until the deadline says otherwise.
+                self._recover(pending, results, deadline)
         return results
 
     def _fan_out(self, method: str, users: np.ndarray,
-                 kwargs: dict | None = None) -> list[tuple[np.ndarray, object]]:
-        """Send per-shard subsets, return ``(positions, payload)`` pairs."""
+                 kwargs: dict | None = None,
+                 timeout: float | None = None) -> list[tuple[np.ndarray, object]]:
+        """Send per-shard subsets, return ``(positions, payload)`` pairs.
+
+        Degraded shards are served inline by the in-process fallback;
+        live shards go through the breaker gate, the task queues and the
+        deadline-aware collect.
+        """
         self._check_open()
+        deadline = self._deadline_for(timeout)
+        kwargs = kwargs or {}
         shard_ids = self.shard_of(users)
-        pending: dict[int, np.ndarray] = {}
+        merged: list[tuple[np.ndarray, object]] = []
+        pending: dict[int, _PendingRequest] = {}
         for shard in np.unique(shard_ids):
+            shard = int(shard)
             positions = np.nonzero(shard_ids == shard)[0]
+            shard_users = users[positions]
+            if not self._is_degraded(shard):
+                self._ensure_shard_ready(shard, deadline)
+            if self._is_degraded(shard):
+                merged.append((positions,
+                               self._execute_inline(shard, method, shard_users,
+                                                    kwargs)))
+                continue
             self._request_counter += 1
             request_id = self._request_counter
-            self._task_queues[int(shard)].put(
-                (request_id, method, users[positions], kwargs or {}))
-            pending[request_id] = positions
-        results = self._collect(pending)
-        return [(positions, results[request_id])
-                for request_id, positions in pending.items()]
+            self._task_queues[shard].put(
+                (request_id, method, shard_users, dict(kwargs)))
+            pending[request_id] = _PendingRequest(shard, method, shard_users,
+                                                 dict(kwargs), positions)
+        if pending:
+            results = self._collect(pending, deadline)
+            merged.extend((request.tag, results[request_id])
+                          for request_id, request in pending.items())
+        return merged
 
     # ------------------------------------------------------------------ #
     # Scoring API (mirrors the serial engine)
     # ------------------------------------------------------------------ #
-    def materialize(self) -> "ShardedScoringEngine":
+    def materialize(self, timeout: float | None = None) -> "ShardedScoringEngine":
         """Eagerly compute every shard's representation cache, in parallel."""
         if self._serial is not None:
             self._serial.materialize()
             return self
         self._check_open()
-        pending: dict[int, object] = {}
+        deadline = self._deadline_for(timeout)
+        pending: dict[int, _PendingRequest] = {}
         for shard in range(self.n_workers):
+            span = (int(self._bounds[shard]), int(self._bounds[shard + 1]))
+            if not self._is_degraded(shard):
+                self._ensure_shard_ready(shard, deadline)
+            if self._is_degraded(shard):
+                self._execute_inline(shard, "materialize", span, {})
+                continue
             self._request_counter += 1
             request_id = self._request_counter
-            self._task_queues[shard].put(
-                (request_id,
-                 "materialize",
-                 (int(self._bounds[shard]), int(self._bounds[shard + 1])),
-                 {}))
-            pending[request_id] = shard
-        self._collect(pending)
+            self._task_queues[shard].put((request_id, "materialize", span, {}))
+            pending[request_id] = _PendingRequest(shard, "materialize", span,
+                                                 {}, shard)
+        if pending:
+            self._collect(pending, deadline)
         return self
 
-    def score_all(self, users) -> np.ndarray:
+    def score_all(self, users, timeout: float | None = None) -> np.ndarray:
         """Raw scores of every real item, ``(B, num_items)`` (bit-identical
         to the serial engine on the same users)."""
         if self._serial is not None:
             return self._serial.score_all(users)
         users = self._as_user_array(users)
-        return self._merge_matrix("score_all", users, None)
+        return self._merge_matrix("score_all", users, None, timeout)
 
-    def masked_scores(self, users) -> np.ndarray:
+    def masked_scores(self, users, timeout: float | None = None) -> np.ndarray:
         """Scores with each user's seen items pushed to ``-inf``."""
         if self._serial is not None:
             return self._serial.masked_scores(users)
         users = self._as_user_array(users)
-        return self._merge_matrix("masked_scores", users, None)
+        return self._merge_matrix("masked_scores", users, None, timeout)
 
-    def top_k(self, users, k: int, exclude_seen: bool | None = None) -> np.ndarray:
+    def top_k(self, users, k: int, exclude_seen: bool | None = None,
+              timeout: float | None = None) -> np.ndarray:
         """Ranked ids of the top-``k`` items per user, best first."""
         if k < 1:
             raise ValueError("k must be positive")
@@ -448,15 +883,18 @@ class ShardedScoringEngine:
         if users.size == 0:
             return out
         for positions, rows in self._fan_out(
-                "top_k", users, {"k": k, "exclude_seen": exclude_seen}):
+                "top_k", users, {"k": k, "exclude_seen": exclude_seen},
+                timeout):
             out[positions] = rows
         return out
 
-    def recommend(self, user: int, k: int = 10) -> list:
+    def recommend(self, user: int, k: int = 10,
+                  timeout: float | None = None) -> list:
         """Top-``k`` recommendations for one user."""
-        return self.recommend_batch([user], k)[0]
+        return self.recommend_batch([user], k, timeout=timeout)[0]
 
-    def recommend_batch(self, users, k: int = 10) -> list[list]:
+    def recommend_batch(self, users, k: int = 10,
+                        timeout: float | None = None) -> list[list]:
         """Top-``k`` :class:`~repro.serving.engine.Recommendation` lists.
 
         Workers build their shard's recommendation entries locally and
@@ -470,16 +908,16 @@ class ShardedScoringEngine:
         users = self._as_user_array(users)
         results: list = [None] * users.size
         for positions, payload in self._fan_out("recommend_batch", users,
-                                                {"k": k}):
+                                                {"k": k}, timeout):
             for position, recommendations in zip(positions, payload):
                 results[int(position)] = recommendations
         return results
 
     def _merge_matrix(self, method: str, users: np.ndarray,
-                      dtype) -> np.ndarray:
+                      dtype, timeout: float | None = None) -> np.ndarray:
         if users.size == 0:
             return np.zeros((0, self.num_items), dtype=dtype or np.float64)
-        parts = self._fan_out(method, users)
+        parts = self._fan_out(method, users, None, timeout)
         first = parts[0][1]
         out = np.empty((users.size, self.num_items), dtype=first.dtype)
         for positions, rows in parts:
@@ -497,11 +935,12 @@ class ShardedScoringEngine:
         if self._finalizer is not None:
             self._finalizer.detach()
         _cleanup(self._arena, self._workers, self._task_queues,
-                 self._result_queue)
+                 self._result_queues)
         self._workers = []
         self._task_queues = []
-        self._result_queue = None
+        self._result_queues = []
         self._arena = None
+        self._degraded_engine = None
 
     def __enter__(self) -> "ShardedScoringEngine":
         return self
@@ -511,39 +950,50 @@ class ShardedScoringEngine:
 
 
 def _cleanup(arena: SharedArena | None, workers: list, task_queues: list,
-             result_queue=None) -> None:
+             result_queues: list = ()) -> None:
     """Shutdown path shared by close() and the GC finalizer.
 
     After an error a worker may still be flushing a large pending result
-    into the queue, so the parent drains results while the sentinels
+    into its queue, so the parent drains results while the sentinels
     propagate — otherwise the worker blocks at exit on a full pipe and
-    ends up force-terminated.
+    ends up force-terminated.  Entries may be ``None`` (degraded shards
+    have no worker/queue).
     """
     for queue in task_queues:
+        if queue is None:
+            continue
         try:
             queue.put(None)
         except Exception:
             pass
+    live = [worker for worker in workers if worker is not None]
     deadline = 50  # ~10 s of 0.2 s drain rounds
-    while deadline and any(worker.is_alive() for worker in workers):
-        if result_queue is not None:
+    while deadline and any(worker.is_alive() for worker in live):
+        drained = False
+        for queue in result_queues:
+            if queue is None:
+                continue
             try:
-                result_queue.get(timeout=0.2)
+                queue.get_nowait()
+                drained = True
             except queue_module.Empty:
-                deadline -= 1
+                continue
             except Exception:
-                break
-        else:
+                pass
+        if not drained:
+            time.sleep(0.2)
             deadline -= 1
-    for worker in workers:
+    for worker in live:
         worker.join(timeout=1.0)
         if worker.is_alive():
             worker.terminate()
             worker.join(timeout=5.0)
-    for queue in task_queues:
+    for queue in list(task_queues) + list(result_queues):
+        if queue is None:
+            continue
         try:
+            queue.cancel_join_thread()
             queue.close()
-            queue.join_thread()
         except Exception:
             pass
     if arena is not None:

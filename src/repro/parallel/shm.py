@@ -24,6 +24,7 @@ from __future__ import annotations
 
 import os
 import secrets
+import weakref
 from dataclasses import dataclass
 from multiprocessing import shared_memory
 
@@ -96,6 +97,17 @@ class SharedArena:
             if not owner and not spec.writable:
                 view.flags.writeable = False
             self._arrays[key] = view
+        # Crashed-owner insurance: if the owning process exits (normally
+        # or via an unhandled exception unwinding the stack) without
+        # close(), the finalizer unlinks the segment so /dev/shm cannot
+        # accumulate leaked arenas.  weakref.finalize runs both on GC and
+        # at interpreter shutdown, unlike __del__ alone.  Deliberately
+        # bound to the raw segment, not self, so it cannot keep the arena
+        # alive.
+        self._segment_finalizer = None
+        if owner:
+            self._segment_finalizer = weakref.finalize(
+                self, _unlink_segment, segment)
 
     # ------------------------------------------------------------------ #
     # Constructors
@@ -157,6 +169,8 @@ class SharedArena:
             return
         self._closed = True
         self._arrays = {}
+        if self._segment_finalizer is not None:
+            self._segment_finalizer.detach()
         self._segment.close()
         if self._owner:
             try:
@@ -175,3 +189,15 @@ class SharedArena:
             self.close()
         except Exception:
             pass
+
+
+def _unlink_segment(segment: shared_memory.SharedMemory) -> None:
+    """Owner-death cleanup: close the mapping and unlink the OS object."""
+    try:
+        segment.close()
+    except Exception:
+        pass
+    try:
+        segment.unlink()
+    except Exception:
+        pass

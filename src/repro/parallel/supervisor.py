@@ -1,0 +1,215 @@
+"""Shard-worker supervision: restart policy, liveness, circuit breaking.
+
+The sharded engine's original failure story was "a dead worker bricks
+the engine" — ``_check_open`` raised forever once any shard process
+died.  This module supplies the bookkeeping half of the fix; the
+respawn mechanics (re-attaching a fresh process to the published arena,
+re-dispatching in-flight requests, replaying observes) live in
+:mod:`repro.parallel.sharded`, which owns the queues.
+
+* :class:`RestartPolicy` — bounded restart budget with exponential
+  backoff.  The backoff is enforced as a per-shard *circuit breaker*:
+  after each respawn the shard is "open" for the backoff window, and a
+  request that cannot wait that long (its deadline lands inside the
+  window) fails fast with :class:`ShardCircuitOpenError` instead of
+  queueing behind the recovery.
+* :class:`ShardHealth` — the per-shard record behind
+  ``ShardedScoringEngine.health()``: liveness, incarnation count,
+  degraded flag, breaker state.
+* :class:`ShardSupervisor` — tracks the policy state across shards and
+  decides, per failure, between *respawn* (budget left) and *degrade*
+  (budget exhausted → the engine runs that shard in-process, serially,
+  instead of failing the whole service).
+
+The supervisor is deliberately mechanism-free: it never touches
+processes or queues, so it is unit-testable without multiprocessing and
+reusable by the future networked tier (replica failover has the same
+budget/backoff/degrade shape).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+__all__ = ["RestartPolicy", "ShardHealth", "ShardSupervisor",
+           "ShardCircuitOpenError"]
+
+
+class ShardCircuitOpenError(RuntimeError):
+    """A shard's circuit breaker is open and the request cannot wait.
+
+    Raised when a request's deadline expires before the shard's
+    post-respawn backoff window closes.  Carries ``retry_after_s``, the
+    remaining breaker window — callers (and the gateway) can surface it
+    as a retry hint.
+    """
+
+    def __init__(self, shard: int, retry_after_s: float):
+        super().__init__(
+            f"shard {shard} circuit open for another {retry_after_s:.3f}s")
+        self.shard = shard
+        self.retry_after_s = retry_after_s
+
+
+@dataclass(frozen=True)
+class RestartPolicy:
+    """Bounded restart budget with exponential backoff.
+
+    A shard worker may be respawned at most ``max_restarts`` times; the
+    ``n``-th respawn (0-based) opens the shard's circuit breaker for
+    ``backoff_s(n)`` seconds.  The first respawn is immediate
+    (``backoff_s(0) == 0``) so a one-off crash costs only the respawn
+    itself; repeated crashes back off geometrically up to
+    ``backoff_max_s``.  Exhausting the budget degrades the shard to the
+    in-process serial fallback instead of failing the engine.
+    """
+
+    max_restarts: int = 3
+    backoff_base_s: float = 0.05
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 2.0
+
+    def __post_init__(self):
+        if self.max_restarts < 0:
+            raise ValueError("max_restarts must be >= 0")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff durations must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+
+    def backoff_s(self, restart_index: int) -> float:
+        """Breaker window opened by the ``restart_index``-th respawn."""
+        if restart_index <= 0:
+            return 0.0
+        window = self.backoff_base_s * self.backoff_factor ** (restart_index - 1)
+        return min(window, self.backoff_max_s)
+
+
+@dataclass
+class ShardHealth:
+    """Mutable per-shard liveness/restart record (see ``health()``)."""
+
+    shard: int
+    alive: bool = True
+    degraded: bool = False
+    restarts: int = 0
+    deaths: int = 0
+    incarnation: int = 0
+    breaker_open_until: float = 0.0
+    last_exitcode: int | None = None
+    #: Request-ids that were in flight on this shard when it last died
+    #: and could not be re-dispatched (non-idempotent observes).
+    aborted_requests: int = 0
+
+    def breaker_open_for(self, now: float | None = None) -> float:
+        """Seconds the circuit breaker stays open from ``now`` (>= 0)."""
+        now = time.monotonic() if now is None else now
+        return max(0.0, self.breaker_open_until - now)
+
+    def as_dict(self) -> dict:
+        """JSON-ready snapshot (breaker reported as remaining seconds)."""
+        return {
+            "shard": self.shard,
+            "alive": self.alive,
+            "degraded": self.degraded,
+            "restarts": self.restarts,
+            "deaths": self.deaths,
+            "incarnation": self.incarnation,
+            "breaker_open_s": round(self.breaker_open_for(), 6),
+            "last_exitcode": self.last_exitcode,
+            "aborted_requests": self.aborted_requests,
+        }
+
+
+class ShardSupervisor:
+    """Policy state machine for a set of shard workers.
+
+    The engine reports events (:meth:`record_death`,
+    :meth:`record_respawn`, :meth:`record_degraded`) and asks questions
+    (:meth:`should_respawn`, :meth:`wait_for_breaker`); the supervisor
+    never touches processes itself.
+    """
+
+    def __init__(self, n_shards: int, policy: RestartPolicy | None = None):
+        if n_shards < 1:
+            raise ValueError("n_shards must be positive")
+        self.policy = policy if policy is not None else RestartPolicy()
+        self._shards = [ShardHealth(shard=shard) for shard in range(n_shards)]
+
+    # ------------------------------------------------------------------ #
+    # Event recording
+    # ------------------------------------------------------------------ #
+    def record_death(self, shard: int, exitcode: int | None = None) -> None:
+        """A worker was found dead (before any respawn decision)."""
+        health = self._shards[shard]
+        health.alive = False
+        health.deaths += 1
+        health.last_exitcode = exitcode
+
+    def should_respawn(self, shard: int) -> bool:
+        """Whether the restart budget still allows a respawn."""
+        return self._shards[shard].restarts < self.policy.max_restarts
+
+    def record_respawn(self, shard: int, now: float | None = None) -> None:
+        """A fresh worker replaced the dead one; opens the breaker."""
+        now = time.monotonic() if now is None else now
+        health = self._shards[shard]
+        window = self.policy.backoff_s(health.restarts)
+        health.restarts += 1
+        health.incarnation += 1
+        health.alive = True
+        health.breaker_open_until = max(health.breaker_open_until, now + window)
+
+    def record_degraded(self, shard: int) -> None:
+        """The shard fell back to the in-process serial engine."""
+        health = self._shards[shard]
+        health.degraded = True
+        health.alive = True  # served, just not by a worker process
+        health.breaker_open_until = 0.0
+
+    def record_aborted(self, shard: int, count: int = 1) -> None:
+        """``count`` in-flight requests could not be re-dispatched."""
+        self._shards[shard].aborted_requests += count
+
+    # ------------------------------------------------------------------ #
+    # Queries
+    # ------------------------------------------------------------------ #
+    def wait_for_breaker(self, shard: int, deadline: float | None) -> None:
+        """Block until ``shard``'s breaker closes, bounded by ``deadline``.
+
+        Raises :class:`ShardCircuitOpenError` when the breaker outlives
+        the request's deadline (monotonic-clock seconds, ``None`` for no
+        deadline) — the caller should fail that request fast rather than
+        queue behind the recovery.
+        """
+        health = self._shards[shard]
+        remaining = health.breaker_open_for()
+        if remaining <= 0.0:
+            return
+        if deadline is not None and time.monotonic() + remaining > deadline:
+            raise ShardCircuitOpenError(shard, remaining)
+        time.sleep(remaining)
+
+    def health_of(self, shard: int) -> ShardHealth:
+        """The live (mutable) health record of ``shard``."""
+        return self._shards[shard]
+
+    def snapshot(self) -> list[dict]:
+        """JSON-ready per-shard health list for ``health()``."""
+        return [health.as_dict() for health in self._shards]
+
+    @property
+    def degraded_shards(self) -> list[int]:
+        """Indices of shards currently running the serial fallback."""
+        return [health.shard for health in self._shards if health.degraded]
+
+    @property
+    def total_restarts(self) -> int:
+        """Respawns across all shards since construction."""
+        return sum(health.restarts for health in self._shards)
+
+    @property
+    def total_deaths(self) -> int:
+        """Worker deaths across all shards since construction."""
+        return sum(health.deaths for health in self._shards)

@@ -23,7 +23,10 @@ on top of a trained model:
   policy) and layers a hot-user
   :class:`~repro.serving.cache.ScoreRowCache` (LRU + TTL) over the
   engine's representation cache; results stay bit-identical to direct
-  engine calls (``repro-ham serve --gateway``).
+  engine calls (``repro-ham serve --gateway``).  Admission control
+  sheds load with :class:`~repro.serving.gateway.GatewayOverloadedError`
+  at the ``max_queue`` watermark, and per-request deadlines propagate
+  into the engine (see ``docs/robustness.md``).
 * :func:`~repro.serving.bench.run_serving_benchmark` — the cached-vs-
   uncached latency harness behind ``repro-ham bench-serve`` — and
   :func:`~repro.serving.gateway_bench.run_gateway_benchmark`, the
@@ -36,7 +39,12 @@ on top of a trained model:
 
 from repro.serving.engine import Recommendation, ScoringEngine
 from repro.serving.cache import CacheStats, ScoreRowCache
-from repro.serving.gateway import GatewayFuture, GatewayStats, ServingGateway
+from repro.serving.gateway import (
+    GatewayFuture,
+    GatewayOverloadedError,
+    GatewayStats,
+    ServingGateway,
+)
 from repro.serving.deploy import engine_from_checkpoint, model_from_checkpoint
 from repro.serving.recommender import Recommender
 from repro.serving.explain import (
@@ -62,6 +70,7 @@ __all__ = [
     "CacheStats",
     "ScoreRowCache",
     "GatewayFuture",
+    "GatewayOverloadedError",
     "GatewayStats",
     "ServingGateway",
     "Recommender",

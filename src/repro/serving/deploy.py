@@ -85,7 +85,9 @@ def model_from_checkpoint(path: str | Path, method: str | None = None,
 def engine_from_checkpoint(path: str | Path, histories: list[list[int]],
                            n_workers: int = 0, exclude_seen: bool = True,
                            micro_batch_size: int = 1024,
-                           precompute: bool = False, **model_overrides):
+                           precompute: bool = False,
+                           request_timeout_s: float | None = None,
+                           **model_overrides):
     """``load_checkpoint`` → scoring engine, no trainer stack involved.
 
     Parameters
@@ -97,14 +99,21 @@ def engine_from_checkpoint(path: str | Path, histories: list[list[int]],
         ``> 1`` builds a multi-process
         :class:`~repro.parallel.sharded.ShardedScoringEngine`; otherwise
         the serial engine.
+    request_timeout_s:
+        Per-request deadline of the sharded engine (``repro-ham serve
+        --request-timeout``); ``None`` keeps the engine default
+        (:data:`~repro.parallel.sharded.DEFAULT_REQUEST_TIMEOUT_S`).
     model_overrides:
         Forwarded to :func:`model_from_checkpoint` (``method``,
         ``num_users``, ``num_items``, ``hyperparameters``).
     """
-    from repro.parallel.sharded import make_scoring_engine
+    from repro.parallel.sharded import DEFAULT_REQUEST_TIMEOUT_S, make_scoring_engine
 
+    if request_timeout_s is None:
+        request_timeout_s = DEFAULT_REQUEST_TIMEOUT_S
     model, _ = model_from_checkpoint(path, **model_overrides)
     return make_scoring_engine(model, histories, n_workers=n_workers,
                                exclude_seen=exclude_seen,
                                micro_batch_size=micro_batch_size,
-                               precompute=precompute)
+                               precompute=precompute,
+                               request_timeout_s=request_timeout_s)

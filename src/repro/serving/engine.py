@@ -282,6 +282,27 @@ class ScoringEngine:
         if self._rep_valid is not None:
             self._rep_valid[user] = False
 
+    def replay_observe(self, user: int, item: int) -> None:
+        """Re-apply an already-acknowledged interaction to a fresh snapshot.
+
+        Recovery path of the sharded engine: a respawned shard worker
+        re-attaches to shared memory whose padded input rows already
+        contain every acknowledged ``observe`` (the previous incarnation
+        shifted them in place), but the per-user seen arrays and the
+        representation-validity bits are process-local and restart from
+        the original snapshot.  Replay closes exactly that gap — it
+        marks ``item`` seen and invalidates ``user``'s cached
+        representation *without* shifting the input row again, so
+        applying one replay per acknowledged observe reconstructs the
+        dead worker's scoring state bit-for-bit.
+        """
+        self._validate_user(user)
+        self._validate_item(item)
+        if self._seen_items is not None:
+            self._seen_items[user] = np.append(self._seen_items[user], item)
+        if self._rep_valid is not None:
+            self._rep_valid[user] = False
+
     # ------------------------------------------------------------------ #
     # Internal helpers
     # ------------------------------------------------------------------ #

@@ -31,6 +31,20 @@ The gateway works over any engine exposing the scoring API
 (``score_all`` / ``masked_scores`` / ``top_k`` / ``observe``) — the
 serial :class:`~repro.serving.engine.ScoringEngine` and the sharded
 multi-process engine alike.
+
+Admission control and deadlines
+-------------------------------
+Under overload a bounded queue that *blocks* converts every caller into
+a hung thread; the gateway sheds instead.  With ``max_queue`` set,
+:meth:`submit` fails fast with :class:`GatewayOverloadedError` once that
+many requests are queued — the error carries a ``retry_after_s`` hint
+derived from the observed batch service time (EWMA) and the current
+backlog.  Per-request deadlines (``submit(..., timeout=...)``) expire
+queued requests before they waste a flush, bound how long a flush waits
+on the engine (propagated as the engine's own ``timeout=`` when it
+advertises ``supports_deadlines``), and surface as ``TimeoutError`` on
+the future.  ``health()`` reports queue depth, flusher liveness and —
+for a sharded engine — the per-shard supervision state underneath.
 """
 
 from __future__ import annotations
@@ -46,7 +60,28 @@ from repro.evaluation.ranking import top_k_items
 from repro.serving.cache import CacheStats, ScoreRowCache
 from repro.serving.engine import Recommendation
 
-__all__ = ["GatewayFuture", "GatewayStats", "ServingGateway"]
+__all__ = ["GatewayFuture", "GatewayStats", "ServingGateway",
+           "GatewayOverloadedError"]
+
+#: Weight of the newest batch in the service-time EWMA behind the
+#: ``retry_after_s`` hint of :class:`GatewayOverloadedError`.
+_EWMA_ALPHA = 0.2
+
+
+class GatewayOverloadedError(RuntimeError):
+    """The gateway queue is at its high watermark; the request was shed.
+
+    Raised by :meth:`ServingGateway.submit` instead of queueing (or
+    blocking) when ``max_queue`` requests are already waiting.
+    ``retry_after_s`` estimates when capacity frees up — the observed
+    batch service time scaled by the backlog — so callers can back off
+    instead of hammering the gateway.
+    """
+
+    def __init__(self, retry_after_s: float):
+        super().__init__(
+            f"gateway queue full; retry in ~{retry_after_s:.3f}s")
+        self.retry_after_s = retry_after_s
 
 
 class GatewayFuture:
@@ -106,8 +141,12 @@ class GatewayStats:
     ``flush_full`` / ``flush_deadline`` / ``flush_drain`` partition the
     batches by what triggered them (queue reached ``max_batch``, the
     oldest request hit ``max_wait_ms``, or the close-time drain).
-    ``cache`` is the embedded :class:`~repro.serving.cache.CacheStats`
-    snapshot, or ``None`` when the gateway was built with caching off.
+    ``shed`` counts submissions refused with
+    :class:`GatewayOverloadedError` at the ``max_queue`` watermark, and
+    ``expired`` counts requests failed by their own deadline (while
+    queued or at flush time).  ``cache`` is the embedded
+    :class:`~repro.serving.cache.CacheStats` snapshot, or ``None`` when
+    the gateway was built with caching off.
     """
 
     requests: int
@@ -117,6 +156,8 @@ class GatewayStats:
     flush_drain: int
     max_batch_observed: int
     mean_batch_size: float
+    shed: int = 0
+    expired: int = 0
     cache: CacheStats | None = None
 
     def as_dict(self) -> dict:
@@ -129,6 +170,8 @@ class GatewayStats:
             "flush_drain": self.flush_drain,
             "max_batch_observed": self.max_batch_observed,
             "mean_batch_size": self.mean_batch_size,
+            "shed": self.shed,
+            "expired": self.expired,
         }
         if self.cache is not None:
             payload["cache"] = self.cache.as_dict()
@@ -137,12 +180,18 @@ class GatewayStats:
 
 @dataclass
 class _Request:
-    """One queued request plus its arrival stamp and future."""
+    """One queued request plus its arrival stamp, deadline and future.
+
+    ``deadline`` is a monotonic-clock instant (``None`` = no deadline):
+    the flusher fails the request with ``TimeoutError`` once it passes,
+    whether the request is still queued or about to be batched.
+    """
 
     user: int
     k: int
     masked: bool
     arrived: float
+    deadline: float | None = None
     future: GatewayFuture = field(default_factory=GatewayFuture)
 
 
@@ -172,6 +221,16 @@ class ServingGateway:
     cache_ttl_s:
         Optional TTL for cached rows (seconds); ``None`` keeps rows
         until eviction or invalidation.
+    max_queue:
+        High-watermark admission control: with this many requests
+        already queued, :meth:`submit` sheds (raises
+        :class:`GatewayOverloadedError` with a retry-after hint) instead
+        of queueing.  ``None`` (default) never sheds — the pre-existing
+        behaviour.
+    request_timeout_s:
+        Default per-request deadline applied to every :meth:`submit`
+        that does not pass its own ``timeout``; ``None`` (default)
+        means no deadline.
     own_engine:
         When true, :meth:`close` also closes the engine.
 
@@ -184,6 +243,8 @@ class ServingGateway:
 
     def __init__(self, engine, max_batch: int = 32, max_wait_ms: float = 2.0,
                  cache_size: int = 256, cache_ttl_s: float | None = None,
+                 max_queue: int | None = None,
+                 request_timeout_s: float | None = None,
                  own_engine: bool = False):
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
@@ -193,12 +254,22 @@ class ServingGateway:
             raise ValueError("cache_size must be non-negative (0 disables)")
         if cache_ttl_s is not None and cache_ttl_s <= 0:
             raise ValueError("cache_ttl_s must be positive (or None to disable)")
+        if max_queue is not None and max_queue < 1:
+            raise ValueError("max_queue must be positive (or None to disable)")
+        if request_timeout_s is not None and request_timeout_s <= 0:
+            raise ValueError("request_timeout_s must be positive (or None)")
         self.engine = engine
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_ms) / 1e3
+        self.max_queue = None if max_queue is None else int(max_queue)
+        self.request_timeout_s = request_timeout_s
         self.cache = (ScoreRowCache(cache_size, ttl_s=cache_ttl_s)
                       if cache_size else None)
         self._own_engine = own_engine
+        # Propagate request deadlines into engines that accept them
+        # (the sharded engine advertises the capability).
+        self._engine_deadlines = bool(getattr(engine, "supports_deadlines",
+                                              False))
 
         self._lock = threading.Lock()
         self._queued = threading.Condition(self._lock)
@@ -216,6 +287,10 @@ class ServingGateway:
         self._flush_drain = 0
         self._batched_requests = 0
         self._max_batch_observed = 0
+        self._shed = 0
+        self._expired = 0
+        # EWMA of batch service seconds, behind the retry-after hint.
+        self._service_ewma_s: float | None = None
 
         self._thread = threading.Thread(target=self._run, name="gateway-flusher",
                                         daemon=True)
@@ -225,33 +300,66 @@ class ServingGateway:
     # Request API
     # ------------------------------------------------------------------ #
     def submit(self, user: int, k: int = 10,
-               exclude_seen: bool | None = None) -> GatewayFuture:
+               exclude_seen: bool | None = None,
+               timeout: float | None = None) -> GatewayFuture:
         """Enqueue one single-user top-k request; returns immediately.
 
         ``exclude_seen=None`` inherits the engine's default.  Raises at
         the call site on invalid ids so bad requests never poison a
-        batch.
+        batch, and with :class:`GatewayOverloadedError` when the queue
+        is at its ``max_queue`` watermark.
+
+        ``timeout`` (seconds, default: the gateway's
+        ``request_timeout_s``) is the request's end-to-end deadline: it
+        bounds queueing *and* the engine flush, and an expired request
+        fails with ``TimeoutError`` — pass the same value to
+        :meth:`GatewayFuture.result` to bound the caller's wait too.
         """
         if k < 1:
             raise ValueError("k must be positive")
         if not 0 <= user < self.engine.num_users:
             raise ValueError(f"user id {user} outside [0, {self.engine.num_users})")
+        if timeout is None:
+            timeout = self.request_timeout_s
+        if timeout is not None and timeout <= 0:
+            raise ValueError("timeout must be positive (or None)")
         masked = bool(self.engine.exclude_seen if exclude_seen is None
                       else exclude_seen)
+        now = time.monotonic()
         request = _Request(user=int(user), k=int(k), masked=masked,
-                           arrived=time.monotonic())
+                           arrived=now,
+                           deadline=None if timeout is None else now + timeout)
         with self._lock:
             if self._closed:
                 raise RuntimeError("gateway is closed")
+            if self.max_queue is not None and len(self._queue) >= self.max_queue:
+                self._shed += 1
+                raise GatewayOverloadedError(self._retry_after_locked())
             self._queue.append(request)
             self._requests += 1
             self._queued.notify_all()
         return request.future
 
+    def _retry_after_locked(self) -> float:
+        """Retry hint for a shed request (callers hold ``self._lock``).
+
+        Batches needed to drain the backlog times the observed batch
+        service time (EWMA), floored at the flush wait — a rough "when
+        does capacity free up", not a guarantee.
+        """
+        service = self._service_ewma_s
+        if service is None:
+            service = self.max_wait_s
+        backlog_batches = max(1, -(-len(self._queue) // self.max_batch))
+        return max(service * backlog_batches, self.max_wait_s, 1e-3)
+
     def top_k(self, user: int, k: int = 10,
-              exclude_seen: bool | None = None) -> np.ndarray:
+              exclude_seen: bool | None = None,
+              timeout: float | None = None) -> np.ndarray:
         """Blocking top-k for one user (``submit`` + ``result``)."""
-        return self.submit(user, k, exclude_seen=exclude_seen).result()
+        future = self.submit(user, k, exclude_seen=exclude_seen,
+                             timeout=timeout)
+        return future.result(timeout)
 
     def recommend(self, user: int, k: int = 10) -> list[Recommendation]:
         """Blocking :class:`Recommendation` list for one user."""
@@ -307,9 +415,31 @@ class ServingGateway:
                 flush_drain=self._flush_drain,
                 max_batch_observed=self._max_batch_observed,
                 mean_batch_size=mean,
+                shed=self._shed,
+                expired=self._expired,
                 cache=cache_stats,
             )
         return snapshot
+
+    def health(self) -> dict:
+        """Liveness snapshot of the gateway and its engine, JSON-ready.
+
+        Reports the queue depth against the shedding watermark, whether
+        the flusher thread is alive, and — when the engine exposes its
+        own ``health()`` (the sharded engine does) — the per-shard
+        supervision state nested under ``"engine"``.
+        """
+        with self._lock:
+            payload = {
+                "closed": self._closed,
+                "flusher_alive": self._thread.is_alive(),
+                "queue_depth": len(self._queue),
+                "max_queue": self.max_queue,
+            }
+        engine_health = getattr(self.engine, "health", None)
+        if engine_health is not None:
+            payload["engine"] = engine_health()
+        return payload
 
     # ------------------------------------------------------------------ #
     # Flusher
@@ -334,10 +464,27 @@ class ServingGateway:
                     self._flush_drain += 1
             self._execute(batch)
 
+    def _expire_queued_locked(self) -> None:
+        """Fail queued requests whose deadline has passed (lock held)."""
+        now = time.monotonic()
+        if not any(request.deadline is not None and request.deadline <= now
+                   for request in self._queue):
+            return
+        keep: deque[_Request] = deque()
+        for request in self._queue:
+            if request.deadline is not None and request.deadline <= now:
+                self._expired += 1
+                request.future._fail(
+                    TimeoutError("gateway request deadline expired while queued"))
+            else:
+                keep.append(request)
+        self._queue = keep
+
     def _next_batch(self) -> tuple[list[_Request] | None, str]:
         """Block until a batch is due; ``(None, ...)`` means shut down."""
         with self._lock:
             while True:
+                self._expire_queued_locked()
                 if self._queue:
                     if self._closed:
                         reason = "drain"
@@ -345,11 +492,19 @@ class ServingGateway:
                     if len(self._queue) >= self.max_batch:
                         reason = "full"
                         break
-                    # The deadline is anchored at the *arrival* of the
-                    # oldest request, so time a request spent queued
-                    # behind a running batch counts against it.
-                    deadline = self._queue[0].arrived + self.max_wait_s
-                    remaining = deadline - time.monotonic()
+                    # The flush deadline is anchored at the *arrival* of
+                    # the oldest request, so time a request spent queued
+                    # behind a running batch counts against it — and it
+                    # never waits past the earliest per-request deadline
+                    # in the queue, so expiries surface promptly.
+                    flush_at = self._queue[0].arrived + self.max_wait_s
+                    next_deadline = min(
+                        (request.deadline for request in self._queue
+                         if request.deadline is not None),
+                        default=None)
+                    if next_deadline is not None:
+                        flush_at = min(flush_at, next_deadline)
+                    remaining = flush_at - time.monotonic()
                     if remaining <= 0:
                         reason = "deadline"
                         break
@@ -363,10 +518,35 @@ class ServingGateway:
         return batch, reason
 
     def _execute(self, batch: list[_Request]) -> None:
+        started = time.monotonic()
+        # A deadline that passed while the request waited for this flush
+        # fails here, before any engine work is spent on it.
+        live: list[_Request] = []
+        expired = 0
+        for request in batch:
+            if request.deadline is not None and request.deadline <= started:
+                expired += 1
+                request.future._fail(
+                    TimeoutError("gateway request deadline expired before flush"))
+            else:
+                live.append(request)
+        if expired:
+            with self._lock:
+                self._expired += expired
+        if not live:
+            return
+        # The engine call is bounded by the earliest deadline in the
+        # batch (engines advertising supports_deadlines only).
+        engine_timeout = None
+        if self._engine_deadlines:
+            deadlines = [request.deadline for request in live
+                         if request.deadline is not None]
+            if deadlines:
+                engine_timeout = max(min(deadlines) - started, 1e-3)
         try:
             with self._engine_lock:
-                rows = self._score_rows(batch)
-            for request, row in zip(batch, rows):
+                rows = self._score_rows(live, engine_timeout)
+            for request, row in zip(live, rows):
                 # Per-row ranking is bit-identical to the engine's batch
                 # call: argpartition/argsort operate row-independently.
                 ranked = top_k_items(row[None, :], request.k)[0]
@@ -376,11 +556,27 @@ class ServingGateway:
             # flusher would strand every future submitted afterwards,
             # which is strictly worse than reporting the failure
             # per-batch.
-            for request in batch:
+            timed_out = 0
+            for request in live:
                 if not request.future.done():
                     request.future._fail(error)
+                    if isinstance(error, TimeoutError):
+                        timed_out += 1
+            if timed_out:
+                with self._lock:
+                    self._expired += timed_out
+        finally:
+            elapsed = time.monotonic() - started
+            with self._lock:
+                if self._service_ewma_s is None:
+                    self._service_ewma_s = elapsed
+                else:
+                    self._service_ewma_s = (
+                        _EWMA_ALPHA * elapsed
+                        + (1.0 - _EWMA_ALPHA) * self._service_ewma_s)
 
-    def _score_rows(self, batch: list[_Request]) -> list[np.ndarray]:
+    def _score_rows(self, batch: list[_Request],
+                    engine_timeout: float | None = None) -> list[np.ndarray]:
         """One score row per request: cache hits + one engine batch."""
         rows: dict[tuple[int, bool], np.ndarray] = {}
         pending: list[tuple[int, bool]] = []
@@ -393,13 +589,17 @@ class ServingGateway:
                 rows[key] = cached
             else:
                 pending.append(key)
+        engine_kwargs = {}
+        if engine_timeout is not None:
+            engine_kwargs["timeout"] = engine_timeout
         for masked in (True, False):
             users = [user for user, flag in pending if flag == masked]
             if not users:
                 continue
             user_array = np.asarray(users, dtype=np.int64)
-            scores = (self.engine.masked_scores(user_array) if masked
-                      else self.engine.score_all(user_array))
+            scores = (self.engine.masked_scores(user_array, **engine_kwargs)
+                      if masked
+                      else self.engine.score_all(user_array, **engine_kwargs))
             for position, user in enumerate(users):
                 if self.cache is not None:
                     # put() returns the cache's owned copy — serve that

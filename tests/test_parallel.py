@@ -18,6 +18,8 @@ from __future__ import annotations
 import gc
 import multiprocessing as mp
 import os
+import time
+from pathlib import Path
 
 import numpy as np
 import pytest
@@ -42,6 +44,7 @@ from repro.training import Trainer, TrainingConfig
 pytestmark = pytest.mark.fast
 
 NUM_ITEMS = 30
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
 def _shm_entries() -> set[str]:
@@ -553,3 +556,83 @@ class TestBenchSchema:
         path.write_text(json.dumps({"speedup": 2.5}), encoding="utf-8")
         assert read_bench_report(path) == {"speedup": 2.5}
         assert read_bench_history(path) == []
+
+
+# ---------------------------------------------------------------------- #
+# Lifecycle hardening and request deadlines (fast tier)
+# ---------------------------------------------------------------------- #
+class TestLifecycleAndDeadlines:
+    def test_request_timeout_is_constructor_configurable(self):
+        from repro.parallel import DEFAULT_REQUEST_TIMEOUT_S
+
+        assert DEFAULT_REQUEST_TIMEOUT_S == 120.0
+        split = tiny_split(seed=21)
+        model = trained_model(split, epochs=1)
+        histories = split.train_plus_valid()
+        with pytest.raises(ValueError):
+            ShardedScoringEngine(model, histories, n_workers=2,
+                                 request_timeout_s=0.0)
+        with ShardedScoringEngine(model, histories, n_workers=2,
+                                  request_timeout_s=5.0) as engine:
+            assert engine.request_timeout_s == 5.0
+            with pytest.raises(ValueError):
+                engine.top_k([0], 3, timeout=-1.0)
+            # None waits forever; a generous per-call timeout overrides.
+            assert engine.top_k([0], 3, timeout=None).shape == (1, 3)
+            assert engine.top_k([0], 3, timeout=30.0).shape == (1, 3)
+
+    def test_stale_results_are_counted_in_stats(self):
+        from repro.parallel import FaultPlan
+
+        split = tiny_split(seed=22)
+        model = trained_model(split, epochs=1)
+        histories = split.train_plus_valid()
+        serial = ScoringEngine(model, histories)
+        users = list(range(split.num_users))
+        # Every shard-0 reply is delayed past the first call's deadline;
+        # the late answer then lands during the second call's collect,
+        # where it must be dropped and counted — never merged.
+        plan = FaultPlan.delay_shard(0, delay_s=0.6)
+        with ShardedScoringEngine(model, histories, n_workers=2,
+                                  fault_plan=plan) as engine:
+            with pytest.raises(TimeoutError):
+                engine.top_k(users, 3, timeout=0.15)
+            assert engine.stats()["deadline_timeouts"] == 1
+            time.sleep(0.8)  # let the orphaned reply reach the queue
+            assert np.array_equal(engine.top_k(users, 3, timeout=30.0),
+                                  serial.top_k(users, 3))
+            stats = engine.stats()
+            assert stats["stale_results_dropped"] >= 1
+            assert stats["worker_deaths"] == 0  # slow, not dead
+
+    def test_owner_arena_unlinks_on_garbage_collection(self):
+        arena = SharedArena.publish({"x": np.arange(8, dtype=np.float64)})
+        segment = f"/dev/shm/{arena.layout.segment_name}"
+        if not os.path.exists(segment):
+            pytest.skip("platform does not expose /dev/shm segments")
+        del arena
+        gc.collect()
+        assert not os.path.exists(segment)
+
+    def test_owner_death_unlinks_segment_at_interpreter_exit(self):
+        import subprocess
+        import sys
+        import textwrap
+
+        script = textwrap.dedent("""
+            import numpy as np
+            from repro.parallel.shm import SharedArena
+            arena = SharedArena.publish({"x": np.arange(16.0)})
+            print(arena.layout.segment_name)
+            # exits WITHOUT close(): the owner finalizer must unlink
+        """)
+        env = dict(os.environ, PYTHONPATH="src")
+        proc = subprocess.run([sys.executable, "-c", script], cwd=REPO_ROOT,
+                              capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        name = proc.stdout.strip()
+        assert name.startswith(SHM_PREFIX)
+        if os.path.isdir("/dev/shm"):
+            assert not os.path.exists(f"/dev/shm/{name}")
+        # No resource_tracker complaints about leaked segments either.
+        assert "leaked" not in proc.stderr, proc.stderr
