@@ -2,7 +2,11 @@
 
 PYTHON ?= python
 
-.PHONY: test test-fast chaos docs-check bench-gateway
+# Hard per-test wall-clock bound of the chaos-net tier (conftest.py).
+CHAOS_NET_TIMEOUT_S ?= 120
+
+.PHONY: test test-fast chaos chaos-net docs-check bench-gateway \
+	bench-resilience bench-cluster
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -13,8 +17,18 @@ test-fast:
 chaos:
 	PYTHONPATH=src $(PYTHON) -m pytest -m chaos -q -s
 
+chaos-net:
+	PYTHONPATH=src REPRO_CHAOS_NET_TIMEOUT_S=$(CHAOS_NET_TIMEOUT_S) \
+		$(PYTHON) -m pytest -m chaos_net -q -s
+
 docs-check:
 	$(PYTHON) -m scripts.docs_check
 
 bench-gateway:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_gateway_throughput.py -q -s
+
+bench-resilience:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_resilience_recovery.py -q -s
+
+bench-cluster:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_cluster_failover.py -q -s

@@ -1,0 +1,68 @@
+"""Cluster benchmark: networked overhead and primary-kill failover.
+
+The multi-node counterpart of ``test_resilience_recovery.py``: the same
+synthetic HAM workload runs through
+:func:`~repro.cluster.bench.run_cluster_benchmark`, which serves it over
+a two-node Unix-socket cluster (replication 2), SIGKILLs the primary
+node mid-stream after a round of replicated ``observe()`` traffic, and
+times the interrupted sweep.  The result is persisted as
+``benchmarks/results/BENCH_cluster.json`` under the unified schema.
+
+Failover *correctness* needs no real cores: the acceptance bar — zero
+failed requests while a replica is up and the deadline permits retry,
+and bit-parity with the serial engine immediately after the kill —
+holds on single-core runners; only the wire-overhead guard keys off the
+``cpu_count`` recorded in the artifact.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench_schema import read_bench_report
+from repro.cluster.bench import run_cluster_benchmark, write_cluster_report
+
+pytestmark = pytest.mark.chaos
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_cluster.json"
+
+
+def test_cluster_kill_primary_failover():
+    report = run_cluster_benchmark(n_nodes=2, seed=0)
+
+    write_cluster_report(report, RESULTS_PATH)
+    print()
+    print(report.summary())
+
+    persisted = read_bench_report(RESULTS_PATH)
+    assert persisted["failover_recovery_s"] == report.failover_recovery_s
+
+    # The acceptance bar: with a replica up and the deadline permitting
+    # retry, a SIGKILLed primary must cost zero failed requests and
+    # never change a single ranked id — replicated observes included.
+    assert report.pre_kill_bit_identical, (
+        "healthy-cluster top-k diverged from serial")
+    assert report.zero_failed_requests, (
+        "requests failed during failover despite a live replica")
+    assert report.post_failover_bit_identical, (
+        "post-failover top-k diverged from serial")
+    assert report.failovers >= 1
+    assert report.failover_recovery_s < 30.0, report.summary()
+
+
+def test_cluster_bench_regression_guard():
+    """Fail if a recorded run ever lost parity or dropped requests."""
+    if not RESULTS_PATH.exists():
+        pytest.skip("BENCH_cluster.json not generated yet")
+    persisted = read_bench_report(RESULTS_PATH)
+    assert persisted["zero_failed_requests"] is True
+    assert persisted["post_failover_bit_identical"] is True
+    assert persisted["failover_recovery_s"] < 30.0
+    if persisted.get("cpu_count", 1) < 2:
+        pytest.skip("artifact was recorded on a single-core runner")
+    # With real cores the wire should cost no more than 10x the
+    # in-process sharded baseline on this tiny workload (generous:
+    # per-sweep times are sub-10ms and noisy).
+    assert persisted["networked_overhead_x"] < 10.0

@@ -1,0 +1,42 @@
+"""Repo-wide pytest hooks.
+
+The ``chaos_net`` tier drives real sockets, spawned node processes and
+injected stalls; a regression there can hang instead of fail.  Since
+the environment deliberately carries no pytest-timeout plugin, a hard
+per-test wall-clock bound is enforced here with ``SIGALRM``: a
+``chaos_net``-marked test that outlives the budget raises
+``TimeoutError`` inside the test call instead of wedging the whole run.
+Override the budget with ``REPRO_CHAOS_NET_TIMEOUT_S``.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+
+import pytest
+
+DEFAULT_CHAOS_NET_TIMEOUT_S = 120.0
+
+
+@pytest.hookimpl(hookwrapper=True)
+def pytest_runtest_call(item):
+    if item.get_closest_marker("chaos_net") is None \
+            or not hasattr(signal, "SIGALRM"):
+        yield
+        return
+    timeout_s = float(os.environ.get("REPRO_CHAOS_NET_TIMEOUT_S",
+                                     DEFAULT_CHAOS_NET_TIMEOUT_S))
+
+    def _on_alarm(signum, frame):
+        raise TimeoutError(
+            f"{item.nodeid} exceeded the chaos_net hard timeout of "
+            f"{timeout_s:.0f}s (set REPRO_CHAOS_NET_TIMEOUT_S to change)")
+
+    previous = signal.signal(signal.SIGALRM, _on_alarm)
+    signal.setitimer(signal.ITIMER_REAL, timeout_s)
+    try:
+        yield
+    finally:
+        signal.setitimer(signal.ITIMER_REAL, 0.0)
+        signal.signal(signal.SIGALRM, previous)

@@ -12,10 +12,13 @@ Usage examples::
               --cache-size 256 --cache-ttl 30 --users 0 1 2
     repro-ham serve --dataset cds --workers 4 --request-timeout 5 \
               --gateway --max-queue 256 --users 0 1 2
+    repro-ham serve-node --checkpoint model.npz --bind 127.0.0.1:7001
+    repro-ham route --nodes 127.0.0.1:7001 127.0.0.1:7002 --users 0 1 2
     repro-ham bench-serve --dataset cds --out BENCH_serving.json
     repro-ham bench-train --items 8000 --out BENCH_training.json
     repro-ham bench-parallel --workers 4 --out BENCH_parallel.json
     repro-ham bench-resilience --workers 2 --out BENCH_resilience.json
+    repro-ham bench-cluster --nodes 2 --out BENCH_cluster.json
 """
 
 from __future__ import annotations
@@ -181,6 +184,69 @@ def build_parser() -> argparse.ArgumentParser:
     bench_resilience.add_argument("--seed", type=int, default=0)
     bench_resilience.add_argument("--out", default="BENCH_resilience.json",
                                   help="write the recovery report to this JSON path")
+
+    serve_node = subparsers.add_parser(
+        "serve-node",
+        help="run one cluster engine node: train a model (or load a "
+             "checkpoint) and serve the arena protocol on a socket until "
+             "SIGTERM/SIGINT (graceful drain)")
+    add_training_arguments(serve_node)
+    serve_node.add_argument("--checkpoint", default=None,
+                            help="serve this trained .npz checkpoint instead "
+                                 "of training")
+    serve_node.add_argument("--bind", default="127.0.0.1:0",
+                            help="listen address: host:port (port 0 = OS "
+                                 "assigned, printed at startup) or unix:/path")
+    serve_node.add_argument("--workers", type=int, default=0,
+                            help="shard the node's engine over this many "
+                                 "worker processes (<= 1 stays in-process)")
+    serve_node.add_argument("--node-index", type=int, default=0,
+                            help="this node's index in the cluster node table")
+    serve_node.add_argument("--read-timeout", type=float, default=None,
+                            help="per-connection read/write timeout in "
+                                 "seconds (default 30)")
+    serve_node.add_argument("--request-timeout", type=float, default=None,
+                            help="per-request deadline of a sharded engine")
+
+    route = subparsers.add_parser(
+        "route",
+        help="answer top-k requests through a ClusterRouter over running "
+             "serve-node processes (consistent user-hash + replica failover)")
+    route.add_argument("--nodes", nargs="+", required=True, metavar="ADDR",
+                       help="node addresses (host:port or unix:/path), in "
+                            "node-table order")
+    route.add_argument("--users", type=int, nargs="+", default=[0, 1, 2],
+                       help="user ids to recommend for")
+    route.add_argument("--k", type=int, default=10)
+    route.add_argument("--replication", type=int, default=2,
+                       help="nodes per replica set (primary included)")
+    route.add_argument("--request-timeout", type=float, default=None,
+                       help="end-to-end deadline per request in seconds "
+                            "(failover retries never exceed it)")
+    route.add_argument("--gateway", action="store_true",
+                       help="front the router with the micro-batching "
+                            "gateway instead of calling it directly")
+
+    bench_cluster = subparsers.add_parser(
+        "bench-cluster",
+        help="benchmark multi-node serving: networked overhead vs the "
+             "in-process sharded engine, and failover recovery after the "
+             "primary is SIGKILLed mid-stream")
+    bench_cluster.add_argument("--method", choices=sorted(MODEL_REGISTRY),
+                               default="HAMm")
+    bench_cluster.add_argument("--users", type=int, default=400,
+                               help="users in the synthetic sweep workload")
+    bench_cluster.add_argument("--items", type=int, default=2000,
+                               help="catalogue size of the sweep workload")
+    bench_cluster.add_argument("--nodes", type=int, default=2,
+                               help="engine node processes (at least 2; "
+                                    "node 0 is the one killed)")
+    bench_cluster.add_argument("--repeats", type=int, default=5,
+                               help="timed sweeps per phase")
+    bench_cluster.add_argument("--k", type=int, default=10)
+    bench_cluster.add_argument("--seed", type=int, default=0)
+    bench_cluster.add_argument("--out", default="BENCH_cluster.json",
+                               help="write the cluster report to this JSON path")
     return parser
 
 
@@ -275,17 +341,37 @@ def _train_for_serving(dataset: str, method: str, setting: str, scale: str | Non
     return model, histories
 
 
-def _print_health_line(health: dict | None) -> None:
-    """One-line shard-health summary of a sharded serve run."""
+#: Exit code of serve/serve-node/route when the engine is degraded or a
+#: breaker is open — distinct from argparse's 2, so scripts and liveness
+#: probes can tell "unhealthy" from "bad invocation".
+UNHEALTHY_EXIT_CODE = 3
+
+
+def _print_health_line(health: dict | None) -> bool:
+    """One-line shard-health summary of a sharded serve run.
+
+    Returns ``True`` when the engine is unhealthy — any shard degraded
+    or its circuit breaker open — in which case the summary goes to
+    **stderr** (healthy summaries go to stdout) and the serve commands
+    exit with :data:`UNHEALTHY_EXIT_CODE`, so scripts and liveness
+    probes can consume the verdict without parsing output.
+    """
     if not health or health.get("mode") != "sharded":
-        return
+        return False
     shards = health.get("shards", [])
     alive = sum(1 for shard in shards if shard.get("alive"))
     restarts = sum(shard.get("restarts", 0) for shard in shards)
     degraded = health.get("degraded_shards", [])
-    print(f"health: {alive}/{health['n_workers']} shard workers alive, "
-          f"{restarts} restart(s), "
-          f"degraded shards: {degraded if degraded else 'none'}")
+    breakers_open = sum(1 for shard in shards
+                        if shard.get("breaker_open_s", 0) > 0)
+    unhealthy = bool(degraded or breakers_open)
+    line = (f"health: {alive}/{health['n_workers']} shard workers alive, "
+            f"{restarts} restart(s), "
+            f"degraded shards: {degraded if degraded else 'none'}")
+    if breakers_open:
+        line += f", {breakers_open} circuit breaker(s) open"
+    print(line, file=sys.stderr if unhealthy else sys.stdout)
+    return unhealthy
 
 
 def _command_serve(dataset: str, method: str, setting: str, scale: str | None,
@@ -351,14 +437,14 @@ def _command_serve(dataset: str, method: str, setting: str, scale: str | None,
               f"{stats.flush_full} full / {stats.flush_deadline} deadline "
               f"flushes, {stats.shed} shed / {stats.expired} expired"
               f"{cache_line})")
-        _print_health_line(health.get("engine"))
+        unhealthy = _print_health_line(health.get("engine"))
     else:
         try:
             batches = engine.recommend_batch(users, k)
             health = engine.health() if hasattr(engine, "health") else None
         finally:
             engine.close()
-        _print_health_line(health)
+        unhealthy = _print_health_line(health)
     rows = []
     for user, recommendations in zip(users, batches):
         for entry in recommendations:
@@ -377,7 +463,7 @@ def _command_serve(dataset: str, method: str, setting: str, scale: str | None,
                 for explanation in explanations
             )
         print(format_table(explanation_rows, title="per-factor score decomposition"))
-    return 0
+    return UNHEALTHY_EXIT_CODE if unhealthy else 0
 
 
 def _command_bench_serve(dataset: str, method: str, setting: str, scale: str | None,
@@ -453,6 +539,108 @@ def _command_bench_resilience(method: str, users: int, items: int, workers: int,
     return 0
 
 
+def _command_serve_node(dataset: str, method: str, setting: str,
+                        scale: str | None, epochs: int | None, seed: int,
+                        checkpoint: str | None, bind: str, workers: int,
+                        node_index: int, read_timeout: float | None,
+                        request_timeout: float | None) -> int:
+    import signal as _signal
+
+    from repro.cluster.node import DEFAULT_READ_TIMEOUT_S, EngineNode
+    from repro.parallel import make_scoring_engine
+    from repro.serving.deploy import node_from_checkpoint
+
+    if read_timeout is None:
+        read_timeout = DEFAULT_READ_TIMEOUT_S
+    if checkpoint is not None:
+        data = load_benchmark(dataset, scale=scale)
+        split = split_setting(data, setting)
+        node = node_from_checkpoint(
+            checkpoint, split.train_plus_valid(), bind=bind,
+            n_workers=workers, node_index=node_index,
+            read_timeout_s=read_timeout, request_timeout_s=request_timeout)
+    else:
+        model, histories = _train_for_serving(dataset, method, setting, scale,
+                                              epochs, seed)
+        engine = make_scoring_engine(model, histories, n_workers=workers,
+                                     precompute=True)
+        try:
+            node = EngineNode(engine, bind=bind, read_timeout_s=read_timeout,
+                              node_index=node_index, own_engine=True)
+        except Exception:
+            engine.close()
+            raise
+    node.install_sigterm_drain()
+    print(f"node {node_index} serving on {node.address} "
+          f"(epoch {node.epoch}); SIGTERM drains gracefully", flush=True)
+    try:
+        node.serve_forever()
+    except KeyboardInterrupt:
+        node.drain()
+    # Exit-time health verdict, same convention as `serve`: degraded
+    # shards or open breakers exit non-zero for scripts and probes.
+    engine_health = getattr(node.engine, "health", None)
+    unhealthy = _print_health_line(engine_health() if engine_health else None)
+    node.close()
+    return UNHEALTHY_EXIT_CODE if unhealthy else 0
+
+
+def _command_route(nodes: list[str], users: list[int], k: int,
+                   replication: int, request_timeout: float | None,
+                   gateway: bool) -> int:
+    from repro.cluster.router import ClusterRouter
+    from repro.serving import ServingGateway
+
+    router_kwargs = {}
+    if request_timeout is not None:
+        router_kwargs["request_timeout_s"] = request_timeout
+    router = ClusterRouter(nodes, replication=replication, **router_kwargs)
+    engine_name = f"ClusterRouter[{len(nodes)} nodes, r={router.replication}]"
+    try:
+        if gateway:
+            engine_name = f"ServingGateway[{engine_name}]"
+            with ServingGateway(router, own_engine=True) as front:
+                futures = [front.submit(user, k) for user in users]
+                batches = [future.recommendations() for future in futures]
+                health = front.health().get("engine", {})
+        else:
+            batches = router.recommend_batch(users, k)
+            health = router.health()
+    finally:
+        router.close()
+    rows = []
+    for user, recommendations in zip(users, batches):
+        for entry in recommendations:
+            rows.append({"user": user, "rank": entry.rank, "item": entry.item,
+                         "score": round(entry.score, 4)})
+    print(format_table(rows, title=f"top-{k} via {engine_name}"))
+    up = sum(1 for node in health.get("nodes", []) if node.get("up"))
+    unhealthy = not health.get("healthy", False)
+    print(f"cluster health: {up}/{len(nodes)} nodes up, "
+          f"{health.get('n_ranges')} ranges x {health.get('replication')} "
+          f"replicas, observe log {health.get('observe_log_len', 0)}",
+          file=sys.stderr if unhealthy else sys.stdout)
+    return UNHEALTHY_EXIT_CODE if unhealthy else 0
+
+
+def _command_bench_cluster(method: str, users: int, items: int, nodes: int,
+                           repeats: int, k: int, seed: int, out: str) -> int:
+    from repro.cluster.bench import run_cluster_benchmark, write_cluster_report
+
+    if nodes < 2:
+        print("bench-cluster kills the primary node and needs --nodes >= 2")
+        return 2
+
+    report = run_cluster_benchmark(
+        num_users=users, num_items=items, n_nodes=nodes, repeats=repeats,
+        k=k, model_name=method, seed=seed,
+    )
+    print(report.summary())
+    write_cluster_report(report, out)
+    print(f"cluster report written to {out}")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -497,6 +685,23 @@ def main(argv: list[str] | None = None) -> int:
         return _command_bench_resilience(args.method, args.users, args.items,
                                          args.workers, args.repeats, args.k,
                                          args.seed, args.out)
+    if args.command == "serve-node":
+        return _command_serve_node(args.dataset, args.method, args.setting,
+                                   args.scale, args.epochs, args.seed,
+                                   checkpoint=args.checkpoint, bind=args.bind,
+                                   workers=args.workers,
+                                   node_index=args.node_index,
+                                   read_timeout=args.read_timeout,
+                                   request_timeout=args.request_timeout)
+    if args.command == "route":
+        return _command_route(args.nodes, args.users, args.k,
+                              replication=args.replication,
+                              request_timeout=args.request_timeout,
+                              gateway=args.gateway)
+    if args.command == "bench-cluster":
+        return _command_bench_cluster(args.method, args.users, args.items,
+                                      args.nodes, args.repeats, args.k,
+                                      args.seed, args.out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

@@ -1,0 +1,249 @@
+"""Cluster harness: networked overhead and failover recovery time.
+
+The resilience bench (``BENCH_resilience.json``) measures the failure
+path of the *in-process* sharded substrate; this harness measures the
+same two questions one tier up, for the networked cluster:
+
+* **networked overhead** — full-catalogue ``top_k`` sweeps through
+  ``EngineNode`` + ``ClusterRouter`` (real processes, Unix sockets,
+  protocol framing) versus the in-process sharded engine on the same
+  workload: what the wire costs;
+* **failover recovery** — the primary node is SIGKILLed mid-stream
+  (live router connections die with it) after a round of replicated
+  ``observe()`` traffic; the harness records how much longer the
+  interrupted sweep took than the healthy cluster p50, that **zero
+  requests failed** (the replica answered every one within the
+  deadline), and that every post-failover answer — observed users
+  included — is **bit-identical** to the serial engine.
+
+Every scenario runs on a single core (recovery correctness, unlike
+speedup, does not need real parallelism).  :func:`write_cluster_report`
+persists the result as ``benchmarks/results/BENCH_cluster.json`` under
+the unified :mod:`repro.bench_schema` envelope; ``repro-ham
+bench-cluster`` is the CLI entry point and
+``benchmarks/test_cluster_failover.py`` regenerates and guards the
+artifact (``chaos`` tier, see ``docs/benchmarks.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import asdict, dataclass
+
+import numpy as np
+
+from repro.bench_schema import write_bench_report
+from repro.cluster.node import spawn_node
+from repro.cluster.router import ClusterRouter
+from repro.models.registry import create_model
+from repro.parallel.sharded import ShardedScoringEngine
+from repro.serving.engine import ScoringEngine
+from repro.training.bench import synthetic_training_histories
+
+__all__ = ["ClusterBenchReport", "run_cluster_benchmark",
+           "write_cluster_report"]
+
+
+@dataclass(frozen=True)
+class ClusterBenchReport:
+    """Networked-overhead / failover measurements of one workload."""
+
+    model_name: str
+    num_users: int
+    num_items: int
+    k: int
+    n_nodes: int
+    replication: int
+    cpu_count: int
+    repeats: int
+    #: In-process sharded p50 sweep seconds (the overhead reference).
+    sharded_p50_s: float
+    #: Healthy-cluster p50 sweep seconds over Unix sockets.
+    cluster_p50_s: float
+    cluster_users_per_sec: float
+    #: ``cluster_p50_s / sharded_p50_s`` — what the wire costs.
+    networked_overhead_x: float
+    #: Healthy-cluster sweeps compared bit-for-bit with the serial engine.
+    pre_kill_bit_identical: bool
+    #: Replicated ``observe()`` calls issued before the kill.
+    observes_replicated: int
+    #: Wall seconds of the sweep during which the primary was SIGKILLed
+    #: (includes dead-connection detection and replica failover).
+    killed_sweep_s: float
+    #: ``killed_sweep_s - cluster_p50_s`` — what the crash cost.
+    failover_recovery_s: float
+    #: No request raised during or after the kill (replica answered all).
+    zero_failed_requests: bool
+    #: Every answer after the kill — observed users included — matches
+    #: the serial engine bit-for-bit.
+    post_failover_bit_identical: bool
+    post_failover_p50_s: float
+    #: Router counters after the scenario.
+    failovers: int
+    retry_rounds: int
+    stale_replies_dropped: int
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def summary(self) -> str:
+        return (
+            f"{self.model_name} cluster over {self.num_users} users x "
+            f"{self.num_items} items ({self.n_nodes} nodes x "
+            f"{self.replication} replicas, {self.cpu_count} cores): "
+            f"sharded p50 {self.sharded_p50_s * 1e3:.1f} ms, cluster p50 "
+            f"{self.cluster_p50_s * 1e3:.1f} ms "
+            f"({self.networked_overhead_x:.2f}x wire overhead); SIGKILL "
+            f"primary mid-stream -> recovered in "
+            f"+{self.failover_recovery_s * 1e3:.1f} ms "
+            f"({self.failovers} failover(s), zero failed requests: "
+            f"{self.zero_failed_requests}, post-failover bit-identical: "
+            f"{self.post_failover_bit_identical}, post-failover p50 "
+            f"{self.post_failover_p50_s * 1e3:.1f} ms)"
+        )
+
+
+def _timed_sweeps(engine, users: np.ndarray, k: int, repeats: int) -> list[float]:
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        engine.top_k(users, k)
+        times.append(time.perf_counter() - start)
+    return times
+
+
+def run_cluster_benchmark(num_users: int = 400, num_items: int = 2000,
+                          max_history: int = 60, k: int = 10,
+                          n_nodes: int = 2, repeats: int = 5,
+                          model_name: str = "HAMm", seed: int = 0,
+                          embedding_dim: int = 32,
+                          request_timeout_s: float = 60.0,
+                          n_observes: int = 8) -> ClusterBenchReport:
+    """Measure wire overhead and kill-the-primary failover recovery.
+
+    Uses the synthetic HAM workload of the other benches.  Three serving
+    stacks are built over the same model/histories: the serial engine
+    (parity reference), an in-process sharded engine (overhead
+    baseline), and an ``n_nodes``-process cluster over Unix sockets.
+    After a round of replicated ``observe()`` traffic, node 0 — primary
+    for roughly half the ranges — is SIGKILLed and the interrupted sweep
+    is timed; every answer is checked bit-for-bit against the serial
+    engine.
+    """
+    if n_nodes < 2:
+        raise ValueError("n_nodes must be at least 2 to have a node to kill")
+    if repeats < 1:
+        raise ValueError("repeats must be positive")
+
+    model_kwargs = dict(embedding_dim=embedding_dim)
+    if model_name.startswith("HAM"):
+        model_kwargs.update(n_h=10, n_l=2)
+    model = create_model(model_name, num_users, num_items,
+                         rng=np.random.default_rng(seed), **model_kwargs)
+    histories = synthetic_training_histories(num_users, num_items, max_history,
+                                             seed=seed)
+    users = np.arange(num_users, dtype=np.int64)
+    rng = np.random.default_rng(seed + 1)
+
+    serial = ScoringEngine(model, histories, exclude_seen=True, precompute=True)
+    reference = serial.top_k(users, k)
+
+    # ---- in-process sharded baseline ------------------------------------ #
+    with ShardedScoringEngine(model, histories, n_workers=2,
+                              exclude_seen=True, precompute=True,
+                              request_timeout_s=request_timeout_s) as engine:
+        engine.top_k(users, k)  # warm-up, untimed
+        sharded_times = _timed_sweeps(engine, users, k, repeats)
+    sharded_p50 = float(np.percentile(np.asarray(sharded_times), 50))
+
+    # ---- networked cluster ---------------------------------------------- #
+    replication = min(2, n_nodes)
+    with tempfile.TemporaryDirectory(prefix="repro-cluster-") as tmp:
+        handles = [
+            spawn_node(model, histories, bind=f"unix:{tmp}/node{i}.sock",
+                       exclude_seen=True, node_index=i)
+            for i in range(n_nodes)
+        ]
+        router = ClusterRouter([handle.address for handle in handles],
+                               replication=replication,
+                               request_timeout_s=request_timeout_s,
+                               heartbeat_interval_s=0.5)
+        try:
+            router.top_k(users, k)  # warm-up, untimed
+            cluster_times = _timed_sweeps(router, users, k, repeats)
+            cluster_p50 = float(np.percentile(np.asarray(cluster_times), 50))
+            pre_kill = router.top_k(users, k)
+            pre_kill_identical = bool(np.array_equal(pre_kill, reference))
+
+            # Replicated observe traffic: failover answers must include it.
+            for _ in range(n_observes):
+                user = int(rng.integers(0, num_users))
+                item = int(rng.integers(0, num_items))
+                router.observe(user, item)
+                serial.observe(user, item)
+            reference_after = serial.top_k(users, k)
+
+            # ---- SIGKILL the primary mid-stream ------------------------- #
+            handles[0].kill()
+            zero_failed = True
+            killed_ranked = None
+            start = time.perf_counter()
+            try:
+                killed_ranked = router.top_k(users, k)
+            except Exception:
+                zero_failed = False
+            killed_sweep_s = time.perf_counter() - start
+
+            post_times = _timed_sweeps(router, users, k, repeats)
+            post_ranked = router.top_k(users, k)
+            post_identical = bool(
+                killed_ranked is not None
+                and np.array_equal(killed_ranked, reference_after)
+                and np.array_equal(post_ranked, reference_after))
+            post_p50 = float(np.percentile(np.asarray(post_times), 50))
+            stats = router.stats()
+        finally:
+            router.close()
+            for handle in handles:
+                handle.close()
+
+    return ClusterBenchReport(
+        model_name=model_name,
+        num_users=num_users,
+        num_items=num_items,
+        k=k,
+        n_nodes=n_nodes,
+        replication=replication,
+        cpu_count=os.cpu_count() or 1,
+        repeats=repeats,
+        sharded_p50_s=sharded_p50,
+        cluster_p50_s=cluster_p50,
+        cluster_users_per_sec=float(num_users / cluster_p50)
+        if cluster_p50 > 0 else float("inf"),
+        networked_overhead_x=float(cluster_p50 / sharded_p50)
+        if sharded_p50 > 0 else float("inf"),
+        pre_kill_bit_identical=pre_kill_identical,
+        observes_replicated=n_observes,
+        killed_sweep_s=killed_sweep_s,
+        failover_recovery_s=killed_sweep_s - cluster_p50,
+        zero_failed_requests=zero_failed,
+        post_failover_bit_identical=post_identical,
+        post_failover_p50_s=post_p50,
+        failovers=int(stats["failovers"]),
+        retry_rounds=int(stats["retry_rounds"]),
+        stale_replies_dropped=int(stats["stale_replies_dropped"]),
+    )
+
+
+def write_cluster_report(report: ClusterBenchReport, path) -> None:
+    """Persist a report as the ``BENCH_cluster.json`` artifact."""
+    write_bench_report(path, "cluster", report.as_dict(), headline={
+        "networked_overhead_x": report.networked_overhead_x,
+        "failover_recovery_s": report.failover_recovery_s,
+        "zero_failed_requests": report.zero_failed_requests,
+        "post_failover_bit_identical": report.post_failover_bit_identical,
+        "n_nodes": report.n_nodes,
+        "cpu_count": report.cpu_count,
+    })

@@ -1,0 +1,244 @@
+"""Deterministic network fault injection for the cluster tier.
+
+The single-host chaos harness (:mod:`repro.parallel.faults`) makes
+worker crashes reproducible configuration; a socket can additionally
+fail in ways a fork never does — connections drop mid-frame, peers stall
+without dying, partitions refuse new connections, bytes arrive garbled.
+This module extends the same idiom to exactly those failures:
+
+* :class:`NodeFault` describes what goes wrong on one node's
+  connections — drop the connection upon receiving its N-th request,
+  stall (accept the request, never answer), corrupt the reply frame,
+  refuse new connections outright (a partition), or delay every reply
+  with seeded jitter.
+* :class:`NetFaultPlan` bundles per-node faults with a seed.  Like
+  :class:`~repro.parallel.faults.FaultPlan` it is a picklable frozen
+  dataclass, so it rides into spawned node processes unchanged.
+* :class:`NetFaultInjector` executes a plan for one ``(node,
+  connection)`` pair inside :class:`~repro.cluster.node.EngineNode`'s
+  per-connection loop, counting requests and firing the configured
+  fault at the exact deterministic point.
+
+Randomized decisions (delay jitter) draw from the shared
+:func:`~repro.parallel.faults.fault_rng` stream family with a dedicated
+stream tag, so network schedules are reproducible from the plan seed
+and never collide with shard-worker schedules built from the same seed.
+
+By default a terminal fault (drop/stall/garble) fires only on the
+node's **first** connection, so reconnect recovers cleanly — the mirror
+of ``every_incarnation=False``; ``every_connection=True`` makes the
+fault permanent, which is how the all-replicas-down path is driven.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.parallel.faults import fault_rng
+
+__all__ = ["NodeFault", "NetFaultPlan", "NetFaultInjector"]
+
+#: Stream tag separating network fault schedules from shard-worker
+#: schedules seeded from the same plan seed.
+_NET_STREAM = 0x4E45
+
+#: What a garbled reply looks like on the wire: a frame whose magic is
+#: wrong, so the receiver fails fast with ``ProtocolError`` instead of
+#: misparsing the payload.
+GARBLED_REPLY = b"\x00\x00\x00\x08XX\x01\x00\x00\x00\x00\x00"
+
+
+@dataclass(frozen=True)
+class NodeFault:
+    """The fault configuration of one node's connections (picklable).
+
+    Parameters
+    ----------
+    node:
+        Index of the node this fault applies to (the node's
+        ``node_index``, assigned at construction).
+    drop_connection_at_request:
+        Close the connection upon receiving its N-th request (1-based),
+        after the request is consumed but before any reply — the
+        TCP-reset shape of a worker SIGKILL.  ``None`` disables.
+    stall_at_request:
+        Upon receiving the N-th request, stop replying on this
+        connection while keeping it open — a wedged peer only client
+        deadlines can unblock.  ``None`` disables.
+    garble_reply_at_request:
+        Reply to the N-th request with a corrupt frame (wrong magic)
+        instead of the real result, then close — the bit-rot /
+        truncation shape the framing layer must detect.  ``None``
+        disables.
+    refuse_connections:
+        Refuse (immediately close) new connections to this node — a
+        network partition as seen by clients.  Existing connections are
+        unaffected, which is exactly how real partitions bisect load.
+    delay_response_s:
+        Sleep this long before every reply (a slow link or peer).
+    delay_jitter_s:
+        Seeded uniform ``[0, jitter)`` addition to each delay.
+    every_connection:
+        Apply the terminal faults (drop/stall/garble) on every
+        connection instead of only connection 0, making reconnect
+        futile.  Delays and ``refuse_connections`` always apply to every
+        connection.
+    """
+
+    node: int
+    drop_connection_at_request: int | None = None
+    stall_at_request: int | None = None
+    garble_reply_at_request: int | None = None
+    refuse_connections: bool = False
+    delay_response_s: float = 0.0
+    delay_jitter_s: float = 0.0
+    every_connection: bool = False
+
+
+@dataclass(frozen=True)
+class NetFaultPlan:
+    """A seedable, picklable set of per-node network faults.
+
+    Pass a plan to :class:`~repro.cluster.node.EngineNode`
+    (``fault_plan=...``) and every accepted connection gets a
+    :class:`NetFaultInjector` for the node's index.  Nodes without a
+    configured fault serve normally.
+    """
+
+    faults: tuple[NodeFault, ...] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "faults", tuple(self.faults))
+        nodes = [fault.node for fault in self.faults]
+        if len(nodes) != len(set(nodes)):
+            raise ValueError("at most one NodeFault per node")
+
+    def for_node(self, node: int) -> NodeFault | None:
+        """The fault configured for ``node``, or ``None``."""
+        for fault in self.faults:
+            if fault.node == node:
+                return fault
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors for the common single-fault plans
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def drop_connection(cls, node: int, at_request: int = 1,
+                        every_connection: bool = False,
+                        seed: int = 0) -> "NetFaultPlan":
+        """Plan that drops ``node``'s connection at its N-th request."""
+        return cls(faults=(NodeFault(node=node,
+                                     drop_connection_at_request=at_request,
+                                     every_connection=every_connection),),
+                   seed=seed)
+
+    @classmethod
+    def stall_node(cls, node: int, at_request: int = 1,
+                   every_connection: bool = False,
+                   seed: int = 0) -> "NetFaultPlan":
+        """Plan that wedges ``node``'s connection at its N-th request."""
+        return cls(faults=(NodeFault(node=node, stall_at_request=at_request,
+                                     every_connection=every_connection),),
+                   seed=seed)
+
+    @classmethod
+    def garble_reply(cls, node: int, at_request: int = 1,
+                     every_connection: bool = False,
+                     seed: int = 0) -> "NetFaultPlan":
+        """Plan that corrupts ``node``'s reply to its N-th request."""
+        return cls(faults=(NodeFault(node=node,
+                                     garble_reply_at_request=at_request,
+                                     every_connection=every_connection),),
+                   seed=seed)
+
+    @classmethod
+    def partition(cls, node: int, seed: int = 0) -> "NetFaultPlan":
+        """Plan that refuses every new connection to ``node``."""
+        return cls(faults=(NodeFault(node=node, refuse_connections=True),),
+                   seed=seed)
+
+    @classmethod
+    def delay_node(cls, node: int, delay_s: float, jitter_s: float = 0.0,
+                   seed: int = 0) -> "NetFaultPlan":
+        """Plan that delays every reply of ``node`` by ``delay_s``."""
+        return cls(faults=(NodeFault(node=node, delay_response_s=delay_s,
+                                     delay_jitter_s=jitter_s),),
+                   seed=seed)
+
+
+class NetFaultInjector:
+    """Per-connection executor of a :class:`NetFaultPlan`.
+
+    Built by :class:`~repro.cluster.node.EngineNode` for each accepted
+    connection; :meth:`on_request` is called after a request frame is
+    decoded, :meth:`reply_action` just before its reply frame is sent.
+    Both are no-ops for nodes the plan does not target.
+    """
+
+    #: :meth:`reply_action` verdicts.
+    REPLY = "reply"
+    GARBLE = "garble"
+
+    def __init__(self, plan: NetFaultPlan, node: int, connection: int = 0):
+        self._fault = plan.for_node(node)
+        self._connection = connection
+        self._requests = 0
+        # Seeded per (plan seed, net stream, node, connection):
+        # reproducible for a fixed plan, distinct across reconnects only
+        # through the connection component, and never colliding with
+        # shard-worker streams built from the same seed.
+        self._rng = fault_rng(plan.seed, _NET_STREAM, node, connection)
+
+    @property
+    def active(self) -> bool:
+        """Whether this node has a configured fault."""
+        return self._fault is not None
+
+    @property
+    def refuses_connections(self) -> bool:
+        """Whether new connections to this node are partitioned away."""
+        return self._fault is not None and self._fault.refuse_connections
+
+    def _terminal_faults_apply(self) -> bool:
+        return self._fault.every_connection or self._connection == 0
+
+    def on_request(self) -> str | None:
+        """Receipt-time verdict for the next request.
+
+        Returns ``"drop"`` (close the connection now), ``"stall"``
+        (never reply on this connection) or ``None`` (serve normally).
+        """
+        if self._fault is None:
+            return None
+        self._requests += 1
+        if not self._terminal_faults_apply():
+            return None
+        fault = self._fault
+        if (fault.drop_connection_at_request is not None
+                and self._requests >= fault.drop_connection_at_request):
+            return "drop"
+        if (fault.stall_at_request is not None
+                and self._requests >= fault.stall_at_request):
+            return "stall"
+        return None
+
+    def reply_action(self) -> tuple[str, float]:
+        """Reply-time verdict: ``(action, delay_seconds)``.
+
+        ``action`` is :data:`REPLY` (send the real frame) or
+        :data:`GARBLE` (send :data:`GARBLED_REPLY` and close); the delay
+        is applied before either.
+        """
+        if self._fault is None:
+            return self.REPLY, 0.0
+        delay = self._fault.delay_response_s
+        if self._fault.delay_jitter_s > 0.0:
+            delay += float(self._rng.uniform(0.0, self._fault.delay_jitter_s))
+        fault = self._fault
+        if (self._terminal_faults_apply()
+                and fault.garble_reply_at_request is not None
+                and self._requests >= fault.garble_reply_at_request):
+            return self.GARBLE, delay
+        return self.REPLY, delay

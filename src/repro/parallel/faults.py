@@ -37,11 +37,27 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-__all__ = ["ShardFault", "FaultPlan", "FaultInjector"]
+__all__ = ["ShardFault", "FaultPlan", "FaultInjector", "fault_rng"]
 
 #: How long a stalled worker sleeps per stall round (it never answers
 #: again, but stays interruptible for terminate()).
 _STALL_NAP_S = 0.5
+
+
+def fault_rng(seed: int, *key: int) -> np.random.Generator:
+    """The fault-schedule RNG for one ``(seed, *key)`` stream.
+
+    Every fault injector in the repo — the shard-worker
+    :class:`FaultInjector` here and the per-connection network injector
+    in :mod:`repro.cluster.faults` — derives its random decisions from
+    this one helper, so a chaos schedule is reproducible from the plan
+    seed plus the injector's coordinates alone.  The integer tuple seeds
+    ``numpy``'s ``SeedSequence``, whose spawning arithmetic is fixed by
+    the numpy API (platform- and run-independent); the golden-value
+    tests in the chaos tier pin exactly that stability.
+    """
+    return np.random.default_rng(
+        (int(seed),) + tuple(int(part) for part in key))
 
 
 @dataclass(frozen=True)
@@ -149,7 +165,7 @@ class FaultInjector:
         # Seeded per (plan seed, shard, incarnation): jittered delays are
         # reproducible for a fixed plan, and differ across respawns only
         # through the incarnation component.
-        self._rng = np.random.default_rng((plan.seed, shard, incarnation))
+        self._rng = fault_rng(plan.seed, shard, incarnation)
 
     @property
     def active(self) -> bool:

@@ -23,7 +23,8 @@ from repro.models.base import SequentialRecommender
 from repro.models.registry import create_model
 from repro.training.checkpoint import _METADATA_KEY, load_checkpoint, read_metadata
 
-__all__ = ["model_from_checkpoint", "engine_from_checkpoint"]
+__all__ = ["model_from_checkpoint", "engine_from_checkpoint",
+           "node_from_checkpoint"]
 
 
 def _stored_float_dtype(path: str | Path) -> np.dtype | None:
@@ -117,3 +118,37 @@ def engine_from_checkpoint(path: str | Path, histories: list[list[int]],
                                micro_batch_size=micro_batch_size,
                                precompute=precompute,
                                request_timeout_s=request_timeout_s)
+
+
+def node_from_checkpoint(path: str | Path, histories: list[list[int]],
+                         bind: str = "127.0.0.1:0", n_workers: int = 0,
+                         exclude_seen: bool = True,
+                         micro_batch_size: int = 1024,
+                         precompute: bool = True, node_index: int = 0,
+                         read_timeout_s: float | None = None,
+                         request_timeout_s: float | None = None,
+                         **model_overrides):
+    """Checkpoint → :class:`~repro.cluster.node.EngineNode`, ready to serve.
+
+    The ``repro-ham serve-node`` path: rebuilds the engine exactly as
+    :func:`engine_from_checkpoint` (serial, or sharded with
+    ``n_workers > 1``) and binds it to ``bind`` (``"host:port"`` or
+    ``"unix:/path"``).  ``precompute`` defaults to ``True`` — a node
+    pays materialization once at boot instead of on first request.
+    The returned node owns the engine; install SIGTERM drain and block
+    with :meth:`~repro.cluster.node.EngineNode.serve_forever`.
+    """
+    from repro.cluster.node import DEFAULT_READ_TIMEOUT_S, EngineNode
+
+    engine = engine_from_checkpoint(
+        path, histories, n_workers=n_workers, exclude_seen=exclude_seen,
+        micro_batch_size=micro_batch_size, precompute=precompute,
+        request_timeout_s=request_timeout_s, **model_overrides)
+    if read_timeout_s is None:
+        read_timeout_s = DEFAULT_READ_TIMEOUT_S
+    try:
+        return EngineNode(engine, bind=bind, read_timeout_s=read_timeout_s,
+                          node_index=node_index, own_engine=True)
+    except BaseException:
+        engine.close()
+        raise

@@ -29,8 +29,11 @@ that user's cached rows.
 
 The gateway works over any engine exposing the scoring API
 (``score_all`` / ``masked_scores`` / ``top_k`` / ``observe``) — the
-serial :class:`~repro.serving.engine.ScoringEngine` and the sharded
-multi-process engine alike.
+serial :class:`~repro.serving.engine.ScoringEngine`, the sharded
+multi-process engine, and the multi-node
+:class:`~repro.cluster.router.ClusterRouter` alike
+(:meth:`ServingGateway.over_cluster` wires the last one up directly),
+so micro-batching, caching and shedding work unchanged over the wire.
 
 Admission control and deadlines
 -------------------------------
@@ -66,6 +69,13 @@ __all__ = ["GatewayFuture", "GatewayStats", "ServingGateway",
 #: Weight of the newest batch in the service-time EWMA behind the
 #: ``retry_after_s`` hint of :class:`GatewayOverloadedError`.
 _EWMA_ALPHA = 0.2
+
+#: Cold-start floor of the ``retry_after_s`` hint: before the first
+#: batch completes there is no observed service time, and a gateway
+#: configured with ``max_wait_ms=0`` would otherwise hint ~0 seconds —
+#: telling shed clients to hammer it during the thundering-herd moment
+#: it is least able to absorb.
+_COLD_START_RETRY_S = 0.05
 
 
 class GatewayOverloadedError(RuntimeError):
@@ -296,6 +306,31 @@ class ServingGateway:
                                         daemon=True)
         self._thread.start()
 
+    @classmethod
+    def over_cluster(cls, addresses: list[str], *, replication: int = 2,
+                     n_ranges: int | None = None,
+                     request_timeout_s: float | None = None,
+                     heartbeat_interval_s: float = 2.0,
+                     **gateway_kwargs) -> "ServingGateway":
+        """A gateway whose engine is a :class:`ClusterRouter` over nodes.
+
+        The cluster backend: requests are micro-batched, cached and
+        shed exactly as over a local engine, then fanned out by
+        consistent user-hash to the ``addresses`` node table with
+        replica failover (see :mod:`repro.cluster.router`).
+        ``observe()`` is routed to the owning node and replayed to its
+        replicas; deadlines propagate into the router's retry budget.
+        The router is owned: closing the gateway closes it.
+        """
+        from repro.cluster.router import ClusterRouter
+
+        router = ClusterRouter(addresses, replication=replication,
+                               n_ranges=n_ranges,
+                               heartbeat_interval_s=heartbeat_interval_s,
+                               **({"request_timeout_s": request_timeout_s}
+                                  if request_timeout_s is not None else {}))
+        return cls(router, own_engine=True, **gateway_kwargs)
+
     # ------------------------------------------------------------------ #
     # Request API
     # ------------------------------------------------------------------ #
@@ -349,7 +384,10 @@ class ServingGateway:
         """
         service = self._service_ewma_s
         if service is None:
-            service = self.max_wait_s
+            # No batch has completed yet (cold start): seed the estimate
+            # from the configured flush wait, floored so the hint stays
+            # usable even with max_wait_ms=0.
+            service = max(self.max_wait_s, _COLD_START_RETRY_S)
         backlog_batches = max(1, -(-len(self._queue) // self.max_batch))
         return max(service * backlog_batches, self.max_wait_s, 1e-3)
 

@@ -1,4 +1,4 @@
-"""Docstring audit of the public serving and parallel APIs.
+"""Docstring audit of the public serving, parallel and cluster APIs.
 
 The ``docs/`` tree points readers at the load-bearing classes; this test
 keeps the pointers trustworthy: every name a package exports through
@@ -15,12 +15,13 @@ import warnings
 
 import pytest
 
+import repro.cluster
 import repro.parallel
 import repro.serving
 
 pytestmark = pytest.mark.fast
 
-AUDITED_PACKAGES = [repro.serving, repro.parallel]
+AUDITED_PACKAGES = [repro.serving, repro.parallel, repro.cluster]
 
 
 def _has_docstring(obj) -> bool:

@@ -401,6 +401,33 @@ def test_gateway_sheds_load_at_high_watermark():
         assert gateway.health()["max_queue"] == 2
 
 
+def test_gateway_shed_retry_hint_is_usable_before_first_batch():
+    """Cold-start shedding must not hint "retry in ~0 seconds".
+
+    Before any batch completes the service-time EWMA is unseeded; with
+    ``max_wait_ms=0`` the hint used to collapse to the 1 ms floor, and a
+    well-behaved client retrying on it would hammer a gateway that is
+    already saturated.  The hint is now floored at the cold-start
+    constant until a real measurement exists.
+    """
+    from repro.serving.gateway import _COLD_START_RETRY_S
+
+    model, histories = _workload()
+    engine = _SlowEngine(ScoringEngine(model, _copies(histories),
+                                       exclude_seen=True), delay_s=0.25)
+    with ServingGateway(engine, max_batch=1, max_wait_ms=0.0, cache_size=0,
+                        max_queue=1) as gateway:
+        shed = []
+        for user in range(6):  # saturate before the first batch returns
+            try:
+                gateway.submit(user % NUM_USERS, 3)
+            except GatewayOverloadedError as error:
+                shed.append(error)
+        assert shed, "burst of 6 never tripped the max_queue=1 watermark"
+        assert all(error.retry_after_s >= _COLD_START_RETRY_S
+                   for error in shed)
+
+
 def test_gateway_expires_queued_requests_at_their_deadline():
     model, histories = _workload()
     engine = _SlowEngine(ScoringEngine(model, _copies(histories),
