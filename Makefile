@@ -2,11 +2,12 @@
 
 PYTHON ?= python
 
-# Hard per-test wall-clock bound of the chaos-net tier (conftest.py).
+# Hard per-test wall-clock bounds of the chaos tiers (conftest.py).
 CHAOS_NET_TIMEOUT_S ?= 120
+CHAOS_DISK_TIMEOUT_S ?= 120
 
-.PHONY: test test-fast chaos chaos-net docs-check bench-gateway \
-	bench-resilience bench-cluster
+.PHONY: test test-fast chaos chaos-net chaos-disk chaos-all docs-check \
+	bench-gateway bench-resilience bench-cluster bench-durability
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -21,6 +22,16 @@ chaos-net:
 	PYTHONPATH=src REPRO_CHAOS_NET_TIMEOUT_S=$(CHAOS_NET_TIMEOUT_S) \
 		$(PYTHON) -m pytest -m chaos_net -q -s
 
+chaos-disk:
+	PYTHONPATH=src REPRO_CHAOS_DISK_TIMEOUT_S=$(CHAOS_DISK_TIMEOUT_S) \
+		$(PYTHON) -m pytest -m chaos_disk -q -s
+
+chaos-all:
+	PYTHONPATH=src \
+		REPRO_CHAOS_NET_TIMEOUT_S=$(CHAOS_NET_TIMEOUT_S) \
+		REPRO_CHAOS_DISK_TIMEOUT_S=$(CHAOS_DISK_TIMEOUT_S) \
+		$(PYTHON) -m pytest -m "chaos or chaos_net or chaos_disk" -q -s
+
 docs-check:
 	$(PYTHON) -m scripts.docs_check
 
@@ -32,3 +43,6 @@ bench-resilience:
 
 bench-cluster:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_cluster_failover.py -q -s
+
+bench-durability:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_durability_wal.py -q -s

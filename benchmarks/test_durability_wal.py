@@ -1,0 +1,66 @@
+"""Durability benchmark: WAL fsync cost, recovery speed, compaction.
+
+The storage-layer counterpart of ``test_cluster_failover.py``: the
+observe-record workload runs through
+:func:`~repro.durability.bench.run_durability_benchmark`, which appends
+the same stream under every fsync policy, times cold CRC-verifying
+recovery over logs of growing length, verifies torn-tail recovery and
+measures compaction reclaim.  The result is persisted as
+``benchmarks/results/BENCH_durability.json`` under the unified schema.
+
+Durability *correctness* needs no real cores: the acceptance bar — a
+torn tail recovers every record before the tear, and compaction at the
+halfway watermark reclaims real bytes — holds on single-core runners;
+only throughput numbers vary with the hardware, and the guard treats
+them as sanity floors, not performance promises.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench_schema import read_bench_report
+from repro.durability.bench import (run_durability_benchmark,
+                                    write_durability_report)
+
+pytestmark = pytest.mark.chaos_disk
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_durability.json"
+
+
+def test_durability_benchmark_and_artifact():
+    report = run_durability_benchmark(appends=400, segment_kb=4, seed=0)
+
+    write_durability_report(report, RESULTS_PATH)
+    print()
+    print(report.summary())
+
+    persisted = read_bench_report(RESULTS_PATH)
+    assert persisted["appends"] == report.appends
+    assert persisted["torn_tail_recovered"] is True
+
+    # The acceptance bar: recovery keeps exactly the records before the
+    # tear, and compaction at the halfway watermark reclaims bytes.
+    assert report.torn_tail_recovered
+    assert report.torn_tail_records_recovered == report.appends - 1
+    assert report.compact_bytes_reclaimed > 0
+    assert 0.0 < report.compact_reclaim_fraction < 1.0
+    # Sanity floors, not performance promises: every policy must make
+    # progress, and skipping fsync can never be slower than forcing it.
+    assert report.fsync_always_per_s > 0
+    assert report.fsync_never_per_s >= report.fsync_always_per_s
+    assert report.recovery_records_per_s > 0
+
+
+def test_durability_bench_regression_guard():
+    """Fail if a recorded run ever lost records or reclaimed nothing."""
+    if not RESULTS_PATH.exists():
+        pytest.skip("BENCH_durability.json not generated yet")
+    persisted = read_bench_report(RESULTS_PATH)
+    assert persisted["torn_tail_recovered"] is True
+    assert persisted["torn_tail_records_recovered"] == \
+        persisted["appends"] - 1
+    assert persisted["compact_reclaim_fraction"] > 0.0
+    assert persisted["recovery_records_per_s"] > 0

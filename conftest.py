@@ -1,12 +1,14 @@
 """Repo-wide pytest hooks.
 
 The ``chaos_net`` tier drives real sockets, spawned node processes and
-injected stalls; a regression there can hang instead of fail.  Since
-the environment deliberately carries no pytest-timeout plugin, a hard
-per-test wall-clock bound is enforced here with ``SIGALRM``: a
-``chaos_net``-marked test that outlives the budget raises
-``TimeoutError`` inside the test call instead of wedging the whole run.
-Override the budget with ``REPRO_CHAOS_NET_TIMEOUT_S``.
+injected stalls; the ``chaos_disk`` tier drives real WAL files, router
+restarts and injected disk faults.  A regression in either can hang
+instead of fail.  Since the environment deliberately carries no
+pytest-timeout plugin, a hard per-test wall-clock bound is enforced
+here with ``SIGALRM``: a chaos-marked test that outlives the budget
+raises ``TimeoutError`` inside the test call instead of wedging the
+whole run.  Override the budgets with ``REPRO_CHAOS_NET_TIMEOUT_S``
+and ``REPRO_CHAOS_DISK_TIMEOUT_S``.
 """
 
 from __future__ import annotations
@@ -17,21 +19,29 @@ import signal
 import pytest
 
 DEFAULT_CHAOS_NET_TIMEOUT_S = 120.0
+DEFAULT_CHAOS_DISK_TIMEOUT_S = 120.0
+
+#: marker name -> (environment override, default budget in seconds)
+_HARD_TIMEOUT_TIERS = {
+    "chaos_net": ("REPRO_CHAOS_NET_TIMEOUT_S", DEFAULT_CHAOS_NET_TIMEOUT_S),
+    "chaos_disk": ("REPRO_CHAOS_DISK_TIMEOUT_S", DEFAULT_CHAOS_DISK_TIMEOUT_S),
+}
 
 
 @pytest.hookimpl(hookwrapper=True)
 def pytest_runtest_call(item):
-    if item.get_closest_marker("chaos_net") is None \
-            or not hasattr(signal, "SIGALRM"):
+    tier = next((name for name in _HARD_TIMEOUT_TIERS
+                 if item.get_closest_marker(name) is not None), None)
+    if tier is None or not hasattr(signal, "SIGALRM"):
         yield
         return
-    timeout_s = float(os.environ.get("REPRO_CHAOS_NET_TIMEOUT_S",
-                                     DEFAULT_CHAOS_NET_TIMEOUT_S))
+    env_var, default_s = _HARD_TIMEOUT_TIERS[tier]
+    timeout_s = float(os.environ.get(env_var, default_s))
 
     def _on_alarm(signum, frame):
         raise TimeoutError(
-            f"{item.nodeid} exceeded the chaos_net hard timeout of "
-            f"{timeout_s:.0f}s (set REPRO_CHAOS_NET_TIMEOUT_S to change)")
+            f"{item.nodeid} exceeded the {tier} hard timeout of "
+            f"{timeout_s:.0f}s (set {env_var} to change)")
 
     previous = signal.signal(signal.SIGALRM, _on_alarm)
     signal.setitimer(signal.ITIMER_REAL, timeout_s)

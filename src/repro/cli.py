@@ -13,12 +13,15 @@ Usage examples::
     repro-ham serve --dataset cds --workers 4 --request-timeout 5 \
               --gateway --max-queue 256 --users 0 1 2
     repro-ham serve-node --checkpoint model.npz --bind 127.0.0.1:7001
+    repro-ham serve-node --checkpoint model.npz --journal /var/lib/ham/journal
     repro-ham route --nodes 127.0.0.1:7001 127.0.0.1:7002 --users 0 1 2
+    repro-ham route --nodes 127.0.0.1:7001 127.0.0.1:7002 --wal-dir /var/lib/ham/wal
     repro-ham bench-serve --dataset cds --out BENCH_serving.json
     repro-ham bench-train --items 8000 --out BENCH_training.json
     repro-ham bench-parallel --workers 4 --out BENCH_parallel.json
     repro-ham bench-resilience --workers 2 --out BENCH_resilience.json
     repro-ham bench-cluster --nodes 2 --out BENCH_cluster.json
+    repro-ham bench-durability --appends 2000 --out BENCH_durability.json
 """
 
 from __future__ import annotations
@@ -207,6 +210,14 @@ def build_parser() -> argparse.ArgumentParser:
                                  "seconds (default 30)")
     serve_node.add_argument("--request-timeout", type=float, default=None,
                             help="per-request deadline of a sharded engine")
+    serve_node.add_argument("--journal", default=None, metavar="DIR",
+                            help="durable local observe journal directory: "
+                                 "observes are journaled before they are "
+                                 "applied and replayed into the engine at "
+                                 "the next start")
+    serve_node.add_argument("--journal-fsync", default="always",
+                            choices=("always", "interval", "never"),
+                            help="fsync policy of the observe journal")
 
     route = subparsers.add_parser(
         "route",
@@ -226,6 +237,13 @@ def build_parser() -> argparse.ArgumentParser:
     route.add_argument("--gateway", action="store_true",
                        help="front the router with the micro-batching "
                             "gateway instead of calling it directly")
+    route.add_argument("--wal-dir", default=None, metavar="DIR",
+                       help="durable observe log directory: every observe "
+                            "is journaled write-ahead and a restarted "
+                            "router rebuilds its replay state from it")
+    route.add_argument("--wal-fsync", default="always",
+                       choices=("always", "interval", "never"),
+                       help="fsync policy of the observe WAL")
 
     bench_cluster = subparsers.add_parser(
         "bench-cluster",
@@ -247,6 +265,20 @@ def build_parser() -> argparse.ArgumentParser:
     bench_cluster.add_argument("--seed", type=int, default=0)
     bench_cluster.add_argument("--out", default="BENCH_cluster.json",
                                help="write the cluster report to this JSON path")
+
+    bench_durability = subparsers.add_parser(
+        "bench-durability",
+        help="benchmark the durable-state layer: WAL append throughput per "
+             "fsync policy, recovery time vs log length, torn-tail recovery "
+             "and compaction reclaim")
+    bench_durability.add_argument("--appends", type=int, default=2000,
+                                  help="records appended per fsync policy")
+    bench_durability.add_argument("--segment-kb", type=int, default=64,
+                                  help="WAL segment rotation threshold in KiB")
+    bench_durability.add_argument("--seed", type=int, default=0)
+    bench_durability.add_argument("--out", default="BENCH_durability.json",
+                                  help="write the durability report to this "
+                                       "JSON path")
     return parser
 
 
@@ -346,6 +378,11 @@ def _train_for_serving(dataset: str, method: str, setting: str, scale: str | Non
 #: probes can tell "unhealthy" from "bad invocation".
 UNHEALTHY_EXIT_CODE = 3
 
+#: Exit code of serve/serve-node when ``--checkpoint`` names a corrupt
+#: file (torn write, bit flip, mangled archive) — one diagnostic line on
+#: stderr instead of a traceback, and a code scripts can branch on.
+CORRUPT_CHECKPOINT_EXIT_CODE = 4
+
 
 def _print_health_line(health: dict | None) -> bool:
     """One-line shard-health summary of a sharded serve run.
@@ -385,6 +422,7 @@ def _command_serve(dataset: str, method: str, setting: str, scale: str | None,
     from repro.parallel import DEFAULT_REQUEST_TIMEOUT_S, make_scoring_engine
     from repro.serving import ServingGateway, model_from_checkpoint, explain_ham_scores
     from repro.models.ham import HAM
+    from repro.training.checkpoint import CheckpointCorruptError
 
     if checkpoint is not None:
         # Serve-only path: rebuild the trained model from the checkpoint;
@@ -392,7 +430,11 @@ def _command_serve(dataset: str, method: str, setting: str, scale: str | None,
         data = load_benchmark(dataset, scale=scale)
         split = split_setting(data, setting)
         histories = split.train_plus_valid()
-        model, metadata = model_from_checkpoint(checkpoint)
+        try:
+            model, metadata = model_from_checkpoint(checkpoint)
+        except CheckpointCorruptError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return CORRUPT_CHECKPOINT_EXIT_CODE
         method = metadata.get("method", method)
     else:
         model, histories = _train_for_serving(dataset, method, setting, scale,
@@ -543,22 +585,30 @@ def _command_serve_node(dataset: str, method: str, setting: str,
                         scale: str | None, epochs: int | None, seed: int,
                         checkpoint: str | None, bind: str, workers: int,
                         node_index: int, read_timeout: float | None,
-                        request_timeout: float | None) -> int:
+                        request_timeout: float | None,
+                        journal: str | None = None,
+                        journal_fsync: str = "always") -> int:
     import signal as _signal
 
     from repro.cluster.node import DEFAULT_READ_TIMEOUT_S, EngineNode
     from repro.parallel import make_scoring_engine
     from repro.serving.deploy import node_from_checkpoint
+    from repro.training.checkpoint import CheckpointCorruptError
 
     if read_timeout is None:
         read_timeout = DEFAULT_READ_TIMEOUT_S
     if checkpoint is not None:
         data = load_benchmark(dataset, scale=scale)
         split = split_setting(data, setting)
-        node = node_from_checkpoint(
-            checkpoint, split.train_plus_valid(), bind=bind,
-            n_workers=workers, node_index=node_index,
-            read_timeout_s=read_timeout, request_timeout_s=request_timeout)
+        try:
+            node = node_from_checkpoint(
+                checkpoint, split.train_plus_valid(), bind=bind,
+                n_workers=workers, node_index=node_index,
+                read_timeout_s=read_timeout, request_timeout_s=request_timeout,
+                journal_dir=journal, journal_fsync=journal_fsync)
+        except CheckpointCorruptError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return CORRUPT_CHECKPOINT_EXIT_CODE
     else:
         model, histories = _train_for_serving(dataset, method, setting, scale,
                                               epochs, seed)
@@ -566,7 +616,9 @@ def _command_serve_node(dataset: str, method: str, setting: str,
                                      precompute=True)
         try:
             node = EngineNode(engine, bind=bind, read_timeout_s=read_timeout,
-                              node_index=node_index, own_engine=True)
+                              node_index=node_index, own_engine=True,
+                              journal_dir=journal,
+                              journal_fsync=journal_fsync)
         except Exception:
             engine.close()
             raise
@@ -587,14 +639,16 @@ def _command_serve_node(dataset: str, method: str, setting: str,
 
 def _command_route(nodes: list[str], users: list[int], k: int,
                    replication: int, request_timeout: float | None,
-                   gateway: bool) -> int:
+                   gateway: bool, wal_dir: str | None = None,
+                   wal_fsync: str = "always") -> int:
     from repro.cluster.router import ClusterRouter
     from repro.serving import ServingGateway
 
     router_kwargs = {}
     if request_timeout is not None:
         router_kwargs["request_timeout_s"] = request_timeout
-    router = ClusterRouter(nodes, replication=replication, **router_kwargs)
+    router = ClusterRouter(nodes, replication=replication, wal_dir=wal_dir,
+                           wal_fsync=wal_fsync, **router_kwargs)
     engine_name = f"ClusterRouter[{len(nodes)} nodes, r={router.replication}]"
     try:
         if gateway:
@@ -638,6 +692,21 @@ def _command_bench_cluster(method: str, users: int, items: int, nodes: int,
     print(report.summary())
     write_cluster_report(report, out)
     print(f"cluster report written to {out}")
+    return 0
+
+
+def _command_bench_durability(appends: int, segment_kb: int, seed: int,
+                              out: str) -> int:
+    from repro.durability.bench import (
+        run_durability_benchmark,
+        write_durability_report,
+    )
+
+    report = run_durability_benchmark(appends=appends, segment_kb=segment_kb,
+                                      seed=seed)
+    print(report.summary())
+    write_durability_report(report, out)
+    print(f"durability report written to {out}")
     return 0
 
 
@@ -692,16 +761,22 @@ def main(argv: list[str] | None = None) -> int:
                                    workers=args.workers,
                                    node_index=args.node_index,
                                    read_timeout=args.read_timeout,
-                                   request_timeout=args.request_timeout)
+                                   request_timeout=args.request_timeout,
+                                   journal=args.journal,
+                                   journal_fsync=args.journal_fsync)
     if args.command == "route":
         return _command_route(args.nodes, args.users, args.k,
                               replication=args.replication,
                               request_timeout=args.request_timeout,
-                              gateway=args.gateway)
+                              gateway=args.gateway, wal_dir=args.wal_dir,
+                              wal_fsync=args.wal_fsync)
     if args.command == "bench-cluster":
         return _command_bench_cluster(args.method, args.users, args.items,
                                       args.nodes, args.repeats, args.k,
                                       args.seed, args.out)
+    if args.command == "bench-durability":
+        return _command_bench_durability(args.appends, args.segment_kb,
+                                         args.seed, args.out)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

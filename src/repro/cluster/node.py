@@ -31,6 +31,15 @@ Robustness properties:
   wires deterministic connection drops, stalls, garbled replies and
   partitions directly into the serve loop, so the chaos tier exercises
   real network failures without monkeypatching sockets.
+* **Durable local journal (PR 9)** — with ``journal_dir=...``
+  (``repro-ham serve-node --journal``) every applied ``observe`` is
+  appended to a :class:`~repro.durability.wal.WriteAheadLog` *before*
+  it touches the engine, and a restarting node replays the journal
+  into its engine at boot — single-node deployments keep observed
+  interactions across restarts without a router.  Observes that carry
+  a router log sequence number are deduplicated against the highest
+  sequence already applied (restored from the journal), so a router's
+  at-least-once replay after its own restart never double-applies.
 
 One engine, many connections: engine calls are serialized under a lock
 (the engines are not thread-safe); concurrency across users comes from
@@ -45,6 +54,7 @@ import os
 import secrets
 import signal
 import socket
+import struct
 import threading
 import time
 
@@ -160,12 +170,23 @@ class EngineNode:
         This node's index in the plan (and in the cluster's node list).
     own_engine:
         Close the engine when the node closes.
+    journal_dir:
+        Directory of the node's local observe journal (``repro-ham
+        serve-node --journal``).  Existing journal records are replayed
+        into the engine before the node starts serving; every later
+        ``observe`` is journaled before it is applied.  ``None``
+        (default) disables the journal.
+    journal_fsync:
+        Fsync policy of the journal WAL (``"always"`` / ``"interval"``
+        / ``"never"``).
     """
 
     def __init__(self, engine, bind: str = "127.0.0.1:0", *,
                  read_timeout_s: float = DEFAULT_READ_TIMEOUT_S,
                  fault_plan: NetFaultPlan | None = None,
-                 node_index: int = 0, own_engine: bool = False):
+                 node_index: int = 0, own_engine: bool = False,
+                 journal_dir: str | None = None,
+                 journal_fsync: str = "always"):
         if read_timeout_s <= 0:
             raise ValueError("read_timeout_s must be positive")
         self.engine = engine
@@ -176,6 +197,27 @@ class EngineNode:
         #: Fresh per process: lets routers detect crash + rejoin.
         self.epoch = secrets.token_hex(8)
         self._deadlines = bool(getattr(engine, "supports_deadlines", False))
+
+        # Highest router log sequence number already applied (restored
+        # from the journal); replayed observes at or below it are
+        # acknowledged without re-applying.  -1 = none seen.
+        self._applied_seq = -1
+        self._observes_deduped = 0
+        self._observes_journaled = 0
+        self._journal = None
+        if journal_dir is not None:
+            from repro.durability.wal import WriteAheadLog
+            self._journal = WriteAheadLog(journal_dir, fsync=journal_fsync)
+            replayed = 0
+            for _, payload in self._journal.replay():
+                seq, user, item = struct.unpack("<qqq", payload)
+                engine.observe(int(user), int(item))
+                if seq > self._applied_seq:
+                    self._applied_seq = seq
+                replayed += 1
+            self._journal_replayed = replayed
+        else:
+            self._journal_replayed = 0
 
         self._engine_lock = threading.Lock()
         self._state_lock = threading.Lock()
@@ -436,8 +478,26 @@ class EngineNode:
                     scores[row, col] = rec.score
             return {}, {"items": items, "scores": scores}
         if kind == "observe":
+            user = int(frame.meta["user"])
+            item = int(frame.meta["item"])
+            seq = frame.meta.get("seq")
+            seq = int(seq) if seq is not None else None
             with self._engine_lock:
-                engine.observe(int(frame.meta["user"]), int(frame.meta["item"]))
+                if seq is not None and seq <= self._applied_seq:
+                    # Already applied (router at-least-once replay after
+                    # a crash between "applied" and "watermark
+                    # journaled"): acknowledge without re-applying.
+                    self._observes_deduped += 1
+                    return {"deduped": True}, {}
+                if self._journal is not None:
+                    # Write-ahead: what is not durable is not applied.
+                    self._journal.append(
+                        struct.pack("<qqq", -1 if seq is None else seq,
+                                    user, item))
+                    self._observes_journaled += 1
+                engine.observe(user, item)
+                if seq is not None:
+                    self._applied_seq = seq
             return {}, {}
         if kind == "health":
             return {"health": self.health()}, {}
@@ -499,7 +559,13 @@ class EngineNode:
                 "requests_served": self._requests_served,
                 "protocol_errors": self._protocol_errors,
                 "faults_fired": dict(self._faults_fired),
+                "applied_seq": self._applied_seq,
+                "observes_deduped": self._observes_deduped,
+                "observes_journaled": self._observes_journaled,
+                "journal_replayed": self._journal_replayed,
             }
+        if self._journal is not None:
+            payload["journal"] = self._journal.stats()
         engine_stats = getattr(self.engine, "stats", None)
         if engine_stats is not None:
             payload["engine"] = engine_stats()
@@ -560,6 +626,8 @@ class EngineNode:
         if self._arena is not None:
             self._arena.close()
             self._arena = None
+        if self._journal is not None:
+            self._journal.close()
         if self._own_engine:
             self.engine.close()
 
@@ -632,7 +700,9 @@ def _node_main(model, histories, options: dict, address_queue) -> None:
     node = EngineNode(engine, bind=options["bind"],
                       read_timeout_s=options["read_timeout_s"],
                       fault_plan=options["fault_plan"],
-                      node_index=options["node_index"], own_engine=True)
+                      node_index=options["node_index"], own_engine=True,
+                      journal_dir=options.get("journal_dir"),
+                      journal_fsync=options.get("journal_fsync", "always"))
     node.install_sigterm_drain()
     address_queue.put(node.address)
     node.serve_forever()
@@ -645,6 +715,8 @@ def spawn_node(model, histories, *, bind: str = "127.0.0.1:0",
                read_timeout_s: float = DEFAULT_READ_TIMEOUT_S,
                fault_plan: NetFaultPlan | None = None,
                node_index: int = 0,
+               journal_dir: str | None = None,
+               journal_fsync: str = "always",
                start_timeout_s: float = 60.0) -> NodeHandle:
     """Fork a child process serving ``EngineNode(ScoringEngine(...))``.
 
@@ -663,6 +735,8 @@ def spawn_node(model, histories, *, bind: str = "127.0.0.1:0",
         "read_timeout_s": read_timeout_s,
         "fault_plan": fault_plan,
         "node_index": node_index,
+        "journal_dir": journal_dir,
+        "journal_fsync": journal_fsync,
     }
     process = ctx.Process(target=_node_main,
                           args=(model, histories, options, address_queue),

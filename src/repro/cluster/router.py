@@ -34,6 +34,17 @@ Failure handling, end to end:
   replayed from the beginning, because its engine restarted from the
   base snapshot.  That is what keeps post-failover answers bit-identical
   even for users whose history changed mid-flight.
+* **Durable observe log (PR 9)** — with ``wal_dir=...`` the log lives
+  in a :class:`~repro.durability.wal.WriteAheadLog`: every observe is
+  journaled (write-ahead) before it is applied anywhere, per-node
+  watermarks and epochs are journaled alongside, and a restarted
+  router rebuilds both from the WAL — a SIGKILLed router comes back
+  and still serves bit-identical top-k, including replicated observes.
+  Sealed WAL segments are compacted once every replica's watermark
+  passes them.  Replayed observes carry their log sequence number, so
+  a node that already applied an entry (same epoch) deduplicates it —
+  the crash window between "applied" and "watermark journaled" does
+  not double-apply.
 
 The router implements the full engine duck-type
 (``num_users`` / ``num_items`` / ``exclude_seen`` / ``score_all`` /
@@ -52,6 +63,8 @@ double-apply the log.
 
 from __future__ import annotations
 
+import bisect
+import struct
 import threading
 import time
 
@@ -64,6 +77,14 @@ from repro.cluster.protocol import (
     ProtocolError,
     recv_frame,
     send_frame,
+)
+from repro.durability.wal import (
+    DEFAULT_SEGMENT_BYTES,
+    WalCompactedError,
+    WalWriteError,
+    WriteAheadLog,
+    pack_observe,
+    unpack_observe,
 )
 from repro.parallel.sharded import DEFAULT_REQUEST_TIMEOUT_S
 from repro.serving.engine import Recommendation
@@ -122,7 +143,8 @@ class _NodeClient:
         self.up = False
         self.epoch: str | None = None
         self.hello: dict = {}
-        #: Observe-log position this node is known to be current to.
+        #: Observe-log sequence number this node is current to
+        #: (exclusive: every entry with ``seq < watermark`` applied).
         self.watermark = 0
         self.rejoins = 0
         self._rid = 0
@@ -258,6 +280,21 @@ class ClusterRouter:
     require_connect:
         Require at least one node reachable at construction (default);
         ``False`` starts fully offline and relies on heartbeats.
+    wal_dir:
+        Directory of the durable observe log (``repro-ham route
+        --wal-dir``).  ``None`` (default) keeps the log in memory only
+        — a router restart loses replay state, exactly the pre-PR 9
+        behaviour.  Reopening a router on an existing ``wal_dir``
+        rebuilds the log and every node's (watermark, epoch) from the
+        journal.
+    wal_fsync / wal_segment_bytes:
+        Fsync policy (``"always"``/``"interval"``/``"never"``) and
+        segment rotation threshold of the WAL; see
+        :class:`~repro.durability.wal.WriteAheadLog`.
+    wal_fault_injector:
+        Optional :class:`~repro.durability.diskfaults.DiskFaultInjector`
+        for the ``chaos_disk`` tier; production callers leave it
+        ``None``.
     """
 
     def __init__(self, addresses: list[str], replication: int = 2,
@@ -268,7 +305,10 @@ class ClusterRouter:
                  io_timeout_s: float = DEFAULT_READ_TIMEOUT_S,
                  backoff_base_s: float = 0.05, backoff_factor: float = 2.0,
                  backoff_max_s: float = 2.0,
-                 require_connect: bool = True):
+                 require_connect: bool = True,
+                 wal_dir: str | None = None, wal_fsync: str = "always",
+                 wal_segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 wal_fault_injector=None):
         if not addresses:
             raise ValueError("at least one node address is required")
         if replication < 1:
@@ -290,10 +330,16 @@ class ClusterRouter:
                         backoff_max_s=backoff_max_s)
             for index, address in enumerate(self.addresses)
         ]
-        # Ordered observe log: (range, user, item) triples; per-node
-        # watermarks index into it.  Guarded by _observe_lock.
-        self._observe_log: list[tuple[int, int, int]] = []
+        # Ordered observe log: (seq, range, user, item), sorted by seq;
+        # per-node watermarks are *sequence numbers* (exclusive bound:
+        # the node has applied every entry with seq < watermark), so
+        # they stay meaningful across compaction and — with a WAL —
+        # across router restarts.  Guarded by _observe_lock.
+        self._observe_log: list[tuple[int, int, int, int]] = []
         self._observe_lock = threading.Lock()
+        self._next_seq = 0  # seq counter of the in-memory (no-WAL) mode
+        self._compacted_below = 0  # first seq still replayable
+        self._journaled_state: dict[int, tuple[int, str | None]] = {}
 
         self._stats_lock = threading.Lock()
         self._stats = {
@@ -307,7 +353,18 @@ class ClusterRouter:
             "observes": 0,
             "observes_replayed": 0,
             "rejoins_detected": 0,
+            "wal_recovered_observes": 0,
+            "wal_write_errors": 0,
+            "wal_compactions": 0,
+            "catch_up_impossible": 0,
         }
+
+        self._wal: WriteAheadLog | None = None
+        if wal_dir is not None:
+            self._wal = WriteAheadLog(
+                wal_dir, segment_bytes=wal_segment_bytes, fsync=wal_fsync,
+                fault_injector=wal_fault_injector)
+            self._recover_from_wal()
 
         self._closed = False
         self._stop = threading.Event()
@@ -361,6 +418,109 @@ class ClusterRouter:
                 f"({self.num_users}, {self.num_items})")
 
     # ------------------------------------------------------------------ #
+    # Durable observe log (WAL)
+    # ------------------------------------------------------------------ #
+    # Record payloads (the framing around them is the WAL's):
+    #   b"O" + <qq user item>          — one observed interaction
+    #   b"A" + <q  seq>                — abort: the observe journaled at
+    #                                    ``seq`` was applied by no
+    #                                    replica and must not replay
+    #   b"W" + <qq node watermark> + epoch-utf8
+    #                                  — node ``node`` is current to
+    #                                    ``watermark`` under ``epoch``
+    _ABORT_TAG = b"A"
+    _WATERMARK_TAG = b"W"
+
+    def _recover_from_wal(self) -> None:
+        """Rebuild the observe log and node watermarks from the journal.
+
+        Observes re-enter the in-memory log at their original sequence
+        numbers (ranges recomputed — the hash is deterministic), abort
+        records delete the entry they name, and the *last* watermark
+        record per node wins.  A journaled watermark is trusted only if
+        the node still reports the journaled epoch when we connect —
+        ``ensure_connected`` resets it to zero otherwise, exactly as it
+        fences a mid-flight restart.
+        """
+        recovered = 0
+        for seq, payload in self._wal.replay():
+            tag = payload[:1]
+            if tag == b"O":
+                user, item = unpack_observe(payload)
+                self._observe_log.append(
+                    (seq, user_range(user, self.n_ranges), user, item))
+                recovered += 1
+            elif tag == self._ABORT_TAG:
+                (target,) = struct.unpack("<q", payload[1:9])
+                for index in range(len(self._observe_log) - 1, -1, -1):
+                    if self._observe_log[index][0] == target:
+                        del self._observe_log[index]
+                        recovered -= 1
+                        break
+            elif tag == self._WATERMARK_TAG:
+                node_index, watermark = struct.unpack("<qq", payload[1:17])
+                epoch = payload[17:].decode("utf-8") or None
+                if 0 <= node_index < len(self._clients):
+                    client = self._clients[node_index]
+                    client.watermark = int(watermark)
+                    client.epoch = epoch
+        self._compacted_below = self._wal.first_seq
+        self._stats["wal_recovered_observes"] = recovered
+
+    def _journal_node_state(self, client: _NodeClient,
+                            force: bool = False) -> None:
+        """Journal ``client``'s (watermark, epoch) if it changed.
+
+        Called with ``client.lock`` held (the watermark/epoch pair must
+        be read consistently).  A failed append is counted and skipped:
+        the journal then under-states the watermark, which on restart
+        means re-replaying entries the node deduplicates by sequence
+        number — safe, just slower.
+        """
+        if self._wal is None:
+            return
+        state = (client.watermark, client.epoch)
+        if not force and self._journaled_state.get(client.index) == state:
+            return
+        payload = (self._WATERMARK_TAG
+                   + struct.pack("<qq", client.index, client.watermark)
+                   + (client.epoch or "").encode("utf-8"))
+        try:
+            self._wal.append(payload)
+        except WalWriteError:
+            self._bump("wal_write_errors")
+            return
+        self._journaled_state[client.index] = state
+
+    def _maybe_compact(self) -> None:
+        """Drop WAL segments every replica's watermark has passed.
+
+        The horizon is the minimum watermark over *all* nodes (a down
+        node pins it — its entries must stay replayable), and fresh
+        watermark records are journaled first so the surviving suffix
+        still carries every node's state.  The in-memory log is trimmed
+        to match, so restart and live state agree on what is
+        replayable.
+        """
+        if self._wal is None:
+            return
+        horizon = min(client.watermark for client in self._clients)
+        if not self._wal.has_compactable(horizon):
+            return
+        for client in self._clients:
+            with client.lock:
+                self._journal_node_state(client, force=True)
+        result = self._wal.compact(horizon)
+        if result["segments_deleted"]:
+            with self._observe_lock:
+                self._compacted_below = self._wal.first_seq
+                cut = bisect.bisect_left(self._observe_log,
+                                         (self._compacted_below,))
+                if cut:
+                    del self._observe_log[:cut]
+            self._bump("wal_compactions")
+
+    # ------------------------------------------------------------------ #
     # Routing primitives
     # ------------------------------------------------------------------ #
     def _replica_indices(self, range_id: int) -> list[int]:
@@ -387,33 +547,60 @@ class ClusterRouter:
                          upto: int | None = None) -> None:
         """Replay pending observe-log entries to ``client`` (lock held).
 
-        Entries outside the node's ranges advance the watermark for
-        free; relevant ones are re-applied in order via the ``observe``
-        verb.  Raises on failure with the watermark pointing at the
-        first unapplied entry, so a later catch-up resumes exactly
-        there (each entry is applied at most once per node epoch).
+        Replays every entry with ``watermark <= seq < upto`` (``upto``
+        defaults to the whole log).  Entries outside the node's ranges
+        advance the watermark for free; relevant ones are re-applied in
+        order via the ``observe`` verb, carrying their sequence number
+        so the node can deduplicate anything it already applied.
+        Raises on failure with the watermark pointing at the first
+        unapplied entry, so a later catch-up resumes exactly there.
+        Raises :class:`~repro.durability.wal.WalCompactedError` when the
+        entries the node needs were compacted away — only possible for
+        a fresh-epoch node joining a restarted router; such a node must
+        bootstrap from a current peer snapshot instead.
         """
-        end = len(self._observe_log) if upto is None else upto
+        log = self._observe_log
+        end = (log[-1][0] + 1 if log else 0) if upto is None else upto
         if client.watermark >= end:
             return
+        if client.watermark < self._compacted_below:
+            self._bump("catch_up_impossible")
+            raise WalCompactedError(
+                f"{client.address}: watermark {client.watermark} is below "
+                f"the compaction horizon {self._compacted_below}; the "
+                f"entries it needs are gone — bootstrap the node from a "
+                f"live peer snapshot")
+        # Snapshot (atomic under the GIL): entries are append-ordered by
+        # seq, so a bisect finds the resume point without _observe_lock
+        # (which observe() may already hold above us, or a concurrent
+        # observe may hold while waiting on another node's lock).
+        snapshot = list(log)
+        start = bisect.bisect_left(snapshot, (client.watermark,))
         ranges = self._node_ranges(client.index)
         replayed = 0
-        while client.watermark < end:
-            range_id, user, item = self._observe_log[client.watermark]
-            if range_id in ranges:
-                remaining = deadline - time.monotonic()
-                if remaining <= 0:
-                    raise TimeoutError(
-                        f"deadline expired replaying observes to "
-                        f"{client.address}")
-                reply = client._call_locked(
-                    "observe", {"user": user, "item": item}, {}, remaining)
-                if reply.kind == "error":
-                    raise_reply_error(reply)
-                replayed += 1
-            client.watermark += 1
-        if replayed:
-            self._bump("observes_replayed", replayed)
+        try:
+            for seq, range_id, user, item in snapshot[start:]:
+                if seq >= end:
+                    break
+                if range_id in ranges:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0:
+                        raise TimeoutError(
+                            f"deadline expired replaying observes to "
+                            f"{client.address}")
+                    reply = client._call_locked(
+                        "observe",
+                        {"user": user, "item": item, "seq": seq},
+                        {}, remaining)
+                    if reply.kind == "error":
+                        raise_reply_error(reply)
+                    replayed += 1
+                client.watermark = seq + 1
+            client.watermark = max(client.watermark, end)
+        finally:
+            if replayed:
+                self._bump("observes_replayed", replayed)
+            self._journal_node_state(client)
 
     def _attempt(self, client: _NodeClient, kind: str, meta: dict,
                  arrays: dict, deadline: float) -> Frame:
@@ -463,11 +650,13 @@ class ClusterRouter:
                     break
                 try:
                     reply = self._attempt(client, kind, meta, arrays, deadline)
-                except (OSError, ProtocolError) as error:
+                except (OSError, ProtocolError, WalCompactedError) as error:
                     # NodeUnavailable, ConnectionClosed, raw socket
                     # errors and TimeoutError all subclass OSError;
-                    # ProtocolError is a garbled stream.  All of them
-                    # mean "this replica cannot answer now" — fail over.
+                    # ProtocolError is a garbled stream; a
+                    # WalCompactedError replica cannot be caught up.
+                    # All of them mean "this replica cannot answer
+                    # now" — fail over.
                     last_error = error
                     continue
                 if position > 0 or not first_round:
@@ -589,12 +778,17 @@ class ClusterRouter:
                 timeout: float | None = None) -> None:
         """Record an interaction on every live replica of the owner range.
 
-        The entry is appended to the ordered observe log; replicas that
-        are down (or mid-rejoin) skip it now and catch up from their
-        watermark before they serve again, which is what keeps failover
-        answers bit-identical.  Raises if *no* replica applied the
-        entry — the interaction is then not logged at all, so a caller
-        retry cannot double-apply it.
+        The entry is journaled to the WAL (when one is configured)
+        **before** it is applied anywhere — write-ahead — then appended
+        to the ordered observe log; replicas that are down (or
+        mid-rejoin) skip it now and catch up from their watermark
+        before they serve again, which is what keeps failover answers
+        bit-identical.  Raises if *no* replica applied the entry — the
+        interaction is then not logged at all (a durable abort record
+        cancels the journaled entry), so a caller retry cannot
+        double-apply it.  A WAL append failure (disk full, I/O error)
+        raises :class:`~repro.durability.wal.WalWriteError` before any
+        replica is touched: what cannot be made durable is not applied.
         """
         if self.num_users is None or not 0 <= user < self.num_users:
             raise ValueError(f"user id {user} outside [0, {self.num_users})")
@@ -603,8 +797,16 @@ class ClusterRouter:
         deadline = self._deadline_for(timeout)
         range_id = user_range(user, self.n_ranges)
         with self._observe_lock:
-            entry_index = len(self._observe_log)
-            self._observe_log.append((range_id, int(user), int(item)))
+            if self._wal is not None:
+                try:
+                    seq = self._wal.append(pack_observe(user, item))
+                except WalWriteError:
+                    self._bump("wal_write_errors")
+                    raise
+            else:
+                seq = self._next_seq
+                self._next_seq += 1
+            self._observe_log.append((seq, range_id, int(user), int(item)))
             applied = 0
             for node_index in self._replica_indices(range_id):
                 client = self._clients[node_index]
@@ -615,22 +817,29 @@ class ClusterRouter:
                             raise TimeoutError("observe deadline expired")
                         client.ensure_connected(remaining)
                         # Older entries first, then this one, in order.
-                        self._catch_up_locked(client, deadline,
-                                              upto=entry_index)
+                        self._catch_up_locked(client, deadline, upto=seq)
                         remaining = deadline - time.monotonic()
                         if remaining <= 0:
                             raise TimeoutError("observe deadline expired")
                         reply = client._call_locked(
-                            "observe", {"user": int(user), "item": int(item)},
+                            "observe", {"user": int(user), "item": int(item),
+                                        "seq": seq},
                             {}, remaining)
                         if reply.kind == "error":
                             raise_reply_error(reply)
-                        client.watermark = entry_index + 1
+                        client.watermark = seq + 1
+                        self._journal_node_state(client)
                         applied += 1
                     except (OSError, ProtocolError, RuntimeError):
                         continue
             if applied == 0:
                 self._observe_log.pop()
+                if self._wal is not None:
+                    try:
+                        self._wal.append(
+                            self._ABORT_TAG + struct.pack("<q", seq))
+                    except WalWriteError:
+                        self._bump("wal_write_errors")
                 raise ConnectionError(
                     f"observe({user}, {item}): no live replica of range "
                     f"{range_id} accepted the interaction")
@@ -666,6 +875,9 @@ class ClusterRouter:
                     continue
                 finally:
                     client.lock.release()
+            # Off every node's lock: reclaim WAL segments every
+            # replica's watermark has passed.
+            self._maybe_compact()
 
     # ------------------------------------------------------------------ #
     # Observability & lifecycle
@@ -698,6 +910,8 @@ class ClusterRouter:
             "n_ranges": self.n_ranges,
             "replication": self.replication,
             "observe_log_len": log_len,
+            "compacted_below": self._compacted_below,
+            "wal": self._wal.stats() if self._wal is not None else None,
             "nodes": nodes,
         }
 
@@ -707,7 +921,7 @@ class ClusterRouter:
             return dict(self._stats)
 
     def close(self) -> None:
-        """Stop heartbeats and drop every node connection."""
+        """Stop heartbeats, drop node connections, seal the WAL."""
         if self._closed:
             return
         self._closed = True
@@ -717,6 +931,8 @@ class ClusterRouter:
             thread.join(timeout=5.0)
         for client in self._clients:
             client.close()
+        if self._wal is not None:
+            self._wal.close()
 
     def __enter__(self) -> "ClusterRouter":
         return self

@@ -1,0 +1,212 @@
+"""Durability harness: append/fsync cost, recovery time, compaction.
+
+What does durable state cost, and how fast does it come back?  This
+harness measures the three numbers that size a WAL deployment:
+
+* **append throughput per fsync policy** — the same record stream
+  appended under ``always`` (every record survives power loss),
+  ``interval`` (bounded loss window) and ``never`` (OS flushing):
+  what each durability level costs per record;
+* **recovery time vs. log length** — cold :class:`~repro.durability.
+  wal.WriteAheadLog` opens over logs of growing length, timing the
+  full CRC-verifying recovery scan (the router's restart cost);
+  recovery of a torn-tail log is verified to keep every record before
+  the tear;
+* **compaction reclaim** — bytes released by :meth:`~repro.durability.
+  wal.WriteAheadLog.compact` once every watermark passed half the log.
+
+:func:`write_durability_report` persists the result as
+``benchmarks/results/BENCH_durability.json`` under the unified
+:mod:`repro.bench_schema` envelope; ``repro-ham bench-durability`` is
+the CLI entry point and ``benchmarks/test_durability_wal.py``
+regenerates
+and guards the artifact (``chaos_disk`` tier, see
+``docs/benchmarks.md``).
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+import time
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+
+from repro.bench_schema import write_bench_report
+from repro.durability.wal import FSYNC_POLICIES, WriteAheadLog, pack_observe
+
+__all__ = ["DurabilityBenchReport", "run_durability_benchmark",
+           "write_durability_report"]
+
+
+@dataclass(frozen=True)
+class DurabilityBenchReport:
+    """Append/fsync, recovery and compaction measurements of one run."""
+
+    appends: int
+    record_bytes: int
+    segment_bytes: int
+    cpu_count: int
+    #: Appends per second under each fsync policy.
+    fsync_always_per_s: float
+    fsync_interval_per_s: float
+    fsync_never_per_s: float
+    #: ``always / never`` — what full durability costs per record.
+    fsync_cost_x: float
+    #: ``[{"records": .., "seconds": .., "records_per_s": ..}, ...]``
+    #: — cold recovery scans over logs of growing length.
+    recovery_points: list[dict] = field(default_factory=list)
+    #: Recovery throughput at the longest log.
+    recovery_records_per_s: float = 0.0
+    #: A log with a torn tail record recovered every record before the
+    #: tear and accepted new appends afterwards.
+    torn_tail_recovered: bool = False
+    torn_tail_records_recovered: int = 0
+    #: Log bytes before compaction and bytes reclaimed once every
+    #: watermark passed half the log.
+    compact_bytes_before: int = 0
+    compact_bytes_reclaimed: int = 0
+    compact_reclaim_fraction: float = 0.0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def summary(self) -> str:
+        return (
+            f"WAL durability over {self.appends} x {self.record_bytes}-byte "
+            f"appends ({self.cpu_count} cores): "
+            f"fsync=always {self.fsync_always_per_s:,.0f}/s, "
+            f"interval {self.fsync_interval_per_s:,.0f}/s, "
+            f"never {self.fsync_never_per_s:,.0f}/s "
+            f"({self.fsync_cost_x:.1f}x durability cost); recovery "
+            f"{self.recovery_records_per_s:,.0f} records/s, torn tail "
+            f"recovered: {self.torn_tail_recovered} "
+            f"({self.torn_tail_records_recovered} records kept); "
+            f"compaction reclaimed {self.compact_bytes_reclaimed} of "
+            f"{self.compact_bytes_before} bytes "
+            f"({self.compact_reclaim_fraction:.0%})"
+        )
+
+
+def _append_run(directory: Path, payloads: list[bytes], *, fsync: str,
+                segment_bytes: int) -> float:
+    wal = WriteAheadLog(directory, fsync=fsync, segment_bytes=segment_bytes)
+    try:
+        start = time.perf_counter()
+        for payload in payloads:
+            wal.append(payload)
+        return time.perf_counter() - start
+    finally:
+        wal.close()
+
+
+def run_durability_benchmark(appends: int = 2000, segment_kb: int = 64,
+                             seed: int = 0) -> DurabilityBenchReport:
+    """Measure append/fsync throughput, recovery time and reclaim.
+
+    The workload is ``appends`` observe-sized records (the router's
+    actual journal payload).  Everything runs in throwaway temp
+    directories; nothing of the serving stack is involved — this is the
+    storage layer alone.
+    """
+    if appends < 8:
+        raise ValueError("appends must be at least 8")
+    segment_bytes = int(segment_kb) * 1024
+    payloads = [pack_observe(i, i * 31 + seed) for i in range(appends)]
+    record_bytes = len(payloads[0])
+
+    with tempfile.TemporaryDirectory(prefix="repro-durability-") as tmp:
+        tmp = Path(tmp)
+
+        # ---- append throughput per fsync policy ---------------------- #
+        per_s = {}
+        for policy in FSYNC_POLICIES:
+            seconds = _append_run(tmp / f"wal-{policy}", payloads,
+                                  fsync=policy, segment_bytes=segment_bytes)
+            per_s[policy] = appends / seconds if seconds > 0 else float("inf")
+
+        # ---- recovery time vs. log length ---------------------------- #
+        recovery_points = []
+        for fraction in (4, 2, 1):
+            length = appends // fraction
+            directory = tmp / f"recover-{length}"
+            wal = WriteAheadLog(directory, fsync="never",
+                                segment_bytes=segment_bytes)
+            for payload in payloads[:length]:
+                wal.append(payload)
+            wal.close()
+            start = time.perf_counter()
+            reopened = WriteAheadLog(directory, fsync="never",
+                                     segment_bytes=segment_bytes)
+            seconds = time.perf_counter() - start
+            recovered = reopened.stats()["recovered_records"]
+            reopened.close()
+            recovery_points.append({
+                "records": int(recovered),
+                "seconds": seconds,
+                "records_per_s": recovered / seconds if seconds > 0
+                else float("inf"),
+            })
+        recovery_records_per_s = recovery_points[-1]["records_per_s"]
+
+        # ---- torn-tail recovery correctness -------------------------- #
+        torn_dir = tmp / "torn"
+        wal = WriteAheadLog(torn_dir, fsync="never",
+                            segment_bytes=1 << 30)  # single segment
+        for payload in payloads:
+            wal.append(payload)
+        wal.close()
+        segment = next(iter(sorted(torn_dir.iterdir())))
+        data = segment.read_bytes()
+        segment.write_bytes(data[:-(record_bytes // 2)])  # tear last record
+        reopened = WriteAheadLog(torn_dir, fsync="never")
+        torn_recovered = int(reopened.stats()["recovered_records"])
+        torn_ok = (torn_recovered == appends - 1
+                   and reopened.append(payloads[0]) == appends - 1)
+        reopened.close()
+
+        # ---- compaction reclaim -------------------------------------- #
+        # Size segments so the log spans ~8 of them regardless of the
+        # workload size; compacting at the halfway watermark then
+        # reclaims close to half the bytes.
+        compact_dir = tmp / "compact"
+        framed = record_bytes + 12  # payload + record header
+        wal = WriteAheadLog(compact_dir, fsync="never",
+                            segment_bytes=max(framed * appends // 8, framed))
+        for payload in payloads:
+            wal.append(payload)
+        before = int(wal.stats()["bytes"])
+        result = wal.compact(keep_from_seq=appends // 2)
+        reclaimed = int(result["bytes_reclaimed"])
+        wal.close()
+
+    return DurabilityBenchReport(
+        appends=appends,
+        record_bytes=record_bytes,
+        segment_bytes=segment_bytes,
+        cpu_count=os.cpu_count() or 1,
+        fsync_always_per_s=float(per_s["always"]),
+        fsync_interval_per_s=float(per_s["interval"]),
+        fsync_never_per_s=float(per_s["never"]),
+        fsync_cost_x=float(per_s["never"] / per_s["always"])
+        if per_s["always"] > 0 else float("inf"),
+        recovery_points=recovery_points,
+        recovery_records_per_s=float(recovery_records_per_s),
+        torn_tail_recovered=bool(torn_ok),
+        torn_tail_records_recovered=torn_recovered,
+        compact_bytes_before=before,
+        compact_bytes_reclaimed=reclaimed,
+        compact_reclaim_fraction=float(reclaimed / before) if before else 0.0,
+    )
+
+
+def write_durability_report(report: DurabilityBenchReport, path) -> None:
+    """Persist a report as the ``BENCH_durability.json`` artifact."""
+    write_bench_report(path, "durability", report.as_dict(), headline={
+        "fsync_always_per_s": report.fsync_always_per_s,
+        "fsync_never_per_s": report.fsync_never_per_s,
+        "recovery_records_per_s": report.recovery_records_per_s,
+        "torn_tail_recovered": report.torn_tail_recovered,
+        "compact_reclaim_fraction": report.compact_reclaim_fraction,
+        "cpu_count": report.cpu_count,
+    })

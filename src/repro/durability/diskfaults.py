@@ -1,0 +1,225 @@
+"""Deterministic disk fault injection for the durability layer.
+
+The PR 7/8 chaos tiers made process death and network failure seedable,
+replayable configuration (:class:`~repro.parallel.faults.FaultPlan`,
+:class:`~repro.cluster.faults.NetFaultPlan`).  This module extends the
+same discipline to the last failure domain — the disk:
+
+* **Torn write** — a write is cut at a chosen byte offset and the
+  process "crashes" (:class:`SimulatedCrash`), the exact shape of power
+  loss mid-``write(2)``.  Recovery code must keep every record before
+  the tear and truncate the rest.
+* **I/O errors** — the N-th write raises ``EIO`` (media error) or
+  ``ENOSPC`` (disk full) *before* any byte lands, so the caller's
+  typed-error path is exercised without corrupting what is already on
+  disk.
+* **Crash before rename** — an atomic publication
+  (:mod:`repro.durability.atomic`) crashes after the temp file is
+  written but before ``os.replace``, the window a non-atomic writer
+  would expose a torn file in.
+* **Bit flip** — :func:`flip_bit` corrupts one stored bit in an
+  existing file, either at explicit coordinates or at a position drawn
+  from the shared :func:`~repro.parallel.faults.fault_rng` stream
+  family, so checksum-verification tests replay exactly.
+
+Like its siblings, a :class:`DiskFaultPlan` is a frozen, picklable
+dataclass and every random decision derives from ``fault_rng`` — a
+chaos-disk scenario is reproducible from the plan seed plus the
+injector's coordinates alone.
+"""
+
+from __future__ import annotations
+
+import errno
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable
+
+from repro.parallel.faults import fault_rng
+
+__all__ = ["DiskFault", "DiskFaultPlan", "DiskFaultInjector",
+           "SimulatedCrash", "flip_bit"]
+
+#: Stream tag separating disk-fault draws from the shard (no tag) and
+#: network (``_NET_STREAM``) fault streams of the shared RNG family.
+_DISK_STREAM = 0x4449
+
+
+class SimulatedCrash(RuntimeError):
+    """The injected "process died here" signal of the disk fault plans.
+
+    Raised after a torn write or instead of an ``os.replace`` to model
+    a crash at the worst possible instant.  Tests catch it where a real
+    deployment would lose the process; nothing below the raise point
+    may have cleaned up, because a real crash would not have either.
+    """
+
+
+@dataclass(frozen=True)
+class DiskFault:
+    """One injected disk fault, keyed by operation count (picklable).
+
+    Parameters
+    ----------
+    at_op:
+        1-based index of the write (or rename, for
+        ``crash_before_rename``) this fault fires on, counted per
+        injector.
+    torn_at_byte:
+        Write only this many bytes of the faulted write, then raise
+        :class:`SimulatedCrash` — a torn tail record.  ``None``
+        disables.
+    errno_code:
+        Raise ``OSError(errno_code)`` before any byte of the faulted
+        write lands (``errno.EIO``, ``errno.ENOSPC``).  ``None``
+        disables.
+    crash_before_rename:
+        Raise :class:`SimulatedCrash` on the ``at_op``-th rename, after
+        the temp file was written and fsynced but before
+        ``os.replace`` publishes it.
+    """
+
+    at_op: int = 1
+    torn_at_byte: int | None = None
+    errno_code: int | None = None
+    crash_before_rename: bool = False
+
+
+@dataclass(frozen=True)
+class DiskFaultPlan:
+    """A seedable, picklable set of disk faults for one writer.
+
+    Pass a plan (via :class:`DiskFaultInjector`) to
+    :class:`~repro.durability.wal.WriteAheadLog` or the
+    :mod:`~repro.durability.atomic` writers; writers without an
+    injector run normally.  At most one fault per operation index.
+    """
+
+    faults: tuple[DiskFault, ...] = field(default_factory=tuple)
+    seed: int = 0
+
+    def __post_init__(self):
+        object.__setattr__(self, "faults", tuple(self.faults))
+        ops = [fault.at_op for fault in self.faults]
+        if len(ops) != len(set(ops)):
+            raise ValueError("at most one DiskFault per operation index")
+
+    def for_op(self, op: int) -> DiskFault | None:
+        """The fault configured for the ``op``-th operation, or ``None``."""
+        for fault in self.faults:
+            if fault.at_op == op:
+                return fault
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Convenience constructors for the common single-fault plans
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def torn_write(cls, at_op: int = 1, at_byte: int = 0,
+                   seed: int = 0) -> "DiskFaultPlan":
+        """Plan that tears the ``at_op``-th write at ``at_byte`` bytes."""
+        return cls(faults=(DiskFault(at_op=at_op, torn_at_byte=at_byte),),
+                   seed=seed)
+
+    @classmethod
+    def io_error(cls, at_op: int = 1, code: int = errno.EIO,
+                 seed: int = 0) -> "DiskFaultPlan":
+        """Plan that fails the ``at_op``-th write with ``OSError(code)``."""
+        return cls(faults=(DiskFault(at_op=at_op, errno_code=code),),
+                   seed=seed)
+
+    @classmethod
+    def no_space(cls, at_op: int = 1, seed: int = 0) -> "DiskFaultPlan":
+        """Plan that fails the ``at_op``-th write with ``ENOSPC``."""
+        return cls.io_error(at_op=at_op, code=errno.ENOSPC, seed=seed)
+
+    @classmethod
+    def crash_before_rename(cls, at_op: int = 1,
+                            seed: int = 0) -> "DiskFaultPlan":
+        """Plan that crashes the ``at_op``-th atomic publication
+        after the temp write but before ``os.replace``."""
+        return cls(faults=(DiskFault(at_op=at_op, crash_before_rename=True),),
+                   seed=seed)
+
+
+class DiskFaultInjector:
+    """Writer-side executor of a :class:`DiskFaultPlan`.
+
+    Built once per writer (one WAL, one atomic publication stream);
+    :meth:`on_write` wraps every payload write and :meth:`on_rename`
+    every ``os.replace``.  Both count operations deterministically, so
+    for a fixed plan the fault fires at the exact same byte of the
+    exact same operation on every run.
+    """
+
+    def __init__(self, plan: DiskFaultPlan, *key: int):
+        self._plan = plan
+        self._writes = 0
+        self._renames = 0
+        # Reserved for jittered faults; deriving it here pins the
+        # stream coordinates of every injector to (seed, disk, *key).
+        self._rng = fault_rng(plan.seed, _DISK_STREAM, *key)
+
+    def on_write(self, write: Callable[[bytes], object],
+                 data: bytes) -> None:
+        """Perform ``write(data)``, applying the configured write fault.
+
+        ``write`` must be a callable performing the actual I/O (for
+        example ``fileobj.write``); the injector either forwards the
+        full payload, raises ``OSError`` before any byte lands (EIO /
+        ENOSPC), or writes a torn prefix and raises
+        :class:`SimulatedCrash`.
+        """
+        self._writes += 1
+        fault = self._plan.for_op(self._writes)
+        if fault is None:
+            write(data)
+            return
+        if fault.errno_code is not None:
+            raise OSError(fault.errno_code, os.strerror(fault.errno_code))
+        if fault.torn_at_byte is not None:
+            write(data[:fault.torn_at_byte])
+            raise SimulatedCrash(
+                f"torn write: {fault.torn_at_byte}/{len(data)} bytes of "
+                f"write #{self._writes} reached the disk")
+        write(data)
+
+    def on_rename(self) -> None:
+        """Gate one ``os.replace``; raises on a crash-before-rename fault."""
+        self._renames += 1
+        fault = self._plan.for_op(self._renames)
+        if fault is not None and fault.crash_before_rename:
+            raise SimulatedCrash(
+                f"crash before rename #{self._renames}: temp file written, "
+                "target never published")
+
+
+def flip_bit(path: str | Path, *, byte: int | None = None, bit: int | None = None,
+             seed: int = 0, key: tuple[int, ...] = ()) -> tuple[int, int]:
+    """Flip one stored bit of ``path`` in place; returns ``(byte, bit)``.
+
+    Explicit ``byte``/``bit`` coordinates corrupt a chosen position;
+    when either is ``None`` the position is drawn from the shared
+    ``fault_rng`` stream at ``(seed, disk, *key)``, so a "random"
+    corruption replays identically for a fixed seed.  The bit-flip
+    scenario of the ``chaos_disk`` tier: checksummed readers must
+    detect the corruption instead of serving garbage.
+    """
+    path = Path(path)
+    size = path.stat().st_size
+    if size == 0:
+        raise ValueError(f"cannot flip a bit of empty file {path}")
+    rng = fault_rng(seed, _DISK_STREAM, *key)
+    if byte is None:
+        byte = int(rng.integers(0, size))
+    if bit is None:
+        bit = int(rng.integers(0, 8))
+    if not 0 <= byte < size:
+        raise ValueError(f"byte offset {byte} outside [0, {size})")
+    with open(path, "r+b") as handle:
+        handle.seek(byte)
+        original = handle.read(1)[0]
+        handle.seek(byte)
+        handle.write(bytes([original ^ (1 << bit)]))
+    return int(byte), int(bit)

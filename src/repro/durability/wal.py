@@ -1,0 +1,467 @@
+"""Append-only write-ahead log with CRC-framed records and recovery.
+
+The durable backbone of the serving tier's replay state: a
+:class:`WriteAheadLog` turns "append this small record and survive a
+crash" into a contract —
+
+* **Framing** — every record is ``magic | u32 length | u32 CRC32 |
+  payload`` (:data:`RECORD_MAGIC`, little-endian, pinned by a golden
+  test the way the cluster wire protocol is).  The CRC covers the
+  payload, so a torn tail *and* a silently flipped bit are both
+  detected on the next scan.
+* **Segments** — records append to numbered segment files
+  (``wal-<first_seq>.log``); a segment that outgrows
+  ``segment_bytes`` is sealed (fsynced) and a new one started.  Whole
+  sealed segments are the unit of :meth:`compact`.
+* **Fsync policy** — ``"always"`` fsyncs every append (every
+  acknowledged record survives power loss), ``"interval"`` fsyncs at
+  most every ``fsync_interval_s`` (bounded loss window, much higher
+  throughput), ``"never"`` leaves flushing to the OS (crash-safe
+  against *process* death only).  Rotation and :meth:`close` always
+  seal with an fsync.
+* **Recovery** — opening a directory scans every segment in order and
+  replays each intact record; the first torn or corrupt record ends
+  the scan: the segment is truncated back to its last intact record
+  and any later segments are dropped.  Recovery never raises on
+  corruption — a crashed writer must be restartable from exactly what
+  it managed to make durable.
+* **Sequence numbers** — records are numbered densely across segments
+  and survive compaction (a segment's first sequence is encoded in its
+  filename), so higher layers can use them as stable watermarks: the
+  :class:`~repro.cluster.router.ClusterRouter` journals observes and
+  per-node watermarks here and rebuilds its replay state bit-for-bit
+  after a SIGKILL.
+
+Write faults (EIO/ENOSPC, torn writes) surface as
+:class:`WalWriteError` after the partial append has been truncated
+away — a failed append never corrupts the log for the records before
+it.  Fault injection plugs in via
+:class:`~repro.durability.diskfaults.DiskFaultInjector`.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+import struct
+import threading
+import time
+import zlib
+from pathlib import Path
+from typing import Iterator
+
+from repro.durability.diskfaults import DiskFaultInjector, SimulatedCrash
+
+__all__ = [
+    "FSYNC_POLICIES",
+    "RECORD_HEADER",
+    "RECORD_MAGIC",
+    "WalCompactedError",
+    "WalWriteError",
+    "WriteAheadLog",
+    "pack_observe",
+    "unpack_observe",
+]
+
+#: Leading magic of every WAL record ("Write-Ahead Log v1").
+RECORD_MAGIC = b"WAL1"
+
+#: Record header: magic, u32 payload length, u32 CRC32 of the payload
+#: (little-endian).  Pinned by the golden framing test — logs written
+#: today must stay replayable by every future version.
+RECORD_HEADER = struct.Struct("<4sII")
+
+#: The supported ``fsync`` policies of :class:`WriteAheadLog`.
+FSYNC_POLICIES = ("always", "interval", "never")
+
+_SEGMENT_PREFIX = "wal-"
+_SEGMENT_SUFFIX = ".log"
+#: Default segment rotation threshold.
+DEFAULT_SEGMENT_BYTES = 1 << 20
+
+
+class WalWriteError(OSError):
+    """An append could not be made durable (disk full, I/O error).
+
+    Wraps the underlying ``OSError`` (``errno`` preserved) and names
+    the segment path.  The log itself stays intact: the partial append
+    is truncated away before this is raised, so every previously
+    acknowledged record is still replayable.
+    """
+
+    def __init__(self, path: Path, cause: OSError):
+        super().__init__(cause.errno or 0,
+                         f"WAL append to {path} failed: {cause}")
+        self.path = path
+        self.__cause__ = cause
+
+
+class WalCompactedError(RuntimeError):
+    """A replay asked for sequence numbers that compaction removed.
+
+    Raised by the router's catch-up when a node's watermark points
+    below the compaction horizon — the entries it needs are gone, so
+    the node cannot be brought current by replay (it must bootstrap
+    from a live peer's snapshot instead).
+    """
+
+
+def pack_observe(user: int, item: int) -> bytes:
+    """Encode one observed interaction as a WAL record payload."""
+    return b"O" + struct.pack("<qq", int(user), int(item))
+
+
+def unpack_observe(payload: bytes) -> tuple[int, int]:
+    """Decode a :func:`pack_observe` payload back to ``(user, item)``."""
+    if len(payload) != 17 or payload[:1] != b"O":
+        raise ValueError(f"not an observe record: {payload[:8]!r}")
+    user, item = struct.unpack("<qq", payload[1:])
+    return int(user), int(item)
+
+
+def _segment_path(directory: Path, first_seq: int) -> Path:
+    return directory / f"{_SEGMENT_PREFIX}{first_seq:020d}{_SEGMENT_SUFFIX}"
+
+
+def _segment_first_seq(path: Path) -> int | None:
+    name = path.name
+    if not (name.startswith(_SEGMENT_PREFIX)
+            and name.endswith(_SEGMENT_SUFFIX)):
+        return None
+    digits = name[len(_SEGMENT_PREFIX):-len(_SEGMENT_SUFFIX)]
+    if not digits.isdigit():
+        return None
+    return int(digits)
+
+
+class _Segment:
+    """One on-disk segment: path, first sequence, record count, size."""
+
+    __slots__ = ("path", "first_seq", "records", "size")
+
+    def __init__(self, path: Path, first_seq: int, records: int = 0,
+                 size: int = 0):
+        self.path = path
+        self.first_seq = first_seq
+        self.records = records
+        self.size = size
+
+    @property
+    def end_seq(self) -> int:
+        """One past the last sequence number stored in this segment."""
+        return self.first_seq + self.records
+
+
+class WriteAheadLog:
+    """Append-only, segmented, CRC-framed log under one directory.
+
+    Parameters
+    ----------
+    directory:
+        Log directory (created if missing).  Opening it runs recovery:
+        every intact record is counted, a torn or corrupt tail is
+        truncated away, and appends resume at the next sequence number.
+    segment_bytes:
+        Rotation threshold; a segment at or past it is sealed and a new
+        one started on the next append.
+    fsync:
+        ``"always"`` / ``"interval"`` / ``"never"`` — see the module
+        docstring for the durability each buys.
+    fsync_interval_s:
+        Maximum seconds between fsyncs under the ``"interval"`` policy.
+    fault_injector:
+        Optional deterministic disk fault injector (``chaos_disk``).
+    """
+
+    def __init__(self, directory: str | Path, *,
+                 segment_bytes: int = DEFAULT_SEGMENT_BYTES,
+                 fsync: str = "always", fsync_interval_s: float = 0.05,
+                 fault_injector: DiskFaultInjector | None = None):
+        if fsync not in FSYNC_POLICIES:
+            raise ValueError(
+                f"fsync must be one of {FSYNC_POLICIES}, got {fsync!r}")
+        if segment_bytes < RECORD_HEADER.size + 1:
+            raise ValueError("segment_bytes is smaller than one record")
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.segment_bytes = int(segment_bytes)
+        self.fsync_policy = fsync
+        self.fsync_interval_s = float(fsync_interval_s)
+        self._injector = fault_injector
+        self._lock = threading.RLock()
+        self._handle: io.FileIO | None = None
+        self._last_sync = 0.0
+        self._closed = False
+
+        self._stats = {
+            "appends": 0,
+            "syncs": 0,
+            "recovered_records": 0,
+            "truncated_tail_bytes": 0,
+            "dropped_segments": 0,
+            "compactions": 0,
+            "segments_deleted": 0,
+            "bytes_reclaimed": 0,
+        }
+
+        self._segments: list[_Segment] = []
+        self._recover()
+        if not self._segments:
+            self._segments.append(_Segment(_segment_path(self.directory, 0), 0))
+        self._open_active()
+
+    # ------------------------------------------------------------------ #
+    # Recovery
+    # ------------------------------------------------------------------ #
+    def _recover(self) -> None:
+        """Scan existing segments; truncate at the first torn/corrupt record.
+
+        Every intact record before the damage is preserved and counted;
+        the damaged segment is truncated back to its last intact record
+        and all later segments are dropped (they postdate the
+        corruption, so their contents cannot be trusted to be
+        contiguous with the surviving prefix).
+        """
+        paths = sorted(
+            (path for path in self.directory.iterdir()
+             if _segment_first_seq(path) is not None),
+            key=lambda path: _segment_first_seq(path))
+        corrupt = False
+        for index, path in enumerate(paths):
+            if corrupt:
+                self._stats["dropped_segments"] += 1
+                self._stats["bytes_reclaimed"] += path.stat().st_size
+                path.unlink()
+                continue
+            first_seq = _segment_first_seq(path)
+            records, good_bytes, total_bytes = self._scan_segment(path)
+            if good_bytes < total_bytes:
+                corrupt = True
+                self._stats["truncated_tail_bytes"] += total_bytes - good_bytes
+                with open(path, "r+b") as handle:
+                    handle.truncate(good_bytes)
+                    handle.flush()
+                    os.fsync(handle.fileno())
+            self._stats["recovered_records"] += records
+            self._segments.append(
+                _Segment(path, first_seq, records, good_bytes))
+
+    @staticmethod
+    def _scan_segment(path: Path) -> tuple[int, int, int]:
+        """``(records, good_bytes, total_bytes)`` of one segment file.
+
+        ``good_bytes`` is the offset just past the last intact record —
+        the truncation point when it is short of ``total_bytes``.
+        """
+        data = path.read_bytes()
+        offset = 0
+        records = 0
+        while True:
+            if offset + RECORD_HEADER.size > len(data):
+                break  # clean EOF or torn header
+            magic, length, crc = RECORD_HEADER.unpack_from(data, offset)
+            if magic != RECORD_MAGIC:
+                break  # corrupt header
+            start = offset + RECORD_HEADER.size
+            end = start + length
+            if end > len(data):
+                break  # torn payload
+            if zlib.crc32(data[start:end]) != crc:
+                break  # flipped bit
+            offset = end
+            records += 1
+        return records, offset, len(data)
+
+    # ------------------------------------------------------------------ #
+    # Appending
+    # ------------------------------------------------------------------ #
+    @property
+    def _active(self) -> _Segment:
+        return self._segments[-1]
+
+    @property
+    def next_seq(self) -> int:
+        """Sequence number the next :meth:`append` will return."""
+        with self._lock:
+            return self._active.end_seq
+
+    @property
+    def first_seq(self) -> int:
+        """Lowest sequence number still stored (0 until compaction)."""
+        with self._lock:
+            return self._segments[0].first_seq
+
+    def _open_active(self) -> None:
+        # Unbuffered: every write reaches the OS immediately, so the
+        # fsync policy is the only durability variable.
+        self._handle = open(self._active.path, "ab", buffering=0)
+
+    def _seal_active(self) -> None:
+        if self._handle is not None:
+            os.fsync(self._handle.fileno())
+            self._handle.close()
+            self._handle = None
+
+    def _rotate(self) -> None:
+        self._seal_active()
+        segment = _Segment(
+            _segment_path(self.directory, self._active.end_seq),
+            self._active.end_seq)
+        self._segments.append(segment)
+        self._open_active()
+
+    def append(self, payload: bytes) -> int:
+        """Append one record; its sequence number once written.
+
+        Durability depends on the fsync policy; framing (length + CRC)
+        is always written in one OS-level ``write``.  On an ``OSError``
+        (disk full, I/O error) the partial append is truncated away and
+        a :class:`WalWriteError` raised — the log stays intact.  An
+        injected torn write raises
+        :class:`~repro.durability.diskfaults.SimulatedCrash` with the
+        torn bytes left in place, exactly like power loss.
+        """
+        if not payload:
+            raise ValueError("WAL records must carry a payload")
+        record = RECORD_HEADER.pack(RECORD_MAGIC, len(payload),
+                                    zlib.crc32(payload)) + payload
+        with self._lock:
+            if self._closed:
+                raise RuntimeError(f"WAL at {self.directory} is closed")
+            if self._active.size + len(record) > self.segment_bytes \
+                    and self._active.records > 0:
+                self._rotate()
+            offset = self._active.size
+            try:
+                if self._injector is not None:
+                    self._injector.on_write(self._handle.write, record)
+                else:
+                    self._handle.write(record)
+            except SimulatedCrash:
+                raise  # torn bytes stay, like a real crash
+            except OSError as error:
+                # Never let a failed append corrupt the log: drop the
+                # partial record so the tail ends at the last good one.
+                try:
+                    self._handle.truncate(offset)
+                except OSError:
+                    pass
+                raise WalWriteError(self._active.path, error) from error
+            seq = self._active.end_seq
+            self._active.records += 1
+            self._active.size += len(record)
+            self._stats["appends"] += 1
+            self._maybe_sync()
+            return seq
+
+    def _maybe_sync(self) -> None:
+        if self.fsync_policy == "never":
+            return
+        now = time.monotonic()
+        if self.fsync_policy == "interval" \
+                and now - self._last_sync < self.fsync_interval_s:
+            return
+        os.fsync(self._handle.fileno())
+        self._last_sync = now
+        self._stats["syncs"] += 1
+
+    def sync(self) -> None:
+        """Force an fsync of the active segment (any policy)."""
+        with self._lock:
+            if self._handle is not None:
+                os.fsync(self._handle.fileno())
+                self._last_sync = time.monotonic()
+                self._stats["syncs"] += 1
+
+    # ------------------------------------------------------------------ #
+    # Replay & compaction
+    # ------------------------------------------------------------------ #
+    def replay(self) -> Iterator[tuple[int, bytes]]:
+        """Yield every stored ``(seq, payload)`` in append order.
+
+        Reads from disk (fresh handles), so it reflects exactly what a
+        recovery after a crash would see.  Safe to call on a live log;
+        records appended after the iterator passes their segment are
+        not included.
+        """
+        with self._lock:
+            segments = [(segment.path, segment.first_seq,
+                         segment.records) for segment in self._segments]
+        for path, first_seq, records in segments:
+            data = path.read_bytes()
+            offset = 0
+            for index in range(records):
+                magic, length, crc = RECORD_HEADER.unpack_from(data, offset)
+                start = offset + RECORD_HEADER.size
+                yield first_seq + index, data[start:start + length]
+                offset = start + length
+
+    def has_compactable(self, keep_from_seq: int) -> bool:
+        """Whether :meth:`compact` with this bound would delete anything."""
+        with self._lock:
+            return len(self._segments) > 1 \
+                and self._segments[0].end_seq <= keep_from_seq
+
+    def compact(self, keep_from_seq: int) -> dict:
+        """Delete sealed segments wholly below ``keep_from_seq``.
+
+        A segment is removed only when *every* record in it has
+        ``seq < keep_from_seq`` — the caller's promise that no replay
+        will ever ask for those records again (for the router: every
+        replica's watermark passed them).  The active segment is never
+        removed.  Returns ``{"segments_deleted": ..,
+        "bytes_reclaimed": ..}`` for this call.
+        """
+        deleted = 0
+        reclaimed = 0
+        with self._lock:
+            while len(self._segments) > 1 \
+                    and self._segments[0].end_seq <= keep_from_seq:
+                segment = self._segments.pop(0)
+                deleted += 1
+                reclaimed += segment.size
+                try:
+                    segment.path.unlink()
+                except OSError:
+                    pass
+            if deleted:
+                self._stats["compactions"] += 1
+                self._stats["segments_deleted"] += deleted
+                self._stats["bytes_reclaimed"] += reclaimed
+        return {"segments_deleted": deleted, "bytes_reclaimed": reclaimed}
+
+    # ------------------------------------------------------------------ #
+    # Observability & lifecycle
+    # ------------------------------------------------------------------ #
+    def stats(self) -> dict:
+        """Counters and layout of the log (JSON-ready)."""
+        with self._lock:
+            payload = dict(self._stats)
+            payload.update({
+                "directory": str(self.directory),
+                "segments": len(self._segments),
+                "first_seq": self._segments[0].first_seq,
+                "next_seq": self._active.end_seq,
+                "records": sum(s.records for s in self._segments),
+                "bytes": sum(s.size for s in self._segments),
+                "fsync_policy": self.fsync_policy,
+                "segment_bytes": self.segment_bytes,
+            })
+        return payload
+
+    def close(self) -> None:
+        """Seal the active segment (fsync) and release the handle."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            try:
+                self._seal_active()
+            except OSError:
+                pass
+
+    def __enter__(self) -> "WriteAheadLog":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()

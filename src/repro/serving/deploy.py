@@ -21,7 +21,8 @@ import numpy as np
 
 from repro.models.base import SequentialRecommender
 from repro.models.registry import create_model
-from repro.training.checkpoint import _METADATA_KEY, load_checkpoint, read_metadata
+from repro.training.checkpoint import (_METADATA_KEY, load_checkpoint,
+                                       open_checkpoint, read_metadata)
 
 __all__ = ["model_from_checkpoint", "engine_from_checkpoint",
            "node_from_checkpoint"]
@@ -29,7 +30,7 @@ __all__ = ["model_from_checkpoint", "engine_from_checkpoint",
 
 def _stored_float_dtype(path: str | Path) -> np.dtype | None:
     """Dtype of the first float parameter stored in the checkpoint."""
-    with np.load(Path(path), allow_pickle=False) as archive:
+    with open_checkpoint(Path(path)) as archive:
         for name in archive.files:
             if name == _METADATA_KEY:
                 continue
@@ -127,6 +128,8 @@ def node_from_checkpoint(path: str | Path, histories: list[list[int]],
                          precompute: bool = True, node_index: int = 0,
                          read_timeout_s: float | None = None,
                          request_timeout_s: float | None = None,
+                         journal_dir: str | None = None,
+                         journal_fsync: str = "always",
                          **model_overrides):
     """Checkpoint → :class:`~repro.cluster.node.EngineNode`, ready to serve.
 
@@ -135,6 +138,8 @@ def node_from_checkpoint(path: str | Path, histories: list[list[int]],
     ``n_workers > 1``) and binds it to ``bind`` (``"host:port"`` or
     ``"unix:/path"``).  ``precompute`` defaults to ``True`` — a node
     pays materialization once at boot instead of on first request.
+    ``journal_dir`` (``repro-ham serve-node --journal``) gives the node
+    a durable local observe journal, replayed into the engine at boot.
     The returned node owns the engine; install SIGTERM drain and block
     with :meth:`~repro.cluster.node.EngineNode.serve_forever`.
     """
@@ -148,7 +153,9 @@ def node_from_checkpoint(path: str | Path, histories: list[list[int]],
         read_timeout_s = DEFAULT_READ_TIMEOUT_S
     try:
         return EngineNode(engine, bind=bind, read_timeout_s=read_timeout_s,
-                          node_index=node_index, own_engine=True)
+                          node_index=node_index, own_engine=True,
+                          journal_dir=journal_dir,
+                          journal_fsync=journal_fsync)
     except BaseException:
         engine.close()
         raise

@@ -20,7 +20,9 @@ from repro.training.bench import (
     write_training_report,
 )
 from repro.training.bpr import bpr_loss
-from repro.training.checkpoint import load_checkpoint, read_metadata, save_checkpoint
+from repro.training.checkpoint import (CheckpointCorruptError, load_checkpoint,
+                                        open_checkpoint, read_metadata,
+                                        save_checkpoint)
 from repro.training.config import TrainingConfig
 from repro.training.early_stopping import EarlyStopping
 from repro.training.grid_search import GridSearch, GridSearchResult, parameter_grid
@@ -69,7 +71,9 @@ __all__ = [
     "WarmupSchedule",
     "save_checkpoint",
     "load_checkpoint",
+    "open_checkpoint",
     "read_metadata",
+    "CheckpointCorruptError",
     "FAST_PATH_OVERRIDES",
     "LEGACY_PATH_OVERRIDES",
     "TrainingBenchReport",

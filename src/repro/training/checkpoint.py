@@ -9,26 +9,64 @@ A checkpoint is a single ``.npz`` file holding every entry of the model's
 ``state_dict`` plus a JSON-encoded metadata record (model name,
 hyperparameters, training configuration, metrics) stored under the
 reserved key ``__metadata__``.
+
+Durability (PR 9): checkpoints are published **atomically** (temp file +
+fsync + ``os.replace`` via :mod:`repro.durability.atomic`), so a crash
+mid-save never leaves a torn archive at the target path, and the archive
+bytes are wrapped in a CRC32-checksummed envelope so silent corruption
+is detected at load time.  Readers still accept plain legacy ``.npz``
+files; every corruption — torn envelope, flipped bit, mangled zip — is
+surfaced as a typed :class:`CheckpointCorruptError` naming the path and
+cause instead of a raw ``zipfile``/numpy traceback.
 """
 
 from __future__ import annotations
 
+import io
 import json
 from pathlib import Path
 from typing import Any
 
 import numpy as np
 
+from repro.durability.atomic import (
+    EnvelopeCorruptError,
+    is_checksummed,
+    unwrap_checksummed,
+    write_checksummed,
+)
 from repro.models.base import SequentialRecommender
 
-__all__ = ["save_checkpoint", "load_checkpoint", "read_metadata"]
+__all__ = ["CheckpointCorruptError", "save_checkpoint", "load_checkpoint",
+           "open_checkpoint", "read_metadata"]
 
 _METADATA_KEY = "__metadata__"
 
 
+class CheckpointCorruptError(RuntimeError):
+    """A checkpoint file exists but cannot be trusted or parsed.
+
+    Raised (instead of raw ``zipfile``/``zlib``/numpy errors) when the
+    checksummed envelope fails verification, when the file is neither an
+    envelope nor a zip archive, or when the archive inside is mangled.
+    The message names the path and the underlying cause so ``repro-ham
+    serve`` can print a one-line diagnosis.
+    """
+
+    def __init__(self, path: str | Path, cause: BaseException | str):
+        super().__init__(f"corrupt checkpoint {path}: {cause}")
+        self.path = Path(path)
+
+
 def save_checkpoint(model: SequentialRecommender, path: str | Path,
-                    metadata: dict[str, Any] | None = None) -> Path:
+                    metadata: dict[str, Any] | None = None, *,
+                    fault_injector=None) -> Path:
     """Write ``model``'s parameters (and optional ``metadata``) to ``path``.
+
+    The archive is serialized in memory, wrapped in the checksummed
+    envelope and published atomically — a crash at any point leaves
+    either the previous checkpoint or the new one at ``path``, never a
+    torn file.
 
     Parameters
     ----------
@@ -40,6 +78,10 @@ def save_checkpoint(model: SequentialRecommender, path: str | Path,
         parent directories are created.
     metadata:
         JSON-serializable record stored alongside the parameters.
+    fault_injector:
+        Optional :class:`~repro.durability.diskfaults.DiskFaultInjector`
+        driving the ``chaos_disk`` crash scenarios; production callers
+        leave it ``None``.
 
     Returns
     -------
@@ -57,16 +99,56 @@ def save_checkpoint(model: SequentialRecommender, path: str | Path,
     payload[_METADATA_KEY] = np.frombuffer(
         json.dumps(metadata or {}, sort_keys=True).encode("utf-8"), dtype=np.uint8
     )
-    np.savez(path, **payload)
+    buffer = io.BytesIO()
+    np.savez(buffer, **payload)
+    write_checksummed(path, buffer.getvalue(), fault_injector=fault_injector)
     return path
 
 
-def _load_arrays(path: str | Path) -> dict[str, np.ndarray]:
+def open_checkpoint(path: str | Path):
+    """Open a checkpoint archive for reading, verifying integrity first.
+
+    Accepts both the current format (``.npz`` bytes inside the
+    checksummed :data:`~repro.durability.atomic.ENVELOPE_MAGIC` envelope)
+    and legacy plain ``.npz`` files.  Returns the opened numpy archive
+    (usable as a context manager, like ``np.load``).
+
+    Raises
+    ------
+    FileNotFoundError
+        When ``path`` does not exist.
+    CheckpointCorruptError
+        When the envelope fails verification (torn write, bit flip),
+        the file is neither an envelope nor a zip archive, or numpy
+        cannot parse the archive inside.
+    """
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(f"checkpoint not found: {path}")
-    with np.load(path, allow_pickle=False) as archive:
-        return {name: archive[name] for name in archive.files}
+    blob = path.read_bytes()
+    if is_checksummed(blob):
+        try:
+            payload = unwrap_checksummed(blob, source=str(path))
+        except EnvelopeCorruptError as error:
+            raise CheckpointCorruptError(path, error) from error
+    elif blob[:2] == b"PK":
+        payload = blob  # legacy plain .npz, pre-envelope
+    else:
+        raise CheckpointCorruptError(
+            path, f"neither a checksummed checkpoint envelope nor a zip "
+                  f"archive (leading bytes {blob[:4]!r})")
+    try:
+        return np.load(io.BytesIO(payload), allow_pickle=False)
+    except Exception as error:  # zipfile.BadZipFile, ValueError, OSError...
+        raise CheckpointCorruptError(path, error) from error
+
+
+def _load_arrays(path: str | Path) -> dict[str, np.ndarray]:
+    with open_checkpoint(path) as archive:
+        try:
+            return {name: archive[name] for name in archive.files}
+        except Exception as error:
+            raise CheckpointCorruptError(path, error) from error
 
 
 def read_metadata(path: str | Path) -> dict[str, Any]:
@@ -76,12 +158,13 @@ def read_metadata(path: str | Path) -> dict[str, Any]:
     never read, so this stays cheap for large checkpoints.
     """
     path = Path(path)
-    if not path.exists():
-        raise FileNotFoundError(f"checkpoint not found: {path}")
-    with np.load(path, allow_pickle=False) as archive:
+    with open_checkpoint(path) as archive:
         if _METADATA_KEY not in archive.files:
             return {}
-        raw = archive[_METADATA_KEY]
+        try:
+            raw = archive[_METADATA_KEY]
+        except Exception as error:
+            raise CheckpointCorruptError(path, error) from error
     return json.loads(raw.tobytes().decode("utf-8"))
 
 

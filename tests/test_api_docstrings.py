@@ -1,4 +1,4 @@
-"""Docstring audit of the public serving, parallel and cluster APIs.
+"""Docstring audit of the public serving, parallel, cluster and durability APIs.
 
 The ``docs/`` tree points readers at the load-bearing classes; this test
 keeps the pointers trustworthy: every name a package exports through
@@ -16,12 +16,14 @@ import warnings
 import pytest
 
 import repro.cluster
+import repro.durability
 import repro.parallel
 import repro.serving
 
 pytestmark = pytest.mark.fast
 
-AUDITED_PACKAGES = [repro.serving, repro.parallel, repro.cluster]
+AUDITED_PACKAGES = [repro.serving, repro.parallel, repro.cluster,
+                    repro.durability]
 
 
 def _has_docstring(obj) -> bool:
