@@ -7,7 +7,8 @@ CHAOS_NET_TIMEOUT_S ?= 120
 CHAOS_DISK_TIMEOUT_S ?= 120
 
 .PHONY: test test-fast chaos chaos-net chaos-disk chaos-all docs-check \
-	bench-gateway bench-resilience bench-cluster bench-durability
+	bench-gateway bench-resilience bench-cluster bench-durability \
+	bench-ann bench-all
 
 test:
 	PYTHONPATH=src $(PYTHON) -m pytest -x -q
@@ -46,3 +47,9 @@ bench-cluster:
 
 bench-durability:
 	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_durability_wal.py -q -s
+
+bench-ann:
+	PYTHONPATH=src $(PYTHON) -m pytest benchmarks/test_ann_retrieval.py -q -s
+
+bench-all:
+	PYTHONPATH=src $(PYTHON) -m repro.cli bench-all

@@ -1,0 +1,61 @@
+"""ANN retrieval benchmark: sub-linear candidate generation vs exact.
+
+The retrieval-tier counterpart of ``test_serving_latency.py``: a 100k
+item clustered synthetic catalogue runs through
+:func:`~repro.retrieval.bench.run_retrieval_benchmark`, which times
+exact full-catalogue top-k as the baseline and sweeps the
+:class:`~repro.retrieval.index.ANNIndex` probe dial, measuring p50
+latency per query and recall@k per setting.  The result is persisted as
+``benchmarks/results/BENCH_ann.json`` under the unified schema.
+
+The acceptance bar holds on single-core runners: the speedup is
+algorithmic (scoring a few hundred candidates instead of the whole
+catalogue), not parallelism, so no assertion here is gated on
+``cpu_count``.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.bench_schema import read_bench_report
+from repro.retrieval.bench import (run_retrieval_benchmark,
+                                   write_retrieval_report)
+
+RESULTS_PATH = Path(__file__).parent / "results" / "BENCH_ann.json"
+
+
+def test_ann_benchmark_and_artifact():
+    report = run_retrieval_benchmark(num_items=100_000, dim=64, k=10,
+                                     num_queries=64, seed=0)
+
+    write_retrieval_report(report, RESULTS_PATH)
+    print()
+    print(report.summary())
+
+    persisted = read_bench_report(RESULTS_PATH)
+    assert persisted["num_items"] == report.num_items == 100_000
+    assert persisted["best_speedup_x"] == report.best_speedup_x
+
+    # The sweep must be complete and internally consistent before the
+    # headline means anything.
+    assert len(report.sweep) == 5
+    for entry in report.sweep:
+        assert 0.0 <= entry["recall_at_k"] <= 1.0
+        assert entry["p50_ms"] > 0
+
+    # The acceptance bar: some dial setting reaches recall@10 >= 0.95
+    # while answering at least 3x faster than exact retrieval.
+    assert report.best_recall_at_k >= 0.95, report.summary()
+    assert report.best_speedup_x >= 3.0, report.summary()
+
+
+def test_ann_bench_regression_guard():
+    """Fail if a recorded run ever fell under 3x at the recall floor."""
+    if not RESULTS_PATH.exists():
+        pytest.skip("BENCH_ann.json not generated yet")
+    persisted = read_bench_report(RESULTS_PATH)
+    assert persisted["best_recall_at_k"] >= persisted["recall_floor"]
+    assert persisted["best_speedup_x"] >= 3.0

@@ -1,0 +1,227 @@
+"""One-shot regression guard over every persisted ``BENCH_*.json``.
+
+Each benchmark family ships a pytest guard that re-reads its persisted
+artifact and fails if a headline metric regressed (e.g.
+``benchmarks/test_serving_latency.py`` pins ``speedup >= 3.0``).  Those
+guards only run when their test module is selected; nothing checks *all*
+artifacts in one pass.  This module is that pass — the first slice of a
+perf-CI gate: a registry mapping artifact family name to a guard
+callable that mirrors the thresholds the pytest guards assert, plus a
+discovery loop over ``benchmarks/results/BENCH_*.json``.
+
+Guards follow the same machine-capability convention as the tests:
+correctness bits (bit-parity, recovery flags) are checked on every
+machine, while relative-speed thresholds are skipped when the artifact
+was recorded on a single-core runner (``cpu_count < 2`` in the
+payload) — a laptop in power-save mode must not turn a real artifact
+into a false alarm.
+
+``repro-ham bench-all`` and ``make bench-all`` are the entry points;
+:func:`run_all_guards` returns structured results so the CLI can print
+one line per artifact and exit non-zero on any failure.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Callable
+
+from repro.bench_schema import read_bench_report
+
+__all__ = [
+    "GuardFailure",
+    "GuardResult",
+    "GUARDS",
+    "discover_artifacts",
+    "require_multicore",
+    "run_guard",
+    "run_all_guards",
+]
+
+
+def require_multicore() -> None:
+    """Skip the calling test unless this machine has at least 2 cores.
+
+    The runtime half of the machine-capability convention: tests marked
+    ``multicore`` call this first, so ``pytest -m multicore`` selects
+    them everywhere but they skip (rather than fail on scheduler noise)
+    on single-core runners.
+    """
+    import pytest
+
+    cpus = os.cpu_count() or 1
+    if cpus < 2:
+        pytest.skip(f"needs >= 2 cores (cpu_count={cpus})")
+
+
+class GuardFailure(AssertionError):
+    """A headline metric regressed past its pinned threshold.
+
+    Raised by guard callables via ``_require``; distinguishes a metric
+    regression from an unreadable artifact.
+    """
+
+
+def _require(condition: bool, message: str) -> None:
+    if not condition:
+        raise GuardFailure(message)
+
+
+def _multicore(report: dict[str, Any]) -> bool:
+    return report.get("cpu_count", 1) >= 2
+
+
+def _guard_serving(report: dict[str, Any]) -> list[str]:
+    _require(report["speedup"] >= 3.0,
+             f"serving cache speedup regressed to {report['speedup']:.2f}x")
+    return []
+
+
+def _guard_training(report: dict[str, Any]) -> list[str]:
+    _require(report["speedup"] >= 2.0,
+             f"training hot-path speedup regressed to {report['speedup']:.2f}x")
+    return []
+
+
+def _guard_parallel(report: dict[str, Any]) -> list[str]:
+    _require(report["topk_bit_identical"] is True,
+             "sharded top-k no longer bit-identical to serial")
+    if not _multicore(report):
+        return ["eval_sweep_speedup (single-core artifact)"]
+    _require(report["eval_sweep_speedup"] >= 2.0,
+             f"parallel eval-sweep speedup regressed to "
+             f"{report['eval_sweep_speedup']:.2f}x")
+    return []
+
+
+def _guard_gateway(report: dict[str, Any]) -> list[str]:
+    _require(report["topk_bit_identical"] is True,
+             "gateway batched top-k no longer bit-identical")
+    if not _multicore(report):
+        return ["throughput_speedup (single-core artifact)"]
+    _require(report["throughput_speedup"] >= 3.0,
+             f"gateway throughput speedup regressed to "
+             f"{report['throughput_speedup']:.2f}x")
+    _require(report["within_p95_budget"] is True,
+             "gateway batched p95 blew the fixed latency budget")
+    return []
+
+
+def _guard_cluster(report: dict[str, Any]) -> list[str]:
+    _require(report["zero_failed_requests"] is True,
+             "cluster failover dropped requests")
+    _require(report["post_failover_bit_identical"] is True,
+             "post-failover answers no longer bit-identical")
+    _require(report["failover_recovery_s"] < 30.0,
+             f"failover recovery took {report['failover_recovery_s']:.1f}s")
+    if not _multicore(report):
+        return ["networked_overhead_x (single-core artifact)"]
+    _require(report["networked_overhead_x"] < 10.0,
+             f"networked overhead grew to {report['networked_overhead_x']:.1f}x")
+    return []
+
+
+def _guard_resilience(report: dict[str, Any]) -> list[str]:
+    _require(report["post_recovery_bit_identical"] is True,
+             "post-recovery answers no longer bit-identical")
+    _require(report["degraded_bit_identical"] is True,
+             "degraded-mode answers no longer bit-identical")
+    _require(report["recovery_overhead_s"] < 30.0,
+             f"worker recovery took {report['recovery_overhead_s']:.1f}s")
+    if not _multicore(report):
+        return ["post_recovery_p50_s (single-core artifact)"]
+    _require(report["post_recovery_p50_s"] <= 3.0 * report["baseline_p50_s"],
+             "post-recovery p50 latency exceeds 3x the pre-fault baseline")
+    return []
+
+
+def _guard_durability(report: dict[str, Any]) -> list[str]:
+    _require(report["torn_tail_recovered"] is True,
+             "torn-tail WAL recovery failed")
+    _require(report["torn_tail_records_recovered"] == report["appends"] - 1,
+             "torn-tail recovery lost committed records")
+    _require(report["compact_reclaim_fraction"] > 0.0,
+             "WAL compaction reclaimed no space")
+    _require(report["recovery_records_per_s"] > 0,
+             "WAL replay throughput recorded as zero")
+    return []
+
+
+def _guard_ann(report: dict[str, Any]) -> list[str]:
+    _require(report["best_recall_at_k"] >= report["recall_floor"],
+             f"no ANN dial setting reached recall "
+             f"{report['recall_floor']:.2f} (best "
+             f"{report['best_recall_at_k']:.3f})")
+    _require(report["best_speedup_x"] >= 3.0,
+             f"ANN speedup at recall floor regressed to "
+             f"{report['best_speedup_x']:.2f}x")
+    return []
+
+
+#: Family name (the ``BENCH_<name>.json`` stem suffix) -> guard callable.
+#: A guard raises :class:`GuardFailure` on regression and returns the
+#: list of checks it skipped (machine-capability gates).
+GUARDS: dict[str, Callable[[dict[str, Any]], list[str]]] = {
+    "serving": _guard_serving,
+    "training": _guard_training,
+    "parallel": _guard_parallel,
+    "gateway": _guard_gateway,
+    "cluster": _guard_cluster,
+    "resilience": _guard_resilience,
+    "durability": _guard_durability,
+    "ann": _guard_ann,
+}
+
+
+@dataclass(frozen=True)
+class GuardResult:
+    """Outcome of one artifact's guard run."""
+
+    family: str
+    path: str
+    #: ``"pass"``, ``"fail"``, or ``"unknown"`` (no registered guard).
+    status: str
+    #: Failure message when status is ``"fail"``.
+    message: str = ""
+    #: Threshold checks skipped because of machine capability.
+    skipped: tuple[str, ...] = ()
+
+    def line(self) -> str:
+        tag = {"pass": "PASS", "fail": "FAIL", "unknown": "????"}[self.status]
+        extra = f"  ({self.message})" if self.message else ""
+        if self.skipped:
+            extra += f"  [skipped: {', '.join(self.skipped)}]"
+        return f"{tag}  {self.family:<12}{self.path}{extra}"
+
+
+def discover_artifacts(results_dir: str | Path) -> list[Path]:
+    """Every ``BENCH_*.json`` under ``results_dir``, sorted by name."""
+    return sorted(Path(results_dir).glob("BENCH_*.json"))
+
+
+def run_guard(path: str | Path) -> GuardResult:
+    """Run the registered guard for one artifact."""
+    path = Path(path)
+    family = path.stem[len("BENCH_"):]
+    guard = GUARDS.get(family)
+    if guard is None:
+        return GuardResult(family=family, path=str(path), status="unknown",
+                           message="no guard registered for this family")
+    try:
+        report = read_bench_report(path)
+        skipped = guard(report)
+    except GuardFailure as exc:
+        return GuardResult(family=family, path=str(path), status="fail",
+                           message=str(exc))
+    except (KeyError, TypeError, ValueError, OSError) as exc:
+        return GuardResult(family=family, path=str(path), status="fail",
+                           message=f"unreadable artifact: {exc!r}")
+    return GuardResult(family=family, path=str(path), status="pass",
+                       skipped=tuple(skipped))
+
+
+def run_all_guards(results_dir: str | Path) -> list[GuardResult]:
+    """Discover and guard every artifact; empty dir yields an empty list."""
+    return [run_guard(path) for path in discover_artifacts(results_dir)]

@@ -117,6 +117,17 @@ def build_parser() -> argparse.ArgumentParser:
                        help="gateway admission watermark: submissions beyond "
                             "this backlog are shed with "
                             "GatewayOverloadedError (default: unbounded)")
+    serve.add_argument("--retrieval", choices=("exact", "ann"),
+                       default="exact",
+                       help="top-k retrieval mode: 'exact' scores the full "
+                            "catalogue; 'ann' generates candidates from a PQ "
+                            "index and re-ranks them exactly")
+    serve.add_argument("--n-probe", type=int, default=None,
+                       help="ANN recall dial: coarse buckets probed per "
+                            "query (higher = better recall, slower)")
+    serve.add_argument("--candidate-multiplier", type=int, default=None,
+                       help="ANN candidates kept per probed bucket, as a "
+                            "multiple of k")
 
     bench = subparsers.add_parser(
         "bench-serve", help="benchmark cached (engine) vs uncached per-request scoring")
@@ -279,6 +290,29 @@ def build_parser() -> argparse.ArgumentParser:
     bench_durability.add_argument("--out", default="BENCH_durability.json",
                                   help="write the durability report to this "
                                        "JSON path")
+
+    bench_ann = subparsers.add_parser(
+        "bench-ann",
+        help="benchmark ANN candidate generation vs exact retrieval over a "
+             "large synthetic catalogue: p50 latency and measured recall@k "
+             "per probe-dial setting")
+    bench_ann.add_argument("--items", type=int, default=100_000,
+                           help="synthetic catalogue size")
+    bench_ann.add_argument("--dim", type=int, default=64,
+                           help="embedding dimension of the catalogue")
+    bench_ann.add_argument("--k", type=int, default=10)
+    bench_ann.add_argument("--queries", type=int, default=64,
+                           help="queries timed per dial setting")
+    bench_ann.add_argument("--seed", type=int, default=0)
+    bench_ann.add_argument("--out", default="BENCH_ann.json",
+                           help="write the retrieval report to this JSON path")
+
+    bench_all = subparsers.add_parser(
+        "bench-all",
+        help="run every persisted benchmark artifact through its regression "
+             "guard (the thresholds the benchmark test suite pins)")
+    bench_all.add_argument("--results-dir", default="benchmarks/results",
+                           help="directory holding the BENCH_*.json artifacts")
     return parser
 
 
@@ -418,8 +452,11 @@ def _command_serve(dataset: str, method: str, setting: str, scale: str | None,
                    max_batch: int = 32, max_wait_ms: float = 2.0,
                    cache_size: int = 256, cache_ttl: float | None = None,
                    request_timeout: float | None = None,
-                   max_queue: int | None = None) -> int:
+                   max_queue: int | None = None,
+                   retrieval: str = "exact", n_probe: int | None = None,
+                   candidate_multiplier: int | None = None) -> int:
     from repro.parallel import DEFAULT_REQUEST_TIMEOUT_S, make_scoring_engine
+    from repro.retrieval import RetrievalConfig
     from repro.serving import ServingGateway, model_from_checkpoint, explain_ham_scores
     from repro.models.ham import HAM
     from repro.training.checkpoint import CheckpointCorruptError
@@ -439,11 +476,22 @@ def _command_serve(dataset: str, method: str, setting: str, scale: str | None,
     else:
         model, histories = _train_for_serving(dataset, method, setting, scale,
                                               epochs, seed)
+    ann_config = None
+    if retrieval == "ann":
+        dials = {}
+        if n_probe is not None:
+            dials["n_probe"] = n_probe
+        if candidate_multiplier is not None:
+            dials["candidate_multiplier"] = candidate_multiplier
+        ann_config = RetrievalConfig(**dials)
     engine = make_scoring_engine(
         model, histories, n_workers=workers, precompute=True,
         request_timeout_s=(request_timeout if request_timeout is not None
-                           else DEFAULT_REQUEST_TIMEOUT_S))
+                           else DEFAULT_REQUEST_TIMEOUT_S),
+        ann_config=ann_config)
     engine_name = type(engine).__name__
+    if retrieval == "ann":
+        engine_name = f"{engine_name}[ann]"
     if workers and workers > 1:
         print(f"sharded over {workers} worker processes "
               f"(user ranges, shared-memory snapshot)")
@@ -461,7 +509,10 @@ def _command_serve(dataset: str, method: str, setting: str, scale: str | None,
                                    cache_ttl_s=cache_ttl,
                                    max_queue=max_queue,
                                    request_timeout_s=request_timeout,
-                                   own_engine=True)
+                                   own_engine=True,
+                                   retrieval_mode=retrieval,
+                                   n_probe=n_probe,
+                                   candidate_multiplier=candidate_multiplier)
         except Exception:
             engine.close()
             raise
@@ -482,7 +533,22 @@ def _command_serve(dataset: str, method: str, setting: str, scale: str | None,
         unhealthy = _print_health_line(health.get("engine"))
     else:
         try:
-            batches = engine.recommend_batch(users, k)
+            if retrieval == "ann":
+                # Candidate generation + exact re-rank; dials default to
+                # the index's RetrievalConfig when flags are omitted.
+                import numpy as np
+                from repro.serving.engine import Recommendation
+
+                ranked, scores = engine.top_k_scored(
+                    np.asarray(users, dtype=np.int64), k, mode="ann",
+                    n_probe=n_probe, candidate_multiplier=candidate_multiplier)
+                batches = [
+                    [Recommendation(item=int(item), score=float(score), rank=rank)
+                     for rank, (item, score) in enumerate(zip(ranked[row], scores[row]))]
+                    for row in range(ranked.shape[0])
+                ]
+            else:
+                batches = engine.recommend_batch(users, k)
             health = engine.health() if hasattr(engine, "health") else None
         finally:
             engine.close()
@@ -710,6 +776,36 @@ def _command_bench_durability(appends: int, segment_kb: int, seed: int,
     return 0
 
 
+def _command_bench_ann(items: int, dim: int, k: int, queries: int, seed: int,
+                       out: str) -> int:
+    from repro.retrieval.bench import (
+        run_retrieval_benchmark,
+        write_retrieval_report,
+    )
+
+    report = run_retrieval_benchmark(num_items=items, dim=dim, k=k,
+                                     num_queries=queries, seed=seed)
+    print(report.summary())
+    write_retrieval_report(report, out)
+    print(f"retrieval report written to {out}")
+    return 0
+
+
+def _command_bench_all(results_dir: str) -> int:
+    from repro.bench_all import run_all_guards
+
+    results = run_all_guards(results_dir)
+    if not results:
+        print(f"no BENCH_*.json artifacts under {results_dir}")
+        return 2
+    for result in results:
+        print(result.line())
+    failed = sum(result.status == "fail" for result in results)
+    passed = sum(result.status == "pass" for result in results)
+    print(f"{passed}/{len(results)} artifacts passed their regression guard")
+    return 1 if failed else 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point."""
     args = build_parser().parse_args(argv)
@@ -734,7 +830,9 @@ def main(argv: list[str] | None = None) -> int:
                               cache_size=args.cache_size,
                               cache_ttl=args.cache_ttl,
                               request_timeout=args.request_timeout,
-                              max_queue=args.max_queue)
+                              max_queue=args.max_queue,
+                              retrieval=args.retrieval, n_probe=args.n_probe,
+                              candidate_multiplier=args.candidate_multiplier)
     if args.command == "bench-serve":
         return _command_bench_serve(args.dataset, args.method, args.setting,
                                     args.scale, args.epochs, args.seed,
@@ -777,6 +875,11 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "bench-durability":
         return _command_bench_durability(args.appends, args.segment_kb,
                                          args.seed, args.out)
+    if args.command == "bench-ann":
+        return _command_bench_ann(args.items, args.dim, args.k, args.queries,
+                                  args.seed, args.out)
+    if args.command == "bench-all":
+        return _command_bench_all(args.results_dir)
     raise AssertionError(f"unhandled command {args.command!r}")
 
 

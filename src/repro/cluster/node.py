@@ -454,13 +454,28 @@ class EngineNode:
                 method = getattr(engine, kind)
                 scores = method(users, **self._engine_kwargs(frame))
             return {}, {"scores": np.asarray(scores)}
-        if kind == "top_k":
+        if kind in ("top_k", "top_k_scored"):
             users = frame.array("users")
             k = int(frame.meta["k"])
             exclude = frame.meta.get("exclude_seen")
             kwargs = self._engine_kwargs(frame)
             if exclude is not None:
                 kwargs["exclude_seen"] = bool(exclude)
+            # Retrieval dial: mode/n_probe/candidate_multiplier pass
+            # straight through to the engine (exact stays the default).
+            mode = frame.meta.get("mode")
+            if mode is not None:
+                kwargs["mode"] = str(mode)
+            if frame.meta.get("n_probe") is not None:
+                kwargs["n_probe"] = int(frame.meta["n_probe"])
+            if frame.meta.get("candidate_multiplier") is not None:
+                kwargs["candidate_multiplier"] = int(
+                    frame.meta["candidate_multiplier"])
+            if kind == "top_k_scored":
+                with self._engine_lock:
+                    ranked, scores = engine.top_k_scored(users, k, **kwargs)
+                return {}, {"ranked": np.asarray(ranked),
+                            "scores": np.asarray(scores)}
             with self._engine_lock:
                 ranked = engine.top_k(users, k, **kwargs)
             return {}, {"ranked": np.asarray(ranked)}

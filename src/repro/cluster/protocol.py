@@ -64,6 +64,7 @@ from repro.data.seen import SeenIndex
 from repro.data.windows import pad_histories, pad_id_for
 from repro.models.base import FrozenScorer, SequentialRecommender
 from repro.parallel.shm import ArenaLayout, SharedArena
+from repro.retrieval.index import ANN_PREFIX, ANNIndex, RetrievalConfig
 from repro.serving.engine import ScoringEngine
 
 __all__ = [
@@ -243,6 +244,7 @@ def serialize_engine_snapshot(model: SequentialRecommender,
                               histories: list[list[int]],
                               exclude_seen: bool = True,
                               micro_batch_size: int = 1024,
+                              ann_config: RetrievalConfig | None = None,
                               ) -> tuple[dict, dict[str, np.ndarray]]:
     """``(meta, arrays)`` of a complete scoring snapshot, frame-ready.
 
@@ -253,6 +255,10 @@ def serialize_engine_snapshot(model: SequentialRecommender,
     side).  Feeding the result to :func:`engine_from_snapshot_payload`
     yields an engine that scores bit-identically to a local
     ``ScoringEngine(model, histories)``.
+
+    ``ann_config`` additionally trains an ANN candidate index over the
+    frozen table and ships it in the same frame (``ann_*`` arrays), so
+    the far-side node serves ``top_k(mode="ann")`` without retraining.
     """
     model.eval()
     num_users = model.num_users
@@ -265,6 +271,7 @@ def serialize_engine_snapshot(model: SequentialRecommender,
         "micro_batch_size": int(micro_batch_size),
         "has_frozen": False,
         "has_bias": False,
+        "has_ann": False,
     }
     arrays: dict[str, np.ndarray] = {
         "model_pickle": np.frombuffer(
@@ -284,6 +291,17 @@ def serialize_engine_snapshot(model: SequentialRecommender,
         if frozen.item_bias is not None:
             meta["has_bias"] = True
             arrays["item_bias"] = frozen.item_bias
+    if ann_config is not None:
+        if frozen is None:
+            raise ValueError(
+                f"{type(model).__name__} has no candidate-embedding table; "
+                "an ANN index cannot be built for this snapshot")
+        index = ANNIndex.build(
+            np.ascontiguousarray(
+                frozen.candidate_embeddings[: model.num_items]),
+            ann_config)
+        meta["has_ann"] = True
+        arrays.update(index.to_arrays())
     return meta, arrays
 
 
@@ -326,6 +344,7 @@ def serialize_live_engine(engine: ScoringEngine) -> tuple[dict, dict[str, np.nda
         "micro_batch_size": int(engine.micro_batch_size),
         "has_frozen": engine._frozen is not None,
         "has_bias": False,
+        "has_ann": False,
     }
     arrays: dict[str, np.ndarray] = {
         "model_pickle": np.frombuffer(
@@ -340,6 +359,11 @@ def serialize_live_engine(engine: ScoringEngine) -> tuple[dict, dict[str, np.nda
         if engine._frozen.item_bias is not None:
             meta["has_bias"] = True
             arrays["item_bias"] = engine._frozen.item_bias
+    if engine.ann_index is not None:
+        # The donor's trained index travels with the snapshot, so the
+        # recipient serves identical ANN candidates from frame one.
+        meta["has_ann"] = True
+        arrays.update(engine.ann_index.to_arrays())
     return meta, arrays
 
 
@@ -369,7 +393,7 @@ def engine_from_snapshot_payload(meta: dict, arrays: dict[str, np.ndarray],
             item_bias=arrays["item_bias"] if meta.get("has_bias") else None,
         )
     inputs = np.ascontiguousarray(arrays["inputs"])
-    return ScoringEngine.from_snapshot(
+    engine = ScoringEngine.from_snapshot(
         model,
         inputs=inputs,
         seen_items=_seen_views(arrays["seen_indptr"], arrays["seen_items"]),
@@ -378,6 +402,9 @@ def engine_from_snapshot_payload(meta: dict, arrays: dict[str, np.ndarray],
         micro_batch_size=int(meta.get("micro_batch_size", 1024)),
         observable=True,
     )
+    if meta.get("has_ann"):
+        engine.attach_ann_index(ANNIndex.from_arrays(arrays))
+    return engine
 
 
 def engine_from_arena(model: SequentialRecommender, layout: ArenaLayout,
@@ -413,6 +440,12 @@ def engine_from_arena(model: SequentialRecommender, layout: ArenaLayout,
             micro_batch_size=micro_batch_size,
             observable=bool(arena.array("inputs").flags.writeable),
         )
+        ann_keys = [key for key in arena.keys() if key.startswith(ANN_PREFIX)]
+        if ann_keys:
+            # Same zero-copy deal as the shard workers: read-only views
+            # of the published index, identical candidates everywhere.
+            engine.attach_ann_index(ANNIndex.from_arrays(
+                {key: arena.array(key) for key in ann_keys}))
     except Exception:
         arena.close()
         raise

@@ -723,10 +723,20 @@ class ClusterRouter:
         return self._matrix_request("masked_scores", users, timeout)
 
     def top_k(self, users, k: int, exclude_seen: bool | None = None,
-              timeout: float | None = None) -> np.ndarray:
-        """Ranked top-``k`` ids per user, bit-identical to one engine."""
+              timeout: float | None = None, mode: str | None = None,
+              n_probe: int | None = None,
+              candidate_multiplier: int | None = None) -> np.ndarray:
+        """Ranked top-``k`` ids per user, bit-identical to one engine.
+
+        ``mode="ann"`` (with the optional ``n_probe`` /
+        ``candidate_multiplier`` dial) selects the nodes' ANN candidate
+        stage; the dial travels in the request meta, so mixed exact/ANN
+        traffic over one connection is fine.
+        """
         if k < 1:
             raise ValueError("k must be positive")
+        if mode not in (None, "exact", "ann"):
+            raise ValueError(f"mode must be 'exact' or 'ann', got {mode!r}")
         users = self._as_user_array(users)
         self._bump("requests")
         deadline = self._deadline_for(timeout)
@@ -735,11 +745,49 @@ class ClusterRouter:
         meta: dict = {"k": int(k)}
         if exclude_seen is not None:
             meta["exclude_seen"] = bool(exclude_seen)
+        if mode is not None:
+            meta["mode"] = mode
+        if n_probe is not None:
+            meta["n_probe"] = int(n_probe)
+        if candidate_multiplier is not None:
+            meta["candidate_multiplier"] = int(candidate_multiplier)
         for range_id, positions, ids in self._fan_out(users):
             reply = self._range_request(range_id, "top_k", meta,
                                         {"users": ids}, deadline)
             ranked[positions] = reply.array("ranked")
         return ranked
+
+    def top_k_scored(self, users, k: int, exclude_seen: bool | None = None,
+                     timeout: float | None = None, mode: str | None = None,
+                     n_probe: int | None = None,
+                     candidate_multiplier: int | None = None,
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`top_k` plus the (float64) scores of the returned items."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        if mode not in (None, "exact", "ann"):
+            raise ValueError(f"mode must be 'exact' or 'ann', got {mode!r}")
+        users = self._as_user_array(users)
+        self._bump("requests")
+        deadline = self._deadline_for(timeout)
+        width = min(int(k), self.num_items)
+        ranked = np.empty((users.size, width), dtype=np.int64)
+        scores = np.empty((users.size, width), dtype=np.float64)
+        meta: dict = {"k": int(k)}
+        if exclude_seen is not None:
+            meta["exclude_seen"] = bool(exclude_seen)
+        if mode is not None:
+            meta["mode"] = mode
+        if n_probe is not None:
+            meta["n_probe"] = int(n_probe)
+        if candidate_multiplier is not None:
+            meta["candidate_multiplier"] = int(candidate_multiplier)
+        for range_id, positions, ids in self._fan_out(users):
+            reply = self._range_request(range_id, "top_k_scored", meta,
+                                        {"users": ids}, deadline)
+            ranked[positions] = reply.array("ranked")
+            scores[positions] = reply.array("scores")
+        return ranked, scores
 
     def recommend_batch(self, users, k: int = 10,
                         timeout: float | None = None,

@@ -80,6 +80,7 @@ from repro.models.base import FrozenScorer, SequentialRecommender
 from repro.parallel.faults import FaultInjector, FaultPlan
 from repro.parallel.shm import ArenaLayout, SharedArena
 from repro.parallel.supervisor import RestartPolicy, ShardSupervisor
+from repro.retrieval.index import ANN_PREFIX, ANNIndex, RetrievalConfig
 from repro.serving.engine import ScoringEngine
 
 __all__ = ["ShardedScoringEngine", "make_scoring_engine", "shard_bounds",
@@ -101,7 +102,8 @@ def make_scoring_engine(model, histories, n_workers: int = 0,
                         copy_weights: bool = True, precompute: bool = False,
                         request_timeout_s: float | None = DEFAULT_REQUEST_TIMEOUT_S,
                         restart_policy: RestartPolicy | None = None,
-                        fault_plan: FaultPlan | None = None):
+                        fault_plan: FaultPlan | None = None,
+                        ann_config: RetrievalConfig | None = None):
     """The one ``n_workers``-aware engine factory.
 
     ``n_workers > 1`` builds a :class:`ShardedScoringEngine`; anything
@@ -112,6 +114,11 @@ def make_scoring_engine(model, histories, n_workers: int = 0,
     only, as the serial engine never blocks on another process).  Both
     results expose ``close()``, so callers can tear down
     unconditionally.
+
+    ``ann_config`` additionally trains an ANN candidate index over the
+    frozen candidate table (enabling ``top_k(..., mode="ann")``); the
+    sharded branch trains it once in the parent and publishes it through
+    the arena so every worker attaches the same index zero-copy.
     """
     if n_workers and n_workers > 1:
         return ShardedScoringEngine(model, histories, n_workers=n_workers,
@@ -120,10 +127,14 @@ def make_scoring_engine(model, histories, n_workers: int = 0,
                                     precompute=precompute,
                                     request_timeout_s=request_timeout_s,
                                     restart_policy=restart_policy,
-                                    fault_plan=fault_plan)
-    return ScoringEngine(model, histories, exclude_seen=exclude_seen,
-                         micro_batch_size=micro_batch_size,
-                         copy_weights=copy_weights, precompute=precompute)
+                                    fault_plan=fault_plan,
+                                    ann_config=ann_config)
+    engine = ScoringEngine(model, histories, exclude_seen=exclude_seen,
+                           micro_batch_size=micro_batch_size,
+                           copy_weights=copy_weights, precompute=precompute)
+    if ann_config is not None:
+        engine.build_ann_index(ann_config)
+    return engine
 
 
 def default_start_method() -> str:
@@ -169,6 +180,8 @@ def _execute_request(engine: ScoringEngine, method: str, users,
         return engine.masked_scores(users)
     if method == "top_k":
         return engine.top_k(users, **kwargs)
+    if method == "top_k_scored":
+        return engine.top_k_scored(users, **kwargs)
     if method == "recommend_batch":
         return engine.recommend_batch(users, **kwargs)
     if method == "observe":
@@ -210,6 +223,13 @@ def _shard_worker_main(layout: ArenaLayout, model: SequentialRecommender,
             micro_batch_size=options["micro_batch_size"],
             observable=True,
         )
+        if options.get("has_ann"):
+            # Zero-copy: the index arrays are read-only arena views, the
+            # same bytes the parent trained — ANN candidates are
+            # therefore identical across shards and worker counts.
+            engine.attach_ann_index(ANNIndex.from_arrays(
+                {key: arena.array(key) for key in arena.keys()
+                 if key.startswith(ANN_PREFIX)}))
         while True:
             message = task_queue.get()
             if message is None:
@@ -301,7 +321,8 @@ class ShardedScoringEngine:
                  precompute: bool = False,
                  request_timeout_s: float | None = DEFAULT_REQUEST_TIMEOUT_S,
                  restart_policy: RestartPolicy | None = None,
-                 fault_plan: FaultPlan | None = None):
+                 fault_plan: FaultPlan | None = None,
+                 ann_config: RetrievalConfig | None = None):
         if len(histories) < model.num_users:
             raise ValueError(
                 f"histories cover {len(histories)} users but the model expects "
@@ -323,6 +344,7 @@ class ShardedScoringEngine:
         self.request_timeout_s = request_timeout_s
 
         self._serial: ScoringEngine | None = None
+        self._ann: ANNIndex | None = None
         self._arena: SharedArena | None = None
         self._workers: list = []
         self._task_queues: list = []
@@ -350,6 +372,8 @@ class ShardedScoringEngine:
             self._serial = ScoringEngine(model, histories, exclude_seen=exclude_seen,
                                          micro_batch_size=micro_batch_size,
                                          precompute=precompute)
+            if ann_config is not None:
+                self._serial.build_ann_index(ann_config)
             self._histories = None  # the serial engine owns the lists
             self._bounds = shard_bounds(self.num_users, 1)
             return
@@ -383,6 +407,20 @@ class ShardedScoringEngine:
             arrays["candidates"] = frozen.candidate_embeddings
             if frozen.item_bias is not None:
                 arrays["item_bias"] = frozen.item_bias
+        # The ANN index is trained once here and published alongside the
+        # engine arrays — workers (and the degraded fallback) attach the
+        # same read-only bytes, so candidate generation is identical in
+        # every process.
+        if ann_config is not None:
+            if frozen is None:
+                raise NotImplementedError(
+                    f"{type(model).__name__} has no candidate-embedding "
+                    "table; ANN retrieval needs the representation fast path"
+                )
+            self._ann = ANNIndex.build(
+                np.ascontiguousarray(frozen.candidate_embeddings[:self.num_items]),
+                ann_config)
+            arrays.update(self._ann.to_arrays())
         # "inputs" stays worker-writable: each padded row is owned by
         # exactly one shard, whose task queue serializes the observe()
         # updates against that shard's scoring requests.
@@ -394,6 +432,7 @@ class ShardedScoringEngine:
             "micro_batch_size": micro_batch_size,
             "has_frozen": frozen is not None,
             "has_bias": frozen is not None and frozen.item_bias is not None,
+            "has_ann": self._ann is not None,
             "fault_plan": fault_plan,
         }
 
@@ -637,6 +676,8 @@ class ShardedScoringEngine:
                 micro_batch_size=self.micro_batch_size,
                 observable=True,
             )
+            if self._ann is not None:
+                engine.attach_ann_index(self._ann)
             self._degraded_engine = engine
         for other in range(self.n_workers):
             log = self._observed_log[other]
@@ -870,23 +911,72 @@ class ShardedScoringEngine:
         users = self._as_user_array(users)
         return self._merge_matrix("masked_scores", users, None, timeout)
 
+    @property
+    def ann_index(self):
+        """The shared ANN candidate index, or ``None`` (exact only)."""
+        if self._serial is not None:
+            return self._serial.ann_index
+        return self._ann
+
     def top_k(self, users, k: int, exclude_seen: bool | None = None,
-              timeout: float | None = None) -> np.ndarray:
-        """Ranked ids of the top-``k`` items per user, best first."""
+              timeout: float | None = None, mode: str | None = None,
+              n_probe: int | None = None,
+              candidate_multiplier: int | None = None) -> np.ndarray:
+        """Ranked ids of the top-``k`` items per user, best first.
+
+        ``mode`` / ``n_probe`` / ``candidate_multiplier`` select and
+        tune the ANN candidate stage exactly as on the serial
+        :meth:`~repro.serving.engine.ScoringEngine.top_k`; each worker
+        serves its shard through the same attached index, so sharded
+        ANN answers match the serial engine's on the same snapshot.
+        """
         if k < 1:
             raise ValueError("k must be positive")
         if self._serial is not None:
-            return self._serial.top_k(users, k, exclude_seen=exclude_seen)
+            return self._serial.top_k(users, k, exclude_seen=exclude_seen,
+                                      mode=mode, n_probe=n_probe,
+                                      candidate_multiplier=candidate_multiplier)
         users = self._as_user_array(users)
         width = min(k, self.num_items)
         out = np.empty((users.size, width), dtype=np.int64)
         if users.size == 0:
             return out
         for positions, rows in self._fan_out(
-                "top_k", users, {"k": k, "exclude_seen": exclude_seen},
+                "top_k", users,
+                {"k": k, "exclude_seen": exclude_seen, "mode": mode,
+                 "n_probe": n_probe,
+                 "candidate_multiplier": candidate_multiplier},
                 timeout):
             out[positions] = rows
         return out
+
+    def top_k_scored(self, users, k: int, exclude_seen: bool | None = None,
+                     timeout: float | None = None, mode: str | None = None,
+                     n_probe: int | None = None,
+                     candidate_multiplier: int | None = None,
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`top_k` plus the (float64) scores of the returned items."""
+        if k < 1:
+            raise ValueError("k must be positive")
+        if self._serial is not None:
+            return self._serial.top_k_scored(
+                users, k, exclude_seen=exclude_seen, mode=mode,
+                n_probe=n_probe, candidate_multiplier=candidate_multiplier)
+        users = self._as_user_array(users)
+        width = min(k, self.num_items)
+        ranked = np.empty((users.size, width), dtype=np.int64)
+        scores = np.empty((users.size, width), dtype=np.float64)
+        if users.size == 0:
+            return ranked, scores
+        for positions, payload in self._fan_out(
+                "top_k_scored", users,
+                {"k": k, "exclude_seen": exclude_seen, "mode": mode,
+                 "n_probe": n_probe,
+                 "candidate_multiplier": candidate_multiplier},
+                timeout):
+            ranked[positions] = payload[0]
+            scores[positions] = payload[1]
+        return ranked, scores
 
     def recommend(self, user: int, k: int = 10,
                   timeout: float | None = None) -> list:

@@ -1,0 +1,217 @@
+"""ANN retrieval harness: recall@k vs latency at catalogue scale.
+
+The exact ``top_k`` is one dense matmul over the catalogue — the cost
+every request pays grows linearly with ``num_items``.  This harness
+builds the regime where that hurts (a 100k–1M item synthetic catalogue
+with clustered structure, the shape real item-embedding tables have),
+times exact argpartition retrieval as the baseline, then sweeps the
+:class:`~repro.retrieval.index.ANNIndex` probe dial, recording per
+setting:
+
+* **p50 latency per query** (and the speedup over exact),
+* **measured recall@k** against the exact top-k.
+
+The headline is the best speedup among dial settings that clear the
+recall floor (default 0.95) — the number that justifies the two-stage
+path.  The catalogue must be *clustered*: an isotropic Gaussian cloud
+has no coarse structure for an IVF index to exploit (every bucket
+boundary cuts through the query's neighbourhood), so it benchmarks a
+catalogue shape that never occurs.  Queries are noisy copies of
+catalogue rows — the "user rep near the items they like" geometry the
+scoring model produces.
+
+:func:`write_retrieval_report` persists the result as
+``benchmarks/results/BENCH_ann.json`` under the shared
+:mod:`repro.bench_schema` envelope; ``repro-ham bench-ann`` is the CLI
+entry point and ``benchmarks/test_ann_retrieval.py`` regenerates and
+guards the artifact.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import asdict, dataclass, field
+
+import numpy as np
+
+from repro.bench_schema import write_bench_report
+from repro.retrieval.index import ANNIndex, RetrievalConfig
+
+__all__ = [
+    "RetrievalBenchReport",
+    "run_retrieval_benchmark",
+    "write_retrieval_report",
+    "synthetic_catalogue",
+]
+
+
+def synthetic_catalogue(rng: np.random.Generator, num_items: int, dim: int,
+                        n_clusters: int = 400,
+                        spread: float = 0.35) -> np.ndarray:
+    """A clustered float32 item table of shape ``(num_items, dim)``.
+
+    ``n_clusters`` Gaussian centers with per-item noise of scale
+    ``spread`` — the co-purchase/genre structure real embedding tables
+    carry, and the structure an IVF coarse quantizer exploits.
+    """
+    centers = rng.standard_normal((n_clusters, dim)).astype(np.float32)
+    assign = rng.integers(0, n_clusters, size=num_items)
+    noise = (spread * rng.standard_normal((num_items, dim))).astype(np.float32)
+    return centers[assign] + noise
+
+
+@dataclass(frozen=True)
+class RetrievalBenchReport:
+    """Exact-vs-ANN measurements of one catalogue sweep."""
+
+    num_items: int
+    dim: int
+    k: int
+    num_queries: int
+    cpu_count: int
+    recall_floor: float
+    #: Seconds spent training the index (build is off the request path).
+    build_seconds: float
+    #: Exact full-catalogue retrieval, p50 milliseconds per query.
+    exact_p50_ms: float
+    #: One entry per dial setting: ``{"n_probe": .., "candidate_multiplier":
+    #: .., "p50_ms": .., "speedup_x": .., "recall_at_k": ..}``.
+    sweep: list[dict] = field(default_factory=list)
+    #: Best speedup among settings clearing the recall floor (the
+    #: headline), and that setting's dial values.
+    best_speedup_x: float = 0.0
+    best_recall_at_k: float = 0.0
+    best_n_probe: int = 0
+    best_candidate_multiplier: int = 0
+
+    def as_dict(self) -> dict:
+        return asdict(self)
+
+    def summary(self) -> str:
+        lines = [
+            f"ANN retrieval over {self.num_items:,} items (dim {self.dim}, "
+            f"k={self.k}, {self.num_queries} queries, {self.cpu_count} "
+            f"cores): exact p50 {self.exact_p50_ms:.3f} ms/query, index "
+            f"build {self.build_seconds:.1f}s"
+        ]
+        lines.extend(
+            f"  n_probe={entry['n_probe']:>3} x{entry['candidate_multiplier']}: "
+            f"p50 {entry['p50_ms']:.3f} ms/query "
+            f"({entry['speedup_x']:.1f}x) recall@{self.k} "
+            f"{entry['recall_at_k']:.3f}"
+            for entry in self.sweep
+        )
+        lines.append(
+            f"  best at recall>={self.recall_floor}: "
+            f"{self.best_speedup_x:.1f}x (n_probe={self.best_n_probe}, "
+            f"multiplier={self.best_candidate_multiplier}, "
+            f"recall {self.best_recall_at_k:.3f})"
+        )
+        return "\n".join(lines)
+
+
+def _exact_topk(table: np.ndarray, queries: np.ndarray, k: int) -> np.ndarray:
+    scores = queries @ table.T
+    partitioned = np.argpartition(-scores, k - 1, axis=1)[:, :k]
+    rows = np.arange(queries.shape[0])[:, None]
+    order = np.argsort(-scores[rows, partitioned], axis=1, kind="stable")
+    return partitioned[rows, order]
+
+
+def _p50_ms(samples: list[float]) -> float:
+    return float(np.percentile(np.asarray(samples), 50) * 1e3)
+
+
+def run_retrieval_benchmark(num_items: int = 100_000, dim: int = 64,
+                            k: int = 10, num_queries: int = 64,
+                            n_probes: tuple[int, ...] = (1, 2, 4, 8, 16),
+                            candidate_multiplier: int = 8,
+                            recall_floor: float = 0.95,
+                            seed: int = 0) -> RetrievalBenchReport:
+    """Time exact vs ANN retrieval over one synthetic catalogue.
+
+    Every query is measured individually (the single-user latency the
+    gateway pays), each dial setting over the same query set, recall
+    against the same exact baseline — so the sweep isolates the probe
+    dial.  Build parameters are scaled down (3 Lloyd iterations, 10k
+    training sample) to keep the harness minutes-scale at 1M items;
+    recall is measured, not assumed, so the cheaper build cannot
+    overstate the result.
+    """
+    if num_items < 1000:
+        raise ValueError("num_items must be at least 1000 (the regime "
+                         "where candidate generation matters)")
+    rng = np.random.default_rng(seed)
+    table = synthetic_catalogue(rng, num_items, dim)
+    query_items = rng.integers(0, num_items, size=num_queries)
+    queries = (table[query_items]
+               + 0.3 * rng.standard_normal((num_queries, dim))).astype(
+                   np.float32)
+
+    config = RetrievalConfig(kmeans_iters=3, train_sample=10_000,
+                             candidate_multiplier=candidate_multiplier,
+                             seed=seed)
+    started = time.perf_counter()
+    index = ANNIndex.build(table, config)
+    build_seconds = time.perf_counter() - started
+
+    exact_ids = _exact_topk(table, queries, k)
+    exact_samples = []
+    for row in range(num_queries):
+        started = time.perf_counter()
+        _exact_topk(table, queries[row:row + 1], k)
+        exact_samples.append(time.perf_counter() - started)
+    exact_p50 = _p50_ms(exact_samples)
+
+    sweep: list[dict] = []
+    for n_probe in n_probes:
+        samples = []
+        hits = 0
+        for row in range(num_queries):
+            query = queries[row]
+            started = time.perf_counter()
+            candidates = index.candidates(query, k, n_probe=n_probe)
+            scores = table[candidates] @ query
+            width = min(k, candidates.size)
+            top = (np.argpartition(-scores, width - 1)[:width]
+                   if candidates.size > width
+                   else np.arange(candidates.size))
+            ranked = candidates[top[np.argsort(-scores[top], kind="stable")]]
+            samples.append(time.perf_counter() - started)
+            hits += len(set(ranked.tolist()) & set(exact_ids[row].tolist()))
+        p50 = _p50_ms(samples)
+        sweep.append({
+            "n_probe": int(n_probe),
+            "candidate_multiplier": int(candidate_multiplier),
+            "p50_ms": p50,
+            "speedup_x": exact_p50 / p50 if p50 > 0 else 0.0,
+            "recall_at_k": hits / (num_queries * k),
+        })
+
+    qualifying = [entry for entry in sweep
+                  if entry["recall_at_k"] >= recall_floor]
+    best = max(qualifying, key=lambda entry: entry["speedup_x"],
+               default=None)
+    return RetrievalBenchReport(
+        num_items=num_items, dim=dim, k=k, num_queries=num_queries,
+        cpu_count=os.cpu_count() or 1, recall_floor=recall_floor,
+        build_seconds=build_seconds, exact_p50_ms=exact_p50, sweep=sweep,
+        best_speedup_x=best["speedup_x"] if best else 0.0,
+        best_recall_at_k=best["recall_at_k"] if best else 0.0,
+        best_n_probe=best["n_probe"] if best else 0,
+        best_candidate_multiplier=(best["candidate_multiplier"]
+                                   if best else 0),
+    )
+
+
+def write_retrieval_report(report: RetrievalBenchReport, path) -> None:
+    """Persist a report as the ``BENCH_ann.json`` artifact."""
+    write_bench_report(path, "ann", report.as_dict(), headline={
+        "num_items": report.num_items,
+        "exact_p50_ms": report.exact_p50_ms,
+        "best_speedup_x": report.best_speedup_x,
+        "best_recall_at_k": report.best_recall_at_k,
+        "best_n_probe": report.best_n_probe,
+        "cpu_count": report.cpu_count,
+    })

@@ -1,0 +1,484 @@
+"""NumPy-only ANN index over a frozen candidate table.
+
+Every ``top_k`` today is a dense ``(B, d) @ (d, num_items)`` matmul, so
+serving latency grows linearly with the catalogue.  This module is the
+candidate-generation stage of a two-stage retrieve-then-rank path: the
+index selects a few hundred candidate items per request and the exact
+engine re-ranks only those, turning the per-request cost from
+``O(num_items)`` into ``O(n_probe * bucket + candidates)``.
+
+Two interchangeable index kinds live behind one :class:`ANNIndex`:
+
+**IVF-PQ** (the default at catalogue scale)
+    A coarse k-means clustering buckets the items (CSR layout:
+    ``bucket_indptr`` / ``bucket_items``); each item's *residual* from
+    its bucket centroid is product-quantized into ``pq_subspaces`` uint8
+    codes against per-subspace codebooks.  A query ranks buckets by
+    centroid inner product, probes the best ``n_probe`` of them, scores
+    every probed item with an asymmetric-distance lookup table (one
+    ``(M, K)`` table per query, built by a single einsum) and keeps the
+    ``candidate_multiplier * k`` best per bucket.  Residual encoding is
+    what makes the ADC ranking sharp enough to cut inside a bucket
+    without losing the true top-k.
+
+**LSH** (the fallback for tiny catalogues)
+    Random-hyperplane signatures hash the items into ``2**lsh_bits``
+    buckets; a query probes buckets in Hamming-distance order from its
+    own signature and every probed item becomes a candidate.  No
+    training, no codebooks — the right trade below
+    ``min_pq_items`` where k-means would overfit or fail outright.
+
+Determinism and the recall dial
+-------------------------------
+Both kinds order buckets with a *stable* argsort and apply a per-bucket
+quota that does not depend on ``n_probe``, so the candidate set of a
+query at ``n_probe = p`` is a **prefix-nested subset** of the set at any
+``p' > p``.  Because the second stage re-ranks candidates with exact
+scores, nesting makes measured recall@k monotone non-decreasing in
+``n_probe`` — the property the test suite pins.  Every step is plain
+deterministic NumPy on the published arrays, so two processes (or two
+shard workers, or a remote node fed the index through a snapshot frame)
+return identical candidates for the same query.
+
+Transport
+---------
+:meth:`ANNIndex.to_arrays` flattens the index into a ``{name: ndarray}``
+mapping (``ann_``-prefixed, with a struct-packed ``ann_header``) that
+travels through the :class:`~repro.parallel.shm.SharedArena` and the
+cluster snapshot frames exactly like the engine's own arrays;
+:meth:`ANNIndex.from_arrays` rebuilds the index zero-copy from attached
+views.  The header bytes and every dtype/shape are pinned by a golden
+test so the layout cannot drift silently.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "RetrievalConfig",
+    "ANNIndex",
+    "ANN_MAGIC",
+    "ANN_VERSION",
+    "ANN_KIND_PQ",
+    "ANN_KIND_LSH",
+    "ANN_PREFIX",
+    "HEADER_STRUCT",
+]
+
+#: First bytes of the serialized index header.
+ANN_MAGIC = b"ANNX"
+ANN_VERSION = 1
+ANN_KIND_PQ = 1
+ANN_KIND_LSH = 2
+
+#: Key prefix of every index array in an arena / snapshot frame.
+ANN_PREFIX = "ann_"
+
+#: Fixed-width header layout: magic, version, kind, reserved, then the
+#: integer geometry (num_items, dim, n_buckets, pq_subspaces,
+#: pq_centroids, lsh_bits, seed).  Little-endian, no padding — the exact
+#: bytes are pinned by the golden-format test.
+HEADER_STRUCT = struct.Struct("<4sBBHiiiiiii")
+
+
+@dataclass(frozen=True)
+class RetrievalConfig:
+    """Build- and search-time parameters of an :class:`ANNIndex`.
+
+    The searchable dial is ``n_probe`` (buckets probed per query) and
+    ``candidate_multiplier`` (ADC survivors per probed bucket, in units
+    of ``k``); both defaults can be overridden per request.  The rest
+    shapes the trained structure:
+
+    ``n_buckets``
+        Coarse k-means buckets; ``None`` picks ``~4 * sqrt(num_items)``
+        clamped to ``[8, 4096]``.
+    ``pq_subspaces`` / ``pq_centroids``
+        Product-quantization geometry (``M`` codes per item against
+        ``K``-centroid codebooks; ``K <= 256`` so codes stay uint8).
+        ``pq_subspaces`` is reduced to the largest divisor of the
+        embedding dim when it does not divide evenly.
+    ``kmeans_iters`` / ``train_sample``
+        Lloyd iterations and the training subsample per k-means run.
+    ``min_pq_items``
+        Catalogues smaller than this build the LSH fallback instead —
+        k-means with 256 centroids per subspace needs data to train on.
+    ``lsh_bits``
+        Hyperplanes (and therefore ``2**lsh_bits`` buckets) of the
+        fallback index.
+    ``seed``
+        Seed of every random draw in the build; two builds from the same
+        table and config are bit-identical.
+    """
+
+    n_buckets: int | None = None
+    pq_subspaces: int = 8
+    pq_centroids: int = 256
+    kmeans_iters: int = 4
+    train_sample: int = 20_000
+    n_probe: int = 8
+    candidate_multiplier: int = 8
+    min_pq_items: int = 4096
+    lsh_bits: int = 8
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_buckets is not None and self.n_buckets < 1:
+            raise ValueError("n_buckets must be positive (or None for auto)")
+        if not 1 <= self.pq_centroids <= 256:
+            raise ValueError("pq_centroids must be in [1, 256] (uint8 codes)")
+        if self.pq_subspaces < 1:
+            raise ValueError("pq_subspaces must be positive")
+        if self.kmeans_iters < 1:
+            raise ValueError("kmeans_iters must be positive")
+        if self.n_probe < 1:
+            raise ValueError("n_probe must be positive")
+        if self.candidate_multiplier < 1:
+            raise ValueError("candidate_multiplier must be positive")
+        if not 1 <= self.lsh_bits <= 16:
+            raise ValueError("lsh_bits must be in [1, 16]")
+
+
+def _kmeans(rng: np.random.Generator, data: np.ndarray, k: int,
+            iters: int) -> np.ndarray:
+    """Lloyd's algorithm with matmul distances and vectorized updates.
+
+    Deterministic for a given generator state; empty clusters keep their
+    previous centroid (a standard, stable choice).
+    """
+    k = min(k, data.shape[0])
+    centroids = data[rng.choice(data.shape[0], size=k, replace=False)].copy()
+    for _ in range(iters):
+        d2 = (np.sum(data * data, axis=1)[:, None]
+              - 2.0 * (data @ centroids.T)
+              + np.sum(centroids * centroids, axis=1)[None, :])
+        assign = np.argmin(d2, axis=1)
+        sums = np.zeros_like(centroids)
+        np.add.at(sums, assign, data)
+        counts = np.bincount(assign, minlength=k).astype(data.dtype)
+        nonempty = counts > 0
+        centroids[nonempty] = sums[nonempty] / counts[nonempty, None]
+    return centroids
+
+
+def _csr_buckets(assign: np.ndarray, n_buckets: int) -> tuple[np.ndarray, np.ndarray]:
+    """CSR (indptr, items) of a bucket assignment, stable within buckets."""
+    order = np.argsort(assign, kind="stable").astype(np.int64)
+    counts = np.bincount(assign, minlength=n_buckets)
+    indptr = np.zeros(n_buckets + 1, dtype=np.int64)
+    np.cumsum(counts, out=indptr[1:])
+    return indptr, order
+
+
+def _popcount(values: np.ndarray) -> np.ndarray:
+    """Per-element population count of an unsigned integer array."""
+    table = np.array([bin(value).count("1") for value in range(256)],
+                     dtype=np.int64)
+    counts = np.zeros(values.shape, dtype=np.int64)
+    work = values.astype(np.uint64)
+    while work.any():
+        counts += table[(work & np.uint64(0xFF)).astype(np.int64)]
+        work >>= np.uint64(8)
+    return counts
+
+
+class ANNIndex:
+    """Trained ANN candidate generator over one item-embedding table.
+
+    Built with :meth:`build` (which auto-selects IVF-PQ or the LSH
+    fallback by catalogue size) or rebuilt from published arrays with
+    :meth:`from_arrays`.  The only query entry point is
+    :meth:`candidates`; the exact engine owns the re-rank.
+    """
+
+    def __init__(self, kind: str, num_items: int, dim: int,
+                 config: RetrievalConfig, arrays: dict[str, np.ndarray]):
+        if kind not in ("pq", "lsh"):
+            raise ValueError(f"unknown index kind {kind!r}")
+        self.kind = kind
+        self.num_items = int(num_items)
+        self.dim = int(dim)
+        self.config = config
+        self._arrays = arrays
+        self.n_buckets = int(arrays["bucket_indptr"].shape[0] - 1)
+        if kind == "pq":
+            # Derived (never serialized): each item's bucket, needed for
+            # reconstruction; inverted from the CSR layout in one pass.
+            indptr, items = arrays["bucket_indptr"], arrays["bucket_items"]
+            item_bucket = np.empty(self.num_items, dtype=np.int64)
+            sizes = np.diff(indptr)
+            item_bucket[items] = np.repeat(
+                np.arange(self.n_buckets, dtype=np.int64), sizes)
+            self._item_bucket = item_bucket
+
+    # ------------------------------------------------------------------ #
+    # Construction
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def build(cls, table: np.ndarray,
+              config: RetrievalConfig | None = None) -> "ANNIndex":
+        """Train an index over ``table`` (``(num_items, dim)`` float).
+
+        Catalogues with at least ``config.min_pq_items`` rows get the
+        IVF-PQ index; smaller ones the LSH fallback.  Deterministic for
+        a fixed ``config.seed``.
+        """
+        config = config or RetrievalConfig()
+        table = np.ascontiguousarray(table)
+        if table.ndim != 2:
+            raise ValueError("table must be 2-d (num_items, dim)")
+        num_items, dim = table.shape
+        if num_items < 1:
+            raise ValueError("cannot index an empty table")
+        if num_items >= config.min_pq_items:
+            return cls._build_pq(table, config)
+        return cls._build_lsh(table, config)
+
+    @classmethod
+    def _build_pq(cls, table: np.ndarray, config: RetrievalConfig) -> "ANNIndex":
+        rng = np.random.default_rng(config.seed)
+        num_items, dim = table.shape
+        n_buckets = config.n_buckets
+        if n_buckets is None:
+            n_buckets = int(min(4096, max(8, round(4.0 * np.sqrt(num_items)))))
+        n_buckets = min(n_buckets, num_items)
+        subspaces = config.pq_subspaces
+        while dim % subspaces:
+            subspaces -= 1
+        dsub = dim // subspaces
+        centroids_k = min(config.pq_centroids, num_items)
+
+        sample = config.train_sample
+        train = (table if num_items <= sample
+                 else table[rng.choice(num_items, size=sample, replace=False)])
+        centroids = _kmeans(rng, train, n_buckets, config.kmeans_iters)
+        n_buckets = centroids.shape[0]
+        d2 = (np.sum(table * table, axis=1)[:, None]
+              - 2.0 * (table @ centroids.T)
+              + np.sum(centroids * centroids, axis=1)[None, :])
+        assign = np.argmin(d2, axis=1)
+        indptr, items = _csr_buckets(assign, n_buckets)
+
+        # Residual PQ: quantize (item - bucket centroid), not the raw
+        # vector.  Residual magnitudes are a cluster radius, not a full
+        # embedding norm, so the same uint8 budget buys a much sharper
+        # in-bucket ranking.
+        residuals = table - centroids[assign]
+        codebooks = np.empty((subspaces, centroids_k, dsub), dtype=table.dtype)
+        codes = np.empty((num_items, subspaces), dtype=np.uint8)
+        for m in range(subspaces):
+            sub = residuals[:, m * dsub:(m + 1) * dsub]
+            subtrain = (sub if num_items <= sample
+                        else sub[rng.choice(num_items, size=sample, replace=False)])
+            codebook = _kmeans(rng, subtrain, centroids_k, config.kmeans_iters)
+            if codebook.shape[0] < centroids_k:  # tiny tables
+                pad = np.zeros((centroids_k - codebook.shape[0], dsub),
+                               dtype=codebook.dtype)
+                codebook = np.vstack([codebook, pad])
+            codebooks[m] = codebook
+            d2 = (np.sum(sub * sub, axis=1)[:, None]
+                  - 2.0 * (sub @ codebook.T)
+                  + np.sum(codebook * codebook, axis=1)[None, :])
+            codes[:, m] = np.argmin(d2, axis=1)
+
+        arrays = {
+            "centroids": np.ascontiguousarray(centroids),
+            "bucket_indptr": indptr,
+            "bucket_items": items,
+            "codebooks": codebooks,
+            "codes": codes,
+        }
+        return cls("pq", num_items, dim, config, arrays)
+
+    @classmethod
+    def _build_lsh(cls, table: np.ndarray, config: RetrievalConfig) -> "ANNIndex":
+        rng = np.random.default_rng(config.seed)
+        num_items, dim = table.shape
+        bits = config.lsh_bits
+        hyperplanes = rng.standard_normal((bits, dim)).astype(table.dtype)
+        signs = (table @ hyperplanes.T) > 0
+        weights = (1 << np.arange(bits, dtype=np.int64))
+        assign = (signs @ weights).astype(np.int64)
+        indptr, items = _csr_buckets(assign, 1 << bits)
+        arrays = {
+            "hyperplanes": np.ascontiguousarray(hyperplanes),
+            "bucket_indptr": indptr,
+            "bucket_items": items,
+        }
+        return cls("lsh", num_items, dim, config, arrays)
+
+    # ------------------------------------------------------------------ #
+    # Search
+    # ------------------------------------------------------------------ #
+    def bucket_order(self, representation: np.ndarray) -> np.ndarray:
+        """All bucket ids, best first, by a *stable* ordering.
+
+        The fixed ordering behind candidate-set nesting: probing
+        ``n_probe`` buckets always means the first ``n_probe`` entries
+        of this permutation, so a larger ``n_probe`` strictly extends
+        the probed prefix.
+        """
+        representation = np.asarray(representation).reshape(self.dim)
+        if self.kind == "pq":
+            scores = self._arrays["centroids"] @ representation
+            return np.argsort(-scores, kind="stable")
+        signs = (self._arrays["hyperplanes"] @ representation) > 0
+        weights = (1 << np.arange(self.config.lsh_bits, dtype=np.int64))
+        signature = int(signs @ weights)
+        distances = _popcount(
+            np.bitwise_xor(np.arange(self.n_buckets, dtype=np.int64),
+                           signature))
+        return np.argsort(distances, kind="stable")
+
+    def candidates(self, representation: np.ndarray, k: int,
+                   n_probe: int | None = None,
+                   candidate_multiplier: int | None = None,
+                   bias: np.ndarray | None = None) -> np.ndarray:
+        """Candidate item ids of one query representation.
+
+        Probes the best ``n_probe`` buckets (stable order) and keeps at
+        most ``candidate_multiplier * k`` ADC-ranked items per probed
+        bucket (PQ; LSH keeps whole buckets).  ``bias`` (the engine's
+        per-item bias, real items only) folds into the ADC scores so the
+        approximate ranking matches what the exact re-rank will compute.
+
+        For fixed ``k`` / ``candidate_multiplier``, the returned *set*
+        is nested across increasing ``n_probe`` — the invariant that
+        makes recall@k monotone in the probe dial.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        n_probe = self.config.n_probe if n_probe is None else int(n_probe)
+        if n_probe < 1:
+            raise ValueError("n_probe must be positive")
+        multiplier = (self.config.candidate_multiplier
+                      if candidate_multiplier is None
+                      else int(candidate_multiplier))
+        if multiplier < 1:
+            raise ValueError("candidate_multiplier must be positive")
+        representation = np.asarray(representation).reshape(self.dim)
+        order = self.bucket_order(representation)
+        indptr = self._arrays["bucket_indptr"]
+        bucket_items = self._arrays["bucket_items"]
+        quota = multiplier * k
+
+        if self.kind == "pq":
+            codebooks = self._arrays["codebooks"]
+            codes = self._arrays["codes"]
+            centroid_scores = self._arrays["centroids"] @ representation
+            subspaces, _, dsub = codebooks.shape
+            lut = np.einsum("mkd,md->mk", codebooks,
+                            representation.reshape(subspaces, dsub))
+            columns = np.arange(subspaces)[None, :]
+        chosen: list[np.ndarray] = []
+        for bucket in order[:min(n_probe, self.n_buckets)]:
+            items = bucket_items[indptr[bucket]:indptr[bucket + 1]]
+            if items.size == 0:
+                continue
+            if self.kind == "pq" and items.size > quota:
+                # ADC: approximate score = q . centroid + q . residual
+                # (reconstructed per subspace from the LUT), plus bias.
+                approx = (lut[columns, codes[items]].sum(axis=1)
+                          + centroid_scores[bucket])
+                if bias is not None:
+                    approx = approx + bias[items]
+                keep = np.argpartition(-approx, quota - 1)[:quota]
+                items = items[np.sort(keep)]
+            chosen.append(items)
+        if not chosen:
+            return np.zeros(0, dtype=np.int64)
+        return np.concatenate(chosen).astype(np.int64, copy=False)
+
+    def reconstruct(self, items: np.ndarray) -> np.ndarray:
+        """PQ approximation of the given item vectors (PQ indexes only)."""
+        if self.kind != "pq":
+            raise NotImplementedError("LSH indexes store no reconstruction")
+        items = np.asarray(items, dtype=np.int64)
+        codebooks = self._arrays["codebooks"]
+        codes = self._arrays["codes"][items]
+        subspaces, _, dsub = codebooks.shape
+        parts = [codebooks[m][codes[:, m]] for m in range(subspaces)]
+        residual = np.concatenate(parts, axis=1)
+        return self._arrays["centroids"][self._item_bucket[items]] + residual
+
+    # ------------------------------------------------------------------ #
+    # Transport (arena / snapshot frames)
+    # ------------------------------------------------------------------ #
+    def header_bytes(self) -> bytes:
+        """The struct-packed fixed-width header (golden-pinned)."""
+        kind = ANN_KIND_PQ if self.kind == "pq" else ANN_KIND_LSH
+        return HEADER_STRUCT.pack(
+            ANN_MAGIC, ANN_VERSION, kind, 0,
+            self.num_items, self.dim, self.n_buckets,
+            self.config.pq_subspaces, self.config.pq_centroids,
+            self.config.lsh_bits, self.config.seed,
+        )
+
+    def to_arrays(self, prefix: str = ANN_PREFIX) -> dict[str, np.ndarray]:
+        """Flatten the index into transportable named arrays.
+
+        The result drops straight into a
+        :meth:`~repro.parallel.shm.SharedArena.publish` mapping or a
+        cluster snapshot frame; :meth:`from_arrays` is the inverse.
+        Search parameters that are *dials* (``n_probe``,
+        ``candidate_multiplier``) ride in the header's config so an
+        attached index keeps the builder's defaults.
+        """
+        payload = {f"{prefix}header": np.frombuffer(self.header_bytes(),
+                                                    dtype=np.uint8).copy()}
+        for name, value in self._arrays.items():
+            payload[f"{prefix}{name}"] = value
+        # The two dials travel as a tiny int64 array (the header is
+        # geometry only, pinned; dials may evolve without a reformat).
+        payload[f"{prefix}dials"] = np.asarray(
+            [self.config.n_probe, self.config.candidate_multiplier],
+            dtype=np.int64)
+        return payload
+
+    @classmethod
+    def from_arrays(cls, arrays: dict[str, np.ndarray],
+                    prefix: str = ANN_PREFIX) -> "ANNIndex":
+        """Rebuild an index from :meth:`to_arrays` output (zero-copy).
+
+        Array values may be read-only shared-memory views; the index
+        never writes to them.
+        """
+        header = bytes(np.asarray(arrays[f"{prefix}header"],
+                                  dtype=np.uint8).tobytes())
+        if len(header) != HEADER_STRUCT.size:
+            raise ValueError(
+                f"ANN header is {len(header)} bytes, "
+                f"expected {HEADER_STRUCT.size}")
+        (magic, version, kind_code, _reserved, num_items, dim, n_buckets,
+         pq_subspaces, pq_centroids, lsh_bits, seed) = HEADER_STRUCT.unpack(header)
+        if magic != ANN_MAGIC:
+            raise ValueError(f"bad ANN index magic {magic!r}")
+        if version != ANN_VERSION:
+            raise ValueError(f"unsupported ANN index version {version}")
+        if kind_code == ANN_KIND_PQ:
+            kind, names = "pq", ("centroids", "bucket_indptr", "bucket_items",
+                                 "codebooks", "codes")
+        elif kind_code == ANN_KIND_LSH:
+            kind, names = "lsh", ("hyperplanes", "bucket_indptr",
+                                  "bucket_items")
+        else:
+            raise ValueError(f"unknown ANN index kind code {kind_code}")
+        dials = np.asarray(arrays[f"{prefix}dials"], dtype=np.int64)
+        config = RetrievalConfig(
+            n_buckets=n_buckets, pq_subspaces=pq_subspaces,
+            pq_centroids=pq_centroids, n_probe=int(dials[0]),
+            candidate_multiplier=int(dials[1]), lsh_bits=lsh_bits, seed=seed)
+        payload = {name: arrays[f"{prefix}{name}"] for name in names}
+        if payload["bucket_indptr"].shape[0] != n_buckets + 1:
+            raise ValueError("bucket_indptr does not match the header geometry")
+        return cls(kind, num_items, dim, config, payload)
+
+    @staticmethod
+    def array_keys(arrays: dict[str, np.ndarray],
+                   prefix: str = ANN_PREFIX) -> list[str]:
+        """The ``prefix``-keyed entries of a mapping (arena/frame probing)."""
+        return sorted(name for name in arrays if name.startswith(prefix))

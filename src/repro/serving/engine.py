@@ -43,6 +43,7 @@ from repro.data.seen import SeenIndex
 from repro.data.windows import pad_histories, pad_id_for
 from repro.evaluation.ranking import top_k_items
 from repro.models.base import FrozenScorer, SequentialRecommender
+from repro.retrieval.index import ANNIndex, RetrievalConfig
 
 __all__ = ["Recommendation", "ScoringEngine"]
 
@@ -154,6 +155,7 @@ class ScoringEngine:
         self._frozen: FrozenScorer | None = None
         self._representations: np.ndarray | None = None
         self._rep_valid: np.ndarray | None = None
+        self._ann: ANNIndex | None = None
         # History-less snapshot engines raise on observe() unless
         # from_snapshot() opted them in (the shard workers do).
         self._snapshot_observable = False
@@ -236,7 +238,12 @@ class ScoringEngine:
         return self
 
     def refresh(self) -> "ScoringEngine":
-        """Re-snapshot the model (call after further training)."""
+        """Re-snapshot the model (call after further training).
+
+        A built ANN index is retrained over the refreshed candidate
+        table with its previous configuration, so the approximate stage
+        never serves stale geometry.
+        """
         if self._frozen is not None:
             self._frozen = self.model.freeze(copy=self._copy_weights)
             if self._rep_valid is not None:
@@ -245,7 +252,148 @@ class ScoringEngine:
                 if self._representations.dtype != dtype:
                     # Training may have re-cast the model (Module.astype).
                     self._representations = self._representations.astype(dtype)
+            if self._ann is not None:
+                self.build_ann_index(self._ann.config)
         return self
+
+    # ------------------------------------------------------------------ #
+    # ANN retrieval (the approximate first stage of top_k(mode="ann"))
+    # ------------------------------------------------------------------ #
+    @property
+    def ann_index(self) -> ANNIndex | None:
+        """The attached ANN candidate index, or ``None`` (exact only)."""
+        return self._ann
+
+    def build_ann_index(self, config: RetrievalConfig | None = None) -> ANNIndex:
+        """Train an ANN index over the frozen candidate table.
+
+        Returns the index (also attached to the engine, enabling
+        ``top_k(..., mode="ann")``).  Requires the representation fast
+        path — count-based models score through ``model.score_all`` and
+        have no candidate table to index.
+        """
+        if self._frozen is None:
+            raise NotImplementedError(
+                f"{type(self.model).__name__} has no candidate-embedding "
+                "table; ANN retrieval needs the representation fast path"
+            )
+        table = self._scorer().candidate_embeddings[: self.num_items]
+        self._ann = ANNIndex.build(np.ascontiguousarray(table), config)
+        return self._ann
+
+    def attach_ann_index(self, index: ANNIndex) -> None:
+        """Attach a pre-built index (e.g. from a snapshot or the arena).
+
+        The index must have been trained over this engine's candidate
+        table — the geometry is validated, the contents trusted.
+        """
+        if self._frozen is None:
+            raise NotImplementedError(
+                f"{type(self.model).__name__} has no candidate-embedding "
+                "table; ANN retrieval needs the representation fast path"
+            )
+        if index.num_items != self.num_items:
+            raise ValueError(
+                f"index covers {index.num_items} items, engine serves "
+                f"{self.num_items}"
+            )
+        if index.dim != self._frozen.embedding_dim:
+            raise ValueError(
+                f"index dim {index.dim} does not match embedding dim "
+                f"{self._frozen.embedding_dim}"
+            )
+        self._ann = index
+
+    def _ensure_seen_arrays(self) -> None:
+        """Materialize the per-user seen arrays (lazy, one CSR pass)."""
+        if self._seen_items is not None:
+            return
+        if self._histories is None:
+            raise RuntimeError(
+                "this snapshot engine was built without seen-item arrays; "
+                "masked requests are unavailable"
+            )
+        index = SeenIndex.from_histories(self._histories, self.num_items)
+        self._seen_items = [index.user_items(user) for user in range(self.num_users)]
+
+    def _ann_candidates(self, rep: np.ndarray, k: int, n_probe: int,
+                        multiplier: int, bias: np.ndarray | None,
+                        seen: np.ndarray | None,
+                        width: int) -> np.ndarray | None:
+        """Unseen candidate ids of one query, or ``None`` for exact fallback.
+
+        Starts at the requested ``n_probe`` and doubles the probed
+        prefix while the (seen-filtered) candidate set is still
+        narrower than the requested ``width`` — probing more buckets
+        only *extends* the set, so the initial dial still decides the
+        common case.  If every bucket has been probed and the per-bucket
+        quota still leaves the set short, the caller scores that row
+        exactly instead.
+        """
+        index = self._ann
+        probe = n_probe
+        while True:
+            candidates = index.candidates(rep, k, probe, multiplier, bias)
+            if seen is not None and seen.size and candidates.size:
+                candidates = candidates[np.isin(candidates, seen, invert=True)]
+            if candidates.size >= width:
+                return candidates
+            if probe >= index.n_buckets:
+                return None
+            probe = min(index.n_buckets, probe * 2)
+
+    def _ann_top_k(self, users: np.ndarray, k: int, exclude: bool,
+                   n_probe: int | None,
+                   multiplier: int | None) -> tuple[np.ndarray, np.ndarray]:
+        """ANN candidates + exact re-rank: ``(ranked, scores)`` per user."""
+        if self._ann is None:
+            raise RuntimeError(
+                "no ANN index attached; call build_ann_index() / "
+                "attach_ann_index() or use mode='exact'"
+            )
+        index = self._ann
+        n_probe = index.config.n_probe if n_probe is None else int(n_probe)
+        multiplier = (index.config.candidate_multiplier if multiplier is None
+                      else int(multiplier))
+        scorer = self._scorer()
+        table = scorer.candidate_embeddings[: self.num_items]
+        bias = (scorer.item_bias[: self.num_items]
+                if scorer.item_bias is not None else None)
+        representations = self._representations_for(users)
+        width = min(k, self.num_items)
+        ranked = np.empty((users.size, width), dtype=np.int64)
+        out_scores = np.empty((users.size, width), dtype=np.float64)
+        if exclude:
+            self._ensure_seen_arrays()
+        for row in range(users.size):
+            rep = representations[row]
+            seen = self._seen_items[users[row]] if exclude else None
+            candidates = self._ann_candidates(rep, k, n_probe, multiplier,
+                                              bias, seen, width)
+            if candidates is None:
+                # Quota-starved even with every bucket probed: score the
+                # row exactly so the contract (width ids, best first)
+                # holds regardless of catalogue shape.
+                scores = scorer.scores_from_representation(rep[None, :])
+                scores = np.array(scores, dtype=np.float64, copy=True)
+                if seen is not None and seen.size:
+                    scores[0, seen] = -np.inf
+                ids = top_k_items(scores, k)[0]
+                ranked[row] = ids
+                out_scores[row] = scores[0, ids]
+                continue
+            scores = table[candidates] @ rep
+            if bias is not None:
+                scores = scores + bias[candidates]
+            scores = scores.astype(np.float64, copy=False)
+            if candidates.size > width:
+                top = np.argpartition(-scores, width - 1)[:width]
+            else:
+                top = np.arange(candidates.size)
+            pick = top[np.argsort(-scores[top], kind="stable")]
+            ranked[row] = candidates[pick]
+            out_scores[row] = scores[pick]
+        return ranked, out_scores
 
     def history(self, user: int) -> list[int]:
         """Copy of the engine's current history of ``user``."""
@@ -375,17 +523,10 @@ class ScoringEngine:
                 if history:
                     scores[row, np.asarray(history, dtype=np.int64)] = -np.inf
             return
-        if self._seen_items is None:
-            if self._histories is None:
-                raise RuntimeError(
-                    "this snapshot engine was built without seen-item arrays; "
-                    "masked requests are unavailable"
-                )
-            # Built through the shared CSR index (one pass over the
-            # histories); the per-user views stay cheap to index with and
-            # observe() replaces them per user as interactions arrive.
-            index = SeenIndex.from_histories(self._histories, self.num_items)
-            self._seen_items = [index.user_items(user) for user in range(self.num_users)]
+        # Built through the shared CSR index (one pass over the
+        # histories); the per-user views stay cheap to index with and
+        # observe() replaces them per user as interactions arrive.
+        self._ensure_seen_arrays()
         for row, user in enumerate(users):
             scores[row, self._seen_items[user]] = -np.inf
 
@@ -425,16 +566,29 @@ class ScoringEngine:
         self._mask_seen(scores, users)
         return scores
 
-    def top_k(self, users, k: int, exclude_seen: bool | None = None) -> np.ndarray:
+    def top_k(self, users, k: int, exclude_seen: bool | None = None,
+              mode: str | None = None, n_probe: int | None = None,
+              candidate_multiplier: int | None = None) -> np.ndarray:
         """Ranked ids of the top-``k`` items per user, best first.
 
-        Large user lists are processed in ``micro_batch_size`` chunks so
-        only ``(chunk, num_items)`` scores are alive at a time.
+        ``mode`` selects the retrieval stage: ``"exact"`` (the default)
+        scores the full catalogue — large user lists are processed in
+        ``micro_batch_size`` chunks so only ``(chunk, num_items)``
+        scores are alive at a time.  ``"ann"`` asks the attached
+        :class:`~repro.retrieval.index.ANNIndex` for candidates and
+        re-ranks only those with exact scores; ``n_probe`` /
+        ``candidate_multiplier`` override the index's dial defaults for
+        this request (more probes → higher recall, more latency).
         """
         if k < 1:
             raise ValueError("k must be positive")
+        if mode not in (None, "exact", "ann"):
+            raise ValueError(f"mode must be 'exact' or 'ann', got {mode!r}")
         exclude = self.exclude_seen if exclude_seen is None else exclude_seen
         users = self._as_user_array(users)
+        if mode == "ann":
+            return self._ann_top_k(users, k, exclude, n_probe,
+                                   candidate_multiplier)[0]
         width = min(k, self.num_items)
         ranked = np.empty((users.size, width), dtype=np.int64)
         for start in range(0, users.size, self.micro_batch_size):
@@ -442,6 +596,37 @@ class ScoringEngine:
             scores = self.masked_scores(chunk) if exclude else self.score_all(chunk)
             ranked[start:start + self.micro_batch_size] = top_k_items(scores, k)
         return ranked
+
+    def top_k_scored(self, users, k: int, exclude_seen: bool | None = None,
+                     mode: str | None = None, n_probe: int | None = None,
+                     candidate_multiplier: int | None = None,
+                     ) -> tuple[np.ndarray, np.ndarray]:
+        """:meth:`top_k` plus the (float64) scores of the returned items.
+
+        The gateway's ANN path uses this to resolve futures without
+        materializing full score rows; seen items are masked before
+        ranking exactly as in :meth:`top_k`.
+        """
+        if k < 1:
+            raise ValueError("k must be positive")
+        if mode not in (None, "exact", "ann"):
+            raise ValueError(f"mode must be 'exact' or 'ann', got {mode!r}")
+        exclude = self.exclude_seen if exclude_seen is None else exclude_seen
+        users = self._as_user_array(users)
+        if mode == "ann":
+            return self._ann_top_k(users, k, exclude, n_probe,
+                                   candidate_multiplier)
+        width = min(k, self.num_items)
+        ranked = np.empty((users.size, width), dtype=np.int64)
+        out_scores = np.empty((users.size, width), dtype=np.float64)
+        for start in range(0, users.size, self.micro_batch_size):
+            chunk = users[start:start + self.micro_batch_size]
+            scores = self.masked_scores(chunk) if exclude else self.score_all(chunk)
+            ids = top_k_items(scores, k)
+            stop = start + self.micro_batch_size
+            ranked[start:stop] = ids
+            out_scores[start:stop] = scores[np.arange(ids.shape[0])[:, None], ids]
+        return ranked, out_scores
 
     # ------------------------------------------------------------------ #
     # Request-level API

@@ -241,6 +241,17 @@ class ServingGateway:
         Default per-request deadline applied to every :meth:`submit`
         that does not pass its own ``timeout``; ``None`` (default)
         means no deadline.
+    retrieval_mode:
+        ``"exact"`` (default) scores the full catalogue per batch and
+        feeds the score-row cache.  ``"ann"`` serves batches through
+        the engine's ANN candidate stage (``top_k_scored(mode="ann")``)
+        — sub-linear in catalogue size, bypassing the row cache (there
+        is no full row to cache); the engine must have an ANN index
+        attached.
+    n_probe / candidate_multiplier:
+        Optional ANN dial overrides applied to every batch in
+        ``retrieval_mode="ann"`` (``None`` inherits the index
+        defaults).
     own_engine:
         When true, :meth:`close` also closes the engine.
 
@@ -255,6 +266,9 @@ class ServingGateway:
                  cache_size: int = 256, cache_ttl_s: float | None = None,
                  max_queue: int | None = None,
                  request_timeout_s: float | None = None,
+                 retrieval_mode: str = "exact",
+                 n_probe: int | None = None,
+                 candidate_multiplier: int | None = None,
                  own_engine: bool = False):
         if max_batch < 1:
             raise ValueError("max_batch must be positive")
@@ -268,6 +282,13 @@ class ServingGateway:
             raise ValueError("max_queue must be positive (or None to disable)")
         if request_timeout_s is not None and request_timeout_s <= 0:
             raise ValueError("request_timeout_s must be positive (or None)")
+        if retrieval_mode not in ("exact", "ann"):
+            raise ValueError(
+                f"retrieval_mode must be 'exact' or 'ann', got {retrieval_mode!r}")
+        self.retrieval_mode = retrieval_mode
+        self.n_probe = None if n_probe is None else int(n_probe)
+        self.candidate_multiplier = (None if candidate_multiplier is None
+                                     else int(candidate_multiplier))
         self.engine = engine
         self.max_batch = int(max_batch)
         self.max_wait_s = float(max_wait_ms) / 1e3
@@ -582,13 +603,20 @@ class ServingGateway:
             if deadlines:
                 engine_timeout = max(min(deadlines) - started, 1e-3)
         try:
-            with self._engine_lock:
-                rows = self._score_rows(live, engine_timeout)
-            for request, row in zip(live, rows):
-                # Per-row ranking is bit-identical to the engine's batch
-                # call: argpartition/argsort operate row-independently.
-                ranked = top_k_items(row[None, :], request.k)[0]
-                request.future._resolve(ranked, row[ranked])
+            if self.retrieval_mode == "ann":
+                with self._engine_lock:
+                    resolved = self._ann_results(live, engine_timeout)
+                for request, (ranked, scores) in zip(live, resolved):
+                    request.future._resolve(ranked, scores)
+            else:
+                with self._engine_lock:
+                    rows = self._score_rows(live, engine_timeout)
+                for request, row in zip(live, rows):
+                    # Per-row ranking is bit-identical to the engine's
+                    # batch call: argpartition/argsort operate
+                    # row-independently.
+                    ranked = top_k_items(row[None, :], request.k)[0]
+                    request.future._resolve(ranked, row[ranked])
         except BaseException as error:
             # Resolve with the error and keep the flusher alive: a dead
             # flusher would strand every future submitted afterwards,
@@ -612,6 +640,42 @@ class ServingGateway:
                     self._service_ewma_s = (
                         _EWMA_ALPHA * elapsed
                         + (1.0 - _EWMA_ALPHA) * self._service_ewma_s)
+
+    def _ann_results(self, batch: list[_Request],
+                     engine_timeout: float | None = None,
+                     ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """``(ranked, scores)`` per request through the ANN stage.
+
+        Requests are grouped by their mask flag and deduplicated by
+        user; each group is served with one ``top_k_scored`` call at
+        the group's largest ``k``, and narrower requests take a prefix
+        of their user's row (top-k lists nest by construction).  The
+        score-row cache is not involved — the whole point of the ANN
+        path is never materializing ``(num_items,)`` rows.
+        """
+        engine_kwargs = {}
+        if engine_timeout is not None:
+            engine_kwargs["timeout"] = engine_timeout
+        rows: dict[tuple[int, bool], tuple[np.ndarray, np.ndarray]] = {}
+        for masked in (True, False):
+            requests = [request for request in batch if request.masked == masked]
+            if not requests:
+                continue
+            users = sorted({request.user for request in requests})
+            kmax = max(request.k for request in requests)
+            ranked, scores = self.engine.top_k_scored(
+                np.asarray(users, dtype=np.int64), kmax,
+                exclude_seen=masked, mode="ann", n_probe=self.n_probe,
+                candidate_multiplier=self.candidate_multiplier,
+                **engine_kwargs)
+            for position, user in enumerate(users):
+                rows[(user, masked)] = (ranked[position], scores[position])
+        results = []
+        for request in batch:
+            ranked, scores = rows[(request.user, request.masked)]
+            width = min(request.k, ranked.shape[0])
+            results.append((ranked[:width], scores[:width]))
+        return results
 
     def _score_rows(self, batch: list[_Request],
                     engine_timeout: float | None = None) -> list[np.ndarray]:

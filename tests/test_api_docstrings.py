@@ -18,12 +18,13 @@ import pytest
 import repro.cluster
 import repro.durability
 import repro.parallel
+import repro.retrieval
 import repro.serving
 
 pytestmark = pytest.mark.fast
 
 AUDITED_PACKAGES = [repro.serving, repro.parallel, repro.cluster,
-                    repro.durability]
+                    repro.durability, repro.retrieval]
 
 
 def _has_docstring(obj) -> bool:

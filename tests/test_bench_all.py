@@ -1,0 +1,77 @@
+"""Tests of the one-shot benchmark regression pass (:mod:`repro.bench_all`).
+
+``repro-ham bench-all`` must discover *every* persisted artifact and
+route each through the guard that mirrors its pytest thresholds — a new
+benchmark family that ships an artifact without registering a guard
+shows up as ``unknown`` rather than silently passing.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.bench_all import (GUARDS, discover_artifacts, run_all_guards,
+                             run_guard)
+from repro.bench_schema import write_bench_report
+
+pytestmark = pytest.mark.fast
+
+RESULTS_DIR = Path(__file__).resolve().parents[1] / "benchmarks" / "results"
+
+
+def test_discovers_every_persisted_artifact():
+    on_disk = sorted(RESULTS_DIR.glob("BENCH_*.json"))
+    assert on_disk, "no benchmark artifacts checked in"
+    assert discover_artifacts(RESULTS_DIR) == on_disk
+
+
+def test_every_persisted_artifact_has_a_registered_guard():
+    families = {path.stem[len("BENCH_"):]
+                for path in discover_artifacts(RESULTS_DIR)}
+    unguarded = families - set(GUARDS)
+    assert not unguarded, (
+        f"artifacts without a bench-all guard: {sorted(unguarded)}")
+
+
+def test_checked_in_artifacts_pass_their_guards():
+    results = run_all_guards(RESULTS_DIR)
+    assert results
+    failures = [result.line() for result in results
+                if result.status != "pass"]
+    assert not failures, "\n".join(failures)
+
+
+def test_guard_fails_on_a_regressed_artifact(tmp_path):
+    write_bench_report(tmp_path / "BENCH_serving.json", "serving",
+                       {"speedup": 1.2}, headline={"speedup": 1.2})
+    result = run_guard(tmp_path / "BENCH_serving.json")
+    assert result.status == "fail"
+    assert "regressed" in result.message
+
+
+def test_guard_reports_unknown_families_and_unreadable_artifacts(tmp_path):
+    write_bench_report(tmp_path / "BENCH_mystery.json", "mystery", {})
+    unknown = run_guard(tmp_path / "BENCH_mystery.json")
+    assert unknown.status == "unknown"
+
+    (tmp_path / "BENCH_training.json").write_text(
+        json.dumps({"schema_version": 1, "report": {}}), encoding="utf-8")
+    broken = run_guard(tmp_path / "BENCH_training.json")
+    assert broken.status == "fail"
+    assert "unreadable" in broken.message
+
+
+def test_single_core_artifacts_skip_speed_thresholds(tmp_path):
+    write_bench_report(tmp_path / "BENCH_parallel.json", "parallel",
+                       {"topk_bit_identical": True, "cpu_count": 1,
+                        "eval_sweep_speedup": 0.5})
+    result = run_guard(tmp_path / "BENCH_parallel.json")
+    assert result.status == "pass"
+    assert result.skipped and "eval_sweep_speedup" in result.skipped[0]
+
+
+def test_empty_results_directory_yields_no_results(tmp_path):
+    assert run_all_guards(tmp_path) == []

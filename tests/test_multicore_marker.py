@@ -1,0 +1,44 @@
+"""Tests of the ``multicore`` marker's skip helper.
+
+The throughput benchmarks assert relative speedups that only exist with
+at least two real cores; those assertions sit in ``multicore``-marked
+tests that call :func:`repro.bench_all.require_multicore` first.  This
+module pins the helper's contract on both sides — it must *skip* on a
+single-core machine and *pass through* on a multi-core one — with
+``os.cpu_count`` monkeypatched so the fast tier exercises both branches
+regardless of the runner.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench_all import require_multicore
+
+pytestmark = pytest.mark.fast
+
+
+def test_skips_on_single_core(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 1)
+    with pytest.raises(pytest.skip.Exception) as outcome:
+        require_multicore()
+    assert "cpu_count=1" in str(outcome.value)
+
+
+def test_skips_when_cpu_count_is_unknown(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: None)
+    with pytest.raises(pytest.skip.Exception):
+        require_multicore()
+
+
+def test_passes_through_on_multicore(monkeypatch):
+    monkeypatch.setattr(os, "cpu_count", lambda: 4)
+    require_multicore()  # must not raise
+
+
+def test_marker_is_registered(request):
+    markers = request.config.getini("markers")
+    assert any(line.startswith("multicore:") for line in markers), (
+        "the multicore marker must be declared in pytest.ini")
